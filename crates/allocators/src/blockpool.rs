@@ -1,0 +1,356 @@
+//! Shared block bookkeeping: best-fit free lists with block splitting and
+//! immediate coalescing, the core mechanism of PyTorch's caching allocator.
+//!
+//! A [`BlockPool`] tracks blocks carved out of reserved regions (caching
+//! segments or expandable arenas). Blocks belonging to the same region
+//! coalesce on free; distinct regions never merge even if their addresses
+//! happen to be adjacent (they never are — the device leaves guard gaps).
+
+use std::collections::{BTreeSet, HashMap};
+
+/// A block of reserved memory, either free or allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Base address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub size: u64,
+    /// Region (segment/arena) identifier; blocks only merge within one.
+    pub region: u64,
+    /// Whether the block is currently allocated.
+    pub allocated: bool,
+}
+
+impl Block {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.addr + self.size
+    }
+}
+
+/// Best-fit block pool with split and coalesce.
+#[derive(Debug, Default, Clone)]
+pub struct BlockPool {
+    /// Free blocks ordered by (size, addr) — PyTorch's comparator.
+    free: BTreeSet<(u64, u64)>,
+    /// All blocks by base address.
+    blocks: HashMap<u64, Block>,
+    /// Block base address by end address (for neighbour lookup).
+    by_end: HashMap<u64, u64>,
+    /// Total free bytes.
+    free_bytes: u64,
+}
+
+impl BlockPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes in free blocks.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_bytes
+    }
+
+    /// Number of free blocks.
+    pub fn free_block_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Largest free block size.
+    pub fn largest_free(&self) -> u64 {
+        self.free.iter().next_back().map_or(0, |&(s, _)| s)
+    }
+
+    /// Looks up a block by base address.
+    pub fn get(&self, addr: u64) -> Option<&Block> {
+        self.blocks.get(&addr)
+    }
+
+    /// Iterates over free blocks as `(addr, size, region)`, ascending size.
+    pub fn iter_free(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.free.iter().map(move |&(size, addr)| {
+            let b = &self.blocks[&addr];
+            (addr, size, b.region)
+        })
+    }
+
+    /// Adds a new free region (a fresh segment or a grown arena tail).
+    /// Coalesces with an adjacent free block of the same region, which
+    /// happens when an arena grows right after its last free block.
+    pub fn add_region(&mut self, addr: u64, size: u64, region: u64) {
+        debug_assert!(size > 0);
+        debug_assert!(!self.blocks.contains_key(&addr), "region overlap");
+        let mut blk = Block {
+            addr,
+            size,
+            region,
+            allocated: false,
+        };
+        // Merge with a free predecessor ending exactly at `addr`.
+        if let Some(&prev_addr) = self.by_end.get(&addr) {
+            let prev = self.blocks[&prev_addr];
+            if !prev.allocated && prev.region == region {
+                self.detach_free(prev_addr);
+                blk.addr = prev.addr;
+                blk.size += prev.size;
+            }
+        }
+        self.attach_free(blk);
+        self.free_bytes += size;
+    }
+
+    /// Best-fit lookup: the smallest free block with `size >= want`,
+    /// optionally bounded (blocks of size `>= limit` are skipped unless the
+    /// request itself is `>= limit` — PyTorch's `max_split_size` oversize
+    /// rule).
+    pub fn best_fit(&self, want: u64, oversize_limit: u64) -> Option<(u64, u64)> {
+        for &(size, addr) in self.free.range((want, 0)..) {
+            if want < oversize_limit && size >= oversize_limit {
+                // An oversize cached block must not serve small requests.
+                return None;
+            }
+            return Some((addr, size));
+        }
+        None
+    }
+
+    /// Allocates `want` bytes from the free block at `addr`.
+    ///
+    /// If `split` returns `true` for the remainder, the tail is kept free;
+    /// otherwise the whole block is granted. Returns the granted size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a free block or is smaller than `want`.
+    pub fn allocate(&mut self, addr: u64, want: u64, split: impl Fn(u64) -> bool) -> u64 {
+        let blk = *self.blocks.get(&addr).expect("allocate: unknown block");
+        assert!(!blk.allocated, "allocate: block busy");
+        assert!(blk.size >= want, "allocate: block too small");
+        self.detach_free(addr);
+        let remainder = blk.size - want;
+        let granted = if remainder > 0 && split(remainder) {
+            let tail = Block {
+                addr: blk.addr + want,
+                size: remainder,
+                region: blk.region,
+                allocated: false,
+            };
+            self.attach_free(tail);
+            want
+        } else {
+            blk.size
+        };
+        let alloc_blk = Block {
+            addr: blk.addr,
+            size: granted,
+            region: blk.region,
+            allocated: true,
+        };
+        self.blocks.insert(alloc_blk.addr, alloc_blk);
+        self.by_end.insert(alloc_blk.end(), alloc_blk.addr);
+        self.free_bytes -= granted;
+        granted
+    }
+
+    /// Frees an allocated block, coalescing with free neighbours of the
+    /// same region. Returns the merged free block.
+    pub fn free(&mut self, addr: u64) -> Block {
+        let mut blk = *self.blocks.get(&addr).expect("free: unknown block");
+        assert!(blk.allocated, "free: block not allocated");
+        self.blocks.remove(&addr);
+        self.by_end.remove(&blk.end());
+        self.free_bytes += blk.size;
+
+        // Merge predecessor.
+        if let Some(&prev_addr) = self.by_end.get(&blk.addr) {
+            let prev = self.blocks[&prev_addr];
+            if !prev.allocated && prev.region == blk.region {
+                self.detach_free(prev_addr);
+                blk.addr = prev.addr;
+                blk.size += prev.size;
+            }
+        }
+        // Merge successor.
+        if let Some(next) = self.blocks.get(&blk.end()).copied() {
+            if !next.allocated && next.region == blk.region {
+                self.detach_free(next.addr);
+                blk.size += next.size;
+            }
+        }
+        blk.allocated = false;
+        self.attach_free(blk);
+        blk
+    }
+
+    /// Removes a free block from the pool entirely (segment release or
+    /// stitch consumption). Returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a free block.
+    pub fn take_free(&mut self, addr: u64) -> Block {
+        let blk = *self.blocks.get(&addr).expect("take_free: unknown block");
+        assert!(!blk.allocated, "take_free: block busy");
+        self.detach_free(addr);
+        self.free_bytes -= blk.size;
+        blk
+    }
+
+    /// Re-inserts a block previously taken with [`Self::take_free`] as an
+    /// allocated block (stitch component bookkeeping), so that a later
+    /// [`Self::free`] returns it to circulation with coalescing.
+    pub fn reinsert_allocated(&mut self, blk: Block) {
+        debug_assert!(!self.blocks.contains_key(&blk.addr));
+        let b = Block {
+            allocated: true,
+            ..blk
+        };
+        self.blocks.insert(b.addr, b);
+        self.by_end.insert(b.end(), b.addr);
+    }
+
+    /// Checks internal consistency (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut free_sum = 0;
+        for &(size, addr) in &self.free {
+            let b = &self.blocks[&addr];
+            assert!(!b.allocated);
+            assert_eq!(b.size, size);
+            free_sum += size;
+        }
+        assert_eq!(free_sum, self.free_bytes);
+        for (addr, b) in &self.blocks {
+            assert_eq!(*addr, b.addr);
+            assert_eq!(self.by_end.get(&b.end()), Some(addr));
+        }
+    }
+
+    fn attach_free(&mut self, blk: Block) {
+        debug_assert!(!blk.allocated);
+        self.free.insert((blk.size, blk.addr));
+        self.by_end.insert(blk.end(), blk.addr);
+        self.blocks.insert(blk.addr, blk);
+    }
+
+    fn detach_free(&mut self, addr: u64) {
+        let blk = self.blocks.remove(&addr).expect("detach: unknown");
+        self.free.remove(&(blk.size, blk.addr));
+        self.by_end.remove(&blk.end());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_coalesce_roundtrip() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 1000, 1);
+        let g = p.allocate(0, 300, |_| true);
+        assert_eq!(g, 300);
+        assert_eq!(p.free_bytes(), 700);
+        let (addr, size) = p.best_fit(700, u64::MAX).unwrap();
+        assert_eq!((addr, size), (300, 700));
+        let merged = p.free(0);
+        assert_eq!(merged.addr, 0);
+        assert_eq!(merged.size, 1000);
+        assert_eq!(p.free_block_count(), 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn no_split_grants_whole_block() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 1000, 1);
+        let g = p.allocate(0, 300, |_| false);
+        assert_eq!(g, 1000);
+        assert_eq!(p.free_bytes(), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn three_way_merge() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 3000, 7);
+        p.allocate(0, 1000, |_| true);
+        p.allocate(1000, 1000, |_| true);
+        p.allocate(2000, 1000, |_| false);
+        assert_eq!(p.free_bytes(), 0);
+        p.free(0);
+        p.free(2000);
+        assert_eq!(p.free_block_count(), 2);
+        p.free(1000); // bridges both neighbours
+        assert_eq!(p.free_block_count(), 1);
+        assert_eq!(p.largest_free(), 3000);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn regions_never_merge_across_boundaries() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 1000, 1);
+        p.add_region(1000, 1000, 2); // address-adjacent but different region
+        assert_eq!(p.free_block_count(), 2);
+        let a = p.allocate(0, 1000, |_| false);
+        assert_eq!(a, 1000);
+        p.free(0);
+        assert_eq!(p.free_block_count(), 2, "no cross-region merge");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn arena_growth_merges_same_region_tail() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 1000, 1);
+        p.add_region(1000, 500, 1); // growth of the same arena
+        assert_eq!(p.free_block_count(), 1);
+        assert_eq!(p.largest_free(), 1500);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 1000, 1);
+        p.add_region(5000, 400, 2);
+        let (addr, size) = p.best_fit(300, u64::MAX).unwrap();
+        assert_eq!((addr, size), (5000, 400));
+        assert!(p.best_fit(2000, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn oversize_rule_blocks_small_requests() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 10_000, 1);
+        // A small request must not consume the oversize cached block.
+        assert!(p.best_fit(100, 4096).is_none());
+        // An oversize request may.
+        assert!(p.best_fit(5000, 4096).is_some());
+    }
+
+    #[test]
+    fn take_and_reinsert_supports_stitching() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 1000, 1);
+        let blk = p.take_free(0);
+        assert_eq!(p.free_bytes(), 0);
+        assert_eq!(p.free_block_count(), 0);
+        p.reinsert_allocated(blk);
+        let back = p.free(0);
+        assert_eq!(back.size, 1000);
+        assert_eq!(p.free_bytes(), 1000);
+        p.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "block busy")]
+    fn double_allocate_panics() {
+        let mut p = BlockPool::new();
+        p.add_region(0, 100, 1);
+        p.allocate(0, 100, |_| false);
+        p.allocate(0, 100, |_| false);
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion bench: PyTorch caching-allocator clone throughput
+//! (cache-hit fast path and the fragmentation-inducing churn pattern).
+
+use allocators::{AllocRequest, CachingAllocator, CachingConfig, GpuAllocator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{Device, DeviceSpec, LatencyModel};
+use trace_gen::TensorId;
+
+fn bench_cache_hit(c: &mut Criterion) {
+    c.bench_function("caching_hit_malloc_free", |b| {
+        let mut dev =
+            Device::with_latency(DeviceSpec::test_device(8 << 30), LatencyModel::zero());
+        let mut alloc = CachingAllocator::new(CachingConfig::torch_2_3());
+        // Warm the cache.
+        let warm = AllocRequest {
+            tensor: TensorId(0),
+            size: 4 << 20,
+            dynamic: false,
+        };
+        alloc.malloc(&mut dev, &warm).unwrap();
+        alloc.free(&mut dev, TensorId(0)).unwrap();
+        let mut id = 1u64;
+        b.iter(|| {
+            id += 1;
+            let t = TensorId(id);
+            alloc
+                .malloc(
+                    &mut dev,
+                    &AllocRequest {
+                        tensor: t,
+                        size: 4 << 20,
+                        dynamic: false,
+                    },
+                )
+                .unwrap();
+            alloc.free(&mut dev, t).unwrap();
+        })
+    });
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // Interleaved sizes exercising split/coalesce on every operation.
+    let sizes = [2 << 20, 7 << 20, 3 << 20, 12 << 20, 5 << 20];
+    c.bench_function("caching_interleaved_churn", |b| {
+        let mut dev =
+            Device::with_latency(DeviceSpec::test_device(16 << 30), LatencyModel::zero());
+        let mut alloc = CachingAllocator::new(CachingConfig::torch_2_3());
+        let mut id = 0u64;
+        b.iter(|| {
+            let base = id;
+            for (k, &s) in sizes.iter().enumerate() {
+                alloc
+                    .malloc(
+                        &mut dev,
+                        &AllocRequest {
+                            tensor: TensorId(base + k as u64),
+                            size: s,
+                            dynamic: false,
+                        },
+                    )
+                    .unwrap();
+            }
+            // Free in a different order to force coalescing work.
+            for k in [1usize, 3, 0, 4, 2] {
+                alloc.free(&mut dev, TensorId(base + k as u64)).unwrap();
+            }
+            id += sizes.len() as u64;
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache_hit, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: plan-synthesis cost vs request count (paper Table 2's
+//! `T_plan` column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stalloc_core::{profile_trace, synthesize, SynthConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn bench_plan_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_synthesis");
+    group.sample_size(10);
+    for (label, mbs, m) in [("small", 1u32, 4u32), ("medium", 4, 8), ("large", 8, 16)] {
+        let job = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1),
+            OptimConfig::r(),
+        )
+        .with_mbs(mbs)
+        .with_seq(512)
+        .with_microbatches(m)
+        .with_iterations(1);
+        let trace = job.build_trace().unwrap();
+        let profile = profile_trace(&trace, 1).unwrap();
+        let n = profile.statics.len();
+        group.bench_with_input(BenchmarkId::new(label, n), &profile, |b, p| {
+            b.iter(|| synthesize(p, &SynthConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let job = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1),
+        OptimConfig::r(),
+    )
+    .with_mbs(4)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(1);
+    let trace = job.build_trace().unwrap();
+    c.bench_function("profile_trace", |b| {
+        b.iter(|| profile_trace(&trace, 1).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_plan_synthesis, bench_profiling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: end-to-end replay of one training trace per allocator —
+//! the relative cost of each allocator's bookkeeping at trace scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceSpec;
+use harness::{run, AllocatorKind};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1),
+        OptimConfig::r(),
+    )
+    .with_mbs(2)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(2)
+    .build_trace()
+    .unwrap();
+    let spec = DeviceSpec::test_device(32 << 30);
+
+    let mut group = c.benchmark_group("replay_e2e");
+    group.sample_size(10);
+    for kind in [
+        AllocatorKind::Native,
+        AllocatorKind::Torch23,
+        AllocatorKind::TorchEs,
+        AllocatorKind::GmLake(64 << 20),
+        AllocatorKind::Stalloc,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    let r = run(&trace, &spec, k);
+                    assert!(!r.report.oom);
+                    r.report.peak_reserved
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

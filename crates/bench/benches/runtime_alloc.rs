@@ -1,0 +1,113 @@
+//! Criterion bench: STAlloc runtime allocation fast path — the paper's
+//! claim that planned static requests cost O(1) at runtime (§7.2).
+
+use allocators::{AllocRequest, GpuAllocator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{Device, DeviceSpec, LatencyModel};
+use stalloc_core::{profile_trace, synthesize, RuntimeConfig, StallocAllocator, SynthConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TensorId, TraceEvent, TrainJob};
+
+fn bench_runtime_iteration(c: &mut Criterion) {
+    let job = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1),
+        OptimConfig::r(),
+    )
+    .with_mbs(2)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(2);
+    let trace = job.build_trace().unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+    let plan = synthesize(&profile, &SynthConfig::default());
+    let n = trace.allocs_in_iteration(1) as u64;
+
+    c.bench_function("stalloc_replay_one_iteration", |b| {
+        b.iter(|| {
+            let mut dev = Device::with_latency(
+                DeviceSpec::test_device(32 << 30),
+                LatencyModel::zero(),
+            );
+            let mut alloc = StallocAllocator::new(plan.clone(), RuntimeConfig::default());
+            drive(&trace, &mut dev, &mut alloc);
+            n
+        })
+    });
+}
+
+/// Replays the trace's events directly (no harness overhead).
+fn drive(trace: &trace_gen::Trace, dev: &mut Device, alloc: &mut StallocAllocator) {
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::IterationBegin(i) => alloc.iteration_begin(dev, *i),
+            TraceEvent::PhaseBegin(p) => {
+                let info = trace.phases[p.0 as usize];
+                alloc.phase_begin(dev, *p, &info);
+            }
+            TraceEvent::ModuleEnter(m) => alloc.module_enter(dev, *m),
+            TraceEvent::ModuleExit(m) => alloc.module_exit(dev, *m),
+            TraceEvent::Alloc {
+                id, size, dynamic, ..
+            } => {
+                alloc
+                    .malloc(
+                        dev,
+                        &AllocRequest {
+                            tensor: *id,
+                            size: *size,
+                            dynamic: *dynamic,
+                        },
+                    )
+                    .unwrap();
+            }
+            TraceEvent::Free { id } => {
+                alloc.free(dev, *id).unwrap();
+            }
+            TraceEvent::IterationEnd(_) => {}
+        }
+    }
+}
+
+fn bench_single_static_hit(c: &mut Criterion) {
+    // Micro: one planned static malloc+free pair in steady state.
+    let job = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1),
+        OptimConfig::naive(),
+    )
+    .with_mbs(1)
+    .with_seq(256)
+    .with_microbatches(4)
+    .with_iterations(1);
+    let trace = job.build_trace().unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+    let plan = synthesize(&profile, &SynthConfig::default());
+    let first = plan.iter_allocs.first().copied().expect("plan not empty");
+
+    c.bench_function("stalloc_static_malloc_free", |b| {
+        let mut dev =
+            Device::with_latency(DeviceSpec::test_device(32 << 30), LatencyModel::zero());
+        let mut alloc = StallocAllocator::new(plan.clone(), RuntimeConfig::default());
+        let mut id = 1_000_000u64;
+        b.iter(|| {
+            // Fresh iteration context each pair keeps the cursor at 0.
+            alloc.iteration_begin(&mut dev, 1);
+            id += 1;
+            let t = TensorId(id);
+            alloc
+                .malloc(
+                    &mut dev,
+                    &AllocRequest {
+                        tensor: t,
+                        size: first.size,
+                        dynamic: false,
+                    },
+                )
+                .unwrap();
+            alloc.free(&mut dev, t).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_runtime_iteration, bench_single_static_hit);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Reproduces the paper's ablations. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::ablations();
+    print!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig10. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig10();
+    print!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig11. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig11();
+    print!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig12. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig12();
+    print!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig13. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig13();
+    print!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig1b. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig1b();
+    print!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig2. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig2();
+    print!("{}", t.render());
+}

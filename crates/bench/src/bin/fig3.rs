@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig3. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig3();
+    print!("{}", t.render());
+}

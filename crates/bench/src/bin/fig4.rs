@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig4. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::fig4();
+    print!("{}", t.render());
+}

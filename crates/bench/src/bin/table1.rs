@@ -1,0 +1,5 @@
+//! Reproduces the paper's table1. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::table1();
+    print!("{}", t.render());
+}

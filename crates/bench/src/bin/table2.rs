@@ -1,0 +1,5 @@
+//! Reproduces the paper's table2. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::table2();
+    print!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's table3. See DESIGN.md for the experiment index.
+fn main() {
+    let t = harness::experiments::table3();
+    print!("{}", t.render());
+}

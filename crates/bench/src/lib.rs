@@ -1,0 +1,7 @@
+//! Benchmark and reproduction-binary crate.
+//!
+//! * `cargo bench -p bench` runs the Criterion microbenchmarks
+//!   (plan synthesis, runtime allocation, caching baseline, end-to-end
+//!   replay).
+//! * `cargo run -p bench --release --bin <figN|tableN|all_experiments>`
+//!   regenerates the corresponding paper table/figure.

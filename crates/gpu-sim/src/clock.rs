@@ -1,0 +1,129 @@
+//! Simulated time and the device-operation latency model.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing simulated clock, in nanoseconds.
+///
+/// Every driver operation advances the clock according to the
+/// [`LatencyModel`]; the experiment harness also advances it for simulated
+/// compute. Throughput results are derived purely from this clock, which
+/// makes runs deterministic and hardware-independent.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clock {
+    now_ns: u64,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Current simulated time in microseconds (truncating).
+    pub fn now_us(&self) -> u64 {
+        self.now_ns / 1_000
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance_ns(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(ns);
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_us(&mut self, us: u64) {
+        self.advance_ns(us.saturating_mul(1_000));
+    }
+}
+
+/// Latencies charged for simulated driver operations.
+///
+/// Defaults follow the measurements reported or implied by the paper:
+/// `cudaMalloc`/`cudaFree` cost on the order of tens of microseconds, cache
+/// hits in a host-side allocator are sub-microsecond, and CUDA VMM operations
+/// (map/unmap/create/release) are heavyweight — the paper observes ~30 ms per
+/// virtual-memory operation burst in the GMLake MoE study (§9.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Cost of one `cudaMalloc` call, ns.
+    pub cuda_malloc_ns: u64,
+    /// Cost of one `cudaFree` call, ns (synchronizes the device in reality).
+    pub cuda_free_ns: u64,
+    /// Cost of a host-side allocator fast path (cache hit), ns.
+    pub cache_hit_ns: u64,
+    /// Cost of one VMM physical-handle creation (`cuMemCreate`), ns.
+    pub vmm_create_ns: u64,
+    /// Cost of one VMM map (`cuMemMap` + `cuMemSetAccess`), ns.
+    pub vmm_map_ns: u64,
+    /// Cost of one VMM unmap (`cuMemUnmap`), ns.
+    pub vmm_unmap_ns: u64,
+    /// Cost of one VMM release (`cuMemRelease`), ns.
+    pub vmm_release_ns: u64,
+    /// Cost of reserving virtual address space (`cuMemAddressReserve`), ns.
+    pub vmm_reserve_ns: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            cuda_malloc_ns: 50_000,  // 50 us
+            cuda_free_ns: 80_000,    // 80 us, implies a sync
+            cache_hit_ns: 600,       // 0.6 us host bookkeeping
+            vmm_create_ns: 150_000,  // 150 us
+            vmm_map_ns: 90_000,      // 90 us (map + set-access)
+            vmm_unmap_ns: 60_000,    // 60 us
+            vmm_release_ns: 80_000,  // 80 us
+            vmm_reserve_ns: 30_000,  // 30 us
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-latency model, useful for tests that only check addresses.
+    pub fn zero() -> Self {
+        Self {
+            cuda_malloc_ns: 0,
+            cuda_free_ns: 0,
+            cache_hit_ns: 0,
+            vmm_create_ns: 0,
+            vmm_map_ns: 0,
+            vmm_unmap_ns: 0,
+            vmm_release_ns: 0,
+            vmm_reserve_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(10);
+        c.advance_us(2);
+        assert_eq!(c.now_ns(), 2_010);
+        assert_eq!(c.now_us(), 2);
+    }
+
+    #[test]
+    fn clock_saturates_instead_of_overflowing() {
+        let mut c = Clock::new();
+        c.advance_ns(u64::MAX);
+        c.advance_ns(1);
+        assert_eq!(c.now_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn default_model_orders_vmm_above_malloc() {
+        let m = LatencyModel::default();
+        assert!(m.vmm_map_ns + m.vmm_create_ns > m.cuda_malloc_ns);
+        assert!(m.cache_hit_ns < m.cuda_malloc_ns);
+    }
+}

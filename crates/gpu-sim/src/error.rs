@@ -1,0 +1,86 @@
+//! Error types for the simulated device.
+
+use std::fmt;
+
+/// Result alias for device operations.
+pub type DeviceResult<T> = Result<T, DeviceError>;
+
+/// Errors returned by the simulated GPU driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The device cannot satisfy the request: either total free capacity is
+    /// insufficient, or (as on a real device) no contiguous free range of the
+    /// requested size exists.
+    OutOfMemory {
+        /// Size of the failed request in bytes.
+        requested: u64,
+        /// Bytes currently free on the device (possibly discontiguous).
+        free: u64,
+        /// Largest contiguous free range at the time of the failure.
+        largest_free_block: u64,
+    },
+    /// A pointer passed to `cuda_free` (or VMM release) was not produced by a
+    /// matching allocation, or was already freed.
+    InvalidPointer(u64),
+    /// A virtual-memory operation referenced an unknown or mismatched handle
+    /// or reservation.
+    InvalidHandle(u64),
+    /// A VMM mapping request overlapped an existing mapping or exceeded the
+    /// reserved virtual range.
+    MappingConflict {
+        /// Virtual address of the offending request.
+        va: u64,
+        /// Length of the offending request.
+        len: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                free,
+                largest_free_block,
+            } => write!(
+                f,
+                "CUDA out of memory: requested {requested} B, {free} B free \
+                 (largest contiguous block {largest_free_block} B)"
+            ),
+            DeviceError::InvalidPointer(p) => write!(f, "invalid device pointer {p:#x}"),
+            DeviceError::InvalidHandle(h) => write!(f, "invalid VMM handle {h}"),
+            DeviceError::MappingConflict { va, len } => {
+                write!(f, "VMM mapping conflict at {va:#x} (+{len} B)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl DeviceError {
+    /// Returns `true` if this error is an out-of-memory condition.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, DeviceError::OutOfMemory { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeviceError::OutOfMemory {
+            requested: 1024,
+            free: 512,
+            largest_free_block: 256,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024"));
+        assert!(s.contains("512"));
+        assert!(s.contains("256"));
+        assert!(e.is_oom());
+        assert!(!DeviceError::InvalidPointer(3).is_oom());
+    }
+}

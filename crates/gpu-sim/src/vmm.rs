@@ -1,0 +1,360 @@
+//! Simulated CUDA virtual-memory-management (VMM) API.
+//!
+//! Models the driver API that PyTorch `expandable_segments` and GMLake build
+//! on: physical memory is created in granularity-sized handles
+//! (`cuMemCreate`), virtual address ranges are reserved
+//! (`cuMemAddressReserve`), and handles are mapped/unmapped into those ranges
+//! (`cuMemMap`/`cuMemUnmap`). Physical handles survive unmapping until
+//! released (`cuMemRelease`).
+//!
+//! Physical memory is page-based and therefore never fragments; only the
+//! byte count matters. Virtual address space is effectively unlimited.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DeviceError, DeviceResult};
+use crate::VMM_GRANULARITY;
+
+/// Identifier of a physical-memory handle created by [`Vmm::mem_create`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysHandle(pub u64);
+
+/// A virtual device address inside a VMM reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtAddr(pub u64);
+
+/// A reserved virtual address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualRange {
+    /// Base virtual address of the reservation.
+    pub base: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+#[derive(Debug, Clone)]
+struct HandleInfo {
+    size: u64,
+    mapped_at: Option<u64>,
+}
+
+/// Operation counters and byte accounting for the VMM layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmmStats {
+    /// Physical bytes currently held by handles (mapped or not).
+    pub phys_in_use: u64,
+    /// High-water mark of `phys_in_use`.
+    pub peak_phys_in_use: u64,
+    /// Bytes currently mapped into virtual ranges.
+    pub mapped_bytes: u64,
+    /// Bytes of reserved virtual address space.
+    pub va_reserved: u64,
+    /// Count of `mem_create` calls.
+    pub creates: u64,
+    /// Count of `mem_map` calls.
+    pub maps: u64,
+    /// Count of `mem_unmap` calls.
+    pub unmaps: u64,
+    /// Count of `mem_release` calls.
+    pub releases: u64,
+    /// Count of `address_reserve` calls.
+    pub reserves: u64,
+}
+
+impl VmmStats {
+    /// Total number of VMM driver operations issued.
+    pub fn total_ops(&self) -> u64 {
+        self.creates + self.maps + self.unmaps + self.releases + self.reserves
+    }
+}
+
+/// The VMM bookkeeping layer owned by a [`crate::Device`].
+///
+/// All methods are pure bookkeeping; capacity checks and latency charging are
+/// done by the owning device, which knows the total physical budget shared
+/// with `cudaMalloc`.
+#[derive(Debug, Clone)]
+pub struct Vmm {
+    granularity: u64,
+    next_handle: u64,
+    va_cursor: u64,
+    handles: HashMap<u64, HandleInfo>,
+    /// Reservations: base -> len.
+    reservations: BTreeMap<u64, u64>,
+    /// Mappings: base va -> (len, handle id).
+    mappings: BTreeMap<u64, (u64, u64)>,
+    stats: VmmStats,
+}
+
+/// Virtual addresses handed out by the VMM start here so they can never
+/// collide with `cudaMalloc` addresses, which grow from zero.
+const VMM_VA_BASE: u64 = 1 << 46;
+
+impl Default for Vmm {
+    fn default() -> Self {
+        Self::new(VMM_GRANULARITY)
+    }
+}
+
+impl Vmm {
+    /// Creates a VMM layer with the given physical granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero or not a power of two.
+    pub fn new(granularity: u64) -> Self {
+        assert!(granularity.is_power_of_two());
+        Self {
+            granularity,
+            next_handle: 1,
+            va_cursor: VMM_VA_BASE,
+            handles: HashMap::new(),
+            reservations: BTreeMap::new(),
+            mappings: BTreeMap::new(),
+            stats: VmmStats::default(),
+        }
+    }
+
+    /// The physical allocation granularity (2 MiB by default).
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> VmmStats {
+        self.stats
+    }
+
+    /// Rounds `size` up to the physical granularity.
+    pub fn round_to_granularity(&self, size: u64) -> u64 {
+        crate::align_up(size.max(1), self.granularity)
+    }
+
+    /// Creates a physical handle of `size` bytes (rounded to granularity).
+    ///
+    /// The caller (the device) must have verified the physical budget.
+    pub fn mem_create(&mut self, size: u64) -> PhysHandle {
+        let size = self.round_to_granularity(size);
+        let id = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(
+            id,
+            HandleInfo {
+                size,
+                mapped_at: None,
+            },
+        );
+        self.stats.creates += 1;
+        self.stats.phys_in_use += size;
+        self.stats.peak_phys_in_use = self.stats.peak_phys_in_use.max(self.stats.phys_in_use);
+        PhysHandle(id)
+    }
+
+    /// Returns the size of a handle, if it exists.
+    pub fn handle_size(&self, h: PhysHandle) -> Option<u64> {
+        self.handles.get(&h.0).map(|i| i.size)
+    }
+
+    /// Reserves `size` bytes of virtual address space.
+    pub fn address_reserve(&mut self, size: u64) -> VirtualRange {
+        let size = self.round_to_granularity(size);
+        let base = self.va_cursor;
+        // Leave a granule of guard space between reservations.
+        self.va_cursor += size + self.granularity;
+        self.reservations.insert(base, size);
+        self.stats.reserves += 1;
+        self.stats.va_reserved += size;
+        VirtualRange {
+            base: VirtAddr(base),
+            len: size,
+        }
+    }
+
+    /// Releases a reservation. Fails if any mapping is still inside it.
+    pub fn address_free(&mut self, range: VirtualRange) -> DeviceResult<()> {
+        let len = self
+            .reservations
+            .get(&range.base.0)
+            .copied()
+            .ok_or(DeviceError::InvalidHandle(range.base.0))?;
+        let end = range.base.0 + len;
+        if self
+            .mappings
+            .range(range.base.0..end)
+            .next()
+            .is_some()
+        {
+            return Err(DeviceError::MappingConflict {
+                va: range.base.0,
+                len,
+            });
+        }
+        self.reservations.remove(&range.base.0);
+        self.stats.va_reserved -= len;
+        Ok(())
+    }
+
+    /// Maps a physical handle at `va`, which must lie inside a reservation
+    /// and not overlap an existing mapping. The handle must be unmapped.
+    pub fn mem_map(&mut self, va: VirtAddr, handle: PhysHandle) -> DeviceResult<()> {
+        let size = {
+            let info = self
+                .handles
+                .get(&handle.0)
+                .ok_or(DeviceError::InvalidHandle(handle.0))?;
+            if info.mapped_at.is_some() {
+                return Err(DeviceError::MappingConflict {
+                    va: va.0,
+                    len: info.size,
+                });
+            }
+            info.size
+        };
+        // Check containment in a reservation.
+        let (&res_base, &res_len) = self
+            .reservations
+            .range(..=va.0)
+            .next_back()
+            .ok_or(DeviceError::MappingConflict { va: va.0, len: size })?;
+        if va.0 + size > res_base + res_len {
+            return Err(DeviceError::MappingConflict { va: va.0, len: size });
+        }
+        // Check overlap with previous/next mapping.
+        if let Some((&prev, &(plen, _))) = self.mappings.range(..=va.0).next_back() {
+            if prev + plen > va.0 {
+                return Err(DeviceError::MappingConflict { va: va.0, len: size });
+            }
+        }
+        if let Some((&next, _)) = self.mappings.range(va.0..).next() {
+            if va.0 + size > next {
+                return Err(DeviceError::MappingConflict { va: va.0, len: size });
+            }
+        }
+        self.mappings.insert(va.0, (size, handle.0));
+        self.handles.get_mut(&handle.0).expect("checked").mapped_at = Some(va.0);
+        self.stats.maps += 1;
+        self.stats.mapped_bytes += size;
+        Ok(())
+    }
+
+    /// Unmaps the mapping that starts exactly at `va`. The physical handle
+    /// survives and can be re-mapped elsewhere.
+    pub fn mem_unmap(&mut self, va: VirtAddr) -> DeviceResult<PhysHandle> {
+        let (len, handle) = self
+            .mappings
+            .remove(&va.0)
+            .ok_or(DeviceError::InvalidPointer(va.0))?;
+        self.handles.get_mut(&handle).expect("mapped").mapped_at = None;
+        self.stats.unmaps += 1;
+        self.stats.mapped_bytes -= len;
+        Ok(PhysHandle(handle))
+    }
+
+    /// Releases a physical handle, returning its size so the device can
+    /// credit the physical budget. The handle must be unmapped.
+    pub fn mem_release(&mut self, handle: PhysHandle) -> DeviceResult<u64> {
+        let info = self
+            .handles
+            .get(&handle.0)
+            .ok_or(DeviceError::InvalidHandle(handle.0))?;
+        if info.mapped_at.is_some() {
+            return Err(DeviceError::MappingConflict {
+                va: info.mapped_at.unwrap(),
+                len: info.size,
+            });
+        }
+        let size = info.size;
+        self.handles.remove(&handle.0);
+        self.stats.releases += 1;
+        self.stats.phys_in_use -= size;
+        Ok(size)
+    }
+
+    /// Physical bytes currently held by live handles.
+    pub fn phys_in_use(&self) -> u64 {
+        self.stats.phys_in_use
+    }
+
+    /// Bumps remap-related op counters (see `Device::vmm_charge_remap`).
+    pub(crate) fn charge_remap(&mut self, maps: u64, unmaps: u64, reserves: u64) {
+        self.stats.maps += maps;
+        self.stats.unmaps += unmaps;
+        self.stats.reserves += reserves;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_map_unmap_release_cycle() {
+        let mut v = Vmm::default();
+        let h = v.mem_create(1); // rounds to 2 MiB
+        assert_eq!(v.handle_size(h), Some(2 << 20));
+        assert_eq!(v.phys_in_use(), 2 << 20);
+
+        let r = v.address_reserve(8 << 20);
+        v.mem_map(r.base, h).unwrap();
+        assert_eq!(v.stats().mapped_bytes, 2 << 20);
+
+        // Can't double-map or release while mapped.
+        assert!(v.mem_map(VirtAddr(r.base.0 + (4 << 20)), h).is_err());
+        assert!(v.mem_release(h).is_err());
+
+        let h2 = v.mem_unmap(r.base).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(v.stats().mapped_bytes, 0);
+        assert_eq!(v.mem_release(h).unwrap(), 2 << 20);
+        assert_eq!(v.phys_in_use(), 0);
+    }
+
+    #[test]
+    fn mapping_requires_reservation_and_no_overlap() {
+        let mut v = Vmm::default();
+        let h1 = v.mem_create(2 << 20);
+        let h2 = v.mem_create(2 << 20);
+        // No reservation yet.
+        assert!(v.mem_map(VirtAddr(VMM_VA_BASE), h1).is_err());
+
+        let r = v.address_reserve(4 << 20);
+        v.mem_map(r.base, h1).unwrap();
+        // Overlapping map rejected.
+        assert!(v.mem_map(r.base, h2).is_err());
+        // Adjacent map inside the reservation is fine.
+        v.mem_map(VirtAddr(r.base.0 + (2 << 20)), h2).unwrap();
+        // Out-of-reservation map rejected: h1 would poke past the end.
+        let h3 = v.mem_create(2 << 20);
+        assert!(v
+            .mem_map(VirtAddr(r.base.0 + (3 << 20)), h3)
+            .is_err());
+    }
+
+    #[test]
+    fn address_free_requires_empty_range() {
+        let mut v = Vmm::default();
+        let h = v.mem_create(2 << 20);
+        let r = v.address_reserve(4 << 20);
+        v.mem_map(r.base, h).unwrap();
+        assert!(v.address_free(r).is_err());
+        v.mem_unmap(r.base).unwrap();
+        v.address_free(r).unwrap();
+        assert_eq!(v.stats().va_reserved, 0);
+    }
+
+    #[test]
+    fn remap_after_unmap_moves_physical_bytes() {
+        let mut v = Vmm::default();
+        let h = v.mem_create(4 << 20);
+        let r1 = v.address_reserve(4 << 20);
+        let r2 = v.address_reserve(4 << 20);
+        v.mem_map(r1.base, h).unwrap();
+        v.mem_unmap(r1.base).unwrap();
+        v.mem_map(r2.base, h).unwrap();
+        assert_eq!(v.phys_in_use(), 4 << 20, "physical bytes stable");
+        assert_eq!(v.stats().maps, 2);
+        assert_eq!(v.stats().unmaps, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal flag parsing: `--key value` pairs and boolean `--flag`s.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; a `--key` followed by another `--…` (or
+    /// nothing) is a boolean flag.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            };
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                out.values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                out.flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// String value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// String value of `--key`, or an error naming the flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Parsed numeric value of `--key` with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Whether the boolean `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&argv("--model gpt2 --no-fusion --mbs 8")).unwrap();
+        assert_eq!(a.get("model"), Some("gpt2"));
+        assert!(a.flag("no-fusion"));
+        assert_eq!(a.num::<u32>("mbs", 1).unwrap(), 8);
+        assert_eq!(a.num::<u32>("seq", 4096).unwrap(), 4096);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Args::parse(&argv("trace.json")).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = Args::parse(&argv("--x 1")).unwrap();
+        assert!(a.require("input").unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(&argv("--mbs abc")).unwrap();
+        assert!(a.num::<u32>("mbs", 1).is_err());
+    }
+}

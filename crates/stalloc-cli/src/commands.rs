@@ -1,0 +1,300 @@
+//! Subcommand implementations for the `stalloc` tool.
+
+use std::fs;
+
+use gpu_sim::DeviceSpec;
+use harness::{run, AllocatorKind};
+use stalloc_core::{profile_trace, synthesize, Plan, ProfiledRequests, SynthConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, Trace, TrainJob};
+
+use crate::args::Args;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: stalloc <command> [--flags]
+
+commands:
+  trace    generate a training memory trace
+           --model gpt2|llama2-7b|qwen2.5-{7b,14b,32b,72b}|qwen1.5-moe
+           [--tp N --pp N --dp N --ep N --vpp N] [--mbs N --seq N
+           --microbatches N --iterations N --seed N] [--optim N|R|V|VR|ZR|ZOR]
+           --output FILE
+  profile  characterize one iteration's requests (paper section 4)
+           --input TRACE --output FILE [--iteration N]
+  plan     synthesize the allocation plan (paper section 5)
+           --input PROFILE --output FILE [--no-fusion] [--no-gaps]
+           [--ascending]
+  show     render a plan's occupancy as ASCII art
+           --input PLAN [--rows N] [--cols N]
+  replay   replay a trace through an allocator (paper section 9 metrics)
+           --input TRACE [--allocator stalloc|stalloc-noreuse|torch20|
+           torch23|torch26|es|gmlake|native] [--device a800|h200|mi210]
+           [--frag-limit MiB]";
+
+/// Dispatches `argv[0]` to its subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command given".into());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "trace" => cmd_trace(&args),
+        "profile" => cmd_profile(&args),
+        "plan" => cmd_plan(&args),
+        "show" => cmd_show(&args),
+        "replay" => cmd_replay(&args),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn parse_model(name: &str) -> Result<ModelSpec, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "gpt2" | "gpt-2" => ModelSpec::gpt2_345m(),
+        "llama2-7b" | "llama2" => ModelSpec::llama2_7b(),
+        "qwen2.5-7b" => ModelSpec::qwen25_7b(),
+        "qwen2.5-14b" => ModelSpec::qwen25_14b(),
+        "qwen2.5-32b" => ModelSpec::qwen25_32b(),
+        "qwen2.5-72b" => ModelSpec::qwen25_72b(),
+        "qwen1.5-moe" | "moe" => ModelSpec::qwen15_moe_a27b(),
+        other => return Err(format!("unknown model '{other}'")),
+    })
+}
+
+fn parse_optim(label: &str) -> Result<(OptimConfig, bool), String> {
+    Ok(match label.to_ascii_uppercase().as_str() {
+        "N" | "NAIVE" => (OptimConfig::naive(), false),
+        "R" => (OptimConfig::r(), false),
+        "V" => (OptimConfig::naive(), true),
+        "VR" => (OptimConfig::r(), true),
+        "ZR" => (OptimConfig::zr(), false),
+        "ZOR" => (OptimConfig::zor(), false),
+        other => return Err(format!("unknown optimization combo '{other}'")),
+    })
+}
+
+fn parse_device(name: &str) -> Result<DeviceSpec, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "a800" => DeviceSpec::a800_80g(),
+        "h200" => DeviceSpec::h200_141g(),
+        "mi210" => DeviceSpec::mi210_64g(),
+        other => return Err(format!("unknown device '{other}'")),
+    })
+}
+
+fn parse_allocator(name: &str, frag_limit_mib: u64) -> Result<AllocatorKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "stalloc" => AllocatorKind::Stalloc,
+        "stalloc-noreuse" => AllocatorKind::StallocNoReuse,
+        "torch20" => AllocatorKind::Torch20,
+        "torch23" => AllocatorKind::Torch23,
+        "torch26" => AllocatorKind::Torch26,
+        "es" | "expandable" => AllocatorKind::TorchEs,
+        "gmlake" => AllocatorKind::GmLake(frag_limit_mib << 20),
+        "native" => AllocatorKind::Native,
+        other => return Err(format!("unknown allocator '{other}'")),
+    })
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let data = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let data = serde_json::to_string(value).map_err(|e| e.to_string())?;
+    fs::write(path, &data).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote {path} ({} bytes)", data.len());
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let model = parse_model(args.require("model")?)?;
+    let (optim, vpp_on) = parse_optim(args.get("optim").unwrap_or("N"))?;
+    let mut parallel = ParallelConfig::new(
+        args.num("tp", 1u32)?,
+        args.num("pp", 1u32)?,
+        args.num("dp", 1u32)?,
+    )
+    .with_ep(args.num("ep", 1u32)?);
+    let vpp = args.num("vpp", if vpp_on { 2u32 } else { 1 })?;
+    if vpp > 1 {
+        parallel = parallel.with_vpp(vpp);
+    }
+    let seq_default = model.seq_len;
+    let job = TrainJob::new(model, parallel, optim)
+        .with_mbs(args.num("mbs", 1u32)?)
+        .with_seq(args.num("seq", seq_default)?)
+        .with_microbatches(args.num("microbatches", 4 * parallel.pp)?)
+        .with_iterations(args.num("iterations", 3u32)?)
+        .with_seed(args.num("seed", 42u64)?);
+    let trace = job.build_trace()?;
+    eprintln!(
+        "{} [{}]: {} requests/iteration, {} distinct sizes",
+        job.model.name,
+        job.label(),
+        trace.allocs_in_iteration(1),
+        trace.distinct_sizes(512).len()
+    );
+    write_json(args.require("output")?, &trace)
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let trace: Trace = read_json(args.require("input")?)?;
+    let iter = args.num("iteration", 1u32)?;
+    let profile = profile_trace(&trace, iter).map_err(|e| e.to_string())?;
+    eprintln!(
+        "profiled iteration {iter}: {} static ({} persistent) + {} dynamic, {} phases",
+        profile.statics.len(),
+        profile.init_count,
+        profile.dynamics.len(),
+        profile.num_phases
+    );
+    write_json(args.require("output")?, &profile)
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let profile: ProfiledRequests = read_json(args.require("input")?)?;
+    let config = SynthConfig {
+        enable_fusion: !args.flag("no-fusion"),
+        enable_gap_insertion: !args.flag("no-gaps"),
+        ascending_sizes: args.flag("ascending"),
+    };
+    let plan = synthesize(&profile, &config);
+    plan.validate()?;
+    let s = plan.stats;
+    eprintln!(
+        "plan: pool {:.3} GiB, packing {:.3}, {} layers, {} gap insertions, \
+         {} HomoLayer groups",
+        s.pool_size as f64 / (1u64 << 30) as f64,
+        s.packing_efficiency(),
+        s.layers,
+        s.gap_inserted,
+        s.homolayer_groups
+    );
+    write_json(args.require("output")?, &plan)
+}
+
+fn cmd_show(args: &Args) -> Result<(), String> {
+    let plan: Plan = read_json(args.require("input")?)?;
+    let rows = args.num("rows", 16usize)?;
+    let cols = args.num("cols", 72usize)?;
+    println!("{}", stalloc_core::render_plan(&plan, rows, cols));
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let trace: Trace = read_json(args.require("input")?)?;
+    let device = parse_device(args.get("device").unwrap_or("a800"))?;
+    let frag = args.num("frag-limit", 512u64)?;
+    let kind = parse_allocator(args.get("allocator").unwrap_or("stalloc"), frag)?;
+    if kind.needs_vmm() && !device.supports_vmm {
+        return Err(format!("{} requires VMM support", kind.label()));
+    }
+    let result = run(&trace, &device, kind);
+    let r = &result.report;
+    println!("allocator      : {}", r.allocator);
+    println!("device         : {}", device.name);
+    println!(
+        "allocated (M_a): {:.3} GiB",
+        r.peak_requested as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "reserved  (M_r): {:.3} GiB",
+        r.peak_reserved as f64 / (1u64 << 30) as f64
+    );
+    println!("efficiency     : {:.1}%", r.efficiency() * 100.0);
+    println!("outcome        : {}", if r.oom { "OOM" } else { "ok" });
+    if let Some(d) = &r.oom_detail {
+        println!("oom detail     : {d}");
+    }
+    if let Some(t) = result.throughput {
+        println!("iteration time : {:.3} s (modelled)", t.iter_time_s);
+        println!("throughput     : {:.1} TFLOPS/GPU (modelled)", t.tflops);
+    }
+    if let Some(c) = result.counters {
+        println!(
+            "runtime        : {} planned, {} lookahead, {} static fallback, \
+             {} dyn reused, {} dyn fallback",
+            c.static_planned,
+            c.lookahead_matches,
+            c.static_fallback,
+            c.dynamic_reused,
+            c.dynamic_fallback
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsers_cover_the_zoo() {
+        assert!(parse_model("gpt2").is_ok());
+        assert!(parse_model("qwen1.5-moe").unwrap().is_moe());
+        assert!(parse_model("nope").is_err());
+        assert!(parse_optim("zor").is_ok());
+        assert!(parse_optim("X").is_err());
+        assert!(parse_device("h200").is_ok());
+        assert!(parse_device("tpu").is_err());
+        assert_eq!(
+            parse_allocator("gmlake", 64).unwrap(),
+            AllocatorKind::GmLake(64 << 20)
+        );
+        assert!(parse_allocator("jemalloc", 0).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        let argv = vec!["fly".to_string()];
+        assert!(dispatch(&argv).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_pipeline_through_files() {
+        let dir = std::env::temp_dir().join("stalloc-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace_p = dir.join("t.json").to_string_lossy().to_string();
+        let prof_p = dir.join("p.json").to_string_lossy().to_string();
+        let plan_p = dir.join("pl.json").to_string_lossy().to_string();
+
+        let argv: Vec<String> = format!(
+            "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
+             --iterations 2 --optim R --output {trace_p}"
+        )
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+        dispatch(&argv).unwrap();
+
+        let argv: Vec<String> =
+            format!("profile --input {trace_p} --output {prof_p}")
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        dispatch(&argv).unwrap();
+
+        let argv: Vec<String> = format!("plan --input {prof_p} --output {plan_p}")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        dispatch(&argv).unwrap();
+
+        let argv: Vec<String> = format!("show --input {plan_p} --rows 4 --cols 20")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        dispatch(&argv).unwrap();
+
+        let argv: Vec<String> =
+            format!("replay --input {trace_p} --allocator torch23 --device a800")
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        dispatch(&argv).unwrap();
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,29 @@
+//! `stalloc` — the standalone STAlloc workflow tool (paper §8 describes the
+//! plan synthesizer as a standalone tool; this binary wraps the whole
+//! offline pipeline plus replay-based evaluation).
+//!
+//! ```text
+//! stalloc trace   --model llama2-7b --tp 4 --pp 2 --optim R -o trace.json
+//! stalloc profile -i trace.json -o profile.json [--iteration 1]
+//! stalloc plan    -i profile.json -o plan.json [--no-fusion] [--no-gaps]
+//! stalloc show    -i plan.json [--rows 16] [--cols 72]
+//! stalloc replay  -i trace.json --allocator stalloc --device a800
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Geometric primitives for spatio-temporal planning.
+//!
+//! Planning places axis-aligned rectangles in the (time × address) plane:
+//! a request occupying `[t0, t1)` in time and `[off, off+len)` in address
+//! space. [`TimeSpacePacker`] answers "lowest conflict-free offset" queries
+//! and is the engine behind HomoPhase packing, group fusion and gap
+//! insertion. [`IntervalSet`] tracks free address intervals at runtime.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A placed request: a rectangle in the time × address plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Inclusive start time.
+    pub t0: u64,
+    /// Exclusive end time.
+    pub t1: u64,
+    /// Address offset.
+    pub off: u64,
+    /// Address length.
+    pub len: u64,
+}
+
+impl Rect {
+    /// Returns `true` if the two rectangles overlap in both time and space.
+    pub fn conflicts(&self, other: &Rect) -> bool {
+        self.t0 < other.t1 && other.t0 < self.t1 && self.off < other.off + other.len
+            && other.off < self.off + self.len
+    }
+}
+
+/// Greedy first-fit packer over the time × address plane.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSpacePacker {
+    rects: Vec<Rect>,
+    height: u64,
+}
+
+impl TimeSpacePacker {
+    /// Creates an empty packer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current height: the maximum `off + len` over placed rectangles.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Placed rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Sum of `len * (t1 - t0)` over placed rectangles (the TMP numerator).
+    pub fn area(&self) -> u64 {
+        self.rects
+            .iter()
+            .map(|r| r.len * (r.t1 - r.t0))
+            .sum()
+    }
+
+    /// Places a rectangle at an explicit position (no conflict checking in
+    /// release builds; debug builds assert).
+    pub fn place_at(&mut self, rect: Rect) {
+        debug_assert!(
+            !self.rects.iter().any(|r| r.conflicts(&rect)),
+            "rect {rect:?} conflicts with an existing placement"
+        );
+        self.height = self.height.max(rect.off + rect.len);
+        self.rects.push(rect);
+    }
+
+    /// Finds the lowest offset `<= limit - len` where a `[t0,t1) x len`
+    /// rectangle fits without conflicts. With `limit = u64::MAX` the packer
+    /// may grow beyond its current height.
+    pub fn find_first_fit(&self, t0: u64, t1: u64, len: u64, limit: u64) -> Option<u64> {
+        debug_assert!(t0 < t1 && len > 0);
+        // Only rectangles overlapping the time window constrain placement.
+        let mut spans: Vec<(u64, u64)> = self
+            .rects
+            .iter()
+            .filter(|r| r.t0 < t1 && t0 < r.t1)
+            .map(|r| (r.off, r.off + r.len))
+            .collect();
+        spans.sort_unstable();
+        let mut cursor = 0u64;
+        for (s, e) in spans {
+            if s > cursor && s - cursor >= len && cursor + len <= limit {
+                return Some(cursor);
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor + len <= limit {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+
+    /// Convenience: first-fit place, growing the height if needed. Returns
+    /// the chosen offset.
+    pub fn pack(&mut self, t0: u64, t1: u64, len: u64) -> u64 {
+        let off = self
+            .find_first_fit(t0, t1, len, u64::MAX)
+            .expect("unbounded fit always succeeds");
+        self.place_at(Rect { t0, t1, off, len });
+        off
+    }
+
+    /// Finds a gap strictly within the current height (gap insertion into an
+    /// existing local plan — never grows the plan).
+    pub fn find_gap(&self, t0: u64, t1: u64, len: u64) -> Option<u64> {
+        self.find_first_fit(t0, t1, len, self.height)
+    }
+}
+
+/// A set of disjoint, coalesced address intervals.
+///
+/// Used by the runtime dynamic allocator to track the currently-free space
+/// `A_a` inside the static pool (paper §6.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// start -> len, disjoint and non-adjacent.
+    map: BTreeMap<u64, u64>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set holding one interval `[0, len)`.
+    pub fn full(len: u64) -> Self {
+        let mut s = Self::new();
+        if len > 0 {
+            s.map.insert(0, len);
+        }
+        s
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Number of disjoint intervals.
+    pub fn interval_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates `(start, len)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&s, &l)| (s, l))
+    }
+
+    /// Returns `true` if `[start, start+len)` is fully contained.
+    pub fn contains(&self, start: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        match self.map.range(..=start).next_back() {
+            Some((&s, &l)) => start >= s && start + len <= s + l,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if `[start, start+len)` overlaps any interval.
+    pub fn overlaps(&self, start: u64, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        if let Some((&s, &l)) = self.map.range(..=start).next_back() {
+            if s + l > start {
+                return true;
+            }
+        }
+        self.map.range(start..start + len).next().is_some()
+    }
+
+    /// Inserts `[start, start+len)`, coalescing with neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing interval (double free).
+    pub fn insert(&mut self, mut start: u64, mut len: u64) {
+        if len == 0 {
+            return;
+        }
+        // Check and merge the predecessor.
+        if let Some((&s, &l)) = self.map.range(..=start).next_back() {
+            assert!(s + l <= start, "interval overlap on insert");
+            if s + l == start {
+                self.map.remove(&s);
+                start = s;
+                len += l;
+            }
+        }
+        // Check and merge the successor.
+        if let Some((&s, &l)) = self.map.range(start + len..).next() {
+            let _ = l;
+            debug_assert!(s >= start + len);
+            if s == start + len {
+                let l2 = self.map.remove(&s).expect("present");
+                len += l2;
+            }
+        } else if let Some((&s, _)) = self.map.range(start..).next() {
+            assert!(s >= start + len, "interval overlap on insert");
+        }
+        self.map.insert(start, len);
+    }
+
+    /// Removes `[start, start+len)`, which must be fully contained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not contained.
+    pub fn remove(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let (&s, &l) = self
+            .map
+            .range(..=start)
+            .next_back()
+            .expect("remove from empty region");
+        assert!(
+            start >= s && start + len <= s + l,
+            "removed range [{}+{}) not contained in [{}+{})",
+            start,
+            len,
+            s,
+            l
+        );
+        self.map.remove(&s);
+        if start > s {
+            self.map.insert(s, start - s);
+        }
+        let tail_start = start + len;
+        let tail_len = (s + l) - tail_start;
+        if tail_len > 0 {
+            self.map.insert(tail_start, tail_len);
+        }
+    }
+
+    /// Best-fit search within the set: the smallest interval of length
+    /// `>= len`. Returns its start.
+    pub fn best_fit(&self, len: u64) -> Option<u64> {
+        self.map
+            .iter()
+            .filter(|(_, &l)| l >= len)
+            .min_by_key(|(_, &l)| l)
+            .map(|(&s, _)| s)
+    }
+
+    /// Best-fit search over the intersection of this set with a sorted list
+    /// of candidate intervals (the paper's `A_c = A_a ∩ A_i`, Eq. 7).
+    /// Returns the start of the chosen sub-interval.
+    pub fn best_fit_within(&self, candidates: &[(u64, u64)], len: u64) -> Option<u64> {
+        let mut best: Option<(u64, u64)> = None; // (piece_len, start)
+        for &(cs, cl) in candidates {
+            let cend = cs + cl;
+            // Intervals overlapping [cs, cend).
+            for (&s, &l) in self.map.range(..cend) {
+                let e = s + l;
+                if e <= cs {
+                    continue;
+                }
+                let ps = s.max(cs);
+                let pe = e.min(cend);
+                if pe > ps && pe - ps >= len {
+                    let piece = pe - ps;
+                    if best.map_or(true, |(bl, _)| piece < bl) {
+                        best = Some((piece, ps));
+                    }
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Complement of this set within `[0, universe)`.
+    pub fn complement(&self, universe: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        for (&s, &l) in &self.map {
+            if s > cursor {
+                out.push((cursor, s - cursor));
+            }
+            cursor = s + l;
+        }
+        if cursor < universe {
+            out.push((cursor, universe - cursor));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_conflicts_requires_both_overlaps() {
+        let a = Rect {
+            t0: 0,
+            t1: 10,
+            off: 0,
+            len: 100,
+        };
+        let time_only = Rect {
+            t0: 5,
+            t1: 15,
+            off: 100,
+            len: 50,
+        };
+        let space_only = Rect {
+            t0: 10,
+            t1: 20,
+            off: 50,
+            len: 50,
+        };
+        let both = Rect {
+            t0: 9,
+            t1: 11,
+            off: 99,
+            len: 2,
+        };
+        assert!(!a.conflicts(&time_only));
+        assert!(!a.conflicts(&space_only));
+        assert!(a.conflicts(&both));
+        assert!(both.conflicts(&a));
+    }
+
+    #[test]
+    fn packer_reuses_space_across_time() {
+        let mut p = TimeSpacePacker::new();
+        let o1 = p.pack(0, 10, 100);
+        let o2 = p.pack(10, 20, 100); // disjoint time: same offset
+        assert_eq!(o1, o2);
+        assert_eq!(p.height(), 100);
+        let o3 = p.pack(5, 15, 50); // overlaps both: stacked above
+        assert_eq!(o3, 100);
+        assert_eq!(p.height(), 150);
+    }
+
+    #[test]
+    fn packer_fills_holes_first_fit() {
+        let mut p = TimeSpacePacker::new();
+        p.place_at(Rect {
+            t0: 0,
+            t1: 10,
+            off: 0,
+            len: 10,
+        });
+        p.place_at(Rect {
+            t0: 0,
+            t1: 10,
+            off: 50,
+            len: 10,
+        });
+        // A 40-byte request fits the hole at offset 10.
+        assert_eq!(p.find_first_fit(0, 10, 40, u64::MAX), Some(10));
+        // A 41-byte request does not; it goes above everything.
+        assert_eq!(p.find_first_fit(0, 10, 41, u64::MAX), Some(60));
+    }
+
+    #[test]
+    fn find_gap_never_grows() {
+        let mut p = TimeSpacePacker::new();
+        p.pack(0, 10, 100);
+        assert_eq!(p.find_gap(10, 20, 100), Some(0), "idle window reused");
+        assert_eq!(p.find_gap(5, 15, 100), None, "no growth allowed");
+    }
+
+    #[test]
+    fn packer_area_is_exact() {
+        let mut p = TimeSpacePacker::new();
+        p.pack(0, 10, 100);
+        p.pack(2, 4, 7);
+        assert_eq!(p.area(), 1000 + 14);
+    }
+
+    #[test]
+    fn interval_set_insert_coalesces() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 10);
+        s.insert(20, 10);
+        assert_eq!(s.interval_count(), 2);
+        s.insert(10, 10); // bridges
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.total(), 30);
+        assert!(s.contains(0, 30));
+        assert!(!s.contains(0, 31));
+    }
+
+    #[test]
+    fn interval_set_remove_splits() {
+        let mut s = IntervalSet::full(100);
+        s.remove(40, 20);
+        assert_eq!(s.interval_count(), 2);
+        assert!(s.contains(0, 40));
+        assert!(s.contains(60, 40));
+        assert!(!s.contains(40, 1));
+        s.insert(40, 20);
+        assert_eq!(s.interval_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval overlap")]
+    fn interval_set_rejects_double_insert() {
+        let mut s = IntervalSet::full(100);
+        s.insert(50, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contained")]
+    fn interval_set_rejects_bad_remove() {
+        let mut s = IntervalSet::full(100);
+        s.remove(40, 20);
+        s.remove(35, 10); // straddles the hole
+    }
+
+    #[test]
+    fn best_fit_picks_tightest() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        s.insert(200, 30);
+        s.insert(300, 55);
+        assert_eq!(s.best_fit(40), Some(300));
+        assert_eq!(s.best_fit(20), Some(200));
+        assert_eq!(s.best_fit(101), None);
+    }
+
+    #[test]
+    fn best_fit_within_intersects() {
+        let mut a = IntervalSet::new();
+        a.insert(0, 50);
+        a.insert(100, 100);
+        // Candidates restrict to [40, 160).
+        let cands = vec![(40, 120)];
+        // Pieces: [40,50) len 10 and [100,160) len 60.
+        assert_eq!(a.best_fit_within(&cands, 5), Some(40));
+        assert_eq!(a.best_fit_within(&cands, 20), Some(100));
+        assert_eq!(a.best_fit_within(&cands, 61), None);
+    }
+
+    #[test]
+    fn complement_covers_gaps() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 10);
+        s.insert(50, 10);
+        assert_eq!(s.complement(100), vec![(0, 10), (20, 30), (60, 40)]);
+        assert_eq!(IntervalSet::new().complement(5), vec![(0, 5)]);
+    }
+}

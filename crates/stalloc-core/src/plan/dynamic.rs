@@ -1,0 +1,295 @@
+//! Dynamic Reusable Space extraction (paper §5.2, Eqs. 3–6).
+//!
+//! Dynamic (MoE expert) requests have unpredictable sizes but regular
+//! lifespans. They are grouped by their (allocating instance, freeing
+//! instance) pair — the *HomoLayer Groups* `G(a, b)` — and for each group we
+//! pre-compute the address intervals of the static pool that stay idle
+//! throughout the group's bounding temporal range `T(a, b)`. At runtime the
+//! dynamic allocator places requests inside these pre-vetted intervals,
+//! guaranteeing no conflict with planned static allocations.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+
+use crate::profiler::{InstanceKey, ProfiledRequests};
+
+/// One HomoLayer group with its reusable space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynGroup {
+    /// Allocating instance (`l_s`).
+    pub ls: InstanceKey,
+    /// Freeing instance (`l_e`).
+    pub le: InstanceKey,
+    /// Bounding temporal range `T(a, b)` in window ticks.
+    pub t_range: (u64, u64),
+    /// Reusable address intervals `A_i` within the static pool, sorted.
+    pub intervals: Vec<(u64, u64)>,
+    /// Total profiled bytes of the group (for statistics).
+    pub profiled_bytes: u64,
+}
+
+/// Dynamic half of the plan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DynamicPlan {
+    /// All HomoLayer groups.
+    pub groups: Vec<DynGroup>,
+    /// Per allocating instance, the group index of each arriving dynamic
+    /// request in profiled order — the runtime matcher's lookup table.
+    pub instance_seq: Vec<(InstanceKey, Vec<u32>)>,
+}
+
+impl DynamicPlan {
+    /// Total reusable bytes across groups (diagnostic).
+    pub fn total_reusable(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.intervals.iter().map(|&(_, l)| l).sum::<u64>())
+            .sum()
+    }
+}
+
+/// A planned static decision in its final absolute position, the input to
+/// the occupancy interrogation of Eq. 4.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacedStatic {
+    /// Absolute pool offset.
+    pub offset: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Allocation tick.
+    pub ts: u64,
+    /// Free tick (exclusive).
+    pub te: u64,
+}
+
+/// Builds the dynamic plan: HomoLayer groups and their reusable intervals.
+pub fn locate_reusable_space(
+    profile: &ProfiledRequests,
+    placed: &[PlacedStatic],
+    pool_size: u64,
+) -> DynamicPlan {
+    let windows: HashMap<InstanceKey, (u64, u64)> =
+        profile.instance_windows.iter().copied().collect();
+
+    // Group dynamic requests by (ls, le); requests with unknown instances
+    // (outside any module) are left to the fallback allocator.
+    let mut group_of: HashMap<(InstanceKey, InstanceKey), u32> = HashMap::new();
+    let mut groups: Vec<DynGroup> = Vec::new();
+    let mut req_group: Vec<Option<u32>> = vec![None; profile.dynamics.len()];
+
+    for (i, d) in profile.dynamics.iter().enumerate() {
+        let (Some(ls), Some(le)) = (d.ls, d.le) else {
+            continue;
+        };
+        let idx = *group_of.entry((ls, le)).or_insert_with(|| {
+            let a = windows.get(&ls).copied().unwrap_or((d.ts, d.ts));
+            let b = windows.get(&le).copied().unwrap_or((d.te, d.te));
+            let t_range = (a.0, b.1.max(a.1));
+            groups.push(DynGroup {
+                ls,
+                le,
+                t_range,
+                intervals: Vec::new(),
+                profiled_bytes: 0,
+            });
+            (groups.len() - 1) as u32
+        });
+        groups[idx as usize].profiled_bytes += d.size;
+        req_group[i] = Some(idx);
+    }
+
+    // Eq. 4-6: for each group, occupied = union of static extents whose
+    // lifetime intersects T; reusable = complement within the pool.
+    for g in &mut groups {
+        let (t0, t1) = g.t_range;
+        // Merge occupied extents via sort-and-sweep (extents may overlap).
+        let mut spans: Vec<(u64, u64)> = placed
+            .iter()
+            .filter(|p| p.ts < t1.max(t0 + 1) && t0 < p.te && p.size > 0)
+            .map(|p| (p.offset, p.offset + p.size))
+            .collect();
+        spans.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        // Complement within [0, pool_size).
+        let mut intervals = Vec::new();
+        let mut cursor = 0;
+        for (s, e) in merged {
+            if s > cursor {
+                intervals.push((cursor, s - cursor));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < pool_size {
+            intervals.push((cursor, pool_size - cursor));
+        }
+        g.intervals = intervals;
+    }
+
+    // Arrival sequences: map profiled arrival order per instance to groups.
+    let mut instance_seq: Vec<(InstanceKey, Vec<u32>)> = Vec::new();
+    for (key, arrivals) in &profile.instance_arrivals {
+        let seq: Vec<u32> = arrivals
+            .iter()
+            .map(|&i| req_group[i as usize].unwrap_or(u32::MAX))
+            .collect();
+        instance_seq.push((*key, seq));
+    }
+
+    DynamicPlan {
+        groups,
+        instance_seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::RequestEvent;
+    use trace_gen::ModuleId;
+
+    fn key(m: u32, p: u32) -> InstanceKey {
+        InstanceKey {
+            module: ModuleId(m),
+            phase: p,
+        }
+    }
+
+    fn dyn_req(size: u64, ts: u64, te: u64, ls: InstanceKey, le: InstanceKey) -> RequestEvent {
+        RequestEvent {
+            size,
+            ts,
+            te,
+            ps: ls.phase,
+            pe: le.phase,
+            dynamic: true,
+            ls: Some(ls),
+            le: Some(le),
+        }
+    }
+
+    fn profile_with(
+        dynamics: Vec<RequestEvent>,
+        windows: Vec<(InstanceKey, (u64, u64))>,
+    ) -> ProfiledRequests {
+        let mut arrivals: HashMap<InstanceKey, Vec<u32>> = HashMap::new();
+        for (i, d) in dynamics.iter().enumerate() {
+            arrivals.entry(d.ls.unwrap()).or_default().push(i as u32);
+        }
+        let mut instance_arrivals: Vec<(InstanceKey, Vec<u32>)> =
+            arrivals.into_iter().collect();
+        instance_arrivals.sort_unstable_by_key(|&(k, _)| k);
+        ProfiledRequests {
+            statics: Vec::new(),
+            init_count: 0,
+            dynamics,
+            num_phases: 4,
+            window_len: 100,
+            instance_windows: windows,
+            instance_arrivals,
+        }
+    }
+
+    #[test]
+    fn reusable_space_avoids_live_statics() {
+        // Static decision occupying [0, 1000) during ticks [0, 50).
+        let placed = vec![PlacedStatic {
+            offset: 0,
+            size: 1000,
+            ts: 0,
+            te: 50,
+        }];
+        // Dynamic group active during [10, 20): overlaps the static.
+        let a = key(1, 1);
+        let b = key(1, 3);
+        let profile = profile_with(
+            vec![dyn_req(512, 12, 18, a, b)],
+            vec![(a, (10, 14)), (b, (16, 20))],
+        );
+        let plan = locate_reusable_space(&profile, &placed, 4096);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].t_range, (10, 20));
+        assert_eq!(plan.groups[0].intervals, vec![(1000, 3096)]);
+    }
+
+    #[test]
+    fn expired_statics_are_reusable() {
+        // Static frees at tick 10; dynamic group runs [20, 30).
+        let placed = vec![PlacedStatic {
+            offset: 0,
+            size: 1000,
+            ts: 0,
+            te: 10,
+        }];
+        let a = key(2, 2);
+        let b = key(2, 2);
+        let profile = profile_with(
+            vec![dyn_req(512, 21, 29, a, b)],
+            vec![(a, (20, 30))],
+        );
+        let plan = locate_reusable_space(&profile, &placed, 4096);
+        assert_eq!(plan.groups[0].intervals, vec![(0, 4096)]);
+    }
+
+    #[test]
+    fn overlapping_extents_merge() {
+        let placed = vec![
+            PlacedStatic {
+                offset: 0,
+                size: 1000,
+                ts: 0,
+                te: 100,
+            },
+            PlacedStatic {
+                offset: 500,
+                size: 1000,
+                ts: 0,
+                te: 100,
+            },
+            PlacedStatic {
+                offset: 2000,
+                size: 500,
+                ts: 0,
+                te: 100,
+            },
+        ];
+        let a = key(3, 1);
+        let profile = profile_with(
+            vec![dyn_req(512, 5, 6, a, a)],
+            vec![(a, (0, 50))],
+        );
+        let plan = locate_reusable_space(&profile, &placed, 4096);
+        assert_eq!(
+            plan.groups[0].intervals,
+            vec![(1500, 500), (2500, 1596)]
+        );
+    }
+
+    #[test]
+    fn instance_sequences_map_arrivals_to_groups() {
+        let a = key(1, 1);
+        let b1 = key(1, 5);
+        let b2 = key(1, 7);
+        let profile = profile_with(
+            vec![
+                dyn_req(512, 10, 20, a, b1),
+                dyn_req(512, 11, 30, a, b2),
+                dyn_req(512, 12, 21, a, b1),
+            ],
+            vec![(a, (10, 13)), (b1, (19, 22)), (b2, (28, 31))],
+        );
+        let plan = locate_reusable_space(&profile, &[], 1024);
+        assert_eq!(plan.groups.len(), 2);
+        let seq = &plan.instance_seq.iter().find(|(k, _)| *k == a).unwrap().1;
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0], seq[2], "requests 0 and 2 share a group");
+        assert_ne!(seq[0], seq[1]);
+    }
+}

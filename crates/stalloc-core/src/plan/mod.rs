@@ -1,0 +1,248 @@
+//! The Plan Synthesizer (paper §5): turns profiled requests into an
+//! ahead-of-time allocation plan.
+//!
+//! Pipeline: HomoPhase grouping → TMP-scored fusion → HomoSize grouping with
+//! memory-layer construction and gap insertion → absolute address assignment
+//! → Dynamic Reusable Space extraction.
+
+pub mod dynamic;
+pub mod global;
+pub mod phase_group;
+
+use serde::{Deserialize, Serialize};
+
+use crate::profiler::{InstanceKey, ProfiledRequests};
+pub use dynamic::{DynGroup, DynamicPlan, PlacedStatic};
+pub use global::GlobalOptions;
+
+/// One planned static allocation: the runtime serves the k-th static
+/// request of the (init sequence | iteration sequence) at this offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedAlloc {
+    /// Expected request size (rounded to the plan alignment).
+    pub size: u64,
+    /// Absolute offset within the static pool.
+    pub offset: u64,
+    /// Allocation tick in the profiled window (diagnostics/validation).
+    pub ts: u64,
+    /// Free tick in the profiled window.
+    pub te: u64,
+}
+
+/// Synthesis statistics (reported in experiment tables and Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Static requests planned (persistent + iteration).
+    pub static_requests: usize,
+    /// Dynamic requests profiled.
+    pub dynamic_requests: usize,
+    /// HomoPhase groups before fusion.
+    pub phase_groups: usize,
+    /// Local plans after fusion.
+    pub fused_groups: usize,
+    /// Memory-layers created by global planning.
+    pub layers: usize,
+    /// Members placed by gap insertion.
+    pub gap_inserted: usize,
+    /// HomoLayer (dynamic) groups.
+    pub homolayer_groups: usize,
+    /// Peak concurrent static demand (lower bound on the pool).
+    pub peak_static_demand: u64,
+    /// Final pool size.
+    pub pool_size: u64,
+}
+
+impl PlanStats {
+    /// Planning efficiency: peak demand over pool size (1.0 = no internal
+    /// bubbles at the peak instant).
+    pub fn packing_efficiency(&self) -> f64 {
+        if self.pool_size == 0 {
+            1.0
+        } else {
+            self.peak_static_demand as f64 / self.pool_size as f64
+        }
+    }
+}
+
+/// The complete ahead-of-time plan (paper Fig. 5 "Ahead-of-Time Plan").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Plan {
+    /// Static pool size in bytes.
+    pub pool_size: u64,
+    /// Planned allocations for the init (persistent) sequence, in arrival
+    /// order.
+    pub init_allocs: Vec<PlannedAlloc>,
+    /// Planned allocations for each iteration's static sequence, in arrival
+    /// order.
+    pub iter_allocs: Vec<PlannedAlloc>,
+    /// The dynamic half: HomoLayer groups and reusable space.
+    pub dynamic: DynamicPlan,
+    /// Synthesis statistics.
+    pub stats: PlanStats,
+}
+
+impl Plan {
+    /// Serializes the plan to JSON (the standalone-tool workflow of §8).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plan serializes")
+    }
+
+    /// Deserializes a plan from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Validates the §5.1 soundness constraint: no two planned static
+    /// decisions overlap in both lifetime and address range, and all
+    /// decisions fit the pool.
+    pub fn validate(&self) -> Result<(), String> {
+        let all: Vec<&PlannedAlloc> =
+            self.init_allocs.iter().chain(self.iter_allocs.iter()).collect();
+        for d in &all {
+            if d.offset + d.size > self.pool_size {
+                return Err(format!(
+                    "decision at {} (+{}) exceeds pool {}",
+                    d.offset, d.size, self.pool_size
+                ));
+            }
+        }
+        // Event sweep over time with an occupancy interval set; at any
+        // instant, live decisions must occupy disjoint address ranges.
+        let mut events: Vec<(u64, bool, usize)> = Vec::with_capacity(all.len() * 2);
+        for (i, d) in all.iter().enumerate() {
+            let te = d.te.max(d.ts + 1);
+            events.push((d.ts, false, i)); // false = start
+            events.push((te, true, i)); // true = end
+        }
+        // Ends sort before starts at equal ticks (te is exclusive).
+        events.sort_unstable_by_key(|&(t, is_end, _)| (t, !is_end as u8));
+        let mut occupied = crate::geometry::IntervalSet::new();
+        for (_, is_end, i) in events {
+            let d = all[i];
+            if is_end {
+                occupied.remove(d.offset, d.size);
+            } else {
+                if occupied.overlaps(d.offset, d.size) {
+                    return Err(format!(
+                        "overlap: decision [{}, {}) x ticks [{}, {}) intersects \
+                         live space",
+                        d.offset,
+                        d.offset + d.size,
+                        d.ts,
+                        d.te
+                    ));
+                }
+                occupied.insert(d.offset, d.size);
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up the instance sequence table as a map (runtime helper).
+    pub fn instance_seq_map(
+        &self,
+    ) -> std::collections::HashMap<InstanceKey, Vec<u32>> {
+        self.dynamic.instance_seq.iter().cloned().collect()
+    }
+}
+
+/// Configuration of the synthesizer (ablation switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Enable TMP-scored HomoPhase fusion (paper behaviour: on).
+    pub enable_fusion: bool,
+    /// Enable gap insertion in global planning (paper behaviour: on).
+    pub enable_gap_insertion: bool,
+    /// Process size classes ascending instead of descending (ablation).
+    pub ascending_sizes: bool,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            enable_fusion: true,
+            enable_gap_insertion: true,
+            ascending_sizes: false,
+        }
+    }
+}
+
+/// Runs the full plan synthesis on a profile.
+pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+    // --- Static planning (§5.1) ---
+    let plans = phase_group::build_phase_groups(&profile.statics);
+    let phase_groups = plans.len();
+    let plans = if config.enable_fusion {
+        phase_group::fuse_groups(plans, &profile.statics)
+    } else {
+        plans
+    };
+    let fused_groups = plans.len();
+
+    let layout = global::assemble(
+        &plans,
+        &profile.statics,
+        GlobalOptions {
+            gap_insertion: config.enable_gap_insertion,
+            ascending_sizes: config.ascending_sizes,
+        },
+    );
+
+    // Absolute offset of every static request; the first-fit refinement
+    // sweep replaces the group layout when it packs tighter.
+    let (offsets, pool_size) = {
+        let (refined, refined_pool) = global::refine_first_fit(&profile.statics);
+        if refined_pool < layout.pool_size {
+            (refined, refined_pool)
+        } else {
+            (layout.request_offsets.clone(), layout.pool_size)
+        }
+    };
+
+    let make = |idx: usize| -> PlannedAlloc {
+        let r = &profile.statics[idx];
+        PlannedAlloc {
+            size: r.size,
+            offset: offsets[idx],
+            ts: r.ts,
+            te: r.te,
+        }
+    };
+    let init_allocs: Vec<PlannedAlloc> = (0..profile.init_count).map(make).collect();
+    let iter_allocs: Vec<PlannedAlloc> =
+        (profile.init_count..profile.statics.len()).map(make).collect();
+
+    // --- Dynamic planning (§5.2) ---
+    let placed: Vec<PlacedStatic> = profile
+        .statics
+        .iter()
+        .enumerate()
+        .map(|(i, r)| PlacedStatic {
+            offset: offsets[i],
+            size: r.size,
+            ts: r.ts,
+            te: r.te.max(r.ts + 1),
+        })
+        .collect();
+    let dynamic = dynamic::locate_reusable_space(profile, &placed, pool_size);
+
+    let stats = PlanStats {
+        static_requests: profile.statics.len(),
+        dynamic_requests: profile.dynamics.len(),
+        phase_groups,
+        fused_groups,
+        layers: layout.layer_count,
+        gap_inserted: layout.gap_inserted,
+        homolayer_groups: dynamic.groups.len(),
+        peak_static_demand: profile.peak_static_demand(),
+        pool_size,
+    };
+
+    Plan {
+        pool_size,
+        init_allocs,
+        iter_allocs,
+        dynamic,
+        stats,
+    }
+}

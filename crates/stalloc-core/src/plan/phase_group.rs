@@ -1,0 +1,378 @@
+//! HomoPhase grouping and TMP-scored fusion (paper §5.1, Figs. 6–7).
+//!
+//! Requests sharing an (allocation phase, free phase) pair form a
+//! *HomoPhase Group*; each group is packed into a compact local plan.
+//! Adjacent groups (one's end phase equals the other's start phase) are
+//! fused when doing so raises the *time-memory product* (TMP, Eq. 2) above
+//! the weighted average of the originals — i.e. when fusion removes
+//! spatio-temporal bubbles.
+
+use std::collections::HashMap;
+
+use crate::geometry::{Rect, TimeSpacePacker};
+use crate::profiler::RequestEvent;
+
+/// A local plan: one (possibly fused) HomoPhase group with relative offsets.
+#[derive(Debug, Clone)]
+pub struct LocalPlan {
+    /// Members: (static-request index, relative offset).
+    pub members: Vec<(usize, u64)>,
+    /// Occupancy of the plan's members.
+    pub packer: TimeSpacePacker,
+    /// Earliest allocation tick.
+    pub ts: u64,
+    /// Latest free tick.
+    pub te: u64,
+    /// Earliest free tick among members — before this, no space frees, so
+    /// fusion with later groups cannot help (fusion pre-filter).
+    pub min_te: u64,
+    /// Allocation phase of the group (first group's, after fusion).
+    pub ps: u32,
+    /// Free phase of the group (last group's, after fusion).
+    pub pe: u32,
+}
+
+impl LocalPlan {
+    /// Footprint in bytes (`D_g.s`).
+    pub fn size(&self) -> u64 {
+        self.packer.height()
+    }
+
+    /// Time-memory product (Eq. 2). 1.0 means zero bubbles.
+    pub fn tmp(&self) -> f64 {
+        let denom = self.size() as f64 * (self.te - self.ts) as f64;
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.packer.area() as f64 / denom
+        }
+    }
+
+    /// TMP denominator, used as the fusion-acceptance weight.
+    pub fn weight(&self) -> f64 {
+        self.size() as f64 * (self.te - self.ts) as f64
+    }
+}
+
+/// Builds one packed local plan per (pˢ, pᵉ) class.
+///
+/// Within a class, requests are placed in allocation order at the lowest
+/// conflict-free offset. For fully-overlapping lifespans (the common scoped
+/// case) this degenerates to the paper's contiguous stacking; for same-phase
+/// transients it additionally reuses space across disjoint lifetimes.
+pub fn build_phase_groups(reqs: &[RequestEvent]) -> Vec<LocalPlan> {
+    let mut classes: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+    let mut singles: Vec<usize> = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        if r.ps == r.pe {
+            // Same-phase transients don't share a common lifespan; placing
+            // them individually lets global planning slot each one into the
+            // staircase of progressively-freed scoped space.
+            singles.push(i);
+        } else {
+            classes.entry((r.ps, r.pe)).or_default().push(i);
+        }
+    }
+    let mut keys: Vec<(u32, u32)> = classes.keys().copied().collect();
+    keys.sort_unstable();
+
+    let mut plans = Vec::with_capacity(keys.len() + singles.len());
+    for i in singles {
+        let r = &reqs[i];
+        let t1 = r.te.max(r.ts + 1);
+        let mut packer = TimeSpacePacker::new();
+        packer.place_at(Rect {
+            t0: r.ts,
+            t1,
+            off: 0,
+            len: r.size,
+        });
+        plans.push(LocalPlan {
+            members: vec![(i, 0)],
+            packer,
+            ts: r.ts,
+            te: t1,
+            min_te: t1,
+            ps: r.ps,
+            pe: r.pe,
+        });
+    }
+    for key in keys {
+        let mut idxs = classes.remove(&key).expect("key exists");
+        idxs.sort_unstable_by_key(|&i| reqs[i].ts);
+        let mut packer = TimeSpacePacker::new();
+        let mut members = Vec::with_capacity(idxs.len());
+        let (mut ts, mut te, mut min_te) = (u64::MAX, 0u64, u64::MAX);
+        for i in idxs {
+            let r = &reqs[i];
+            let t1 = r.te.max(r.ts + 1);
+            let off = packer.pack(r.ts, t1, r.size);
+            members.push((i, off));
+            ts = ts.min(r.ts);
+            te = te.max(t1);
+            min_te = min_te.min(t1);
+        }
+        plans.push(LocalPlan {
+            members,
+            packer,
+            ts,
+            te,
+            min_te,
+            ps: key.0,
+            pe: key.1,
+        });
+    }
+    plans
+}
+
+/// Attempts to fuse `host` and `guest` (paper Fig. 6 upper-left): the host's
+/// members are re-stacked by descending end time (forming a staircase of
+/// progressively earlier-freed space), then the guest's members are inserted
+/// in ascending start-time order at the lowest conflict-free offsets.
+///
+/// Returns the fused plan if its TMP exceeds the weighted average of the
+/// originals (Fig. 7 acceptance rule), `None` otherwise.
+pub fn try_fuse(host: &LocalPlan, guest: &LocalPlan, reqs: &[RequestEvent]) -> Option<LocalPlan> {
+    let mut packer = TimeSpacePacker::new();
+    let mut members = Vec::with_capacity(host.members.len() + guest.members.len());
+
+    // Host re-stack: descending end time, contiguous.
+    let mut host_members = host.members.clone();
+    host_members.sort_unstable_by(|&(a, _), &(b, _)| {
+        reqs[b]
+            .te
+            .cmp(&reqs[a].te)
+            .then_with(|| reqs[a].ts.cmp(&reqs[b].ts))
+    });
+    let mut cursor = 0u64;
+    for (i, _) in host_members {
+        let r = &reqs[i];
+        let t1 = r.te.max(r.ts + 1);
+        packer.place_at(Rect {
+            t0: r.ts,
+            t1,
+            off: cursor,
+            len: r.size,
+        });
+        members.push((i, cursor));
+        cursor += r.size;
+    }
+
+    // Guest insertion: ascending start time, lowest available offset.
+    let mut guest_members = guest.members.clone();
+    guest_members.sort_unstable_by_key(|&(i, _)| reqs[i].ts);
+    for (i, _) in guest_members {
+        let r = &reqs[i];
+        let t1 = r.te.max(r.ts + 1);
+        let off = packer
+            .find_first_fit(r.ts, t1, r.size, u64::MAX)
+            .expect("unbounded");
+        packer.place_at(Rect {
+            t0: r.ts,
+            t1,
+            off,
+            len: r.size,
+        });
+        members.push((i, off));
+    }
+
+    let fused = LocalPlan {
+        members,
+        packer,
+        ts: host.ts.min(guest.ts),
+        te: host.te.max(guest.te),
+        min_te: host.min_te.min(guest.min_te),
+        ps: if host.ts <= guest.ts { host.ps } else { guest.ps },
+        pe: if host.te >= guest.te { host.pe } else { guest.pe },
+    };
+
+    let wa = (host.tmp() * host.weight() + guest.tmp() * guest.weight())
+        / (host.weight() + guest.weight()).max(f64::MIN_POSITIVE);
+    if fused.tmp() > wa {
+        Some(fused)
+    } else {
+        None
+    }
+}
+
+/// Greedy fusion pass: repeatedly fuses phase-adjacent plan pairs (one's
+/// `pᵉ` equals the other's `pˢ`) whenever the TMP acceptance rule fires,
+/// until no fusion is accepted.
+pub fn fuse_groups(mut plans: Vec<LocalPlan>, reqs: &[RequestEvent]) -> Vec<LocalPlan> {
+    loop {
+        let mut fused_any = false;
+        'outer: for a in 0..plans.len() {
+            for b in 0..plans.len() {
+                if a == b {
+                    continue;
+                }
+                if plans[a].pe != plans[b].ps {
+                    continue;
+                }
+                // The larger plan hosts; the smaller is inserted.
+                let (host, guest) = if plans[a].size() >= plans[b].size() {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                // Pre-filters: singleton same-phase transients are placed
+                // individually by global planning; and fusion can only
+                // remove bubbles if some host space frees before the guest
+                // finishes.
+                let is_single_transient = |p: &LocalPlan| {
+                    p.members.len() == 1 && p.ps == p.pe
+                };
+                if is_single_transient(&plans[host]) || is_single_transient(&plans[guest]) {
+                    continue;
+                }
+                if plans[guest].te <= plans[host].min_te {
+                    continue;
+                }
+                if let Some(fused) = try_fuse(&plans[host], &plans[guest], reqs) {
+                    let (hi, lo) = if host > guest {
+                        (host, guest)
+                    } else {
+                        (guest, host)
+                    };
+                    plans.swap_remove(hi);
+                    plans.swap_remove(lo);
+                    plans.push(fused);
+                    fused_any = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !fused_any {
+            return plans;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(size: u64, ts: u64, te: u64, ps: u32, pe: u32) -> RequestEvent {
+        RequestEvent {
+            size,
+            ts,
+            te,
+            ps,
+            pe,
+            dynamic: false,
+            ls: None,
+            le: None,
+        }
+    }
+
+    #[test]
+    fn groups_form_per_phase_pair() {
+        let reqs = vec![
+            req(512, 0, 10, 1, 2),
+            req(512, 1, 9, 1, 2),
+            req(1024, 2, 3, 1, 1),
+        ];
+        let plans = build_phase_groups(&reqs);
+        assert_eq!(plans.len(), 2);
+        let scoped = plans.iter().find(|p| p.pe == 2).unwrap();
+        assert_eq!(scoped.members.len(), 2);
+        assert_eq!(scoped.size(), 1024, "overlapping lifespans stack");
+    }
+
+    #[test]
+    fn same_phase_transients_become_singletons() {
+        // Transients are handed to global planning one by one; the
+        // HomoSize memory-layers later share their space (same size,
+        // disjoint lifespans -> one layer).
+        let reqs = vec![req(512, 0, 5, 1, 1), req(512, 5, 9, 1, 1)];
+        let plans = build_phase_groups(&reqs);
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|p| p.members.len() == 1));
+        let layout = crate::plan::global::assemble(
+            &plans,
+            &reqs,
+            crate::plan::global::GlobalOptions::default(),
+        );
+        assert_eq!(layout.pool_size, 512, "layering shares the slot");
+    }
+
+    #[test]
+    fn tmp_is_one_for_perfect_packing() {
+        let reqs = vec![req(512, 0, 10, 1, 2)];
+        let plans = build_phase_groups(&reqs);
+        assert!((plans[0].tmp() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_accepts_staircase_fill() {
+        // Host: two members freed at different times (staircase).
+        // Guest: members starting exactly as host space frees.
+        let reqs = vec![
+            req(512, 0, 10, 1, 2),  // host, lives long
+            req(512, 0, 6, 1, 2),   // host, frees early
+            req(512, 6, 12, 2, 3),  // guest, fits the freed step
+        ];
+        let plans = build_phase_groups(&reqs);
+        assert_eq!(plans.len(), 2);
+        let fused = fuse_groups(plans, &reqs);
+        assert_eq!(fused.len(), 1, "fusion accepted");
+        assert_eq!(fused[0].size(), 1024, "guest reused the freed step");
+        // Host member with the later end time sits at the bottom.
+        let bottom = fused[0]
+            .members
+            .iter()
+            .find(|&&(_, off)| off == 0)
+            .unwrap()
+            .0;
+        assert_eq!(reqs[bottom].te, 10);
+    }
+
+    #[test]
+    fn fusion_rejects_when_tmp_drops() {
+        // The guest starts while the host is still fully live: fusing just
+        // stacks them and stretches the footprint over extra idle time.
+        let reqs = vec![
+            req(2048, 0, 10, 1, 2),
+            req(2048, 2, 10, 2, 2), // starts while host still fully live
+        ];
+        let plans = build_phase_groups(&reqs);
+        assert_eq!(plans.len(), 2);
+        let fused = fuse_groups(plans, &reqs);
+        assert_eq!(fused.len(), 2, "fusion rejected: no bubble removed");
+    }
+
+    #[test]
+    fn fusion_chain_converges() {
+        // Each group has a long-lived and a short-lived member (bubbles);
+        // each adjacent group starts exactly as the previous one's short
+        // member frees, so every fusion strictly raises TMP.
+        let reqs = vec![
+            req(512, 0, 12, 1, 2),
+            req(512, 0, 4, 1, 2), // frees early: bubble until tick 12
+            req(512, 4, 24, 2, 3),
+            req(512, 4, 8, 2, 3),
+            req(512, 8, 20, 3, 4),
+        ];
+        let plans = build_phase_groups(&reqs);
+        assert_eq!(plans.len(), 3);
+        let fused = fuse_groups(plans, &reqs);
+        assert!(
+            fused.len() < 3,
+            "at least one fusion accepted, got {} groups",
+            fused.len()
+        );
+        let total: u64 = fused.iter().map(|p| p.size()).sum();
+        assert!(total < 512 * 5, "fusion reuses freed steps: {total}");
+    }
+
+    #[test]
+    fn equal_tmp_fusion_is_rejected_but_harmless() {
+        // Perfectly packed adjacent groups (TMP = 1.0 each): fusing cannot
+        // raise TMP, so the paper's strict acceptance rejects it. The
+        // HomoSize layering later shares one layer anyway.
+        let reqs = vec![req(512, 0, 4, 1, 2), req(512, 4, 8, 2, 3)];
+        let plans = build_phase_groups(&reqs);
+        let fused = fuse_groups(plans, &reqs);
+        assert_eq!(fused.len(), 2, "no strict TMP gain, no fusion");
+    }
+}

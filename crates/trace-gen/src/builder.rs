@@ -1,0 +1,1116 @@
+//! Trace construction: walks a pipeline schedule and emits the memory-event
+//! stream one GPU rank observes over a training run.
+//!
+//! The builder reproduces the lifetime structure of Fig. 4: persistent
+//! tensors at init, scoped activations allocated in forward phases and freed
+//! in reverse order during the matching backward, transient operator
+//! temporaries, recomputation/offload lifetime transforms, and dynamic-size
+//! MoE expert tensors.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::flops;
+use crate::model::ModelSpec;
+use crate::moe::{
+    expert_dynamic_tensors, moe_layer_weights, moe_post_expert_forward, moe_pre_expert_forward,
+    ExpertRouter,
+};
+use crate::parallel::{OffloadMode, OptimConfig, ParallelConfig, RecomputeMode, ZeroStage};
+use crate::schedule::{bubble_fraction, schedule_interleaved, Step, StepKind};
+use crate::tensors::{
+    attention_sublayer_forward, dense_layer_backward_temps, dense_layer_weights,
+    embedding_forward, layer_output, mlp_sublayer_forward, ActDims, LayerTensorLife, TensorDef,
+    ACT_BYTES, FP32_BYTES,
+};
+use crate::trace::{
+    ModuleId, PhaseId, PhaseInfo, PhaseKind, TensorCategory, Trace, TraceEvent, TensorId,
+    WorkloadMeta,
+};
+
+/// Gradient-buffer bucket size (Megatron allocates main-grad storage in
+/// large contiguous buckets).
+const GRAD_BUCKET_BYTES: u64 = 128 << 20;
+/// Kernel-workspace size buckets: real attention/GEMM kernels choose
+/// shape-dependent workspace sizes, so the `*_ws` temporaries vary by layer
+/// position. This deterministic diversity is what defeats online best-fit
+/// (long-lived tensors split odd-sized cached blocks and pin the
+/// remainders, the paper's Fig. 1(a) scenario) while preserving the ~32
+/// distinct sizes of Fig. 3.
+const WS_SCALES: [f64; 4] = [1.0, 0.53, 1.71, 0.87];
+/// Number of cuBLAS/cuDNN autotuning probe allocations per layer emitted
+/// once at the end of initialization (freed immediately; they scar the
+/// baseline allocators' early segment layout the way real autotuning does).
+const AUTOTUNE_PROBES: usize = 2;
+
+/// Scales `*_ws` workspace entries of a catalogue by the layer's bucket.
+fn scale_workspaces(mut defs: Vec<TensorDef>, layer: u32) -> Vec<TensorDef> {
+    let s = WS_SCALES[(layer % WS_SCALES.len() as u32) as usize];
+    for d in &mut defs {
+        if d.name.ends_with("_ws") {
+            d.size = round512((d.size as f64 * s) as u64);
+        }
+    }
+    defs
+}
+
+fn round512(x: u64) -> u64 {
+    (x.max(1) + 511) & !511
+}
+/// Number of chunks the LM head splits the logits/loss computation into
+/// (fused chunked cross-entropy, avoids materializing full logits).
+const LOSS_CHUNKS: u64 = 4;
+
+/// Complete description of one simulated training job on one traced rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainJob {
+    /// Model architecture.
+    pub model: ModelSpec,
+    /// Parallelism degrees.
+    pub parallel: ParallelConfig,
+    /// Non-parallelism optimizations.
+    pub optim: OptimConfig,
+    /// Microbatch size (sequences).
+    pub mbs: u32,
+    /// Sequence length (tokens).
+    pub seq: u64,
+    /// Microbatches per iteration (gradient-accumulation steps).
+    pub num_microbatches: u32,
+    /// Which pipeline stage this trace observes (0 = first, holds the most
+    /// in-flight activations under 1F1B).
+    pub stage_rank: u32,
+    /// Training iterations to emit after init.
+    pub iterations: u32,
+    /// RNG seed (drives MoE routing).
+    pub seed: u64,
+}
+
+impl TrainJob {
+    /// Creates a job with sensible defaults: `mbs = 1`, the model's native
+    /// sequence length, `4·pp` microbatches, stage 0, 3 iterations.
+    pub fn new(model: ModelSpec, parallel: ParallelConfig, optim: OptimConfig) -> Self {
+        let seq = model.seq_len;
+        let num_microbatches = 4 * parallel.pp;
+        Self {
+            model,
+            parallel,
+            optim,
+            mbs: 1,
+            seq,
+            num_microbatches,
+            stage_rank: 0,
+            iterations: 3,
+            seed: 42,
+        }
+    }
+
+    /// Sets the microbatch size.
+    pub fn with_mbs(mut self, mbs: u32) -> Self {
+        self.mbs = mbs;
+        self
+    }
+
+    /// Sets the sequence length.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the number of microbatches per iteration.
+    pub fn with_microbatches(mut self, m: u32) -> Self {
+        self.num_microbatches = m;
+        self
+    }
+
+    /// Sets the number of emitted iterations.
+    pub fn with_iterations(mut self, iters: u32) -> Self {
+        self.iterations = iters;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Paper-style configuration label, e.g. `"VR"`.
+    pub fn label(&self) -> String {
+        self.optim.label(self.parallel.vpp > 1)
+    }
+
+    /// Validates the job.
+    pub fn validate(&self) -> Result<(), String> {
+        self.parallel.validate(&self.model)?;
+        if self.mbs == 0 || self.num_microbatches == 0 || self.iterations == 0 {
+            return Err("mbs, microbatches and iterations must be >= 1".into());
+        }
+        if self.parallel.vpp > 1 && self.num_microbatches % self.parallel.pp != 0 {
+            return Err(format!(
+                "interleaved schedule needs microbatches ({}) divisible by pp ({})",
+                self.num_microbatches, self.parallel.pp
+            ));
+        }
+        if self.stage_rank >= self.parallel.pp {
+            return Err("stage_rank out of range".into());
+        }
+        Ok(())
+    }
+
+    /// Builds the full memory trace for this job.
+    pub fn build_trace(&self) -> Result<Trace, String> {
+        self.validate()?;
+        let mut b = Builder::new(self);
+        b.run();
+        Ok(b.finish())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SavedEntry {
+    id: TensorId,
+    size: u64,
+    dynamic: bool,
+}
+
+type LayerKey = u32;
+type MbChunk = (u32, u32);
+
+struct Builder<'a> {
+    job: &'a TrainJob,
+    dims: ActDims,
+    events: Vec<TraceEvent>,
+    phases: Vec<PhaseInfo>,
+    modules: Vec<String>,
+    module_ids: HashMap<String, ModuleId>,
+    next_tensor: u64,
+    /// Saved (scoped) tensors per in-flight (mb, chunk), grouped by layer.
+    saved: HashMap<MbChunk, BTreeMap<LayerKey, Vec<SavedEntry>>>,
+    /// Offloaded tensor shapes per (mb, chunk), grouped by layer.
+    offloaded: HashMap<MbChunk, BTreeMap<LayerKey, Vec<(u64, bool)>>>,
+    /// MoE routing outcome per (mb, layer) within the current iteration.
+    routing: HashMap<(u32, u32), Vec<u64>>,
+    router: ExpertRouter,
+    cur_iter: u32,
+    /// Total parameter elements held by this stage (for grad/optimizer
+    /// buffers), accumulated while emitting weights.
+    stage_param_elems: u64,
+}
+
+impl<'a> Builder<'a> {
+    fn new(job: &'a TrainJob) -> Self {
+        Builder {
+            job,
+            dims: ActDims::new(job.mbs, job.seq, job.parallel.tp),
+            events: Vec::new(),
+            phases: Vec::new(),
+            modules: Vec::new(),
+            module_ids: HashMap::new(),
+            next_tensor: 0,
+            saved: HashMap::new(),
+            offloaded: HashMap::new(),
+            routing: HashMap::new(),
+            router: ExpertRouter::new(job.seed),
+            cur_iter: 0,
+            stage_param_elems: 0,
+        }
+    }
+
+    // ----- low-level emitters -----
+
+    fn module(&mut self, name: &str) -> ModuleId {
+        if let Some(&id) = self.module_ids.get(name) {
+            return id;
+        }
+        let id = ModuleId(self.modules.len() as u32);
+        self.modules.push(name.to_string());
+        self.module_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn enter(&mut self, name: &str) -> ModuleId {
+        let id = self.module(name);
+        self.events.push(TraceEvent::ModuleEnter(id));
+        id
+    }
+
+    fn exit(&mut self, id: ModuleId) {
+        self.events.push(TraceEvent::ModuleExit(id));
+    }
+
+    fn phase(&mut self, kind: PhaseKind) -> PhaseId {
+        let id = PhaseId(self.phases.len() as u32);
+        self.phases.push(PhaseInfo {
+            kind,
+            iteration: self.cur_iter,
+        });
+        self.events.push(TraceEvent::PhaseBegin(id));
+        id
+    }
+
+    fn alloc(&mut self, size: u64, dynamic: bool, category: TensorCategory) -> TensorId {
+        let id = TensorId(self.next_tensor);
+        self.next_tensor += 1;
+        self.events.push(TraceEvent::Alloc {
+            id,
+            size,
+            dynamic,
+            category,
+        });
+        id
+    }
+
+    fn free(&mut self, id: TensorId) {
+        self.events.push(TraceEvent::Free { id });
+    }
+
+    // ----- lifetime policy -----
+
+    fn recompute_on(&self) -> bool {
+        self.job.optim.recompute == RecomputeMode::Full
+    }
+
+    fn offload_on(&self) -> bool {
+        self.job.optim.offload == OffloadMode::Activations
+    }
+
+    fn zero3(&self) -> bool {
+        self.job.optim.zero == ZeroStage::Zero3
+    }
+
+    /// Emits a static catalogue for one layer in a forward phase, honouring
+    /// the recompute transform. Saved entries are recorded under
+    /// `(mb, chunk, layer)`, temporaries collected into `temps`.
+    fn emit_forward_defs(
+        &mut self,
+        defs: &[TensorDef],
+        key: MbChunk,
+        layer: LayerKey,
+        temps: &mut Vec<TensorId>,
+    ) {
+        for def in defs {
+            let keep = match def.life {
+                LayerTensorLife::Checkpoint => true,
+                LayerTensorLife::Saved => !self.recompute_on(),
+                LayerTensorLife::Temp => false,
+            };
+            if keep {
+                // Under offload the tensor is still scoped logically, but it
+                // will be freed at the end of this phase (copied to host).
+                let cat = if self.offload_on() {
+                    TensorCategory::Transient
+                } else {
+                    TensorCategory::Scoped
+                };
+                let id = self.alloc(def.size, false, cat);
+                self.saved
+                    .entry(key)
+                    .or_default()
+                    .entry(layer)
+                    .or_default()
+                    .push(SavedEntry {
+                        id,
+                        size: def.size,
+                        dynamic: false,
+                    });
+            } else {
+                let id = self.alloc(def.size, false, TensorCategory::Transient);
+                temps.push(id);
+            }
+        }
+    }
+
+    /// Emits a catalogue entirely as transients (recompute re-execution).
+    fn emit_as_temps(&mut self, defs: &[TensorDef], temps: &mut Vec<TensorId>) {
+        for def in defs {
+            let id = self.alloc(def.size, false, TensorCategory::Transient);
+            temps.push(id);
+        }
+    }
+
+    /// Allocates a chain of gradient temporaries where each is freed as soon
+    /// as the next is produced (models backward's producer/consumer window).
+    fn emit_grad_chain(&mut self, sizes: &[u64], dynamic: bool) {
+        let mut prev: Option<TensorId> = None;
+        for &s in sizes {
+            let id = self.alloc(s, dynamic, TensorCategory::Transient);
+            if let Some(p) = prev.take() {
+                self.free(p);
+            }
+            prev = Some(id);
+        }
+        if let Some(p) = prev {
+            self.free(p);
+        }
+    }
+
+    // ----- stage geometry -----
+
+    fn layers_per_chunk(&self) -> u32 {
+        self.job.parallel.layers_per_chunk(&self.job.model)
+    }
+
+    /// Global layer indices covered by `chunk` on the traced stage.
+    fn chunk_layers(&self, chunk: u32) -> Vec<u32> {
+        let lpc = self.layers_per_chunk();
+        let start = (chunk * self.job.parallel.pp + self.job.stage_rank) * lpc;
+        (start..start + lpc).collect()
+    }
+
+    fn has_embedding(&self, chunk: u32) -> bool {
+        self.job.stage_rank == 0 && chunk == 0
+    }
+
+    fn has_head(&self, chunk: u32) -> bool {
+        self.job.stage_rank == self.job.parallel.pp - 1
+            && chunk == self.job.parallel.vpp - 1
+    }
+
+    fn first_layer_of_chunk(&self, chunk: u32) -> u32 {
+        self.chunk_layers(chunk)[0]
+    }
+
+    fn layer_param_bytes(&self) -> u64 {
+        // Full (gathered) bf16 weights of one layer, for ZeRO-3 buffers.
+        self.job.model.params_per_layer() * ACT_BYTES / self.job.parallel.tp as u64
+    }
+
+    // ----- phases -----
+
+    fn run(&mut self) {
+        self.emit_init();
+        let p = self.job.parallel;
+        let steps = schedule_interleaved(
+            p.pp,
+            self.job.stage_rank,
+            self.job.num_microbatches,
+            p.vpp,
+        );
+        for iter in 1..=self.job.iterations {
+            self.cur_iter = iter;
+            self.routing.clear();
+            self.events.push(TraceEvent::IterationBegin(iter));
+            for step in &steps {
+                match step.kind {
+                    StepKind::Forward => self.forward_step(step.mb, step.chunk),
+                    StepKind::Backward => self.backward_step(step.mb, step.chunk),
+                }
+            }
+            self.optimizer_step();
+            self.events.push(TraceEvent::IterationEnd(iter));
+        }
+    }
+
+    fn emit_init(&mut self) {
+        self.phase(PhaseKind::Init);
+        let job = self.job;
+        let tp = job.parallel.tp as u64;
+        let dp = job.parallel.dp as u64;
+        let model = job.model.clone();
+
+        if self.zero3() {
+            // ZeRO-3 (Colossal flavour): flat parameter and gradient shards;
+            // optimizer state lives on the CPU (offloaded).
+            let total_params = model.total_params() / job.parallel.world_size() as u64;
+            self.stage_param_elems = total_params;
+            let m = self.enter("zero3_shards");
+            self.emit_bucketed(total_params * ACT_BYTES, GRAD_BUCKET_BYTES);
+            self.emit_bucketed(total_params * ACT_BYTES, GRAD_BUCKET_BYTES);
+            self.exit(m);
+            return;
+        }
+
+        let mut weight_bytes = 0u64;
+        if self.has_embedding(0) {
+            let m = self.enter("embedding");
+            let sz = model.vocab * model.hidden * ACT_BYTES / tp;
+            self.alloc(sz, false, TensorCategory::Persistent);
+            weight_bytes += sz;
+            self.exit(m);
+        }
+        if self.has_head(job.parallel.vpp - 1) && !model.tied_embeddings {
+            let m = self.enter("lm_head");
+            let sz = model.vocab * model.hidden * ACT_BYTES / tp;
+            self.alloc(sz, false, TensorCategory::Persistent);
+            weight_bytes += sz;
+            self.exit(m);
+        }
+        for chunk in 0..job.parallel.vpp {
+            for gl in self.chunk_layers(chunk) {
+                let name = format!("layers.{gl}");
+                let m = self.enter(&name);
+                let weights = if model.is_moe() {
+                    moe_layer_weights(&model, tp, job.parallel.ep)
+                } else {
+                    dense_layer_weights(&model, tp)
+                };
+                for (_, sz) in weights {
+                    self.alloc(sz, false, TensorCategory::Persistent);
+                    weight_bytes += sz;
+                }
+                self.exit(m);
+            }
+        }
+        let params = weight_bytes / ACT_BYTES;
+        self.stage_param_elems = params;
+
+        // fp32 main-gradient buffer, bucketed.
+        let m = self.enter("grad_buffer");
+        self.emit_bucketed(params * FP32_BYTES, GRAD_BUCKET_BYTES);
+        self.exit(m);
+
+        // Optimizer state: fp32 master weights + two Adam moments.
+        let m = self.enter("optimizer_state");
+        let shard = match job.optim.zero {
+            ZeroStage::DistributedOptimizer => dp,
+            _ => 1,
+        };
+        for _ in 0..3 {
+            self.emit_bucketed(params * FP32_BYTES / shard, GRAD_BUCKET_BYTES);
+        }
+        self.exit(m);
+        self.emit_autotune_probes();
+    }
+
+    /// cuBLAS/cuDNN autotuning probes: a handful of odd-sized short-lived
+    /// workspaces per layer, issued once before training. They scar the
+    /// online allocators' early segment layout exactly as real kernel
+    /// autotuning does.
+    fn emit_autotune_probes(&mut self) {
+        let d = self.dims;
+        let h = self.job.model.hidden;
+        let base = d.tokens * h * ACT_BYTES / d.tp;
+        let m = self.enter("autotune");
+        for chunk in 0..self.job.parallel.vpp {
+            for gl in self.chunk_layers(chunk) {
+                let mut probes = Vec::new();
+                for p in 0..AUTOTUNE_PROBES {
+                    let scale = [1.13, 0.31][p % 2];
+                    let sz = round512((base as f64 * scale) as u64 + 12288);
+                    probes.push(self.alloc(
+                        sz.max(512) + (gl as u64 % 3) * 512,
+                        false,
+                        TensorCategory::Transient,
+                    ));
+                }
+                for p in probes {
+                    self.free(p);
+                }
+            }
+        }
+        self.exit(m);
+    }
+
+    fn emit_bucketed(&mut self, total: u64, bucket: u64) {
+        let mut rem = total;
+        while rem > 0 {
+            let sz = rem.min(bucket);
+            self.alloc(sz, false, TensorCategory::Persistent);
+            rem -= sz;
+        }
+    }
+
+    fn forward_step(&mut self, mb: u32, chunk: u32) {
+        self.phase(PhaseKind::Forward { mb, chunk });
+        let key = (mb, chunk);
+        let model = self.job.model.clone();
+        let d = self.dims;
+
+        if self.has_embedding(chunk) {
+            let m = self.enter("embedding");
+            let mut temps = Vec::new();
+            let first = self.first_layer_of_chunk(chunk);
+            self.emit_forward_defs(&embedding_forward(&model, d), key, first, &mut temps);
+            for t in temps {
+                self.free(t);
+            }
+            self.exit(m);
+        } else if self.job.parallel.pp > 1 || self.job.parallel.vpp > 1 {
+            // The chunk's input activation arrives via pipeline P2P. Its
+            // +1 KiB header gives it an awkward size, and it stays live
+            // until this chunk's backward consumes it — a long-lived tensor
+            // interleaved among transients, the classic pinning pattern of
+            // the paper's Fig. 1(a).
+            let sp = if d.sp { d.tp } else { 1 };
+            let sz = round512(d.tokens * model.hidden * ACT_BYTES / sp + 1024);
+            let cat = if self.offload_on() {
+                TensorCategory::Transient
+            } else {
+                TensorCategory::Scoped
+            };
+            let id = self.alloc(sz, false, cat);
+            let first = self.first_layer_of_chunk(chunk);
+            self.saved
+                .entry(key)
+                .or_default()
+                .entry(first)
+                .or_default()
+                .push(SavedEntry {
+                    id,
+                    size: sz,
+                    dynamic: false,
+                });
+        }
+
+        for gl in self.chunk_layers(chunk) {
+            let name = format!("layers.{gl}");
+            let m = self.enter(&name);
+            let mut temps = Vec::new();
+
+            let mut gather = None;
+            if self.zero3() {
+                gather = Some(self.alloc(
+                    self.layer_param_bytes(),
+                    false,
+                    TensorCategory::Transient,
+                ));
+            }
+
+            self.emit_forward_defs(
+                &scale_workspaces(attention_sublayer_forward(&model, d), gl),
+                key,
+                gl,
+                &mut temps,
+            );
+            if model.is_moe() {
+                self.emit_forward_defs(
+                    &scale_workspaces(moe_pre_expert_forward(&model, d), gl),
+                    key,
+                    gl,
+                    &mut temps,
+                );
+                self.expert_forward(mb, gl, key, &mut temps);
+                self.emit_forward_defs(&moe_post_expert_forward(&model, d), key, gl, &mut temps);
+            } else {
+                self.emit_forward_defs(
+                    &scale_workspaces(mlp_sublayer_forward(&model, d), gl),
+                    key,
+                    gl,
+                    &mut temps,
+                );
+            }
+            self.emit_forward_defs(&[layer_output(&model, d)], key, gl, &mut temps);
+
+            for t in temps {
+                self.free(t);
+            }
+            if let Some(g) = gather {
+                self.free(g);
+            }
+            self.exit(m);
+        }
+
+        if self.has_head(chunk) {
+            self.head_forward(key);
+        }
+
+        // Offload: saved static activations are copied to host during the
+        // phase; their device memory is released at phase end.
+        if self.offload_on() {
+            if let Some(layers) = self.saved.remove(&key) {
+                let mut kept: BTreeMap<LayerKey, Vec<SavedEntry>> = BTreeMap::new();
+                for (layer, entries) in layers {
+                    for e in entries {
+                        if e.dynamic {
+                            kept.entry(layer).or_default().push(e);
+                        } else {
+                            self.free(e.id);
+                            self.offloaded
+                                .entry(key)
+                                .or_default()
+                                .entry(layer)
+                                .or_default()
+                                .push((e.size, e.dynamic));
+                        }
+                    }
+                }
+                if !kept.is_empty() {
+                    self.saved.insert(key, kept);
+                }
+            }
+        }
+    }
+
+    /// Runs the routed experts of one MoE layer in forward.
+    fn expert_forward(&mut self, mb: u32, gl: u32, key: MbChunk, temps: &mut Vec<TensorId>) {
+        let model = self.job.model.clone();
+        let moe = model.moe.expect("moe model");
+        let ep = self.job.parallel.ep;
+        let local = moe.num_experts / ep;
+        let tokens = self.dims.tokens;
+        let counts = self
+            .routing
+            .entry((mb, gl))
+            .or_insert_with(|| {
+                // Routing decided at runtime per microbatch.
+                let mut r = self.router.clone();
+                let c = r.route(tokens, &moe, ep, local);
+                self.router = r;
+                c
+            })
+            .clone();
+
+        let name = format!("layers.{gl}.experts");
+        let m = self.enter(&name);
+        for &tok in &counts {
+            for (_, sz) in expert_dynamic_tensors(&model, tok) {
+                if self.recompute_on() {
+                    let id = self.alloc(sz, true, TensorCategory::Transient);
+                    temps.push(id);
+                } else {
+                    let id = self.alloc(sz, true, TensorCategory::Scoped);
+                    self.saved
+                        .entry(key)
+                        .or_default()
+                        .entry(gl)
+                        .or_default()
+                        .push(SavedEntry {
+                            id,
+                            size: sz,
+                            dynamic: true,
+                        });
+                }
+            }
+        }
+        self.exit(m);
+    }
+
+    fn head_forward(&mut self, key: MbChunk) {
+        let model = self.job.model.clone();
+        let d = self.dims;
+        let m = self.enter("lm_head");
+        let chunk_tokens = (d.tokens / LOSS_CHUNKS).max(1);
+        let logits_sz = chunk_tokens * model.vocab * ACT_BYTES / d.tp;
+        let last_layer = self
+            .chunk_layers(self.job.parallel.vpp - 1)
+            .last()
+            .copied()
+            .unwrap_or(0);
+        for _ in 0..LOSS_CHUNKS {
+            let logits = self.alloc(logits_sz, false, TensorCategory::Transient);
+            let loss = self.alloc(chunk_tokens * FP32_BYTES, false, TensorCategory::Scoped);
+            self.saved
+                .entry(key)
+                .or_default()
+                .entry(last_layer)
+                .or_default()
+                .push(SavedEntry {
+                    id: loss,
+                    size: chunk_tokens * FP32_BYTES,
+                    dynamic: false,
+                });
+            self.free(logits);
+        }
+        self.exit(m);
+    }
+
+    fn backward_step(&mut self, mb: u32, chunk: u32) {
+        self.phase(PhaseKind::Backward { mb, chunk });
+        let key = (mb, chunk);
+        let model = self.job.model.clone();
+        let d = self.dims;
+
+        // Pipeline P2P: the gradient tensor received from the next stage.
+        // The +1 KiB header gives it an awkward size, as real comm buffers
+        // have; it lives for the whole backward phase.
+        let mut p2p = None;
+        if self.job.parallel.pp > 1 {
+            let sp = if d.sp { d.tp } else { 1 };
+            let sz = round512(d.tokens * model.hidden * ACT_BYTES / sp + 1024);
+            p2p = Some(self.alloc(sz, false, TensorCategory::Transient));
+        }
+
+        if self.has_head(chunk) {
+            // Re-materialize logits chunks for the loss backward.
+            let m = self.enter("lm_head");
+            let chunk_tokens = (d.tokens / LOSS_CHUNKS).max(1);
+            let logits_sz = chunk_tokens * model.vocab * ACT_BYTES / d.tp;
+            for _ in 0..LOSS_CHUNKS {
+                let g = self.alloc(logits_sz, false, TensorCategory::Transient);
+                self.free(g);
+            }
+            self.exit(m);
+        }
+
+        let layers: Vec<u32> = self.chunk_layers(chunk).into_iter().rev().collect();
+        for gl in layers {
+            let name = format!("layers.{gl}");
+            let m = self.enter(&name);
+
+            let mut gather = None;
+            if self.zero3() {
+                gather = Some(self.alloc(
+                    self.layer_param_bytes(),
+                    false,
+                    TensorCategory::Transient,
+                ));
+            }
+
+            // Offload: fetch this layer's activations back just in time.
+            if self.offload_on() {
+                if let Some(layers_map) = self.offloaded.get_mut(&key) {
+                    if let Some(entries) = layers_map.remove(&gl) {
+                        for (size, dynamic) in entries {
+                            let id = self.alloc(size, dynamic, TensorCategory::Transient);
+                            self.saved
+                                .entry(key)
+                                .or_default()
+                                .entry(gl)
+                                .or_default()
+                                .push(SavedEntry { id, size, dynamic });
+                        }
+                    }
+                }
+            }
+
+            // Recompute: re-run the layer forward as temporaries.
+            let mut temps = Vec::new();
+            if self.recompute_on() {
+                self.emit_as_temps(
+                    &scale_workspaces(attention_sublayer_forward(&model, d), gl),
+                    &mut temps,
+                );
+                if model.is_moe() {
+                    self.emit_as_temps(
+                        &scale_workspaces(moe_pre_expert_forward(&model, d), gl),
+                        &mut temps,
+                    );
+                    self.expert_backward_recompute(mb, gl, &mut temps);
+                    self.emit_as_temps(&moe_post_expert_forward(&model, d), &mut temps);
+                } else {
+                    self.emit_as_temps(
+                        &scale_workspaces(mlp_sublayer_forward(&model, d), gl),
+                        &mut temps,
+                    );
+                }
+            }
+
+            // Gradient chain through the layer.
+            let grad_sizes: Vec<u64> = scale_workspaces(dense_layer_backward_temps(&model, d), gl)
+                .iter()
+                .map(|t| t.size)
+                .collect();
+            self.emit_grad_chain(&grad_sizes, false);
+
+            // MoE: expert gradient chains (dynamic sizes) + free routed
+            // activations saved by the forward pass.
+            if model.is_moe() && !self.recompute_on() {
+                self.expert_backward(mb, gl, key);
+            }
+
+            // Free recomputed temporaries.
+            for t in temps {
+                self.free(t);
+            }
+
+            // Release this layer's saved activations in reverse order.
+            if let Some(layers_map) = self.saved.get_mut(&key) {
+                if let Some(mut entries) = layers_map.remove(&gl) {
+                    entries.reverse();
+                    for e in entries {
+                        self.free(e.id);
+                    }
+                }
+            }
+            if let Some(g) = gather {
+                self.free(g);
+            }
+            self.exit(m);
+        }
+        if let Some(b) = p2p {
+            self.free(b);
+        }
+        // Drop empty bookkeeping.
+        if self.saved.get(&key).is_some_and(|m| m.is_empty()) {
+            self.saved.remove(&key);
+        }
+        if self.offloaded.get(&key).is_some_and(|m| m.is_empty()) {
+            self.offloaded.remove(&key);
+        }
+    }
+
+    /// Expert re-execution inside a recomputed backward: the routing of the
+    /// forward pass is reproduced exactly (same inputs -> same routing).
+    fn expert_backward_recompute(&mut self, mb: u32, gl: u32, temps: &mut Vec<TensorId>) {
+        let model = self.job.model.clone();
+        let counts = self
+            .routing
+            .get(&(mb, gl))
+            .cloned()
+            .unwrap_or_default();
+        let name = format!("layers.{gl}.experts");
+        let m = self.enter(&name);
+        for &tok in &counts {
+            for (_, sz) in expert_dynamic_tensors(&model, tok) {
+                let id = self.alloc(sz, true, TensorCategory::Transient);
+                temps.push(id);
+            }
+        }
+        self.exit(m);
+    }
+
+    /// Expert backward without recompute: gradient chains through each
+    /// expert, then free the forward's routed activations.
+    fn expert_backward(&mut self, mb: u32, gl: u32, key: MbChunk) {
+        let model = self.job.model.clone();
+        let counts = self
+            .routing
+            .get(&(mb, gl))
+            .cloned()
+            .unwrap_or_default();
+        let name = format!("layers.{gl}.experts");
+        let m = self.enter(&name);
+        for &tok in &counts {
+            let sizes: Vec<u64> = expert_dynamic_tensors(&model, tok)
+                .iter()
+                .map(|(_, s)| *s)
+                .collect();
+            self.emit_grad_chain(&sizes, true);
+        }
+        // Free the dynamic saved activations of this layer in reverse order.
+        if let Some(layers_map) = self.saved.get_mut(&key) {
+            if let Some(entries) = layers_map.get_mut(&gl) {
+                let dyn_entries: Vec<SavedEntry> =
+                    entries.iter().copied().filter(|e| e.dynamic).collect();
+                entries.retain(|e| !e.dynamic);
+                for e in dyn_entries.into_iter().rev() {
+                    self.free(e.id);
+                }
+            }
+        }
+        self.exit(m);
+    }
+
+    fn optimizer_step(&mut self) {
+        self.phase(PhaseKind::OptimizerStep);
+        let m = self.enter("optimizer");
+        let params = self.stage_param_elems;
+        let dp = self.job.parallel.dp as u64;
+        match self.job.optim.zero {
+            ZeroStage::None => {
+                // Gradient-norm scratch.
+                let ws = self.alloc(16 << 20, false, TensorCategory::Transient);
+                self.free(ws);
+            }
+            ZeroStage::DistributedOptimizer => {
+                // Reduce-scatter the fp32 grads to a shard, update, then
+                // all-gather updated bf16 params.
+                let rs = self.alloc(params * FP32_BYTES / dp, false, TensorCategory::Transient);
+                let ag = self.alloc(params * ACT_BYTES, false, TensorCategory::Transient);
+                self.free(rs);
+                self.free(ag);
+            }
+            ZeroStage::Zero3 => {
+                // Update happens on the (offloaded) CPU shard; only a small
+                // transfer staging buffer appears on the GPU.
+                let stage = self.alloc(
+                    (params * ACT_BYTES / dp).min(64 << 20).max(1 << 20),
+                    false,
+                    TensorCategory::Transient,
+                );
+                self.free(stage);
+            }
+        }
+        self.exit(m);
+    }
+
+    fn finish(self) -> Trace {
+        let job = self.job;
+        let meta = WorkloadMeta {
+            model: job.model.name.clone(),
+            config_label: job.label(),
+            world_size: job.parallel.world_size(),
+            flops_per_iter: flops::flops_per_iter_per_gpu(
+                &job.model,
+                &job.parallel,
+                job.mbs,
+                job.seq,
+                job.num_microbatches,
+            ),
+            bubble_fraction: bubble_fraction(
+                job.parallel.pp,
+                job.num_microbatches,
+                job.parallel.vpp,
+            ),
+            recompute_overhead: flops::recompute_overhead(&job.optim),
+            comm_fraction: flops::comm_fraction(&job.parallel, &job.optim),
+            iterations: job.iterations,
+        };
+        Trace {
+            events: self.events,
+            phases: self.phases,
+            modules: self.modules,
+            meta,
+        }
+    }
+}
+
+/// Convenience: returns the schedule the builder will follow (re-exported
+/// for inspection by examples and tests).
+pub fn job_schedule(job: &TrainJob) -> Vec<Step> {
+    schedule_interleaved(
+        job.parallel.pp,
+        job.stage_rank,
+        job.num_microbatches,
+        job.parallel.vpp,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use crate::parallel::{OptimConfig, ParallelConfig};
+
+    fn small_dense_job() -> TrainJob {
+        TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(2)
+        .with_seq(512)
+        .with_microbatches(8)
+        .with_iterations(2)
+    }
+
+    #[test]
+    fn dense_trace_is_well_formed() {
+        let t = small_dense_job().build_trace().unwrap();
+        let leaks = t.validate().expect("trace valid");
+        // Only persistent tensors survive the trace.
+        let persistent = t
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Alloc {
+                        category: TensorCategory::Persistent,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(leaks, persistent);
+    }
+
+    #[test]
+    fn iterations_have_identical_static_request_sequences() {
+        let t = small_dense_job().build_trace().unwrap();
+        let (s1, e1) = t.iteration_range(1).unwrap();
+        let (s2, e2) = t.iteration_range(2).unwrap();
+        let sizes = |r: std::ops::Range<usize>| -> Vec<u64> {
+            t.events[r]
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Alloc { size, .. } => Some(*size),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(sizes(s1..e1), sizes(s2..e2));
+    }
+
+    #[test]
+    fn moe_trace_has_dynamic_requests_that_vary() {
+        let job = TrainJob::new(
+            ModelSpec::qwen15_moe_a27b(),
+            ParallelConfig::new(1, 1, 8).with_ep(4),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(512)
+        .with_microbatches(2)
+        .with_iterations(2);
+        let t = job.build_trace().unwrap();
+        t.validate().unwrap();
+        let dyn_sizes = |iter: u32| -> Vec<u64> {
+            let (s, e) = t.iteration_range(iter).unwrap();
+            t.events[s..e]
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::Alloc {
+                        size, dynamic: true, ..
+                    } => Some(*size),
+                    _ => None,
+                })
+                .collect()
+        };
+        let d1 = dyn_sizes(1);
+        let d2 = dyn_sizes(2);
+        assert!(!d1.is_empty(), "MoE trace has dynamic requests");
+        assert_eq!(d1.len(), d2.len(), "same request structure");
+        assert_ne!(d1, d2, "sizes vary across iterations");
+    }
+
+    #[test]
+    fn recompute_reduces_peak_allocated() {
+        let base = small_dense_job();
+        let mut rec = base.clone();
+        rec.optim = OptimConfig::r();
+        let t_base = base.build_trace().unwrap();
+        let t_rec = rec.build_trace().unwrap();
+        assert!(
+            t_rec.peak_allocated() < t_base.peak_allocated(),
+            "recompute lowers theoretical memory: {} vs {}",
+            t_rec.peak_allocated(),
+            t_base.peak_allocated()
+        );
+    }
+
+    #[test]
+    fn vpp_raises_peak_allocated() {
+        let base = small_dense_job();
+        let mut vpp = base.clone();
+        vpp.parallel = ParallelConfig::new(1, 4, 1).with_vpp(2);
+        let t_base = base.build_trace().unwrap();
+        let t_vpp = vpp.build_trace().unwrap();
+        assert!(
+            t_vpp.peak_allocated() > t_base.peak_allocated(),
+            "VPP holds more in-flight activations"
+        );
+    }
+
+    #[test]
+    fn offload_trims_activation_lifetimes() {
+        let base = small_dense_job();
+        let mut off = base.clone();
+        off.optim.offload = OffloadMode::Activations;
+        let t_base = base.build_trace().unwrap();
+        let t_off = off.build_trace().unwrap();
+        t_off.validate().unwrap();
+        assert!(t_off.peak_allocated() < t_base.peak_allocated());
+    }
+
+    #[test]
+    fn spatial_regularity_few_distinct_sizes() {
+        let t = small_dense_job().build_trace().unwrap();
+        let sizes = t.distinct_sizes(512);
+        assert!(
+            sizes.len() <= 40,
+            "expected ~32 distinct sizes, got {}",
+            sizes.len()
+        );
+        assert!(sizes.len() >= 8, "got only {} sizes", sizes.len());
+    }
+
+    #[test]
+    fn request_counts_are_plausible() {
+        let t = small_dense_job().build_trace().unwrap();
+        let n = t.allocs_in_iteration(1);
+        assert!(n > 200, "iteration should have many requests, got {n}");
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected() {
+        let mut j = small_dense_job();
+        j.stage_rank = 9;
+        assert!(j.build_trace().is_err());
+        let mut j2 = small_dense_job();
+        j2.parallel = ParallelConfig::new(1, 4, 1).with_vpp(2);
+        j2.num_microbatches = 6; // not divisible by pp=4
+        assert!(j2.build_trace().is_err());
+    }
+}

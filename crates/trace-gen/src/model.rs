@@ -1,0 +1,310 @@
+//! Model architecture specifications for the paper's seven evaluation models.
+
+use serde::{Deserialize, Serialize};
+
+/// MLP flavour of a transformer block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MlpKind {
+    /// Two matrices (`h -> f -> h`) with GELU, as in GPT-2.
+    Gelu,
+    /// Three matrices (gate/up/down) with SiLU, as in Llama/Qwen.
+    SwiGlu,
+}
+
+/// Mixture-of-Experts configuration of a sparse model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoeSpec {
+    /// Total number of routed experts.
+    pub num_experts: u32,
+    /// Experts activated per token.
+    pub top_k: u32,
+    /// Intermediate (FFN) size of each routed expert.
+    pub expert_ffn: u64,
+    /// Intermediate size of the always-on shared expert (0 = none).
+    pub shared_ffn: u64,
+}
+
+/// Architecture of one evaluation model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name as used in the paper.
+    pub name: String,
+    /// Hidden dimension.
+    pub hidden: u64,
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// Key/value heads (== `heads` unless grouped-query attention).
+    pub kv_heads: u32,
+    /// Dense-MLP intermediate size (ignored for pure-MoE layers).
+    pub ffn: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Native training sequence length.
+    pub seq_len: u64,
+    /// MLP flavour.
+    pub mlp: MlpKind,
+    /// Whether input embedding and output head share weights.
+    pub tied_embeddings: bool,
+    /// Whether the model uses attention/residual dropout (GPT-2 does,
+    /// Llama/Qwen do not).
+    pub dropout: bool,
+    /// MoE configuration; `None` for dense models.
+    pub moe: Option<MoeSpec>,
+}
+
+impl ModelSpec {
+    /// Head dimension (`hidden / heads`).
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.heads as u64
+    }
+
+    /// Output dimension of the fused QKV projection.
+    pub fn qkv_out_dim(&self) -> u64 {
+        self.hidden + 2 * self.kv_heads as u64 * self.head_dim()
+    }
+
+    /// Returns `true` for Mixture-of-Experts models.
+    pub fn is_moe(&self) -> bool {
+        self.moe.is_some()
+    }
+
+    /// Parameter count of one transformer layer (attention + MLP + norms).
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden;
+        let attn = h * self.qkv_out_dim() + h * h;
+        let norms = 2 * h;
+        let mlp = match self.moe {
+            Some(moe) => {
+                let per_expert = match self.mlp {
+                    MlpKind::Gelu => 2 * h * moe.expert_ffn,
+                    MlpKind::SwiGlu => 3 * h * moe.expert_ffn,
+                };
+                let shared = match self.mlp {
+                    MlpKind::Gelu => 2 * h * moe.shared_ffn,
+                    MlpKind::SwiGlu => 3 * h * moe.shared_ffn,
+                };
+                let router = h * moe.num_experts as u64;
+                per_expert * moe.num_experts as u64 + shared + router
+            }
+            None => match self.mlp {
+                MlpKind::Gelu => 2 * h * self.ffn,
+                MlpKind::SwiGlu => 3 * h * self.ffn,
+            },
+        };
+        attn + norms + mlp
+    }
+
+    /// Total parameter count, including embeddings (and untied head).
+    pub fn total_params(&self) -> u64 {
+        let emb = self.vocab * self.hidden;
+        let head = if self.tied_embeddings { 0 } else { emb };
+        emb + head + self.params_per_layer() * self.layers as u64 + self.hidden
+    }
+
+    /// Active parameters per token for MoE models (dense models: all).
+    pub fn active_params(&self) -> u64 {
+        match self.moe {
+            None => self.total_params(),
+            Some(moe) => {
+                let h = self.hidden;
+                let per_expert = match self.mlp {
+                    MlpKind::Gelu => 2 * h * moe.expert_ffn,
+                    MlpKind::SwiGlu => 3 * h * moe.expert_ffn,
+                };
+                let inactive =
+                    per_expert * (moe.num_experts - moe.top_k) as u64 * self.layers as u64;
+                self.total_params() - inactive
+            }
+        }
+    }
+
+    // ----- presets -----
+
+    /// GPT-2 345 M (the paper's small dense model).
+    pub fn gpt2_345m() -> Self {
+        Self {
+            name: "GPT-2".into(),
+            hidden: 1024,
+            layers: 24,
+            heads: 16,
+            kv_heads: 16,
+            ffn: 4096,
+            vocab: 50257,
+            seq_len: 1024,
+            mlp: MlpKind::Gelu,
+            tied_embeddings: true,
+            dropout: true,
+            moe: None,
+        }
+    }
+
+    /// Llama2-7B.
+    pub fn llama2_7b() -> Self {
+        Self {
+            name: "Llama2-7B".into(),
+            hidden: 4096,
+            layers: 32,
+            heads: 32,
+            kv_heads: 32,
+            ffn: 11008,
+            vocab: 32000,
+            seq_len: 4096,
+            mlp: MlpKind::SwiGlu,
+            tied_embeddings: false,
+            dropout: false,
+            moe: None,
+        }
+    }
+
+    /// Qwen2.5-7B.
+    pub fn qwen25_7b() -> Self {
+        Self {
+            name: "Qwen2.5-7B".into(),
+            hidden: 3584,
+            layers: 28,
+            heads: 28,
+            kv_heads: 4,
+            ffn: 18944,
+            vocab: 152064,
+            seq_len: 4096,
+            mlp: MlpKind::SwiGlu,
+            tied_embeddings: false,
+            dropout: false,
+            moe: None,
+        }
+    }
+
+    /// Qwen2.5-14B.
+    pub fn qwen25_14b() -> Self {
+        Self {
+            name: "Qwen2.5-14B".into(),
+            hidden: 5120,
+            layers: 48,
+            heads: 40,
+            kv_heads: 8,
+            ffn: 13824,
+            vocab: 152064,
+            seq_len: 4096,
+            mlp: MlpKind::SwiGlu,
+            tied_embeddings: false,
+            dropout: false,
+            moe: None,
+        }
+    }
+
+    /// Qwen2.5-32B.
+    pub fn qwen25_32b() -> Self {
+        Self {
+            name: "Qwen2.5-32B".into(),
+            hidden: 5120,
+            layers: 64,
+            heads: 40,
+            kv_heads: 8,
+            ffn: 27648,
+            vocab: 152064,
+            seq_len: 4096,
+            mlp: MlpKind::SwiGlu,
+            tied_embeddings: false,
+            dropout: false,
+            moe: None,
+        }
+    }
+
+    /// Qwen2.5-72B.
+    pub fn qwen25_72b() -> Self {
+        Self {
+            name: "Qwen2.5-72B".into(),
+            hidden: 8192,
+            layers: 80,
+            heads: 64,
+            kv_heads: 8,
+            ffn: 29568,
+            vocab: 152064,
+            seq_len: 4096,
+            mlp: MlpKind::SwiGlu,
+            tied_embeddings: false,
+            dropout: false,
+            moe: None,
+        }
+    }
+
+    /// Qwen1.5-MoE-A2.7B (the paper's sparse model: 60 routed experts,
+    /// top-4, plus a shared expert; ~14 B total, ~2.7 B active).
+    pub fn qwen15_moe_a27b() -> Self {
+        Self {
+            name: "Qwen1.5-MoE-A2.7B".into(),
+            hidden: 2048,
+            layers: 24,
+            heads: 16,
+            kv_heads: 16,
+            ffn: 5632,
+            vocab: 151936,
+            seq_len: 4096,
+            mlp: MlpKind::SwiGlu,
+            tied_embeddings: false,
+            dropout: false,
+            moe: Some(MoeSpec {
+                num_experts: 60,
+                top_k: 4,
+                expert_ffn: 1408,
+                shared_ffn: 5632,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = (1u64 << 30) as f64;
+    fn params_b(spec: &ModelSpec) -> f64 {
+        spec.total_params() as f64 / 1e9
+    }
+
+    #[test]
+    fn gpt2_is_about_345m() {
+        let p = ModelSpec::gpt2_345m().total_params() as f64 / 1e6;
+        assert!((300.0..400.0).contains(&p), "got {p} M");
+    }
+
+    #[test]
+    fn llama2_is_about_7b() {
+        let p = params_b(&ModelSpec::llama2_7b());
+        assert!((6.0..7.5).contains(&p), "got {p} B");
+    }
+
+    #[test]
+    fn qwen_family_sizes_match_names() {
+        assert!((6.5..8.5).contains(&params_b(&ModelSpec::qwen25_7b())));
+        assert!((13.0..16.0).contains(&params_b(&ModelSpec::qwen25_14b())));
+        assert!((30.0..34.0).contains(&params_b(&ModelSpec::qwen25_32b())));
+        assert!((68.0..76.0).contains(&params_b(&ModelSpec::qwen25_72b())));
+    }
+
+    #[test]
+    fn qwen_moe_total_and_active() {
+        let m = ModelSpec::qwen15_moe_a27b();
+        let total = params_b(&m);
+        let active = m.active_params() as f64 / 1e9;
+        assert!((12.0..16.5).contains(&total), "total {total} B");
+        assert!((2.0..3.5).contains(&active), "active {active} B");
+    }
+
+    #[test]
+    fn weights_fit_expected_memory() {
+        // Llama2-7B bf16 weights ~ 12.6 GiB.
+        let bytes = ModelSpec::llama2_7b().total_params() * 2;
+        assert!((bytes as f64 / GB) < 14.0);
+    }
+
+    #[test]
+    fn gqa_shrinks_qkv() {
+        let q = ModelSpec::qwen25_14b();
+        assert!(q.qkv_out_dim() < 3 * q.hidden);
+        let l = ModelSpec::llama2_7b();
+        assert_eq!(l.qkv_out_dim(), 3 * l.hidden);
+    }
+}

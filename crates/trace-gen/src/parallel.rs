@@ -1,0 +1,249 @@
+//! Parallelism and training-optimization configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelSpec;
+
+/// Distributed-parallelism degrees of a training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+    /// Data-parallel degree.
+    pub dp: u32,
+    /// Expert-parallel degree (MoE only; must divide `num_experts`).
+    pub ep: u32,
+    /// Virtual-pipeline chunks per stage (1 = plain 1F1B).
+    pub vpp: u32,
+}
+
+impl ParallelConfig {
+    /// A single-GPU configuration.
+    pub fn single() -> Self {
+        Self {
+            tp: 1,
+            pp: 1,
+            dp: 1,
+            ep: 1,
+            vpp: 1,
+        }
+    }
+
+    /// Convenience constructor for dense jobs.
+    pub fn new(tp: u32, pp: u32, dp: u32) -> Self {
+        Self {
+            tp,
+            pp,
+            dp,
+            ep: 1,
+            vpp: 1,
+        }
+    }
+
+    /// Sets the virtual-pipeline chunk count.
+    pub fn with_vpp(mut self, vpp: u32) -> Self {
+        self.vpp = vpp;
+        self
+    }
+
+    /// Sets the expert-parallel degree.
+    pub fn with_ep(mut self, ep: u32) -> Self {
+        self.ep = ep;
+        self
+    }
+
+    /// Total number of GPUs.
+    pub fn world_size(&self) -> u32 {
+        self.tp * self.pp * self.dp
+    }
+
+    /// Validates the configuration against a model.
+    pub fn validate(&self, model: &ModelSpec) -> Result<(), String> {
+        if self.tp == 0 || self.pp == 0 || self.dp == 0 || self.ep == 0 || self.vpp == 0 {
+            return Err("all parallel degrees must be >= 1".into());
+        }
+        let chunks = self.pp * self.vpp;
+        if model.layers % chunks != 0 {
+            return Err(format!(
+                "{} layers not divisible by pp*vpp = {}",
+                model.layers, chunks
+            ));
+        }
+        if self.vpp > 1 && self.pp == 1 {
+            return Err("virtual pipeline requires pp > 1".into());
+        }
+        if model.heads % self.tp != 0 {
+            return Err(format!(
+                "{} heads not divisible by tp = {}",
+                model.heads, self.tp
+            ));
+        }
+        if let Some(moe) = model.moe {
+            if moe.num_experts % self.ep != 0 {
+                return Err(format!(
+                    "{} experts not divisible by ep = {}",
+                    moe.num_experts, self.ep
+                ));
+            }
+            if self.ep > self.dp * self.tp {
+                return Err("ep must divide into dp*tp ranks".into());
+            }
+        } else if self.ep != 1 {
+            return Err("ep > 1 requires an MoE model".into());
+        }
+        Ok(())
+    }
+
+    /// Layers held by each virtual-pipeline model chunk.
+    pub fn layers_per_chunk(&self, model: &ModelSpec) -> u32 {
+        model.layers / (self.pp * self.vpp)
+    }
+}
+
+/// Activation-recomputation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecomputeMode {
+    /// Store all activations for backward.
+    None,
+    /// Full recomputation: only layer-boundary checkpoints are stored; all
+    /// intra-layer activations are re-computed in the backward pass.
+    Full,
+}
+
+/// Tensor-offloading mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OffloadMode {
+    /// No offloading.
+    None,
+    /// Offload saved activations to host after the forward pass and fetch
+    /// them back just before the corresponding backward pass.
+    Activations,
+}
+
+/// ZeRO-style state partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZeroStage {
+    /// Replicated optimizer state.
+    None,
+    /// Megatron distributed optimizer (~ZeRO-1): optimizer states sharded
+    /// over DP; gradients reduce-scattered.
+    DistributedOptimizer,
+    /// ZeRO-3 (Colossal-AI flavour): parameters sharded too; each layer's
+    /// weights are all-gathered on demand in forward and backward.
+    Zero3,
+}
+
+/// Non-parallelism training optimizations applied to a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimConfig {
+    /// Activation recomputation.
+    pub recompute: RecomputeMode,
+    /// Tensor offloading.
+    pub offload: OffloadMode,
+    /// ZeRO state partitioning.
+    pub zero: ZeroStage,
+}
+
+impl OptimConfig {
+    /// No optimizations (the paper's "Naive"/"N" label).
+    pub fn naive() -> Self {
+        Self {
+            recompute: RecomputeMode::None,
+            offload: OffloadMode::None,
+            zero: ZeroStage::None,
+        }
+    }
+
+    /// Recomputation only ("R").
+    pub fn r() -> Self {
+        Self {
+            recompute: RecomputeMode::Full,
+            ..Self::naive()
+        }
+    }
+
+    /// ZeRO (distributed optimizer) + recomputation ("ZR").
+    pub fn zr() -> Self {
+        Self {
+            recompute: RecomputeMode::Full,
+            zero: ZeroStage::DistributedOptimizer,
+            ..Self::naive()
+        }
+    }
+
+    /// ZeRO + offload + recomputation ("ZOR").
+    pub fn zor() -> Self {
+        Self {
+            recompute: RecomputeMode::Full,
+            offload: OffloadMode::Activations,
+            zero: ZeroStage::DistributedOptimizer,
+        }
+    }
+
+    /// Short label following the paper's naming (the "V" for virtual
+    /// pipeline comes from [`ParallelConfig::vpp`], so it is passed in).
+    pub fn label(&self, vpp_on: bool) -> String {
+        let mut s = String::new();
+        if self.zero != ZeroStage::None {
+            s.push('Z');
+        }
+        if self.offload != OffloadMode::None {
+            s.push('O');
+        }
+        if vpp_on {
+            s.push('V');
+        }
+        if self.recompute != RecomputeMode::None {
+            s.push('R');
+        }
+        if s.is_empty() {
+            s.push('N');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_size_multiplies_degrees() {
+        let p = ParallelConfig::new(2, 4, 2);
+        assert_eq!(p.world_size(), 16);
+    }
+
+    #[test]
+    fn validate_checks_divisibility() {
+        let m = ModelSpec::llama2_7b(); // 32 layers
+        assert!(ParallelConfig::new(1, 8, 1).validate(&m).is_ok());
+        assert!(ParallelConfig::new(1, 8, 1).with_vpp(2).validate(&m).is_ok());
+        assert!(ParallelConfig::new(1, 8, 1).with_vpp(3).validate(&m).is_err());
+        assert!(ParallelConfig::new(3, 1, 1).validate(&m).is_err(), "tp=3");
+        assert!(ParallelConfig::new(1, 1, 1).with_vpp(2).validate(&m).is_err());
+    }
+
+    #[test]
+    fn validate_checks_moe_experts() {
+        let m = ModelSpec::qwen15_moe_a27b(); // 60 experts
+        let ok = ParallelConfig::new(1, 1, 8).with_ep(4);
+        assert!(ok.validate(&m).is_ok());
+        let bad = ParallelConfig::new(1, 1, 8).with_ep(8);
+        assert!(bad.validate(&m).is_err());
+        // ep on a dense model is rejected.
+        let dense = ModelSpec::llama2_7b();
+        assert!(ParallelConfig::new(1, 1, 8).with_ep(4).validate(&dense).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(OptimConfig::naive().label(false), "N");
+        assert_eq!(OptimConfig::r().label(false), "R");
+        assert_eq!(OptimConfig::naive().label(true), "V");
+        assert_eq!(OptimConfig::r().label(true), "VR");
+        assert_eq!(OptimConfig::zr().label(false), "ZR");
+        assert_eq!(OptimConfig::zor().label(false), "ZOR");
+    }
+}

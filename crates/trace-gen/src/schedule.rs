@@ -1,0 +1,285 @@
+//! Pipeline-parallel execution schedules.
+//!
+//! Generates the per-stage sequence of forward/backward steps for
+//! PipeDream-1F1B and Megatron's interleaved virtual-pipeline schedule. The
+//! schedule determines activation lifetimes: how many microbatches are
+//! in flight (and therefore how many activation sets coexist) at any moment.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of one pipeline step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// Forward computation of a microbatch on a model chunk.
+    Forward,
+    /// Backward computation of a microbatch on a model chunk.
+    Backward,
+}
+
+/// One step of the per-stage schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// Forward or backward.
+    pub kind: StepKind,
+    /// Microbatch index, `0..num_microbatches`.
+    pub mb: u32,
+    /// Virtual-pipeline model-chunk index on this stage (0 if VPP off).
+    pub chunk: u32,
+}
+
+impl Step {
+    fn f(mb: u32, chunk: u32) -> Self {
+        Step {
+            kind: StepKind::Forward,
+            mb,
+            chunk,
+        }
+    }
+
+    fn b(mb: u32, chunk: u32) -> Self {
+        Step {
+            kind: StepKind::Backward,
+            mb,
+            chunk,
+        }
+    }
+}
+
+/// PipeDream-1F1B schedule for stage `rank` of a `pp`-deep pipeline running
+/// `m` microbatches.
+///
+/// Warmup runs `min(pp - rank - 1, m)` forwards, the steady state alternates
+/// one-forward-one-backward, and cooldown drains the remaining backwards.
+/// With `pp == 1` this degenerates to F,B,F,B,… per microbatch.
+pub fn schedule_1f1b(pp: u32, rank: u32, m: u32) -> Vec<Step> {
+    assert!(rank < pp, "rank {rank} out of range for pp={pp}");
+    let warmup = (pp - rank - 1).min(m);
+    let remaining = m - warmup;
+    let mut steps = Vec::with_capacity(2 * m as usize);
+    for i in 0..warmup {
+        steps.push(Step::f(i, 0));
+    }
+    for j in 0..remaining {
+        steps.push(Step::f(warmup + j, 0));
+        steps.push(Step::b(j, 0));
+    }
+    for k in remaining..m {
+        steps.push(Step::b(k, 0));
+    }
+    steps
+}
+
+/// Megatron interleaved (virtual-pipeline) schedule for stage `rank` with
+/// `v` model chunks per stage and `m` microbatches.
+///
+/// Follows Megatron-LM's `get_forward_backward_func` ordering: virtual
+/// microbatches are processed in groups of `pp`, cycling through chunks; the
+/// warmup depth is `(pp - rank - 1) * 2 + (v - 1) * pp`. Requires
+/// `m % pp == 0` as in Megatron.
+pub fn schedule_interleaved(pp: u32, rank: u32, m: u32, v: u32) -> Vec<Step> {
+    assert!(rank < pp, "rank {rank} out of range for pp={pp}");
+    assert!(v >= 1);
+    if v == 1 {
+        return schedule_1f1b(pp, rank, m);
+    }
+    assert!(
+        m % pp == 0,
+        "interleaved schedule requires microbatches ({m}) divisible by pp ({pp})"
+    );
+    let total = m * v; // virtual microbatches
+    let group = pp * v;
+    let chunk_of = |virt: u32, forward: bool| -> u32 {
+        let in_group = virt % group;
+        let c = in_group / pp;
+        if forward {
+            c
+        } else {
+            v - 1 - c
+        }
+    };
+    let mb_of = |virt: u32| -> u32 { (virt / group) * pp + virt % pp };
+
+    let warmup = ((pp - rank - 1) * 2 + (v - 1) * pp).min(total);
+    let remaining = total - warmup;
+    let mut steps = Vec::with_capacity(2 * total as usize);
+    for i in 0..warmup {
+        steps.push(Step::f(mb_of(i), chunk_of(i, true)));
+    }
+    for j in 0..remaining {
+        let fwd = warmup + j;
+        steps.push(Step::f(mb_of(fwd), chunk_of(fwd, true)));
+        steps.push(Step::b(mb_of(j), chunk_of(j, false)));
+    }
+    for k in remaining..total {
+        steps.push(Step::b(mb_of(k), chunk_of(k, false)));
+    }
+    steps
+}
+
+/// Maximum number of simultaneously in-flight forward activations implied by
+/// a schedule (per chunk set), a direct driver of activation memory.
+pub fn max_in_flight(steps: &[Step]) -> u32 {
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for s in steps {
+        match s.kind {
+            StepKind::Forward => {
+                live += 1;
+                peak = peak.max(live);
+            }
+            StepKind::Backward => live -= 1,
+        }
+    }
+    peak.max(0) as u32
+}
+
+/// Pipeline-bubble fraction of the schedule: idle time over total time,
+/// assuming unit-time steps — `(pp-1)/(m + pp - 1)` for 1F1B and
+/// `(pp-1)/(m·v + pp - 1)` for the interleaved schedule.
+pub fn bubble_fraction(pp: u32, m: u32, v: u32) -> f64 {
+    let p = pp as f64;
+    let denom = m as f64 * v as f64 + p - 1.0;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (p - 1.0) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_kind(steps: &[Step], k: StepKind) -> usize {
+        steps.iter().filter(|s| s.kind == k).count()
+    }
+
+    #[test]
+    fn f1b1_counts_balance() {
+        for pp in [1, 2, 4, 8] {
+            for rank in 0..pp {
+                let s = schedule_1f1b(pp, rank, 16);
+                assert_eq!(count_kind(&s, StepKind::Forward), 16);
+                assert_eq!(count_kind(&s, StepKind::Backward), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn f1b1_backwards_follow_their_forwards() {
+        let s = schedule_1f1b(4, 0, 8);
+        // Every microbatch's backward must come after its forward.
+        for mb in 0..8 {
+            let fpos = s
+                .iter()
+                .position(|x| x.kind == StepKind::Forward && x.mb == mb)
+                .unwrap();
+            let bpos = s
+                .iter()
+                .position(|x| x.kind == StepKind::Backward && x.mb == mb)
+                .unwrap();
+            assert!(fpos < bpos, "mb {mb}");
+        }
+    }
+
+    #[test]
+    fn f1b1_in_flight_equals_pipeline_depth() {
+        let s0 = schedule_1f1b(4, 0, 8);
+        assert_eq!(max_in_flight(&s0), 4);
+        let s3 = schedule_1f1b(4, 3, 8);
+        assert_eq!(max_in_flight(&s3), 1);
+        let s_single = schedule_1f1b(1, 0, 8);
+        assert_eq!(max_in_flight(&s_single), 1);
+    }
+
+    #[test]
+    fn f1b1_single_stage_alternates() {
+        let s = schedule_1f1b(1, 0, 3);
+        assert_eq!(
+            s,
+            vec![
+                Step::f(0, 0),
+                Step::b(0, 0),
+                Step::f(1, 0),
+                Step::b(1, 0),
+                Step::f(2, 0),
+                Step::b(2, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_counts_balance_per_chunk() {
+        let pp = 2;
+        let v = 2;
+        let m = 4;
+        for rank in 0..pp {
+            let s = schedule_interleaved(pp, rank, m, v);
+            for chunk in 0..v {
+                for mb in 0..m {
+                    let f = s
+                        .iter()
+                        .filter(|x| {
+                            x.kind == StepKind::Forward && x.mb == mb && x.chunk == chunk
+                        })
+                        .count();
+                    let b = s
+                        .iter()
+                        .filter(|x| {
+                            x.kind == StepKind::Backward && x.mb == mb && x.chunk == chunk
+                        })
+                        .count();
+                    assert_eq!(f, 1, "rank {rank} chunk {chunk} mb {mb}");
+                    assert_eq!(b, 1, "rank {rank} chunk {chunk} mb {mb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_first_backward_is_last_chunk() {
+        let s = schedule_interleaved(2, 0, 4, 2);
+        let first_b = s.iter().find(|x| x.kind == StepKind::Backward).unwrap();
+        assert_eq!(first_b.chunk, 1, "backward starts at the deepest chunk");
+        assert_eq!(first_b.mb, 0);
+    }
+
+    #[test]
+    fn interleaved_holds_more_activations_than_1f1b() {
+        let plain = max_in_flight(&schedule_1f1b(4, 0, 8));
+        let inter = max_in_flight(&schedule_interleaved(4, 0, 8, 2));
+        assert!(
+            inter > plain,
+            "VPP should raise in-flight activations: {inter} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn interleaved_ordering_is_causal() {
+        // Backward of (mb, chunk) must come after its forward.
+        let s = schedule_interleaved(4, 1, 8, 2);
+        for mb in 0..8 {
+            for chunk in 0..2 {
+                let fpos = s
+                    .iter()
+                    .position(|x| x.kind == StepKind::Forward && x.mb == mb && x.chunk == chunk)
+                    .unwrap();
+                let bpos = s
+                    .iter()
+                    .position(|x| {
+                        x.kind == StepKind::Backward && x.mb == mb && x.chunk == chunk
+                    })
+                    .unwrap();
+                assert!(fpos < bpos, "mb {mb} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_shrinks_with_vpp() {
+        let b1 = bubble_fraction(8, 32, 1);
+        let b2 = bubble_fraction(8, 32, 2);
+        assert!(b2 < b1);
+        assert_eq!(bubble_fraction(1, 8, 1), 0.0);
+    }
+}

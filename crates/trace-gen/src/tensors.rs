@@ -1,0 +1,362 @@
+//! Per-layer tensor catalogues: the sizes and lifetimes of every tensor a
+//! transformer layer allocates during forward and backward computation.
+//!
+//! Sizes follow Megatron-LM's activation-memory accounting for bf16 training
+//! with flash attention (no `s²` score tensors are saved) and sequence
+//! parallelism when `tp > 1`. Because every layer of a model is identical,
+//! the catalogue repeats across layers — this is exactly the *spatial
+//! regularity* (~32 distinct sizes per configuration) the paper observes in
+//! Fig. 3.
+
+use crate::model::{MlpKind, ModelSpec};
+
+/// Bytes per element of the training dtype (bf16).
+pub const ACT_BYTES: u64 = 2;
+/// Bytes per element of fp32 buffers (softmax statistics, router logits).
+pub const FP32_BYTES: u64 = 4;
+
+/// Lifetime class of a catalogue tensor within its layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerTensorLife {
+    /// Saved for the backward pass (a *scoped* tensor). Under full
+    /// recomputation these become layer-local temporaries.
+    Saved,
+    /// The layer's output: the next layer's input and the recomputation
+    /// checkpoint. Always saved for backward, even under full recompute.
+    Checkpoint,
+    /// Operator temporary, freed before the layer finishes (a *transient*).
+    Temp,
+}
+
+/// One tensor in a layer's catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorDef {
+    /// Human-readable role, stable across layers.
+    pub name: &'static str,
+    /// Size in bytes.
+    pub size: u64,
+    /// Lifetime class.
+    pub life: LayerTensorLife,
+}
+
+impl TensorDef {
+    /// Creates a catalogue entry.
+    pub fn new(name: &'static str, size: u64, life: LayerTensorLife) -> Self {
+        TensorDef { name, size, life }
+    }
+}
+
+/// Shape parameters shared by all catalogue functions.
+#[derive(Debug, Clone, Copy)]
+pub struct ActDims {
+    /// Tokens per microbatch (`mbs * seq`).
+    pub tokens: u64,
+    /// Tensor-parallel degree.
+    pub tp: u64,
+    /// Whether sequence parallelism shards the full-hidden activations too
+    /// (Megatron enables it whenever `tp > 1`).
+    pub sp: bool,
+}
+
+impl ActDims {
+    /// Creates dims for a microbatch of `mbs` sequences of length `seq`
+    /// under `tp`-way tensor parallelism (sequence parallelism follows tp).
+    pub fn new(mbs: u32, seq: u64, tp: u32) -> Self {
+        ActDims {
+            tokens: mbs as u64 * seq,
+            tp: tp as u64,
+            sp: tp > 1,
+        }
+    }
+
+    /// Divisor applied to full-hidden activations (sequence parallelism).
+    fn sp_div(&self) -> u64 {
+        if self.sp {
+            self.tp
+        } else {
+            1
+        }
+    }
+}
+
+/// Forward-pass tensor catalogue of the attention sub-layer (input norm
+/// through the first residual add), in allocation order.
+pub fn attention_sublayer_forward(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> {
+    use LayerTensorLife::{Saved, Temp};
+    let t = d.tokens;
+    let h = model.hidden;
+    let qkv = model.qkv_out_dim();
+    let heads = model.heads as u64;
+    let tp = d.tp;
+    let sp = d.sp_div();
+
+    let mut v = Vec::with_capacity(10);
+    v.push(TensorDef::new("ln1_out", t * h * ACT_BYTES / sp, Saved));
+    v.push(TensorDef::new(
+        "qkv_gather_ws",
+        t * h * ACT_BYTES,
+        Temp, // all-gather workspace when SP is on; plain temp otherwise
+    ));
+    v.push(TensorDef::new("qkv_out", t * qkv * ACT_BYTES / tp, Saved));
+    v.push(TensorDef::new(
+        "softmax_lse",
+        t * heads * FP32_BYTES / tp,
+        Saved, // flash-attention statistics
+    ));
+    v.push(TensorDef::new("attn_ctx", t * h * ACT_BYTES / tp, Saved));
+    v.push(TensorDef::new("attn_out", t * h * ACT_BYTES / sp, Saved));
+    if model.dropout {
+        v.push(TensorDef::new("attn_mask", t * h / sp, Saved));
+    }
+    v.push(TensorDef::new("resid1", t * h * ACT_BYTES / sp, Saved));
+    v
+}
+
+/// Forward-pass tensor catalogue of the dense MLP sub-layer (post-attention
+/// norm through the MLP output), in allocation order.
+pub fn mlp_sublayer_forward(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> {
+    use LayerTensorLife::{Saved, Temp};
+    let t = d.tokens;
+    let h = model.hidden;
+    let f = model.ffn;
+    let tp = d.tp;
+    let sp = d.sp_div();
+
+    let mut v = Vec::with_capacity(8);
+    v.push(TensorDef::new("ln2_out", t * h * ACT_BYTES / sp, Saved));
+    match model.mlp {
+        MlpKind::Gelu => {
+            v.push(TensorDef::new("mlp_up", t * f * ACT_BYTES / tp, Saved));
+            v.push(TensorDef::new("gelu_out", t * f * ACT_BYTES / tp, Saved));
+        }
+        MlpKind::SwiGlu => {
+            v.push(TensorDef::new("mlp_gate", t * f * ACT_BYTES / tp, Saved));
+            v.push(TensorDef::new("mlp_up", t * f * ACT_BYTES / tp, Saved));
+            v.push(TensorDef::new("silu_mul", t * f * ACT_BYTES / tp, Saved));
+        }
+    }
+    v.push(TensorDef::new("mlp_ws", t * f * ACT_BYTES / tp, Temp));
+    v.push(TensorDef::new("mlp_down", t * h * ACT_BYTES / sp, Saved));
+    if model.dropout {
+        v.push(TensorDef::new("mlp_mask", t * h / sp, Saved));
+    }
+    v
+}
+
+/// The layer output tensor: the next layer's input and the recomputation
+/// checkpoint.
+pub fn layer_output(model: &ModelSpec, d: ActDims) -> TensorDef {
+    let sp = d.sp_div();
+    TensorDef::new(
+        "layer_out",
+        d.tokens * model.hidden * ACT_BYTES / sp,
+        LayerTensorLife::Checkpoint,
+    )
+}
+
+/// Forward-pass tensor catalogue of one dense transformer layer.
+///
+/// The returned list is in allocation order. The final entry is always the
+/// layer output ([`LayerTensorLife::Checkpoint`]).
+pub fn dense_layer_forward(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> {
+    let mut v = attention_sublayer_forward(model, d);
+    v.extend(mlp_sublayer_forward(model, d));
+    v.push(layer_output(model, d));
+    v
+}
+
+/// Backward-pass temporary (gradient) tensor sizes of one dense layer.
+///
+/// All are transients: each gradient workspace is freed once consumed by the
+/// preceding operator's backward.
+pub fn dense_layer_backward_temps(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> {
+    use LayerTensorLife::Temp;
+    let t = d.tokens;
+    let h = model.hidden;
+    let f = model.ffn;
+    let qkv = model.qkv_out_dim();
+    let tp = d.tp;
+    let sp = d.sp_div();
+    let mut v = vec![
+        TensorDef::new("bwd_ws", t * f * ACT_BYTES / tp, Temp),
+        TensorDef::new("grad_mlp_down", t * h * ACT_BYTES / sp, Temp),
+        TensorDef::new("grad_mlp_act", t * f * ACT_BYTES / tp, Temp),
+        TensorDef::new("grad_mlp_up", t * f * ACT_BYTES / tp, Temp),
+        TensorDef::new("grad_ln2", t * h * ACT_BYTES / sp, Temp),
+        TensorDef::new("grad_attn_out", t * h * ACT_BYTES / sp, Temp),
+        TensorDef::new("grad_attn_ctx", t * h * ACT_BYTES / tp, Temp),
+        TensorDef::new("grad_qkv", t * qkv * ACT_BYTES / tp, Temp),
+        TensorDef::new("grad_ln1", t * h * ACT_BYTES / sp, Temp),
+        TensorDef::new("grad_input", t * h * ACT_BYTES / sp, Temp),
+    ];
+    if model.mlp == MlpKind::SwiGlu {
+        v.insert(
+            2,
+            TensorDef::new("grad_mlp_gate", t * f * ACT_BYTES / tp, Temp),
+        );
+    }
+    v
+}
+
+/// Embedding forward: the output becomes layer 0's input (checkpoint).
+pub fn embedding_forward(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> {
+    use LayerTensorLife::{Checkpoint, Temp};
+    let t = d.tokens;
+    let h = model.hidden;
+    let sp = d.sp_div();
+    vec![
+        TensorDef::new("emb_gather_ws", t * h * ACT_BYTES, Temp),
+        TensorDef::new("emb_out", t * h * ACT_BYTES / sp, Checkpoint),
+    ]
+}
+
+/// Language-model head forward (last pipeline stage): logits and loss.
+pub fn head_forward(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> {
+    use LayerTensorLife::{Saved, Temp};
+    let t = d.tokens;
+    vec![
+        TensorDef::new(
+            "logits",
+            t * model.vocab * ACT_BYTES / d.tp,
+            Saved,
+        ),
+        TensorDef::new("logits_max", t * FP32_BYTES, Temp),
+        TensorDef::new("loss_per_token", t * FP32_BYTES, Saved),
+    ]
+}
+
+/// Weight tensors of one dense layer (bf16), in allocation order.
+/// `tp` shards the matrix weights; norm weights are replicated.
+pub fn dense_layer_weights(model: &ModelSpec, tp: u64) -> Vec<(&'static str, u64)> {
+    let h = model.hidden;
+    let f = model.ffn;
+    let qkv = model.qkv_out_dim();
+    let mut v = vec![
+        ("w_qkv", h * qkv * ACT_BYTES / tp),
+        ("w_attn_proj", h * h * ACT_BYTES / tp),
+        ("w_ln1", h * ACT_BYTES),
+        ("w_ln2", h * ACT_BYTES),
+    ];
+    match model.mlp {
+        MlpKind::Gelu => {
+            v.push(("w_mlp_up", h * f * ACT_BYTES / tp));
+            v.push(("w_mlp_down", h * f * ACT_BYTES / tp));
+        }
+        MlpKind::SwiGlu => {
+            v.push(("w_mlp_gate", h * f * ACT_BYTES / tp));
+            v.push(("w_mlp_up", h * f * ACT_BYTES / tp));
+            v.push(("w_mlp_down", h * f * ACT_BYTES / tp));
+        }
+    }
+    v
+}
+
+/// Total bytes of saved (scoped) activations per layer per microbatch,
+/// after applying recomputation if enabled. Used for calibration tests and
+/// the experiment-sizing helpers.
+pub fn saved_bytes_per_layer(model: &ModelSpec, d: ActDims, recompute: bool) -> u64 {
+    dense_layer_forward(model, d)
+        .iter()
+        .filter(|t| match t.life {
+            LayerTensorLife::Checkpoint => true,
+            LayerTensorLife::Saved => !recompute,
+            LayerTensorLife::Temp => false,
+        })
+        .map(|t| t.size)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_sizes_are_layer_invariant_and_few() {
+        let m = ModelSpec::llama2_7b();
+        let d = ActDims::new(4, 4096, 1);
+        let a = dense_layer_forward(&m, d);
+        let b = dense_layer_forward(&m, d);
+        assert_eq!(a, b, "identical layers produce identical catalogues");
+        let mut sizes: Vec<u64> = a.iter().map(|t| t.size).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert!(sizes.len() <= 8, "few distinct sizes: got {}", sizes.len());
+    }
+
+    #[test]
+    fn saved_bytes_match_megatron_ballpark() {
+        // Megatron's rule of thumb: ~34 bytes per token per hidden unit for
+        // bf16 without recompute (no sequence parallelism, flash attention).
+        let m = ModelSpec::llama2_7b();
+        let d = ActDims::new(1, 4096, 1);
+        let per_token = saved_bytes_per_layer(&m, d, false) as f64 / 4096.0;
+        let ratio = per_token / m.hidden as f64;
+        assert!(
+            (20.0..45.0).contains(&ratio),
+            "bytes/token/hidden = {ratio:.1}, expected ~34"
+        );
+    }
+
+    #[test]
+    fn recompute_keeps_only_checkpoint() {
+        let m = ModelSpec::llama2_7b();
+        let d = ActDims::new(4, 4096, 1);
+        let full = saved_bytes_per_layer(&m, d, false);
+        let ckpt = saved_bytes_per_layer(&m, d, true);
+        assert_eq!(ckpt, d.tokens * m.hidden * ACT_BYTES);
+        assert!(full > 10 * ckpt, "recompute saves >10x ({full} vs {ckpt})");
+    }
+
+    #[test]
+    fn tp_with_sp_shards_everything() {
+        let m = ModelSpec::llama2_7b();
+        let d1 = ActDims::new(4, 4096, 1);
+        let d4 = ActDims::new(4, 4096, 4);
+        let s1 = saved_bytes_per_layer(&m, d1, false);
+        let s4 = saved_bytes_per_layer(&m, d4, false);
+        let ratio = s1 as f64 / s4 as f64;
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "tp4+sp should shard ~4x, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn dropout_adds_masks_only_for_gpt2() {
+        let gpt = ModelSpec::gpt2_345m();
+        let llama = ModelSpec::llama2_7b();
+        let d = ActDims::new(1, 1024, 1);
+        let has_mask = |m: &ModelSpec| {
+            dense_layer_forward(m, d)
+                .iter()
+                .any(|t| t.name.ends_with("_mask"))
+        };
+        assert!(has_mask(&gpt));
+        assert!(!has_mask(&llama));
+    }
+
+    #[test]
+    fn weights_sum_to_params() {
+        let m = ModelSpec::llama2_7b();
+        let w: u64 = dense_layer_weights(&m, 1).iter().map(|(_, s)| s).sum();
+        assert_eq!(w, m.params_per_layer() * ACT_BYTES);
+    }
+
+    #[test]
+    fn backward_temps_are_all_transient() {
+        let m = ModelSpec::gpt2_345m();
+        let d = ActDims::new(8, 1024, 1);
+        for t in dense_layer_backward_temps(&m, d) {
+            assert_eq!(t.life, LayerTensorLife::Temp);
+        }
+    }
+
+    #[test]
+    fn head_logits_dominate() {
+        let m = ModelSpec::gpt2_345m();
+        let d = ActDims::new(8, 1024, 1);
+        let logits = head_forward(&m, d)[0].size;
+        assert!(logits > 100 * 1024 * 1024 / 128, "logits are large");
+        assert_eq!(logits, d.tokens * m.vocab * ACT_BYTES);
+    }
+}

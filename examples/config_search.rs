@@ -1,0 +1,52 @@
+//! Configuration search: the paper's Fig. 1(b) motivation — higher-
+//! throughput configurations need more memory, and fragmentation decides
+//! which of them actually fit. STAlloc unlocks configurations PyTorch
+//! cannot run.
+//!
+//! Run with: `cargo run --release --example config_search`
+
+use gpu_sim::DeviceSpec;
+use harness::{estimate, run, AllocatorKind};
+
+fn main() {
+    let spec = DeviceSpec::a800_80g();
+    println!("Llama2-7B configuration space on 8xA800 (paper Fig. 1b)\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10} {:>14}",
+        "config", "M_a GiB", "torch", "stalloc", "TFLOPS", "winner"
+    );
+    let mut best: Option<(f64, String, bool)> = None;
+    for (label, job) in harness::configs::fig1b_jobs() {
+        let trace = job.build_trace().unwrap();
+        let torch = run(&trace, &spec, AllocatorKind::Torch23);
+        let st = run(&trace, &spec, AllocatorKind::Stalloc);
+        let tput = estimate(&trace.meta, &spec, 0).tflops;
+        let torch_ok = !torch.report.oom;
+        let st_ok = !st.report.oom;
+        println!(
+            "{:<14} {:>10.2} {:>12} {:>12} {:>10.1} {:>14}",
+            label,
+            torch.report.peak_requested as f64 / (1u64 << 30) as f64,
+            if torch_ok { "ok" } else { "OOM" },
+            if st_ok { "ok" } else { "OOM" },
+            tput,
+            if st_ok && !torch_ok { "STAlloc-only" } else { "" },
+        );
+        if st_ok {
+            let better = best.as_ref().map_or(true, |(t, _, _)| tput > *t);
+            if better {
+                best = Some((tput, label.clone(), torch_ok));
+            }
+        }
+    }
+    if let Some((tput, label, torch_ok)) = best {
+        println!(
+            "\nbest feasible configuration: {label} at {tput:.1} TFLOPS{}",
+            if torch_ok {
+                ""
+            } else {
+                " — feasible ONLY with STAlloc"
+            }
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! MoE scenario: Qwen1.5-MoE-A2.7B with runtime-dynamic expert loads,
+//! showing the hybrid static/dynamic split and the value of Dynamic
+//! Reusable Space (the paper's Fig. 13 / Table 3 story).
+//!
+//! Run with: `cargo run --release --example moe_training`
+
+use gpu_sim::DeviceSpec;
+use harness::{run, AllocatorKind};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn main() {
+    let job = TrainJob::new(
+        ModelSpec::qwen15_moe_a27b(),
+        ParallelConfig::new(2, 2, 2).with_ep(4),
+        OptimConfig::r(),
+    )
+    .with_mbs(8)
+    .with_seq(2048)
+    .with_microbatches(8);
+    let trace = job.build_trace().unwrap();
+    let spec = DeviceSpec::a800_80g();
+
+    println!("Qwen1.5-MoE-A2.7B + recomputation, 8xA800 (TP2 PP2 EP4)\n");
+    for kind in [
+        AllocatorKind::Torch23,
+        AllocatorKind::StallocNoReuse,
+        AllocatorKind::Stalloc,
+    ] {
+        let r = run(&trace, &spec, kind);
+        println!(
+            "{:<18} reserved {:>6.2} GiB  efficiency {:>5.1}%",
+            r.report.allocator,
+            r.report.peak_reserved as f64 / (1u64 << 30) as f64,
+            r.report.efficiency() * 100.0
+        );
+        if let Some(c) = r.counters {
+            println!(
+                "    static planned {:>6}  dynamic reused {:>6}  dynamic fallback {:>6}  \
+                 fallback peak {:.2} GiB",
+                c.static_planned,
+                c.dynamic_reused,
+                c.dynamic_fallback,
+                c.fallback_bytes_peak as f64 / (1u64 << 30) as f64
+            );
+        }
+        if let Some(s) = r.plan_stats {
+            println!(
+                "    plan: {} static + {} dynamic requests, {} HomoLayer groups",
+                s.static_requests, s.dynamic_requests, s.homolayer_groups
+            );
+        }
+    }
+}

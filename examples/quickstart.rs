@@ -1,0 +1,49 @@
+//! Quickstart: profile a training job, synthesize a plan, and compare
+//! STAlloc against the PyTorch caching allocator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpu_sim::DeviceSpec;
+use harness::{run, AllocatorKind};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn main() {
+    // A GPT-2 job with recomputation on a 4-stage pipeline.
+    let job = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 2),
+        OptimConfig::r(),
+    )
+    .with_mbs(16)
+    .with_seq(1024)
+    .with_microbatches(8);
+
+    println!("building trace for {} ({})...", job.model.name, job.label());
+    let trace = job.build_trace().expect("valid job");
+    println!(
+        "  {} allocation requests per iteration, {} distinct sizes >512B",
+        trace.allocs_in_iteration(1),
+        trace.distinct_sizes(512).len()
+    );
+
+    let spec = DeviceSpec::a800_80g();
+    for kind in [AllocatorKind::Torch23, AllocatorKind::TorchEs, AllocatorKind::Stalloc] {
+        let r = run(&trace, &spec, kind);
+        println!(
+            "  {:<18} allocated {:>6.2} GiB  reserved {:>6.2} GiB  efficiency {:>5.1}%{}",
+            r.report.allocator,
+            r.report.peak_requested as f64 / (1u64 << 30) as f64,
+            r.report.peak_reserved as f64 / (1u64 << 30) as f64,
+            r.report.efficiency() * 100.0,
+            if r.report.oom { "  (OOM!)" } else { "" },
+        );
+        if let Some(stats) = r.plan_stats {
+            println!(
+                "      plan: pool {:.2} GiB, {} static requests, packing efficiency {:.3}",
+                stats.pool_size as f64 / (1u64 << 30) as f64,
+                stats.static_requests,
+                stats.packing_efficiency()
+            );
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! STAlloc reproduction root crate: re-exports for examples and integration tests.
+pub use allocators;
+pub use gpu_sim;
+pub use harness;
+pub use stalloc_core;
+pub use trace_gen;

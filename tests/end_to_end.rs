@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: profile → plan → replay for each model
+//! family, OOM behaviour, plan round-trips, and multi-iteration stability.
+
+use gpu_sim::DeviceSpec;
+use harness::{run, AllocatorKind};
+use stalloc_core::{profile_trace, synthesize, Plan, SynthConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn gpt2(optim: OptimConfig, vpp: bool) -> TrainJob {
+    let mut p = ParallelConfig::new(1, 4, 1);
+    if vpp {
+        p = p.with_vpp(2);
+    }
+    TrainJob::new(ModelSpec::gpt2_345m(), p, optim)
+        .with_mbs(2)
+        .with_seq(512)
+        .with_microbatches(8)
+        .with_iterations(3)
+}
+
+fn moe(optim: OptimConfig) -> TrainJob {
+    TrainJob::new(
+        ModelSpec::qwen15_moe_a27b(),
+        ParallelConfig::new(2, 2, 2).with_ep(4),
+        optim,
+    )
+    .with_mbs(1)
+    .with_seq(512)
+    .with_microbatches(4)
+    .with_iterations(3)
+}
+
+#[test]
+fn every_optimization_combo_plans_soundly() {
+    for (optim, vpp) in [
+        (OptimConfig::naive(), false),
+        (OptimConfig::r(), false),
+        (OptimConfig::naive(), true),
+        (OptimConfig::r(), true),
+        (OptimConfig::zr(), false),
+        (OptimConfig::zor(), false),
+    ] {
+        let trace = gpt2(optim, vpp).build_trace().unwrap();
+        let profile = profile_trace(&trace, 1).unwrap();
+        let plan = synthesize(&profile, &SynthConfig::default());
+        plan.validate()
+            .unwrap_or_else(|e| panic!("unsound plan for {optim:?} vpp={vpp}: {e}"));
+        assert!(plan.stats.packing_efficiency() > 0.85);
+    }
+}
+
+#[test]
+fn stalloc_never_stomps_across_the_whole_suite() {
+    // The replay oracle panics on overlapping live tensors; running the
+    // full lineup on dense + MoE jobs is the core soundness check.
+    let spec = DeviceSpec::test_device(64 << 30);
+    for trace in [
+        gpt2(OptimConfig::r(), false).build_trace().unwrap(),
+        gpt2(OptimConfig::naive(), true).build_trace().unwrap(),
+    ] {
+        for kind in [
+            AllocatorKind::Stalloc,
+            AllocatorKind::StallocNoReuse,
+            AllocatorKind::Torch23,
+            AllocatorKind::TorchEs,
+            AllocatorKind::GmLake(64 << 20),
+        ] {
+            let r = run(&trace, &spec, kind);
+            assert!(!r.report.oom, "{kind:?} unexpectedly OOMed");
+        }
+    }
+}
+
+#[test]
+fn moe_three_iterations_with_varying_loads() {
+    let spec = DeviceSpec::test_device(256 << 30);
+    let trace = moe(OptimConfig::naive()).build_trace().unwrap();
+    let r = run(&trace, &spec, AllocatorKind::Stalloc);
+    assert!(!r.report.oom);
+    let c = r.counters.unwrap();
+    // Iterations 2 and 3 route differently from the profiled iteration;
+    // the dynamic allocator must absorb that, not stomp.
+    assert!(c.dynamic_reused > 0);
+    assert_eq!(c.stomps_avoided, 0, "reusable-space windows held");
+    assert!(r.report.efficiency() > 0.80, "{}", r.report.efficiency());
+}
+
+#[test]
+fn moe_recompute_shrinks_dynamic_fallback() {
+    // Paper Fig. 13 / Table 3: with recomputation, dynamic requests do not
+    // overlap statics in time, so reuse absorbs more of them.
+    let spec = DeviceSpec::test_device(256 << 30);
+    let naive_trace = moe(OptimConfig::naive()).build_trace().unwrap();
+    let r_trace = moe(OptimConfig::r()).build_trace().unwrap();
+    let naive_run = run(&naive_trace, &spec, AllocatorKind::Stalloc);
+    let r_run = run(&r_trace, &spec, AllocatorKind::Stalloc);
+    let nf = naive_run.counters.unwrap().fallback_bytes_peak;
+    let rf = r_run.counters.unwrap().fallback_bytes_peak;
+    assert!(
+        rf <= nf,
+        "recompute should not increase fallback pressure: {rf} vs {nf}"
+    );
+}
+
+#[test]
+fn plan_json_roundtrip_preserves_behavior() {
+    let trace = gpt2(OptimConfig::r(), false).build_trace().unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+    let plan = synthesize(&profile, &SynthConfig::default());
+    let restored = Plan::from_json(&plan.to_json()).unwrap();
+    assert_eq!(restored.pool_size, plan.pool_size);
+    assert_eq!(restored.init_allocs, plan.init_allocs);
+    assert_eq!(restored.iter_allocs, plan.iter_allocs);
+    assert_eq!(
+        restored.dynamic.instance_seq.len(),
+        plan.dynamic.instance_seq.len()
+    );
+    restored.validate().unwrap();
+}
+
+#[test]
+fn oom_is_deterministic_and_clean() {
+    let trace = gpt2(OptimConfig::naive(), false).build_trace().unwrap();
+    let tiny = DeviceSpec::test_device(1 << 30);
+    let a = run(&trace, &tiny, AllocatorKind::Torch23);
+    let b = run(&trace, &tiny, AllocatorKind::Torch23);
+    assert!(a.report.oom && b.report.oom);
+    assert_eq!(a.report.oom_detail, b.report.oom_detail, "deterministic");
+}
+
+#[test]
+fn stalloc_pool_matches_plan() {
+    let trace = gpt2(OptimConfig::r(), false).build_trace().unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+    let plan = synthesize(&profile, &SynthConfig::default());
+    let spec = DeviceSpec::test_device(64 << 30);
+    let r = run(&trace, &spec, AllocatorKind::Stalloc);
+    // Reserved = static pool + (small) fallback segments for the autotune
+    // probes; it must stay close to the plan's pool size.
+    assert!(r.report.peak_reserved >= plan.pool_size);
+    assert!(
+        r.report.peak_reserved < plan.pool_size + (1 << 30),
+        "fallback stayed small: reserved {} vs pool {}",
+        r.report.peak_reserved,
+        plan.pool_size
+    );
+}
+
+#[test]
+fn iterations_replay_identically_for_static_models() {
+    // Steady-state overhead and reserved memory must be stable from
+    // iteration 2 onward (no ratchet under a periodic workload).
+    let trace = gpt2(OptimConfig::r(), false).build_trace().unwrap();
+    let spec = DeviceSpec::test_device(64 << 30);
+    let r = run(&trace, &spec, AllocatorKind::Torch23);
+    assert!(!r.report.oom);
+    // Alloc and free ops balance except for persistent tensors.
+    let leaked = trace.validate().unwrap() as u64;
+    assert_eq!(r.report.alloc_ops, r.report.free_ops + leaked);
+}
