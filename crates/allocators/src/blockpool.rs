@@ -105,7 +105,7 @@ impl BlockPool {
     /// request itself is `>= limit` — PyTorch's `max_split_size` oversize
     /// rule).
     pub fn best_fit(&self, want: u64, oversize_limit: u64) -> Option<(u64, u64)> {
-        for &(size, addr) in self.free.range((want, 0)..) {
+        if let Some(&(size, addr)) = self.free.range((want, 0)..).next() {
             if want < oversize_limit && size >= oversize_limit {
                 // An oversize cached block must not serve small requests.
                 return None;

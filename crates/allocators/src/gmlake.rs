@@ -110,7 +110,7 @@ impl GmLakeAllocator {
             .filter(|&(_, size)| size >= component_min)
             .collect();
         // Largest blocks first minimizes the component count.
-        candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        candidates.sort_unstable_by_key(|&(_, size)| std::cmp::Reverse(size));
         let available: u64 = candidates.iter().map(|&(_, s)| s).sum();
         if available < rounded {
             return None;

@@ -12,10 +12,10 @@ fn main() {
     print!("{}", ex::fig4().render());
     println!();
     for t in ex::fig8() {
-        print!("{}\n", t.render());
+        println!("{}", t.render());
     }
     for t in ex::fig9() {
-        print!("{}\n", t.render());
+        println!("{}", t.render());
     }
     print!("{}", ex::fig10().render());
     println!();

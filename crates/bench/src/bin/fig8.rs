@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig8 (all panels). See DESIGN.md.
 fn main() {
     for t in harness::experiments::fig8() {
-        print!("{}\n", t.render());
+        println!("{}", t.render());
     }
 }

@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig9 (all panels). See DESIGN.md.
 fn main() {
     for t in harness::experiments::fig9() {
-        print!("{}\n", t.render());
+        println!("{}", t.render());
     }
 }

@@ -259,9 +259,9 @@ impl Vmm {
             .handles
             .get(&handle.0)
             .ok_or(DeviceError::InvalidHandle(handle.0))?;
-        if info.mapped_at.is_some() {
+        if let Some(va) = info.mapped_at {
             return Err(DeviceError::MappingConflict {
-                va: info.mapped_at.unwrap(),
+                va,
                 len: info.size,
             });
         }

@@ -141,7 +141,7 @@ pub fn fig4() -> Table {
         let trace = configs::gpt2_job(optim, false).build_trace().unwrap();
         let (s, e) = trace.iteration_range(1).unwrap();
         let mut bytes = [0u64; 3];
-        for ev in trace.events[..e].iter().take(e).skip(0) {
+        for ev in &trace.events[..e] {
             if let TraceEvent::Alloc { size, category, .. } = ev {
                 let idx = match category {
                     TensorCategory::Persistent => 0,

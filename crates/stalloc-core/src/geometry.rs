@@ -272,7 +272,7 @@ impl IntervalSet {
                 let pe = e.min(cend);
                 if pe > ps && pe - ps >= len {
                     let piece = pe - ps;
-                    if best.map_or(true, |(bl, _)| piece < bl) {
+                    if best.is_none_or(|(bl, _)| piece < bl) {
                         best = Some((piece, ps));
                     }
                 }
@@ -454,5 +454,146 @@ mod tests {
         s.insert(50, 10);
         assert_eq!(s.complement(100), vec![(0, 10), (20, 30), (60, 40)]);
         assert_eq!(IntervalSet::new().complement(5), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn rect_touching_edges_do_not_conflict() {
+        let a = Rect {
+            t0: 0,
+            t1: 10,
+            off: 0,
+            len: 100,
+        };
+        // Sharing a time edge ([0,10) then [10,20)) is not a conflict.
+        let time_adjacent = Rect {
+            t0: 10,
+            t1: 20,
+            off: 0,
+            len: 100,
+        };
+        // Sharing a space edge ([0,100) then [100,200)) is not a conflict.
+        let space_adjacent = Rect {
+            t0: 0,
+            t1: 10,
+            off: 100,
+            len: 100,
+        };
+        assert!(!a.conflicts(&time_adjacent));
+        assert!(!time_adjacent.conflicts(&a));
+        assert!(!a.conflicts(&space_adjacent));
+        assert!(!space_adjacent.conflicts(&a));
+        assert!(a.conflicts(&a), "a rect conflicts with itself");
+    }
+
+    #[test]
+    fn packer_no_overlap_invariant_under_adversarial_sequence() {
+        // Deterministic adversarial mix: identical windows, nested windows,
+        // shared edges, and size-1 slivers. Whatever first-fit decides, no
+        // two placements may overlap in both time and space.
+        let mut p = TimeSpacePacker::new();
+        let windows = [
+            (0u64, 10u64),
+            (0, 10),
+            (5, 6),
+            (9, 10),
+            (0, 1),
+            (3, 8),
+            (7, 12),
+            (10, 20),
+            (0, 20),
+            (19, 20),
+        ];
+        for (i, &(t0, t1)) in windows.iter().enumerate() {
+            let len = 1 + ((i as u64 * 37) % 64) * 8;
+            p.pack(t0, t1, len);
+        }
+        let rects = p.rects();
+        assert_eq!(rects.len(), windows.len());
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(
+                    !rects[i].conflicts(&rects[j]),
+                    "placements {i} and {j} overlap: {:?} vs {:?}",
+                    rects[i],
+                    rects[j]
+                );
+            }
+        }
+        // Height is tight: it equals the maximum extent of any placement.
+        let max_extent = rects.iter().map(|r| r.off + r.len).max().unwrap();
+        assert_eq!(p.height(), max_extent);
+    }
+
+    #[test]
+    fn first_fit_respects_limit_exactly() {
+        let mut p = TimeSpacePacker::new();
+        p.pack(0, 10, 100);
+        // A 50-byte rect in the same window needs [100, 150): allowed at
+        // limit 150, rejected at 149.
+        assert_eq!(p.find_first_fit(0, 10, 50, 150), Some(100));
+        assert_eq!(p.find_first_fit(0, 10, 50, 149), None);
+        // An empty packer still honours the limit from offset 0.
+        let empty = TimeSpacePacker::new();
+        assert_eq!(empty.find_first_fit(0, 1, 10, 10), Some(0));
+        assert_eq!(empty.find_first_fit(0, 1, 10, 9), None);
+    }
+
+    #[test]
+    fn overlaps_boundary_cases() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 10); // [10, 20)
+        assert!(!s.overlaps(0, 10), "range ending at interval start");
+        assert!(!s.overlaps(20, 10), "range starting at interval end");
+        assert!(s.overlaps(19, 1));
+        assert!(s.overlaps(0, 11));
+        assert!(s.overlaps(15, 100), "straddling the interval");
+        assert!(!s.overlaps(15, 0), "zero-length never overlaps");
+        assert!(s.contains(15, 0), "zero-length always contained");
+    }
+
+    #[test]
+    fn zero_length_operations_are_noops() {
+        let mut s = IntervalSet::full(100);
+        s.insert(200, 0);
+        s.remove(50, 0);
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(IntervalSet::full(0).total(), 0);
+        assert_eq!(IntervalSet::full(0).interval_count(), 0);
+        assert_eq!(IntervalSet::full(0).complement(10), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn remove_at_interval_edges_keeps_set_canonical() {
+        // Removing a prefix, then a suffix, leaves exactly the middle —
+        // with no empty intervals left behind.
+        let mut s = IntervalSet::full(100);
+        s.remove(0, 30);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(30, 70)]);
+        s.remove(80, 20);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(30, 50)]);
+        s.remove(30, 50);
+        assert_eq!(s.interval_count(), 0);
+        assert_eq!(s.total(), 0);
+        // Rebuilding from fragments coalesces to one canonical interval.
+        s.insert(30, 50);
+        s.insert(0, 30);
+        s.insert(80, 20);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 100)]);
+    }
+
+    #[test]
+    fn best_fit_within_ignores_disjoint_candidates() {
+        let mut a = IntervalSet::new();
+        a.insert(0, 50);
+        // Candidate window entirely outside the free set: no fit.
+        assert_eq!(a.best_fit_within(&[(100, 50)], 1), None);
+        // Empty candidate list: no fit.
+        assert_eq!(a.best_fit_within(&[], 1), None);
+        // Tie between equal pieces resolves to the first candidate scanned.
+        let mut b = IntervalSet::new();
+        b.insert(0, 10);
+        b.insert(20, 10);
+        assert_eq!(b.best_fit_within(&[(0, 10), (20, 10)], 10), Some(0));
     }
 }

@@ -135,21 +135,16 @@ pub fn assemble(plans: &[LocalPlan], reqs: &[RequestEvent], opts: GlobalOptions)
             // below). Thanks to member-granular recording, the query sees
             // intra-cohort idle space, not just whole-group gaps.
             if opts.gap_insertion {
-                for ri in 0..regions.len() {
-                    if regions[ri].size <= s {
+                for region in regions.iter_mut() {
+                    if region.size <= s {
                         continue;
                     }
-                    if let Some(off) = regions[ri].packer.find_first_fit(
-                        ts,
-                        te,
-                        s,
-                        regions[ri].size,
-                    ) {
-                        plan_bases[i] = regions[ri].base + off;
+                    if let Some(off) = region.packer.find_first_fit(ts, te, s, region.size) {
+                        plan_bases[i] = region.base + off;
                         for &(ri_req, rel) in &plan.members {
-                            request_offsets[ri_req] = regions[ri].base + off + rel;
+                            request_offsets[ri_req] = region.base + off + rel;
                         }
-                        record_members(&mut regions[ri], plan, reqs, off);
+                        record_members(region, plan, reqs, off);
                         gap_inserted += 1;
                         continue 'member;
                     }

@@ -205,15 +205,11 @@ impl StallocAllocator {
 
         // Find the first unused planned slot with matching size within the
         // lookahead window.
-        let mut found: Option<usize> = None;
         let limit = (cursor_start + MATCH_LOOKAHEAD).min(allocs.len());
-        for j in cursor_start..limit {
+        let found = (cursor_start..limit).find(|&j| {
             let used = !self.in_init && self.iter_used[j];
-            if !used && allocs[j].size == size {
-                found = Some(j);
-                break;
-            }
-        }
+            !used && allocs[j].size == size
+        });
 
         let Some(j) = found else {
             self.counters.static_fallback += 1;

@@ -146,7 +146,7 @@ impl TrainJob {
         if self.mbs == 0 || self.num_microbatches == 0 || self.iterations == 0 {
             return Err("mbs, microbatches and iterations must be >= 1".into());
         }
-        if self.parallel.vpp > 1 && self.num_microbatches % self.parallel.pp != 0 {
+        if self.parallel.vpp > 1 && !self.num_microbatches.is_multiple_of(self.parallel.pp) {
             return Err(format!(
                 "interleaved schedule needs microbatches ({}) divisible by pp ({})",
                 self.num_microbatches, self.parallel.pp
@@ -905,7 +905,7 @@ impl<'a> Builder<'a> {
                 // Update happens on the (offloaded) CPU shard; only a small
                 // transfer staging buffer appears on the GPU.
                 let stage = self.alloc(
-                    (params * ACT_BYTES / dp).min(64 << 20).max(1 << 20),
+                    (params * ACT_BYTES / dp).clamp(1 << 20, 64 << 20),
                     false,
                     TensorCategory::Transient,
                 );

@@ -65,7 +65,7 @@ impl ParallelConfig {
             return Err("all parallel degrees must be >= 1".into());
         }
         let chunks = self.pp * self.vpp;
-        if model.layers % chunks != 0 {
+        if !model.layers.is_multiple_of(chunks) {
             return Err(format!(
                 "{} layers not divisible by pp*vpp = {}",
                 model.layers, chunks
@@ -74,7 +74,7 @@ impl ParallelConfig {
         if self.vpp > 1 && self.pp == 1 {
             return Err("virtual pipeline requires pp > 1".into());
         }
-        if model.heads % self.tp != 0 {
+        if !model.heads.is_multiple_of(self.tp) {
             return Err(format!(
                 "{} heads not divisible by tp = {}",
                 model.heads, self.tp

@@ -83,7 +83,7 @@ pub fn schedule_interleaved(pp: u32, rank: u32, m: u32, v: u32) -> Vec<Step> {
         return schedule_1f1b(pp, rank, m);
     }
     assert!(
-        m % pp == 0,
+        m.is_multiple_of(pp),
         "interleaved schedule requires microbatches ({m}) divisible by pp ({pp})"
     );
     let total = m * v; // virtual microbatches

@@ -33,7 +33,7 @@ fn main() {
             if st_ok && !torch_ok { "STAlloc-only" } else { "" },
         );
         if st_ok {
-            let better = best.as_ref().map_or(true, |(t, _, _)| tput > *t);
+            let better = best.as_ref().is_none_or(|(t, _, _)| tput > *t);
             if better {
                 best = Some((tput, label.clone(), torch_ok));
             }

@@ -1,0 +1,116 @@
+//! Plan synthesis must be a pure function of its inputs: the same
+//! `ProfiledRequests` must yield byte-identical plans on every call.
+//! This guards future parallelisation of the planner — any nondeterminism
+//! (hash-map iteration order, unstable sorts on equal keys, thread
+//! scheduling) shows up here as a serialized-plan mismatch.
+
+use stalloc_core::{profile_trace, synthesize, SynthConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn synth_configs() -> Vec<SynthConfig> {
+    vec![
+        SynthConfig::default(),
+        SynthConfig {
+            enable_fusion: false,
+            ..SynthConfig::default()
+        },
+        SynthConfig {
+            enable_gap_insertion: false,
+            ..SynthConfig::default()
+        },
+        SynthConfig {
+            ascending_sizes: true,
+            ..SynthConfig::default()
+        },
+    ]
+}
+
+fn assert_deterministic(job: TrainJob, label: &str) {
+    let trace = job.build_trace().unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+    for (ci, config) in synth_configs().into_iter().enumerate() {
+        let first = synthesize(&profile, &config).to_json();
+        let second = synthesize(&profile, &config).to_json();
+        assert_eq!(
+            first, second,
+            "{label}: config #{ci} produced two different plans from one profile"
+        );
+    }
+}
+
+#[test]
+fn dense_plans_are_deterministic() {
+    assert_deterministic(
+        TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1),
+            OptimConfig::r(),
+        )
+        .with_mbs(2)
+        .with_seq(512)
+        .with_microbatches(8)
+        .with_iterations(2),
+        "gpt2/R",
+    );
+}
+
+#[test]
+fn vpp_plans_are_deterministic() {
+    assert_deterministic(
+        TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1).with_vpp(2),
+            OptimConfig::naive(),
+        )
+        .with_mbs(2)
+        .with_seq(512)
+        .with_microbatches(8)
+        .with_iterations(2),
+        "gpt2/naive/vpp",
+    );
+}
+
+#[test]
+fn moe_plans_are_deterministic() {
+    // MoE profiles include dynamic requests, exercising the Dynamic
+    // Reusable Space grouping as well as the static planner.
+    assert_deterministic(
+        TrainJob::new(
+            ModelSpec::qwen15_moe_a27b(),
+            ParallelConfig::new(2, 2, 2).with_ep(4),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(512)
+        .with_microbatches(4)
+        .with_iterations(2),
+        "moe/naive",
+    );
+}
+
+#[test]
+fn rebuilt_traces_profile_identically() {
+    // Same job spec (same seed) ⇒ same trace ⇒ same profile ⇒ same plan,
+    // end to end across two independent builds.
+    let job = || {
+        TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1),
+            OptimConfig::r(),
+        )
+        .with_mbs(2)
+        .with_seq(512)
+        .with_microbatches(8)
+        .with_iterations(2)
+        .with_seed(17)
+    };
+    let plan_a = {
+        let trace = job().build_trace().unwrap();
+        synthesize(&profile_trace(&trace, 1).unwrap(), &SynthConfig::default()).to_json()
+    };
+    let plan_b = {
+        let trace = job().build_trace().unwrap();
+        synthesize(&profile_trace(&trace, 1).unwrap(), &SynthConfig::default()).to_json()
+    };
+    assert_eq!(plan_a, plan_b, "two builds of the same seeded job diverged");
+}

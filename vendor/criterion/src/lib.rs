@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`, compiling the same bench surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`) and reporting simple
+//! mean-of-samples wall-clock timings instead of criterion's statistical
+//! analysis.
+//!
+//! Benches using this must set `harness = false`, exactly as with real
+//! criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark (split across samples).
+const MEASURE_BUDGET: Duration = Duration::from_millis(1500);
+const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.default_sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget_per_sample: Duration,
+    warmup: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        loop {
+            black_box(f());
+            iters_per_sample += 1;
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / iters_per_sample.max(1) as u32;
+        let n = if per_iter.is_zero() {
+            1000
+        } else {
+            (self.budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000)
+                as u64
+        };
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed() / n as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    if std::env::args().any(|a| a == "--list") {
+        println!("{name}: benchmark");
+        return;
+    }
+    // Respect `cargo bench -- <filter>` style filters loosely.
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    if !args.is_empty() && !args.iter().any(|a| name.contains(a.as_str())) {
+        return;
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        budget_per_sample: MEASURE_BUDGET / sample_size.max(1) as u32,
+        warmup: WARMUP_BUDGET / sample_size.max(1) as u32,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples: closure never called iter)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    let mean: Duration = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{name:<50} mean {:>12} median {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        b.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde`, providing the import surface this
+//! workspace uses (`serde::{Serialize, Deserialize}`, the derive macros,
+//! `serde::de::DeserializeOwned`) over a simple self-describing value
+//! model instead of serde's visitor architecture.
+//!
+//! The build environment has no crates.io access, so the real serde cannot
+//! be vendored from the registry. Types serialize into [`Value`] trees;
+//! `serde_json` (the sibling stub) renders/parses those trees as JSON.
+//! The format is compatible with what the real serde+serde_json would
+//! produce for the shapes used here (named structs as objects, newtypes
+//! transparent, unit enum variants as strings, data variants externally
+//! tagged).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error for the facade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de` for the paths user code imports.
+pub mod de {
+    pub use crate::Error;
+
+    /// Owned deserialization marker; blanket-implemented, as every
+    /// [`crate::Deserialize`] here is already owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// Support functions referenced by the derive macro expansion.
+pub mod helpers {
+    use super::{Deserialize, Error, Value};
+
+    static NULL: Value = Value::Null;
+
+    /// Looks up a struct field; a missing key deserializes as `Null`
+    /// (which succeeds for `Option<T>` fields).
+    pub fn from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Map(_) => T::from_value(v.get(name).unwrap_or(&NULL))
+                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            other => Err(Error::custom(format!(
+                "expected map with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches element `i` of a serialized tuple.
+    pub fn seq_item<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+        match v {
+            Value::Seq(items) => match items.get(i) {
+                Some(item) => T::from_value(item),
+                None => Err(Error::custom(format!("tuple too short: no element {i}"))),
+            },
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+
+    /// Unwraps an externally-tagged enum value: a one-entry map.
+    pub fn enum_entry(v: &Value) -> Option<(&str, &Value)> {
+        match v {
+            Value::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!(concat!("expected ", stringify!($t), ", got {:?}"), v))
+                })?;
+                <$t>::try_from(u).map_err(|_| Error::custom(format!("{u} out of range")))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!(concat!("expected ", stringify!($t), ", got {:?}"), v))
+                })?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!("{i} out of range")))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| {
+                    Error::custom(format!(concat!("expected ", stringify!($t), ", got {:?}"), v))
+                })
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($(helpers::seq_item::<$t>(v, $i)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Map keys must render to/parse from a string (JSON object keys).
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_numeric_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom(format!("bad map key {s:?}")))
+            }
+        }
+    )*};
+}
+impl_numeric_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

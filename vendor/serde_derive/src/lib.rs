@@ -1,0 +1,426 @@
+//! Derive macros for the workspace's offline `serde` facade.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! (and its `syn`/`quote` stack) cannot be fetched. This crate hand-parses
+//! the item token stream with nothing but `proc_macro` and emits impls of
+//! the facade's value-model traits (`serde::Serialize::to_value` /
+//! `serde::Deserialize::from_value`).
+//!
+//! Supported shapes — the full set used by this workspace:
+//! named structs, tuple structs (newtypes serialize transparently), unit
+//! structs, and enums with unit / tuple / struct variants (externally
+//! tagged). Generic type parameters and `#[serde(...)]` attributes are not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips one attribute (`#` already consumed callers pass the iterator at `#`).
+fn skip_attr(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    // `#` then `[...]` (outer attribute). `#![...]` does not occur on items
+    // handed to a derive.
+    if let Some(TokenTree::Group(_)) = it.peek() {
+        it.next();
+    }
+}
+
+/// Skips a visibility modifier if present (`pub`, `pub(crate)`, ...).
+fn skip_vis(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `name: Type,` fields out of a brace-group body, returning names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip field attributes (doc comments included).
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                skip_attr(&mut it);
+            } else {
+                break;
+            }
+        }
+        skip_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field {name}, got {other:?}")),
+        }
+        // Skip the type: commas nested in `<...>` (or in groups, which are
+        // single token trees here) do not terminate the field.
+        let mut angle = 0i32;
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level fields of a paren-group (tuple struct / tuple variant).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    arity += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                skip_attr(&mut it);
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let mut kind = VariantKind::Unit;
+        if let Some(TokenTree::Group(g)) = it.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    kind = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                    it.next();
+                }
+                Delimiter::Brace => {
+                    kind = VariantKind::Named(parse_named_fields(g.stream())?);
+                    it.next();
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant and the trailing comma.
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Shape, String> {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            None => return Err("no struct or enum found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut it),
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                "struct" => {
+                    let name = match it.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => return Err(format!("expected struct name, got {other:?}")),
+                    };
+                    return match it.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            Err(format!("generic struct {name} not supported by offline serde_derive"))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Ok(Shape::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Ok(Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                            Ok(Shape::UnitStruct { name })
+                        }
+                        other => Err(format!("unexpected token after struct {name}: {other:?}")),
+                    };
+                }
+                "enum" => {
+                    let name = match it.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => return Err(format!("expected enum name, got {other:?}")),
+                    };
+                    return match it.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            Err(format!("generic enum {name} not supported by offline serde_derive"))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Ok(Shape::Enum { name, variants: parse_variants(g.stream())? })
+                        }
+                        other => Err(format!("unexpected token after enum {name}: {other:?}")),
+                    };
+                }
+                _ => {}
+            },
+            Some(_) => {}
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_item(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Seq(::std::vec![{items}]) }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Seq(::std::vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_item(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::helpers::from_field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::helpers::seq_item(v, {i})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name}({items}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return ::std::result::Result::Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => return ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| format!("::serde::helpers::seq_item(__inner, {i})?,"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => return ::std::result::Result::Ok({name}::{vname}({items})),"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::helpers::from_field(__inner, {f:?})?,"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => return ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(__s) = v {{\n\
+                             match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         if let ::std::option::Option::Some((__tag, __inner)) = ::serde::helpers::enum_entry(v) {{\n\
+                             match __tag {{ {tagged_arms} _ => {{}} }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                             \"invalid value for enum {name}: {{:?}}\", v)))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
