@@ -279,9 +279,9 @@ impl CachingAllocator {
     /// (stitch-component consumption). Returns the granted size.
     pub(crate) fn alloc_block_at(&mut self, addr: u64, want: u64) -> u64 {
         let config = self.config;
-        let granted =
-            self.large_pool
-                .allocate(addr, want, Self::split_pred(&config, false, want));
+        let granted = self
+            .large_pool
+            .allocate(addr, want, Self::split_pred(&config, false, want));
         let region = self.large_pool.get(addr).expect("allocated").region;
         self.segments
             .get_mut(&region)

@@ -185,7 +185,11 @@ impl ExpandableAllocator {
     fn emergency_trim(&mut self, dev: &mut Device) {
         for small in [true, false] {
             // Split borrows: operate on one arena at a time.
-            let arena = if small { &mut self.small } else { &mut self.large };
+            let arena = if small {
+                &mut self.small
+            } else {
+                &mut self.large
+            };
             let frees: Vec<(u64, u64)> = arena
                 .pool
                 .iter_free()
@@ -383,7 +387,11 @@ mod tests {
         a.malloc(&mut d, &req(0, 8 << 20)).unwrap();
         let unmaps_before = d.stats().vmm.unmaps;
         a.free(&mut d, TensorId(0)).unwrap();
-        assert_eq!(d.stats().vmm.unmaps, unmaps_before, "no trim below threshold");
+        assert_eq!(
+            d.stats().vmm.unmaps,
+            unmaps_before,
+            "no trim below threshold"
+        );
         // Reuse takes no new mapping.
         let maps_before = d.stats().vmm.maps;
         a.malloc(&mut d, &req(1, 8 << 20)).unwrap();

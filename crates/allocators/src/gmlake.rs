@@ -197,8 +197,7 @@ impl GpuAllocator for GmLakeAllocator {
                 Ok(Allocation { addr, granted })
             }
             Err(e) if e.is_oom() && !small => {
-                if let Some(alloc) = self.try_stitch(dev, rounded, crate::caching::K_LARGE_BUFFER)
-                {
+                if let Some(alloc) = self.try_stitch(dev, rounded, crate::caching::K_LARGE_BUFFER) {
                     self.finish_stitch(req.tensor);
                     self.stats.on_alloc(alloc.granted);
                     self.sync_reserved();
@@ -258,9 +257,7 @@ mod tests {
 
     /// Builds the classic stitch scenario: two large free blocks separated
     /// by a live tensor, then one request larger than either block.
-    fn fragmented_setup(
-        frag_limit: u64,
-    ) -> (Device, GmLakeAllocator) {
+    fn fragmented_setup(frag_limit: u64) -> (Device, GmLakeAllocator) {
         let mut d = dev(2 << 30);
         let mut a = GmLakeAllocator::new(GmLakeConfig::with_frag_limit(frag_limit));
         // Three 256 MiB tensors in three exact-size segments.

@@ -8,8 +8,7 @@ use trace_gen::TensorId;
 
 fn bench_cache_hit(c: &mut Criterion) {
     c.bench_function("caching_hit_malloc_free", |b| {
-        let mut dev =
-            Device::with_latency(DeviceSpec::test_device(8 << 30), LatencyModel::zero());
+        let mut dev = Device::with_latency(DeviceSpec::test_device(8 << 30), LatencyModel::zero());
         let mut alloc = CachingAllocator::new(CachingConfig::torch_2_3());
         // Warm the cache.
         let warm = AllocRequest {
@@ -42,8 +41,7 @@ fn bench_churn(c: &mut Criterion) {
     // Interleaved sizes exercising split/coalesce on every operation.
     let sizes = [2 << 20, 7 << 20, 3 << 20, 12 << 20, 5 << 20];
     c.bench_function("caching_interleaved_churn", |b| {
-        let mut dev =
-            Device::with_latency(DeviceSpec::test_device(16 << 30), LatencyModel::zero());
+        let mut dev = Device::with_latency(DeviceSpec::test_device(16 << 30), LatencyModel::zero());
         let mut alloc = CachingAllocator::new(CachingConfig::torch_2_3());
         let mut id = 0u64;
         b.iter(|| {

@@ -1,0 +1,74 @@
+//! Criterion bench: binary plan codec vs JSON, and plan-cache hit cost.
+//!
+//! Prints the artifact sizes first (the codec's reason to exist), then
+//! times encode/decode against `to_json`/`from_json`, and finally
+//! measures a `PlanStore` cache hit against cold synthesis — the paper's
+//! amortize-the-planning story in one table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stalloc_core::{fingerprint_job, profile_trace, synthesize, Plan, SynthConfig};
+use stalloc_store::{decode_plan, encode_plan, synthesize_cached, PlanStore};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn gpt2_profile() -> stalloc_core::ProfiledRequests {
+    let job = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1),
+        OptimConfig::r(),
+    )
+    .with_mbs(2)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(1);
+    let trace = job.build_trace().unwrap();
+    profile_trace(&trace, 1).unwrap()
+}
+
+fn bench_codec_vs_json(c: &mut Criterion) {
+    let profile = gpt2_profile();
+    let plan = synthesize(&profile, &SynthConfig::default());
+    let bytes = encode_plan(&plan);
+    let json = plan.to_json();
+    println!(
+        "plan artifact sizes (GPT-2 345M): binary {} B, json {} B ({:.1}% of json)",
+        bytes.len(),
+        json.len(),
+        100.0 * bytes.len() as f64 / json.len() as f64
+    );
+
+    let mut group = c.benchmark_group("plan_codec");
+    group.sample_size(20);
+    group.bench_function("encode_bin", |b| b.iter(|| encode_plan(&plan)));
+    group.bench_function("decode_bin", |b| b.iter(|| decode_plan(&bytes).unwrap()));
+    group.bench_function("encode_json", |b| b.iter(|| plan.to_json()));
+    group.bench_function("decode_json", |b| {
+        b.iter(|| Plan::from_json(&json).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_cache_vs_synthesis(c: &mut Criterion) {
+    let profile = gpt2_profile();
+    let config = SynthConfig::default();
+    let dir = std::env::temp_dir().join(format!("stalloc-bench-cache-{}", std::process::id()));
+    let store = PlanStore::open(&dir).unwrap();
+    // Warm the store so the cached path measures a pure hit.
+    synthesize_cached(&profile, &config, &store).unwrap();
+
+    let mut group = c.benchmark_group("plan_cache");
+    group.sample_size(10);
+    group.bench_function("fingerprint", |b| {
+        b.iter(|| fingerprint_job(&profile, &config))
+    });
+    group.bench_function("synthesize_cold", |b| {
+        b.iter(|| synthesize(&profile, &config))
+    });
+    group.bench_function("synthesize_cached_hit", |b| {
+        b.iter(|| synthesize_cached(&profile, &config, &store).unwrap())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_codec_vs_json, bench_cache_vs_synthesis);
+criterion_main!(benches);

@@ -29,17 +29,13 @@ fn bench_replay(c: &mut Criterion) {
         AllocatorKind::GmLake(64 << 20),
         AllocatorKind::Stalloc,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &k| {
-                b.iter(|| {
-                    let r = run(&trace, &spec, k);
-                    assert!(!r.report.oom);
-                    r.report.peak_reserved
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let r = run(&trace, &spec, k);
+                assert!(!r.report.oom);
+                r.report.peak_reserved
+            })
+        });
     }
     group.finish();
 }

@@ -24,10 +24,8 @@ fn bench_runtime_iteration(c: &mut Criterion) {
 
     c.bench_function("stalloc_replay_one_iteration", |b| {
         b.iter(|| {
-            let mut dev = Device::with_latency(
-                DeviceSpec::test_device(32 << 30),
-                LatencyModel::zero(),
-            );
+            let mut dev =
+                Device::with_latency(DeviceSpec::test_device(32 << 30), LatencyModel::zero());
             let mut alloc = StallocAllocator::new(plan.clone(), RuntimeConfig::default());
             drive(&trace, &mut dev, &mut alloc);
             n
@@ -85,8 +83,7 @@ fn bench_single_static_hit(c: &mut Criterion) {
     let first = plan.iter_allocs.first().copied().expect("plan not empty");
 
     c.bench_function("stalloc_static_malloc_free", |b| {
-        let mut dev =
-            Device::with_latency(DeviceSpec::test_device(32 << 30), LatencyModel::zero());
+        let mut dev = Device::with_latency(DeviceSpec::test_device(32 << 30), LatencyModel::zero());
         let mut alloc = StallocAllocator::new(plan.clone(), RuntimeConfig::default());
         let mut id = 1_000_000u64;
         b.iter(|| {

@@ -70,14 +70,14 @@ pub struct LatencyModel {
 impl Default for LatencyModel {
     fn default() -> Self {
         Self {
-            cuda_malloc_ns: 50_000,  // 50 us
-            cuda_free_ns: 80_000,    // 80 us, implies a sync
-            cache_hit_ns: 600,       // 0.6 us host bookkeeping
-            vmm_create_ns: 150_000,  // 150 us
-            vmm_map_ns: 90_000,      // 90 us (map + set-access)
-            vmm_unmap_ns: 60_000,    // 60 us
-            vmm_release_ns: 80_000,  // 80 us
-            vmm_reserve_ns: 30_000,  // 30 us
+            cuda_malloc_ns: 50_000, // 50 us
+            cuda_free_ns: 80_000,   // 80 us, implies a sync
+            cache_hit_ns: 600,      // 0.6 us host bookkeeping
+            vmm_create_ns: 150_000, // 150 us
+            vmm_map_ns: 90_000,     // 90 us (map + set-access)
+            vmm_unmap_ns: 60_000,   // 60 us
+            vmm_release_ns: 80_000, // 80 us
+            vmm_reserve_ns: 30_000, // 30 us
         }
     }
 }

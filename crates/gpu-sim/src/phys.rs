@@ -152,13 +152,19 @@ impl PhysMemory {
     pub fn malloc_at(&mut self, addr: u64, size: u64) -> DeviceResult<DevicePtr> {
         let size = crate::align_up(size.max(1), self.align);
         // Find the free block containing `addr`.
-        let (&blk_addr, &blk_len) = self
-            .free_by_addr
-            .range(..=addr)
-            .next_back()
-            .ok_or(DeviceError::MappingConflict { va: addr, len: size })?;
+        let (&blk_addr, &blk_len) =
+            self.free_by_addr
+                .range(..=addr)
+                .next_back()
+                .ok_or(DeviceError::MappingConflict {
+                    va: addr,
+                    len: size,
+                })?;
         if addr + size > blk_addr + blk_len {
-            return Err(DeviceError::MappingConflict { va: addr, len: size });
+            return Err(DeviceError::MappingConflict {
+                va: addr,
+                len: size,
+            });
         }
         self.remove_free(blk_addr, blk_len);
         if addr > blk_addr {
@@ -277,7 +283,7 @@ mod tests {
         m.free(a).unwrap(); // free 512 @ 0
         m.free(b).unwrap(); // free 2048 @ 512... coalesces with a -> 2560 @ 0
         m.free(c).unwrap(); // coalesces -> 3072 @ 0
-        // Now frees coalesced into one 3072 block at 0 plus tail.
+                            // Now frees coalesced into one 3072 block at 0 plus tail.
         assert_eq!(m.free_block_count(), 2);
         let e = m.malloc(3000).unwrap();
         assert_eq!(e.addr(), 0, "tight 3072 block preferred over big tail");

@@ -180,12 +180,7 @@ impl Vmm {
             .copied()
             .ok_or(DeviceError::InvalidHandle(range.base.0))?;
         let end = range.base.0 + len;
-        if self
-            .mappings
-            .range(range.base.0..end)
-            .next()
-            .is_some()
-        {
+        if self.mappings.range(range.base.0..end).next().is_some() {
             return Err(DeviceError::MappingConflict {
                 va: range.base.0,
                 len,
@@ -213,23 +208,35 @@ impl Vmm {
             info.size
         };
         // Check containment in a reservation.
-        let (&res_base, &res_len) = self
-            .reservations
-            .range(..=va.0)
-            .next_back()
-            .ok_or(DeviceError::MappingConflict { va: va.0, len: size })?;
+        let (&res_base, &res_len) =
+            self.reservations
+                .range(..=va.0)
+                .next_back()
+                .ok_or(DeviceError::MappingConflict {
+                    va: va.0,
+                    len: size,
+                })?;
         if va.0 + size > res_base + res_len {
-            return Err(DeviceError::MappingConflict { va: va.0, len: size });
+            return Err(DeviceError::MappingConflict {
+                va: va.0,
+                len: size,
+            });
         }
         // Check overlap with previous/next mapping.
         if let Some((&prev, &(plen, _))) = self.mappings.range(..=va.0).next_back() {
             if prev + plen > va.0 {
-                return Err(DeviceError::MappingConflict { va: va.0, len: size });
+                return Err(DeviceError::MappingConflict {
+                    va: va.0,
+                    len: size,
+                });
             }
         }
         if let Some((&next, _)) = self.mappings.range(va.0..).next() {
             if va.0 + size > next {
-                return Err(DeviceError::MappingConflict { va: va.0, len: size });
+                return Err(DeviceError::MappingConflict {
+                    va: va.0,
+                    len: size,
+                });
             }
         }
         self.mappings.insert(va.0, (size, handle.0));
@@ -260,10 +267,7 @@ impl Vmm {
             .get(&handle.0)
             .ok_or(DeviceError::InvalidHandle(handle.0))?;
         if let Some(va) = info.mapped_at {
-            return Err(DeviceError::MappingConflict {
-                va,
-                len: info.size,
-            });
+            return Err(DeviceError::MappingConflict { va, len: info.size });
         }
         let size = info.size;
         self.handles.remove(&handle.0);
@@ -327,9 +331,7 @@ mod tests {
         v.mem_map(VirtAddr(r.base.0 + (2 << 20)), h2).unwrap();
         // Out-of-reservation map rejected: h1 would poke past the end.
         let h3 = v.mem_create(2 << 20);
-        assert!(v
-            .mem_map(VirtAddr(r.base.0 + (3 << 20)), h3)
-            .is_err());
+        assert!(v.mem_map(VirtAddr(r.base.0 + (3 << 20)), h3).is_err());
     }
 
     #[test]

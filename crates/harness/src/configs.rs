@@ -141,7 +141,10 @@ pub fn table1_jobs() -> Vec<(&'static str, TrainJob)> {
     vec![
         (
             "Original (VPP)",
-            base(ParallelConfig::new(2, 2, 4).with_vpp(3), OptimConfig::naive()),
+            base(
+                ParallelConfig::new(2, 2, 4).with_vpp(3),
+                OptimConfig::naive(),
+            ),
         ),
         (
             "Disable VPP",
@@ -153,7 +156,10 @@ pub fn table1_jobs() -> Vec<(&'static str, TrainJob)> {
         ),
         (
             "TP=4",
-            base(ParallelConfig::new(4, 2, 2).with_vpp(3), OptimConfig::naive()),
+            base(
+                ParallelConfig::new(4, 2, 2).with_vpp(3),
+                OptimConfig::naive(),
+            ),
         ),
     ]
 }

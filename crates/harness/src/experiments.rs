@@ -40,9 +40,17 @@ pub fn fig1b() -> Table {
             label,
             gib(torch.report.peak_requested),
             gib(torch.report.peak_reserved),
-            if torch.report.oom { "OOM".into() } else { "yes".into() },
+            if torch.report.oom {
+                "OOM".into()
+            } else {
+                "yes".into()
+            },
             gib(st.report.peak_reserved),
-            if st.report.oom { "OOM".into() } else { "yes".into() },
+            if st.report.oom {
+                "OOM".into()
+            } else {
+                "yes".into()
+            },
             tput,
         ]);
     }
@@ -107,7 +115,11 @@ pub fn fig3() -> Table {
             .iter()
             .take(5)
             .map(|&(c, s)| {
-                format!("{:.1} ({:.0}%)", s as f64 / (1 << 20) as f64, 100.0 * c as f64 / total as f64)
+                format!(
+                    "{:.1} ({:.0}%)",
+                    s as f64 / (1 << 20) as f64,
+                    100.0 * c as f64 / total as f64
+                )
             })
             .collect();
         t.push_row(vec![
@@ -208,15 +220,12 @@ fn lineup_table(title: &str, traces: Vec<(String, Trace)>, spec: &DeviceSpec) ->
 /// optimization combinations, for GPT-2 (a), Llama2-7B (b), Qwen-MoE (c).
 pub fn fig8() -> Vec<Table> {
     let mut out = Vec::new();
-    let build =
-        |f: &dyn Fn(OptimConfig, bool) -> trace_gen::TrainJob| -> Vec<(String, Trace)> {
-            configs::fig8_configs()
-                .into_iter()
-                .map(|(label, optim, vpp)| {
-                    (label.to_string(), f(optim, vpp).build_trace().unwrap())
-                })
-                .collect()
-        };
+    let build = |f: &dyn Fn(OptimConfig, bool) -> trace_gen::TrainJob| -> Vec<(String, Trace)> {
+        configs::fig8_configs()
+            .into_iter()
+            .map(|(label, optim, vpp)| (label.to_string(), f(optim, vpp).build_trace().unwrap()))
+            .collect()
+    };
     out.push(lineup_table(
         "Figure 8(a): GPT-2 memory efficiency",
         build(&configs::gpt2_job),
@@ -251,7 +260,11 @@ pub fn fig9() -> Vec<Table> {
         let torch = run(&trace, &mi210, AllocatorKind::Torch23);
         let st = run(&trace, &mi210, AllocatorKind::Stalloc);
         ta.push_row(vec![
-            if moe { "Qwen1.5-MoE".into() } else { "Llama2-7B".into() },
+            if moe {
+                "Qwen1.5-MoE".into()
+            } else {
+                "Llama2-7B".into()
+            },
             gpus.to_string(),
             efficiency_cell(&torch),
             efficiency_cell(&st),
@@ -386,7 +399,12 @@ pub fn fig12() -> Table {
 pub fn fig13() -> Table {
     let mut t = Table::new(
         "Figure 13: Qwen1.5-MoE breakdown - caching vs static-only vs full STAlloc",
-        &["config", "Caching Allocator", "STAlloc w/o reuse", "STAlloc"],
+        &[
+            "config",
+            "Caching Allocator",
+            "STAlloc w/o reuse",
+            "STAlloc",
+        ],
     );
     for (label, optim, vpp) in configs::fig8_configs() {
         let trace = configs::moe_job(optim, vpp).build_trace().unwrap();
@@ -409,7 +427,13 @@ pub fn table1() -> Table {
     let h200 = DeviceSpec::h200_141g();
     let mut t = Table::new(
         "Table 1: Qwen2.5-14B on 16 H200 GPUs",
-        &["config", "PyTorch", "PyTorch ES", "STAlloc", "TFLOPS (model)"],
+        &[
+            "config",
+            "PyTorch",
+            "PyTorch ES",
+            "STAlloc",
+            "TFLOPS (model)",
+        ],
     );
     for (label, job) in configs::table1_jobs() {
         let trace = job.build_trace().unwrap();
@@ -448,9 +472,15 @@ pub fn table2() -> Table {
     let jobs: Vec<(&str, trace_gen::TrainJob)> = vec![
         ("GPT-2-N", configs::gpt2_job(OptimConfig::naive(), false)),
         ("GPT-2-R", configs::gpt2_job(OptimConfig::r(), false)),
-        ("Llama2-7B-N", configs::llama2_job(OptimConfig::naive(), false)),
+        (
+            "Llama2-7B-N",
+            configs::llama2_job(OptimConfig::naive(), false),
+        ),
         ("Llama2-7B-R", configs::llama2_job(OptimConfig::r(), false)),
-        ("Qwen1.5-MoE-N", configs::moe_job(OptimConfig::naive(), false)),
+        (
+            "Qwen1.5-MoE-N",
+            configs::moe_job(OptimConfig::naive(), false),
+        ),
         ("Qwen1.5-MoE-R", configs::moe_job(OptimConfig::r(), false)),
     ];
     for (label, job) in jobs {
@@ -491,18 +521,12 @@ pub fn table3() -> Table {
         let trace = configs::moe_job(optim, vpp).build_trace().unwrap();
         let noreuse = run(&trace, &a800(), AllocatorKind::StallocNoReuse);
         let full = run(&trace, &a800(), AllocatorKind::Stalloc);
-        let static_bytes = full
-            .plan_stats
-            .map(|s| s.peak_static_demand)
-            .unwrap_or(0);
+        let static_bytes = full.plan_stats.map(|s| s.peak_static_demand).unwrap_or(0);
         t.push_row(vec![
             label.to_string(),
             gib(full.report.peak_requested),
             gib(static_bytes),
-            gib(noreuse
-                .counters
-                .map(|c| c.fallback_bytes_peak)
-                .unwrap_or(0)),
+            gib(noreuse.counters.map(|c| c.fallback_bytes_peak).unwrap_or(0)),
             gib(full.counters.map(|c| c.fallback_bytes_peak).unwrap_or(0)),
         ]);
     }
@@ -514,7 +538,13 @@ pub fn ablations() -> Table {
     use stalloc_core::{profile_trace, synthesize, SynthConfig};
     let mut t = Table::new(
         "Ablations: plan pool size under disabled mechanisms (GiB; lower is better)",
-        &["workload", "full", "no fusion", "no gap insertion", "ascending sizes"],
+        &[
+            "workload",
+            "full",
+            "no fusion",
+            "no gap insertion",
+            "ascending sizes",
+        ],
     );
     let jobs: Vec<(&str, trace_gen::TrainJob)> = vec![
         ("GPT-2-R", configs::gpt2_job(OptimConfig::r(), false)),

@@ -3,22 +3,26 @@
 //! Glues the workload generator, the simulated device, the baseline
 //! allocators and STAlloc together:
 //!
-//! * [`replay`] — drives an allocator with a trace, measures the paper's
+//! * [`mod@replay`] — drives an allocator with a trace, measures the paper's
 //!   metrics (peak allocated `M_a`, peak reserved `M_r`, efficiency,
 //!   OOM) and enforces correctness oracles (no overlapping live tensors);
 //! * [`throughput`] — converts workload metadata + allocator overhead into
 //!   iteration time and TFLOPS;
 //! * [`configs`] — the training jobs behind every table/figure;
 //! * [`experiments`] — one function per paper table/figure;
+//! * [`plan_cache`] — fingerprint-keyed plan reuse across runs (in-memory
+//!   memo plus an optional `STALLOC_PLAN_CACHE` disk store);
 //! * [`table`] — plain-text table rendering.
 
 pub mod configs;
 pub mod experiments;
+pub mod plan_cache;
 pub mod replay;
 pub mod runner;
 pub mod table;
 pub mod throughput;
 
+pub use plan_cache::{PlanCacheStats, PLAN_CACHE_ENV};
 pub use replay::{replay, ReplayOptions, ReplayReport};
 pub use runner::{build_allocator, run, run_lineup, AllocatorKind, RunResult};
 pub use table::{gib, pct, Table};

@@ -131,10 +131,7 @@ pub fn replay(
             TraceEvent::ModuleEnter(m) => alloc.module_enter(&mut dev, *m),
             TraceEvent::ModuleExit(m) => alloc.module_exit(&mut dev, *m),
             TraceEvent::Alloc {
-                id,
-                size,
-                dynamic,
-                ..
+                id, size, dynamic, ..
             } => {
                 let req = AllocRequest {
                     tensor: *id,
@@ -161,20 +158,18 @@ pub fn replay(
                     Err(e) => panic!("allocator bug during replay at event {i}: {e}"),
                 }
             }
-            TraceEvent::Free { id } => {
-                match alloc.free(&mut dev, *id) {
-                    Ok(_granted) => {
-                        free_ops += 1;
-                        if let Some((sz, addr)) = live_sizes.remove(id) {
-                            requested_live -= sz;
-                            if opts.check_overlaps {
-                                live_ranges.remove(&addr);
-                            }
+            TraceEvent::Free { id } => match alloc.free(&mut dev, *id) {
+                Ok(_granted) => {
+                    free_ops += 1;
+                    if let Some((sz, addr)) = live_sizes.remove(id) {
+                        requested_live -= sz;
+                        if opts.check_overlaps {
+                            live_ranges.remove(&addr);
                         }
                     }
-                    Err(e) => panic!("allocator bug on free at event {i}: {e}"),
                 }
-            }
+                Err(e) => panic!("allocator bug on free at event {i}: {e}"),
+            },
         }
     }
 
@@ -215,9 +210,7 @@ fn check_overlap(
         );
     }
     if let Some((&s, &(e, other))) = ranges.range(addr..end).next() {
-        panic!(
-            "STOMP: tensor {id:?} [{addr:#x}, {end:#x}) overlaps {other:?} [{s:#x}, {e:#x})"
-        );
+        panic!("STOMP: tensor {id:?} [{addr:#x}, {end:#x}) overlaps {other:?} [{s:#x}, {e:#x})");
     }
 }
 

@@ -6,7 +6,7 @@ use allocators::{
     GpuAllocator, NativeAllocator,
 };
 use gpu_sim::DeviceSpec;
-use stalloc_core::{profile_trace, synthesize, RuntimeConfig, StallocAllocator, SynthConfig};
+use stalloc_core::{profile_trace, RuntimeConfig, StallocAllocator, SynthConfig};
 use trace_gen::Trace;
 
 use crate::replay::{replay, ReplayOptions, ReplayReport};
@@ -94,7 +94,7 @@ pub fn build_allocator(kind: AllocatorKind, trace: &Trace) -> Box<dyn GpuAllocat
         AllocatorKind::Native => Box::new(NativeAllocator::new()),
         AllocatorKind::Stalloc | AllocatorKind::StallocNoReuse => {
             let profile = profile_trace(trace, 1).expect("trace has iteration 1");
-            let plan = synthesize(&profile, &SynthConfig::default());
+            let plan = crate::plan_cache::planned(&profile, &SynthConfig::default());
             let config = RuntimeConfig {
                 dynamic_reuse: kind == AllocatorKind::Stalloc,
             };
@@ -109,7 +109,9 @@ pub fn run(trace: &Trace, spec: &DeviceSpec, kind: AllocatorKind) -> RunResult {
     let (report, plan_stats, counters) = match kind {
         AllocatorKind::Stalloc | AllocatorKind::StallocNoReuse => {
             let profile = profile_trace(trace, 1).expect("trace has iteration 1");
-            let plan = synthesize(&profile, &SynthConfig::default());
+            // Lineups replay one trace through several STAlloc kinds; the
+            // fingerprint-keyed cache synthesizes the shared plan once.
+            let plan = crate::plan_cache::planned(&profile, &SynthConfig::default());
             let stats = plan.stats;
             let mut alloc = StallocAllocator::new(
                 plan,
@@ -142,11 +144,7 @@ pub fn run(trace: &Trace, spec: &DeviceSpec, kind: AllocatorKind) -> RunResult {
 
 /// Runs a lineup of allocators over one trace, skipping VMM-dependent
 /// allocators on platforms without VMM support.
-pub fn run_lineup(
-    trace: &Trace,
-    spec: &DeviceSpec,
-    kinds: &[AllocatorKind],
-) -> Vec<RunResult> {
+pub fn run_lineup(trace: &Trace, spec: &DeviceSpec, kinds: &[AllocatorKind]) -> Vec<RunResult> {
     kinds
         .iter()
         .filter(|k| spec.supports_vmm || !k.needs_vmm())

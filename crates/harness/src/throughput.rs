@@ -81,7 +81,11 @@ mod tests {
         let dev = DeviceSpec::a800_80g();
         let t = estimate(&m, &dev, 0);
         // Recompute + bubbles keep us below MFU * peak but in a sane band.
-        assert!(t.tflops > 30.0 && t.tflops < dev.peak_tflops, "{}", t.tflops);
+        assert!(
+            t.tflops > 30.0 && t.tflops < dev.peak_tflops,
+            "{}",
+            t.tflops
+        );
     }
 
     #[test]

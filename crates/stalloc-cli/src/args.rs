@@ -1,6 +1,72 @@
-//! Minimal flag parsing: `--key value` pairs and boolean `--flag`s.
+//! Flag parsing for the `stalloc` tool: `--key value`, `--key=value`,
+//! boolean `--flag`s, and `--help`/`-h` — validated against a per-command
+//! [`FlagSpec`] so unknown flags fail fast with a nearest-match
+//! suggestion instead of being silently misparsed.
 
 use std::collections::HashMap;
+
+/// The flags one subcommand accepts. `--help`/`-h` is always accepted and
+/// never needs declaring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlagSpec {
+    /// Flags that consume a value (`--key value` or `--key=value`).
+    pub value_flags: &'static [&'static str],
+    /// Boolean flags (`--flag`).
+    pub bool_flags: &'static [&'static str],
+}
+
+impl FlagSpec {
+    fn is_value(&self, key: &str) -> bool {
+        self.value_flags.contains(&key)
+    }
+
+    fn is_bool(&self, key: &str) -> bool {
+        self.bool_flags.contains(&key)
+    }
+
+    /// Nearest known flag by edit distance, if any is close enough to be
+    /// a plausible typo.
+    pub fn suggest(&self, key: &str) -> Option<&'static str> {
+        nearest(
+            key,
+            self.value_flags
+                .iter()
+                .chain(self.bool_flags.iter())
+                .copied()
+                .chain(std::iter::once("help")),
+        )
+    }
+}
+
+/// Nearest candidate to `key` by edit distance, if any is close enough to
+/// be a plausible typo (shared by flag and command suggestions).
+pub fn nearest<'a>(key: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let (best, dist) = candidates
+        .into_iter()
+        .map(|c| (c, edit_distance(key, c)))
+        .min_by_key(|&(c, d)| (d, c))?;
+    // A typo plausibly mangles up to ~a third of the word; anything
+    // further is more likely a different word entirely.
+    let budget = (key.len().max(best.len()) / 3).max(2);
+    (dist <= budget).then_some(best)
+}
+
+/// Levenshtein distance between two ASCII flag names.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
 
 /// Parsed command-line flags.
 #[derive(Debug, Default)]
@@ -10,22 +76,40 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `--key value` pairs; a `--key` followed by another `--…` (or
-    /// nothing) is a boolean flag.
-    pub fn parse(argv: &[String]) -> Result<Self, String> {
+    /// Parses `argv` against `spec`. Accepts `--key value` and
+    /// `--key=value` for value flags (the `=` form lets values that
+    /// themselves start with `--` through unambiguously), bare `--flag`
+    /// for booleans, and `--help`/`-h`.
+    pub fn parse(argv: &[String], spec: &FlagSpec) -> Result<Self, String> {
         let mut out = Args::default();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
-            let Some(key) = a.strip_prefix("--") else {
+            if a == "-h" || a == "--help" {
+                out.flags.push("help".into());
+                i += 1;
+                continue;
+            }
+            let Some(body) = a.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument '{a}'"));
             };
-            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                out.values.insert(key.to_string(), argv[i + 1].clone());
-                i += 2;
-            } else {
-                out.flags.push(key.to_string());
+            if let Some((key, value)) = body.split_once('=') {
+                if !spec.is_value(key) {
+                    return Err(unknown_flag(key, spec, spec.is_bool(key)));
+                }
+                out.values.insert(key.to_string(), value.to_string());
                 i += 1;
+            } else if spec.is_value(body) {
+                let Some(value) = argv.get(i + 1) else {
+                    return Err(format!("--{body} expects a value"));
+                };
+                out.values.insert(body.to_string(), value.clone());
+                i += 2;
+            } else if spec.is_bool(body) || body == "help" {
+                out.flags.push(body.to_string());
+                i += 1;
+            } else {
+                return Err(unknown_flag(body, spec, false));
             }
         }
         Ok(out)
@@ -55,11 +139,31 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// Whether `--help`/`-h` was given.
+    pub fn wants_help(&self) -> bool {
+        self.flag("help")
+    }
+}
+
+fn unknown_flag(key: &str, spec: &FlagSpec, is_bool_used_with_value: bool) -> String {
+    if is_bool_used_with_value {
+        return format!("--{key} is a boolean flag and takes no value");
+    }
+    match spec.suggest(key) {
+        Some(s) => format!("unknown flag '--{key}' (did you mean '--{s}'?)"),
+        None => format!("unknown flag '--{key}'"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const SPEC: FlagSpec = FlagSpec {
+        value_flags: &["model", "mbs", "seq", "input", "x"],
+        bool_flags: &["no-fusion"],
+    };
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(|x| x.to_string()).collect()
@@ -67,7 +171,7 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_flags() {
-        let a = Args::parse(&argv("--model gpt2 --no-fusion --mbs 8")).unwrap();
+        let a = Args::parse(&argv("--model gpt2 --no-fusion --mbs 8"), &SPEC).unwrap();
         assert_eq!(a.get("model"), Some("gpt2"));
         assert!(a.flag("no-fusion"));
         assert_eq!(a.num::<u32>("mbs", 1).unwrap(), 8);
@@ -75,19 +179,83 @@ mod tests {
     }
 
     #[test]
+    fn parses_equals_syntax() {
+        let a = Args::parse(&argv("--model=gpt2 --mbs=8"), &SPEC).unwrap();
+        assert_eq!(a.get("model"), Some("gpt2"));
+        assert_eq!(a.num::<u32>("mbs", 1).unwrap(), 8);
+        // `=` carries values that would otherwise parse as flags.
+        let a = Args::parse(&argv("--model=--weird--"), &SPEC).unwrap();
+        assert_eq!(a.get("model"), Some("--weird--"));
+        // Empty value and values containing '=' survive.
+        let a = Args::parse(&argv("--model= --x=a=b"), &SPEC).unwrap();
+        assert_eq!(a.get("model"), Some(""));
+        assert_eq!(a.get("x"), Some("a=b"));
+    }
+
+    #[test]
+    fn value_flags_consume_flag_like_values() {
+        // The spec says --model takes a value, so the next token is the
+        // value even though it starts with `--`.
+        let a = Args::parse(&argv("--model --no-fusion"), &SPEC).unwrap();
+        assert_eq!(a.get("model"), Some("--no-fusion"));
+        assert!(!a.flag("no-fusion"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv("--model"), &SPEC)
+            .unwrap_err()
+            .contains("expects a value"));
+    }
+
+    #[test]
     fn rejects_positional() {
-        assert!(Args::parse(&argv("trace.json")).is_err());
+        assert!(Args::parse(&argv("trace.json"), &SPEC).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_suggests_nearest() {
+        let err = Args::parse(&argv("--moderl gpt2"), &SPEC).unwrap_err();
+        assert!(err.contains("did you mean '--model'"), "{err}");
+        let err = Args::parse(&argv("--no-fuson"), &SPEC).unwrap_err();
+        assert!(err.contains("did you mean '--no-fusion'"), "{err}");
+        // Far-off garbage gets no suggestion.
+        let err = Args::parse(&argv("--zzzzqqqqq 1"), &SPEC).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn bool_flag_with_equals_is_an_error() {
+        let err = Args::parse(&argv("--no-fusion=yes"), &SPEC).unwrap_err();
+        assert!(err.contains("takes no value"), "{err}");
+    }
+
+    #[test]
+    fn help_is_always_known() {
+        for form in ["-h", "--help"] {
+            let a = Args::parse(&argv(form), &SPEC).unwrap();
+            assert!(a.wants_help());
+        }
     }
 
     #[test]
     fn require_reports_flag_name() {
-        let a = Args::parse(&argv("--x 1")).unwrap();
+        let a = Args::parse(&argv("--x 1"), &SPEC).unwrap();
         assert!(a.require("input").unwrap_err().contains("--input"));
     }
 
     #[test]
     fn bad_number_is_an_error() {
-        let a = Args::parse(&argv("--mbs abc")).unwrap();
+        let a = Args::parse(&argv("--mbs abc"), &SPEC).unwrap();
         assert!(a.num::<u32>("mbs", 1).is_err());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("model", "model"), 0);
+        assert_eq!(edit_distance("model", "mode"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 }

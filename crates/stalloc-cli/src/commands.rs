@@ -5,45 +5,252 @@ use std::fs;
 use gpu_sim::DeviceSpec;
 use harness::{run, AllocatorKind};
 use stalloc_core::{profile_trace, synthesize, Plan, ProfiledRequests, SynthConfig};
+use stalloc_store::{decode_plan, encode_plan, is_binary_plan, synthesize_cached};
+use stalloc_store::{CacheOutcome, PlanStore};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, Trace, TrainJob};
 
-use crate::args::Args;
+use crate::args::{nearest, Args, FlagSpec};
 
-/// Usage text printed on errors.
+/// Usage text printed on errors and by `stalloc --help`.
 pub const USAGE: &str = "\
 usage: stalloc <command> [--flags]
+       stalloc <command> --help   for per-command details
 
 commands:
   trace    generate a training memory trace
-           --model gpt2|llama2-7b|qwen2.5-{7b,14b,32b,72b}|qwen1.5-moe
-           [--tp N --pp N --dp N --ep N --vpp N] [--mbs N --seq N
-           --microbatches N --iterations N --seed N] [--optim N|R|V|VR|ZR|ZOR]
-           --output FILE
   profile  characterize one iteration's requests (paper section 4)
-           --input TRACE --output FILE [--iteration N]
   plan     synthesize the allocation plan (paper section 5)
-           --input PROFILE --output FILE [--no-fusion] [--no-gaps]
-           [--ascending]
   show     render a plan's occupancy as ASCII art
-           --input PLAN [--rows N] [--cols N]
   replay   replay a trace through an allocator (paper section 9 metrics)
-           --input TRACE [--allocator stalloc|stalloc-noreuse|torch20|
-           torch23|torch26|es|gmlake|native] [--device a800|h200|mi210]
-           [--frag-limit MiB]";
+  cache    inspect a plan cache directory (ls | gc | clear)";
+
+struct Command {
+    name: &'static str,
+    help: &'static str,
+    spec: FlagSpec,
+    run: fn(&Args) -> Result<(), String>,
+}
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "trace",
+        help: "\
+usage: stalloc trace --model M --output FILE [flags]
+  --model M         gpt2|llama2-7b|qwen2.5-{7b,14b,32b,72b}|qwen1.5-moe
+  --output FILE     trace destination (JSON)
+  --tp/--pp/--dp N  tensor/pipeline/data parallel degree (default 1)
+  --ep N            expert parallel degree (default 1)
+  --vpp N           virtual pipeline stages
+  --mbs N           micro-batch size (default 1)
+  --seq N           sequence length (default: model native)
+  --microbatches N  microbatches per iteration (default 4*pp)
+  --iterations N    iterations to emit (default 3)
+  --seed N          workload RNG seed (default 42)
+  --optim C         N|R|V|VR|ZR|ZOR optimization combo (default N)",
+        spec: FlagSpec {
+            value_flags: &[
+                "model",
+                "output",
+                "tp",
+                "pp",
+                "dp",
+                "ep",
+                "vpp",
+                "mbs",
+                "seq",
+                "microbatches",
+                "iterations",
+                "seed",
+                "optim",
+            ],
+            bool_flags: &[],
+        },
+        run: cmd_trace,
+    },
+    Command {
+        name: "profile",
+        help: "\
+usage: stalloc profile --input TRACE --output FILE [--iteration N]
+  --input TRACE     trace JSON produced by `stalloc trace`
+  --output FILE     profile destination (JSON)
+  --iteration N     1-based iteration to profile (default 1)",
+        spec: FlagSpec {
+            value_flags: &["input", "output", "iteration"],
+            bool_flags: &[],
+        },
+        run: cmd_profile,
+    },
+    Command {
+        name: "plan",
+        help: "\
+usage: stalloc plan --input PROFILE --output FILE [flags]
+  --input PROFILE   profile JSON produced by `stalloc profile`
+  --output FILE     plan destination
+  --format F        bin|json (default: bin when FILE ends in
+                    .stplan/.bin, else json)
+  --cache DIR       consult/populate a plan cache: on a fingerprint hit
+                    the plan is loaded and synthesis is skipped
+  --no-fusion       disable HomoPhase fusion (ablation)
+  --no-gaps         disable gap insertion (ablation)
+  --ascending       process size classes ascending (ablation)",
+        spec: FlagSpec {
+            value_flags: &["input", "output", "format", "cache"],
+            bool_flags: &["no-fusion", "no-gaps", "ascending"],
+        },
+        run: cmd_plan,
+    },
+    Command {
+        name: "show",
+        help: "\
+usage: stalloc show --input PLAN [--rows N] [--cols N]
+  --input PLAN      plan file, binary (.stplan) or JSON — autodetected
+  --rows N          occupancy rows (default 16)
+  --cols N          occupancy columns (default 72)",
+        spec: FlagSpec {
+            value_flags: &["input", "rows", "cols"],
+            bool_flags: &[],
+        },
+        run: cmd_show,
+    },
+    Command {
+        name: "replay",
+        help: "\
+usage: stalloc replay --input TRACE [flags]
+  --input TRACE     trace JSON produced by `stalloc trace`
+  --allocator A     stalloc|stalloc-noreuse|torch20|torch23|torch26|
+                    es|gmlake|native (default stalloc)
+  --device D        a800|h200|mi210 (default a800)
+  --frag-limit MiB  GMLake fragmentation limit (default 512)",
+        spec: FlagSpec {
+            value_flags: &["input", "allocator", "device", "frag-limit"],
+            bool_flags: &[],
+        },
+        run: cmd_replay,
+    },
+];
+
+const CACHE_HELP: &str = "\
+usage: stalloc cache <ls|gc|clear> --dir DIR
+  ls     list cached plans (fingerprint, size, pool, created)
+  gc     drop dangling index rows, orphan artifacts, stale temp files
+  clear  remove every cached plan and the index";
+
+const CACHE_SPEC: FlagSpec = FlagSpec {
+    value_flags: &["dir"],
+    bool_flags: &[],
+};
 
 /// Dispatches `argv[0]` to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("no command given".into());
     };
-    let args = Args::parse(rest)?;
     match cmd.as_str() {
-        "trace" => cmd_trace(&args),
-        "profile" => cmd_profile(&args),
-        "plan" => cmd_plan(&args),
-        "show" => cmd_show(&args),
-        "replay" => cmd_replay(&args),
-        other => Err(format!("unknown command '{other}'")),
+        "help" | "--help" | "-h" => {
+            // `stalloc help <command>` prints that command's help.
+            if let Some(topic) = rest.first() {
+                return print_command_help(topic);
+            }
+            println!("{USAGE}");
+            Ok(())
+        }
+        "cache" => dispatch_cache(rest),
+        name => {
+            let Some(command) = COMMANDS.iter().find(|c| c.name == name) else {
+                let candidates = COMMANDS.iter().map(|c| c.name).chain(["cache", "help"]);
+                return Err(match nearest(name, candidates) {
+                    Some(s) => format!("unknown command '{name}' (did you mean '{s}'?)"),
+                    None => format!("unknown command '{name}'"),
+                });
+            };
+            let args = Args::parse(rest, &command.spec)?;
+            if args.wants_help() {
+                println!("{}", command.help);
+                return Ok(());
+            }
+            (command.run)(&args)
+        }
+    }
+}
+
+fn print_command_help(topic: &str) -> Result<(), String> {
+    if topic == "cache" {
+        println!("{CACHE_HELP}");
+        return Ok(());
+    }
+    match COMMANDS.iter().find(|c| c.name == topic) {
+        Some(c) => {
+            println!("{}", c.help);
+            Ok(())
+        }
+        None => Err(format!("no help for unknown command '{topic}'")),
+    }
+}
+
+fn dispatch_cache(rest: &[String]) -> Result<(), String> {
+    let Some((action, rest)) = rest.split_first() else {
+        return Err("cache: no action given (ls|gc|clear)".into());
+    };
+    if action == "--help" || action == "-h" || action == "help" {
+        println!("{CACHE_HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(rest, &CACHE_SPEC)?;
+    if args.wants_help() {
+        println!("{CACHE_HELP}");
+        return Ok(());
+    }
+    match action.as_str() {
+        "ls" => {
+            let store = PlanStore::open(args.require("dir")?).map_err(|e| e.to_string())?;
+            let entries = store.entries().map_err(|e| e.to_string())?;
+            if entries.is_empty() {
+                println!("(empty cache at {})", store.dir().display());
+                return Ok(());
+            }
+            println!(
+                "{:<32} {:>10} {:>12} {:>8} {:>12}",
+                "fingerprint", "bytes", "pool (GiB)", "statics", "created"
+            );
+            for e in &entries {
+                println!(
+                    "{:<32} {:>10} {:>12.3} {:>8} {:>12}",
+                    e.fingerprint,
+                    e.bytes,
+                    e.pool_size as f64 / (1u64 << 30) as f64,
+                    e.static_requests,
+                    e.created_unix
+                );
+            }
+            println!("{} plan(s)", entries.len());
+            Ok(())
+        }
+        "gc" => {
+            let store = PlanStore::open(args.require("dir")?).map_err(|e| e.to_string())?;
+            let r = store.gc().map_err(|e| e.to_string())?;
+            println!(
+                "gc: dropped {} dangling index entr{}, adopted {} orphan \
+                 plan(s), removed {} corrupt file(s) + {} stale temp \
+                 file(s); reclaimed {} bytes",
+                r.dangling_entries,
+                if r.dangling_entries == 1 { "y" } else { "ies" },
+                r.adopted_entries,
+                r.orphan_files,
+                r.temp_files,
+                r.reclaimed_bytes
+            );
+            Ok(())
+        }
+        "clear" => {
+            let store = PlanStore::open(args.require("dir")?).map_err(|e| e.to_string())?;
+            let n = store.clear().map_err(|e| e.to_string())?;
+            println!("cleared {n} plan(s) from {}", store.dir().display());
+            Ok(())
+        }
+        other => Err(match nearest(other, ["ls", "gc", "clear", "help"]) {
+            Some(s) => format!("unknown cache action '{other}' (did you mean '{s}'?)"),
+            None => format!("unknown cache action '{other}'"),
+        }),
     }
 }
 
@@ -95,6 +302,28 @@ fn parse_allocator(name: &str, frag_limit_mib: u64) -> Result<AllocatorKind, Str
     })
 }
 
+/// Plan output encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanFormat {
+    Json,
+    Bin,
+}
+
+fn plan_format(args: &Args, output: &str) -> Result<PlanFormat, String> {
+    match args.get("format") {
+        Some("bin") => Ok(PlanFormat::Bin),
+        Some("json") => Ok(PlanFormat::Json),
+        Some(other) => Err(format!("--format: expected bin|json, got '{other}'")),
+        None => {
+            if output.ends_with(".stplan") || output.ends_with(".bin") {
+                Ok(PlanFormat::Bin)
+            } else {
+                Ok(PlanFormat::Json)
+            }
+        }
+    }
+}
+
 fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
     let data = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))
@@ -105,6 +334,22 @@ fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> 
     fs::write(path, &data).map_err(|e| format!("{path}: {e}"))?;
     eprintln!("wrote {path} ({} bytes)", data.len());
     Ok(())
+}
+
+/// Reads a plan from `path`, auto-detecting binary vs JSON by magic.
+/// The plan is validated: a foreign file that decodes but carries
+/// unsound decisions must not reach downstream consumers.
+fn read_plan(path: &str) -> Result<Plan, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let plan = if is_binary_plan(&bytes) {
+        decode_plan(&bytes).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
+        Plan::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+    };
+    plan.validate()
+        .map_err(|e| format!("{path}: unsound plan: {e}"))?;
+    Ok(plan)
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
@@ -159,7 +404,21 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         enable_gap_insertion: !args.flag("no-gaps"),
         ascending_sizes: args.flag("ascending"),
     };
-    let plan = synthesize(&profile, &config);
+    let output = args.require("output")?;
+    let format = plan_format(args, output)?;
+
+    let plan = if let Some(dir) = args.get("cache") {
+        let store = PlanStore::open(dir).map_err(|e| e.to_string())?;
+        let (plan, fp, outcome) =
+            synthesize_cached(&profile, &config, &store).map_err(|e| e.to_string())?;
+        match outcome {
+            CacheOutcome::Hit => eprintln!("plan cache: hit {fp} — synthesis skipped"),
+            CacheOutcome::Miss => eprintln!("plan cache: miss {fp} — synthesized and stored"),
+        }
+        plan
+    } else {
+        synthesize(&profile, &config)
+    };
     plan.validate()?;
     let s = plan.stats;
     eprintln!(
@@ -171,11 +430,19 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         s.gap_inserted,
         s.homolayer_groups
     );
-    write_json(args.require("output")?, &plan)
+    match format {
+        PlanFormat::Json => write_json(output, &plan),
+        PlanFormat::Bin => {
+            let bytes = encode_plan(&plan);
+            fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+            eprintln!("wrote {output} ({} bytes, binary)", bytes.len());
+            Ok(())
+        }
+    }
 }
 
 fn cmd_show(args: &Args) -> Result<(), String> {
-    let plan: Plan = read_json(args.require("input")?)?;
+    let plan = read_plan(args.require("input")?)?;
     let rows = args.num("rows", 16usize)?;
     let cols = args.num("cols", 72usize)?;
     println!("{}", stalloc_core::render_plan(&plan, rows, cols));
@@ -229,6 +496,10 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
     #[test]
     fn parsers_cover_the_zoo() {
         assert!(parse_model("gpt2").is_ok());
@@ -246,54 +517,125 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_rejects_unknown_command() {
-        let argv = vec!["fly".to_string()];
-        assert!(dispatch(&argv).is_err());
+    fn dispatch_rejects_unknown_command_with_suggestion() {
+        let err = dispatch(&argv("fly")).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
         assert!(dispatch(&[]).is_err());
+        let err = dispatch(&argv("trce")).unwrap_err();
+        assert!(err.contains("did you mean 'trace'"), "{err}");
+        let err = dispatch(&argv("cashe")).unwrap_err();
+        assert!(err.contains("did you mean 'cache'"), "{err}");
+    }
+
+    #[test]
+    fn help_paths_succeed() {
+        for line in [
+            "--help",
+            "-h",
+            "help",
+            "help plan",
+            "help cache",
+            "trace --help",
+            "profile -h",
+            "plan --help",
+            "show --help",
+            "replay -h",
+            "cache --help",
+            "cache ls --help",
+        ] {
+            dispatch(&argv(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(dispatch(&argv("help fly")).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_suggests_per_command() {
+        let err = dispatch(&argv("plan --inptu p.json --output x.json")).unwrap_err();
+        assert!(err.contains("did you mean '--input'"), "{err}");
+        let err = dispatch(&argv("trace --modle gpt2 --output t.json")).unwrap_err();
+        assert!(err.contains("did you mean '--model'"), "{err}");
     }
 
     #[test]
     fn end_to_end_pipeline_through_files() {
-        let dir = std::env::temp_dir().join("stalloc-cli-test");
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-test-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let trace_p = dir.join("t.json").to_string_lossy().to_string();
         let prof_p = dir.join("p.json").to_string_lossy().to_string();
         let plan_p = dir.join("pl.json").to_string_lossy().to_string();
 
-        let argv: Vec<String> = format!(
+        dispatch(&argv(&format!(
             "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
              --iterations 2 --optim R --output {trace_p}"
-        )
-        .split_whitespace()
-        .map(String::from)
-        .collect();
-        dispatch(&argv).unwrap();
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "profile --input {trace_p} --output {prof_p}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!("plan --input {prof_p} --output {plan_p}"))).unwrap();
+        dispatch(&argv(&format!("show --input {plan_p} --rows 4 --cols 20"))).unwrap();
+        dispatch(&argv(&format!(
+            "replay --input {trace_p} --allocator torch23 --device a800"
+        )))
+        .unwrap();
 
-        let argv: Vec<String> =
-            format!("profile --input {trace_p} --output {prof_p}")
-                .split_whitespace()
-                .map(String::from)
-                .collect();
-        dispatch(&argv).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
 
-        let argv: Vec<String> = format!("plan --input {prof_p} --output {plan_p}")
-            .split_whitespace()
-            .map(String::from)
-            .collect();
-        dispatch(&argv).unwrap();
+    #[test]
+    fn binary_plans_and_cache_workflow() {
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-bin-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let trace_p = dir.join("t.json").to_string_lossy().to_string();
+        let prof_p = dir.join("p.json").to_string_lossy().to_string();
+        let bin_p = dir.join("pl.stplan").to_string_lossy().to_string();
+        let json_p = dir.join("pl.json").to_string_lossy().to_string();
+        let cache_d = dir.join("cache").to_string_lossy().to_string();
 
-        let argv: Vec<String> = format!("show --input {plan_p} --rows 4 --cols 20")
-            .split_whitespace()
-            .map(String::from)
-            .collect();
-        dispatch(&argv).unwrap();
+        dispatch(&argv(&format!(
+            "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
+             --iterations 2 --output {trace_p}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "profile --input {trace_p} --output {prof_p}"
+        )))
+        .unwrap();
 
-        let argv: Vec<String> =
-            format!("replay --input {trace_p} --allocator torch23 --device a800")
-                .split_whitespace()
-                .map(String::from)
-                .collect();
-        dispatch(&argv).unwrap();
+        // First cached plan: miss; second: hit. Binary output via the
+        // .stplan extension, JSON via explicit --format.
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {bin_p} --cache {cache_d}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {json_p} --format json --cache {cache_d}"
+        )))
+        .unwrap();
+        let store = PlanStore::open(&cache_d).unwrap();
+        assert_eq!(store.entries().unwrap().len(), 1, "same job cached once");
+
+        // The binary artifact is a real binary plan, much smaller than
+        // JSON, and `show` reads both formats transparently.
+        let bin = fs::read(&bin_p).unwrap();
+        let json = fs::read(&json_p).unwrap();
+        assert!(is_binary_plan(&bin));
+        assert!(
+            bin.len() * 4 <= json.len(),
+            "binary {} vs json {}",
+            bin.len(),
+            json.len()
+        );
+        assert_eq!(read_plan(&bin_p).unwrap(), read_plan(&json_p).unwrap());
+        dispatch(&argv(&format!("show --input {bin_p} --rows 4 --cols 20"))).unwrap();
+
+        // cache ls / gc / clear run end to end.
+        dispatch(&argv(&format!("cache ls --dir {cache_d}"))).unwrap();
+        dispatch(&argv(&format!("cache gc --dir {cache_d}"))).unwrap();
+        assert_eq!(store.entries().unwrap().len(), 1, "gc keeps live entries");
+        dispatch(&argv(&format!("cache clear --dir {cache_d}"))).unwrap();
+        assert!(store.entries().unwrap().is_empty());
 
         fs::remove_dir_all(&dir).ok();
     }

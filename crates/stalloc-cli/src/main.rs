@@ -3,12 +3,16 @@
 //! offline pipeline plus replay-based evaluation).
 //!
 //! ```text
-//! stalloc trace   --model llama2-7b --tp 4 --pp 2 --optim R -o trace.json
-//! stalloc profile -i trace.json -o profile.json [--iteration 1]
-//! stalloc plan    -i profile.json -o plan.json [--no-fusion] [--no-gaps]
-//! stalloc show    -i plan.json [--rows 16] [--cols 72]
-//! stalloc replay  -i trace.json --allocator stalloc --device a800
+//! stalloc trace   --model llama2-7b --tp 4 --pp 2 --optim R --output trace.json
+//! stalloc profile --input trace.json --output profile.json [--iteration 1]
+//! stalloc plan    --input profile.json --output plan.stplan [--format bin|json]
+//!                 [--cache DIR] [--no-fusion] [--no-gaps]
+//! stalloc show    --input plan.stplan [--rows 16] [--cols 72]
+//! stalloc replay  --input trace.json --allocator stalloc --device a800
+//! stalloc cache   {ls|gc|clear} --dir DIR
 //! ```
+//!
+//! `--help`/`-h` works at the top level and per subcommand.
 
 mod args;
 mod commands;

@@ -1,0 +1,276 @@
+//! Stable job/profile fingerprinting.
+//!
+//! A plan is a pure function of its inputs: the profiled request set and
+//! the synthesizer configuration (guarded by `tests/determinism.rs`). That
+//! makes `(ProfiledRequests, SynthConfig)` a natural cache key for plan
+//! artifacts — `stalloc-store` keys its content-addressed plan cache by the
+//! [`Fingerprint`] computed here.
+//!
+//! The hash is a self-contained 128-bit FNV-1a variant (two independent
+//! 64-bit lanes) over a *canonical* field walk: every field of the profile
+//! and config is fed in a fixed order, and all collections inside
+//! [`ProfiledRequests`] are `Vec`s in deterministic (sorted or arrival)
+//! order, so the digest is independent of any `HashMap` iteration order
+//! and stable across runs, builds, and platforms.
+//!
+//! The digest is versioned on two axes: [`FINGERPRINT_VERSION`] covers
+//! the profile schema and walk order, and [`SYNTH_ALGO_VERSION`] covers
+//! the planner algorithm itself — so stale cache entries can alias a new
+//! build neither when the input shape changes nor when `synthesize`
+//! starts producing different plans for the same input.
+
+use std::fmt;
+
+use crate::plan::{SynthConfig, SYNTH_ALGO_VERSION};
+use crate::profiler::{InstanceKey, ProfiledRequests, RequestEvent};
+
+/// Version tag mixed into every digest; bump when the canonical walk or
+/// the profile schema changes shape.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Second-lane offset: FNV offset basis XOR a golden-ratio constant, so
+/// the two lanes never agree on correlated inputs.
+const LANE2_OFFSET: u64 = FNV_OFFSET ^ 0x9E37_79B9_7F4A_7C15;
+
+/// A 128-bit content fingerprint of a planning job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u8; 16]);
+
+impl Fingerprint {
+    /// Lower-case hex rendering (the on-disk cache file stem).
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses the 32-character hex form produced by [`Self::to_hex`].
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Fingerprint(out))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Incremental two-lane FNV-1a hasher behind [`fingerprint_job`].
+#[derive(Debug, Clone)]
+pub struct JobHasher {
+    lane1: u64,
+    lane2: u64,
+}
+
+impl Default for JobHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobHasher {
+    /// Fresh hasher with the version tag already mixed in.
+    pub fn new() -> Self {
+        let mut h = JobHasher {
+            lane1: FNV_OFFSET,
+            lane2: LANE2_OFFSET,
+        };
+        h.write_u64(FINGERPRINT_VERSION as u64);
+        h
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lane1 = (self.lane1 ^ b as u64).wrapping_mul(FNV_PRIME);
+            self.lane2 = (self.lane2 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Finalizes into a [`Fingerprint`] (the hasher can keep absorbing).
+    pub fn finish(&self) -> Fingerprint {
+        // One avalanche round per lane so short inputs still diffuse.
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&mix(self.lane1).to_le_bytes());
+        out[8..].copy_from_slice(&mix(self.lane2).to_le_bytes());
+        Fingerprint(out)
+    }
+
+    fn write_instance(&mut self, k: &InstanceKey) {
+        self.write_u64(k.module.0 as u64);
+        self.write_u64(k.phase as u64);
+    }
+
+    fn write_opt_instance(&mut self, k: &Option<InstanceKey>) {
+        match k {
+            None => self.write_u64(0),
+            Some(k) => {
+                self.write_u64(1);
+                self.write_instance(k);
+            }
+        }
+    }
+
+    fn write_request(&mut self, r: &RequestEvent) {
+        self.write_u64(r.size);
+        self.write_u64(r.ts);
+        self.write_u64(r.te);
+        self.write_u64(r.ps as u64);
+        self.write_u64(r.pe as u64);
+        self.write_u64(r.dynamic as u64);
+        self.write_opt_instance(&r.ls);
+        self.write_opt_instance(&r.le);
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fingerprints one planning job: the full canonical content of `profile`
+/// plus every [`SynthConfig`] switch.
+///
+/// Two jobs share a fingerprint iff the synthesizer would (modulo hash
+/// collisions, ~2⁻¹²⁸) produce the same plan for both.
+pub fn fingerprint_job(profile: &ProfiledRequests, config: &SynthConfig) -> Fingerprint {
+    let mut h = JobHasher::new();
+
+    // Planner algorithm version: a cache must never serve a plan an
+    // older synthesize() computed.
+    h.write_u64(SYNTH_ALGO_VERSION as u64);
+
+    // SynthConfig next: it is tiny and always present.
+    h.write_u64(config.enable_fusion as u64);
+    h.write_u64(config.enable_gap_insertion as u64);
+    h.write_u64(config.ascending_sizes as u64);
+
+    // Profile scalars.
+    h.write_u64(profile.init_count as u64);
+    h.write_u64(profile.num_phases as u64);
+    h.write_u64(profile.window_len);
+
+    // Every length is fed before its elements so concatenations of
+    // different shapes cannot collide.
+    h.write_u64(profile.statics.len() as u64);
+    for r in &profile.statics {
+        h.write_request(r);
+    }
+    h.write_u64(profile.dynamics.len() as u64);
+    for r in &profile.dynamics {
+        h.write_request(r);
+    }
+    h.write_u64(profile.instance_windows.len() as u64);
+    for (k, (a, b)) in &profile.instance_windows {
+        h.write_instance(k);
+        h.write_u64(*a);
+        h.write_u64(*b);
+    }
+    h.write_u64(profile.instance_arrivals.len() as u64);
+    for (k, seq) in &profile.instance_arrivals {
+        h.write_instance(k);
+        h.write_u64(seq.len() as u64);
+        for &i in seq {
+            h.write_u64(i as u64);
+        }
+    }
+
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+    fn profile() -> ProfiledRequests {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(4)
+        .with_iterations(2)
+        .build_trace()
+        .unwrap();
+        crate::profile_trace(&trace, 1).unwrap()
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let fp = fingerprint_job(&profile(), &SynthConfig::default());
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+        assert_eq!(Fingerprint::from_hex(&hex[..30]), None);
+    }
+
+    #[test]
+    fn identical_inputs_agree() {
+        let p = profile();
+        let c = SynthConfig::default();
+        assert_eq!(fingerprint_job(&p, &c), fingerprint_job(&p, &c));
+    }
+
+    #[test]
+    fn config_switches_change_the_digest() {
+        let p = profile();
+        let base = fingerprint_job(&p, &SynthConfig::default());
+        for c in [
+            SynthConfig {
+                enable_fusion: false,
+                ..SynthConfig::default()
+            },
+            SynthConfig {
+                enable_gap_insertion: false,
+                ..SynthConfig::default()
+            },
+            SynthConfig {
+                ascending_sizes: true,
+                ..SynthConfig::default()
+            },
+        ] {
+            assert_ne!(base, fingerprint_job(&p, &c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn profile_content_changes_the_digest() {
+        let p = profile();
+        let base = fingerprint_job(&p, &SynthConfig::default());
+        let mut tweaked = p.clone();
+        tweaked.statics[0].size += 512;
+        assert_ne!(base, fingerprint_job(&tweaked, &SynthConfig::default()));
+
+        let mut truncated = p.clone();
+        truncated.statics.pop();
+        assert_ne!(base, fingerprint_job(&truncated, &SynthConfig::default()));
+    }
+}

@@ -25,7 +25,9 @@ pub struct Rect {
 impl Rect {
     /// Returns `true` if the two rectangles overlap in both time and space.
     pub fn conflicts(&self, other: &Rect) -> bool {
-        self.t0 < other.t1 && other.t0 < self.t1 && self.off < other.off + other.len
+        self.t0 < other.t1
+            && other.t0 < self.t1
+            && self.off < other.off + other.len
             && other.off < self.off + self.len
     }
 }
@@ -55,10 +57,7 @@ impl TimeSpacePacker {
 
     /// Sum of `len * (t1 - t0)` over placed rectangles (the TMP numerator).
     pub fn area(&self) -> u64 {
-        self.rects
-            .iter()
-            .map(|r| r.len * (r.t1 - r.t0))
-            .sum()
+        self.rects.iter().map(|r| r.len * (r.t1 - r.t0)).sum()
     }
 
     /// Places a rectangle at an explicit position (no conflict checking in

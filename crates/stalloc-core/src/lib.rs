@@ -40,12 +40,14 @@
 //! assert_eq!(allocator.counters().static_fallback, 0);
 //! ```
 
+pub mod fingerprint;
 pub mod geometry;
 pub mod plan;
 pub mod profiler;
 pub mod runtime;
 pub mod visualize;
 
+pub use fingerprint::{fingerprint_job, Fingerprint, JobHasher};
 pub use geometry::{IntervalSet, Rect, TimeSpacePacker};
 pub use plan::{synthesize, DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc, SynthConfig};
 pub use profiler::{profile_trace, InstanceKey, ProfileError, ProfiledRequests, RequestEvent};

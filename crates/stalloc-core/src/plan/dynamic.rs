@@ -12,11 +12,10 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-
 use crate::profiler::{InstanceKey, ProfiledRequests};
 
 /// One HomoLayer group with its reusable space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DynGroup {
     /// Allocating instance (`l_s`).
     pub ls: InstanceKey,
@@ -31,7 +30,7 @@ pub struct DynGroup {
 }
 
 /// Dynamic half of the plan.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DynamicPlan {
     /// All HomoLayer groups.
     pub groups: Vec<DynGroup>,
@@ -183,8 +182,7 @@ mod tests {
         for (i, d) in dynamics.iter().enumerate() {
             arrivals.entry(d.ls.unwrap()).or_default().push(i as u32);
         }
-        let mut instance_arrivals: Vec<(InstanceKey, Vec<u32>)> =
-            arrivals.into_iter().collect();
+        let mut instance_arrivals: Vec<(InstanceKey, Vec<u32>)> = arrivals.into_iter().collect();
         instance_arrivals.sort_unstable_by_key(|&(k, _)| k);
         ProfiledRequests {
             statics: Vec::new(),
@@ -230,10 +228,7 @@ mod tests {
         }];
         let a = key(2, 2);
         let b = key(2, 2);
-        let profile = profile_with(
-            vec![dyn_req(512, 21, 29, a, b)],
-            vec![(a, (20, 30))],
-        );
+        let profile = profile_with(vec![dyn_req(512, 21, 29, a, b)], vec![(a, (20, 30))]);
         let plan = locate_reusable_space(&profile, &placed, 4096);
         assert_eq!(plan.groups[0].intervals, vec![(0, 4096)]);
     }
@@ -261,15 +256,9 @@ mod tests {
             },
         ];
         let a = key(3, 1);
-        let profile = profile_with(
-            vec![dyn_req(512, 5, 6, a, a)],
-            vec![(a, (0, 50))],
-        );
+        let profile = profile_with(vec![dyn_req(512, 5, 6, a, a)], vec![(a, (0, 50))]);
         let plan = locate_reusable_space(&profile, &placed, 4096);
-        assert_eq!(
-            plan.groups[0].intervals,
-            vec![(1500, 500), (2500, 1596)]
-        );
+        assert_eq!(plan.groups[0].intervals, vec![(1500, 500), (2500, 1596)]);
     }
 
     #[test]

@@ -214,7 +214,9 @@ pub fn assemble(plans: &[LocalPlan], reqs: &[RequestEvent], opts: GlobalOptions)
                 let mut placed_at: Option<(usize, u64)> = None;
                 for ri in candidates {
                     if let Some(off) =
-                        regions[ri].packer.find_first_fit(r.ts, t1, r.size, regions[ri].size)
+                        regions[ri]
+                            .packer
+                            .find_first_fit(r.ts, t1, r.size, regions[ri].size)
                     {
                         placed_at = Some((ri, off));
                         break;
@@ -298,12 +300,8 @@ mod tests {
 
     #[test]
     fn same_size_disjoint_lifespans_share_a_layer() {
-        let (plans, reqs) = singleton_plans(&[
-            (1024, 0, 10),
-            (1024, 5, 15),
-            (1024, 10, 20),
-            (1024, 16, 25),
-        ]);
+        let (plans, reqs) =
+            singleton_plans(&[(1024, 0, 10), (1024, 5, 15), (1024, 10, 20), (1024, 16, 25)]);
         let layout = assemble(&plans, &reqs, GlobalOptions::default());
         assert_eq!(layout.layer_count, 2, "two layers suffice");
         assert_eq!(layout.pool_size, 2048);
@@ -328,11 +326,7 @@ mod tests {
 
     #[test]
     fn smaller_requests_fill_gaps_of_larger_layers() {
-        let (plans, reqs) = singleton_plans(&[
-            (4096, 0, 10),
-            (4096, 20, 30),
-            (1024, 12, 18),
-        ]);
+        let (plans, reqs) = singleton_plans(&[(4096, 0, 10), (4096, 20, 30), (1024, 12, 18)]);
         let layout = assemble(&plans, &reqs, GlobalOptions::default());
         assert_eq!(layout.pool_size, 4096, "small plan needed no new space");
         // The second 4096 plan scatters into the first layer's idle window
@@ -426,11 +420,7 @@ mod tests {
 
     #[test]
     fn descending_order_beats_ascending_here() {
-        let (plans, reqs) = singleton_plans(&[
-            (1024, 12, 18),
-            (4096, 0, 10),
-            (4096, 20, 30),
-        ]);
+        let (plans, reqs) = singleton_plans(&[(1024, 12, 18), (4096, 0, 10), (4096, 20, 30)]);
         let desc = assemble(&plans, &reqs, GlobalOptions::default());
         let asc = assemble(
             &plans,

@@ -30,7 +30,7 @@ pub struct PlannedAlloc {
 }
 
 /// Synthesis statistics (reported in experiment tables and Table 2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanStats {
     /// Static requests planned (persistent + iteration).
     pub static_requests: usize,
@@ -65,7 +65,7 @@ impl PlanStats {
 }
 
 /// The complete ahead-of-time plan (paper Fig. 5 "Ahead-of-Time Plan").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Plan {
     /// Static pool size in bytes.
     pub pool_size: u64,
@@ -96,10 +96,20 @@ impl Plan {
     /// decisions overlap in both lifetime and address range, and all
     /// decisions fit the pool.
     pub fn validate(&self) -> Result<(), String> {
-        let all: Vec<&PlannedAlloc> =
-            self.init_allocs.iter().chain(self.iter_allocs.iter()).collect();
+        let all: Vec<&PlannedAlloc> = self
+            .init_allocs
+            .iter()
+            .chain(self.iter_allocs.iter())
+            .collect();
         for d in &all {
-            if d.offset + d.size > self.pool_size {
+            // Checked: plans can arrive from foreign files (the binary
+            // codec's deltas wrap), so offset + size must not overflow
+            // past the screen.
+            let fits = d
+                .offset
+                .checked_add(d.size)
+                .is_some_and(|end| end <= self.pool_size);
+            if !fits {
                 return Err(format!(
                     "decision at {} (+{}) exceeds pool {}",
                     d.offset, d.size, self.pool_size
@@ -110,7 +120,7 @@ impl Plan {
         // instant, live decisions must occupy disjoint address ranges.
         let mut events: Vec<(u64, bool, usize)> = Vec::with_capacity(all.len() * 2);
         for (i, d) in all.iter().enumerate() {
-            let te = d.te.max(d.ts + 1);
+            let te = d.te.max(d.ts.saturating_add(1));
             events.push((d.ts, false, i)); // false = start
             events.push((te, true, i)); // true = end
         }
@@ -139,12 +149,16 @@ impl Plan {
     }
 
     /// Looks up the instance sequence table as a map (runtime helper).
-    pub fn instance_seq_map(
-        &self,
-    ) -> std::collections::HashMap<InstanceKey, Vec<u32>> {
+    pub fn instance_seq_map(&self) -> std::collections::HashMap<InstanceKey, Vec<u32>> {
         self.dynamic.instance_seq.iter().cloned().collect()
     }
 }
+
+/// Version of the synthesis *algorithm*: bump whenever a change makes
+/// [`synthesize`] produce a different plan for identical inputs, so that
+/// fingerprint-keyed plan caches never serve plans computed by an older
+/// planner (the fingerprint mixes this in).
+pub const SYNTH_ALGO_VERSION: u32 = 1;
 
 /// Configuration of the synthesizer (ablation switches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,8 +223,9 @@ pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
         }
     };
     let init_allocs: Vec<PlannedAlloc> = (0..profile.init_count).map(make).collect();
-    let iter_allocs: Vec<PlannedAlloc> =
-        (profile.init_count..profile.statics.len()).map(make).collect();
+    let iter_allocs: Vec<PlannedAlloc> = (profile.init_count..profile.statics.len())
+        .map(make)
+        .collect();
 
     // --- Dynamic planning (§5.2) ---
     let placed: Vec<PlacedStatic> = profile

@@ -182,8 +182,16 @@ pub fn try_fuse(host: &LocalPlan, guest: &LocalPlan, reqs: &[RequestEvent]) -> O
         ts: host.ts.min(guest.ts),
         te: host.te.max(guest.te),
         min_te: host.min_te.min(guest.min_te),
-        ps: if host.ts <= guest.ts { host.ps } else { guest.ps },
-        pe: if host.te >= guest.te { host.pe } else { guest.pe },
+        ps: if host.ts <= guest.ts {
+            host.ps
+        } else {
+            guest.ps
+        },
+        pe: if host.te >= guest.te {
+            host.pe
+        } else {
+            guest.pe
+        },
     };
 
     let wa = (host.tmp() * host.weight() + guest.tmp() * guest.weight())
@@ -219,9 +227,7 @@ pub fn fuse_groups(mut plans: Vec<LocalPlan>, reqs: &[RequestEvent]) -> Vec<Loca
                 // individually by global planning; and fusion can only
                 // remove bubbles if some host space frees before the guest
                 // finishes.
-                let is_single_transient = |p: &LocalPlan| {
-                    p.members.len() == 1 && p.ps == p.pe
-                };
+                let is_single_transient = |p: &LocalPlan| p.members.len() == 1 && p.ps == p.pe;
                 if is_single_transient(&plans[host]) || is_single_transient(&plans[guest]) {
                     continue;
                 }
@@ -308,9 +314,9 @@ mod tests {
         // Host: two members freed at different times (staircase).
         // Guest: members starting exactly as host space frees.
         let reqs = vec![
-            req(512, 0, 10, 1, 2),  // host, lives long
-            req(512, 0, 6, 1, 2),   // host, frees early
-            req(512, 6, 12, 2, 3),  // guest, fits the freed step
+            req(512, 0, 10, 1, 2), // host, lives long
+            req(512, 0, 6, 1, 2),  // host, frees early
+            req(512, 6, 12, 2, 3), // guest, fits the freed step
         ];
         let plans = build_phase_groups(&reqs);
         assert_eq!(plans.len(), 2);

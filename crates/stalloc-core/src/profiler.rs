@@ -203,10 +203,7 @@ pub fn profile_trace(trace: &Trace, iter: u32) -> Result<ProfiledRequests, Profi
                 }
             }
             TraceEvent::Alloc {
-                id,
-                size,
-                dynamic,
-                ..
+                id, size, dynamic, ..
             } => {
                 let ls = module_stack.last().map(|&m| InstanceKey {
                     module: m,
@@ -359,8 +356,7 @@ pub fn profile_trace(trace: &Trace, iter: u32) -> Result<ProfiledRequests, Profi
     }
 
     let init_count = persistents.len();
-    let mut statics: Vec<RequestEvent> =
-        persistents.into_iter().map(|(_, r)| r).collect();
+    let mut statics: Vec<RequestEvent> = persistents.into_iter().map(|(_, r)| r).collect();
     statics.extend(statics_iter);
 
     let mut instance_windows: Vec<(InstanceKey, (u64, u64))> =
@@ -472,7 +468,10 @@ mod tests {
         let p1 = profile_trace(&t, 1).unwrap();
         let p3 = profile_trace(&t, 3).unwrap();
         let sizes = |p: &ProfiledRequests| -> Vec<(u64, u32, u32)> {
-            p.iter_statics().iter().map(|r| (r.size, r.ps, r.pe)).collect()
+            p.iter_statics()
+                .iter()
+                .map(|r| (r.size, r.ps, r.pe))
+                .collect()
         };
         assert_eq!(sizes(&p1), sizes(&p3));
         assert_eq!(p1.num_phases, p3.num_phases);

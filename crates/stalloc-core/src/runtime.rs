@@ -41,7 +41,9 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        Self { dynamic_reuse: true }
+        Self {
+            dynamic_reuse: true,
+        }
     }
 }
 
@@ -159,7 +161,8 @@ impl StallocAllocator {
         } else {
             0
         };
-        self.stats.set_reserved(pool + self.fallback.stats().reserved);
+        self.stats
+            .set_reserved(pool + self.fallback.stats().reserved);
     }
 
     /// Claims `[offset, offset+size)` in the pool for `tensor`.

@@ -36,8 +36,7 @@ pub fn render_plan(plan: &Plan, rows: usize, cols: usize) -> String {
         for (r, row) in area.iter_mut().enumerate().take(r1 + 1).skip(r0) {
             let band_lo = r as u64 * band;
             let band_hi = (band_lo + band).min(pool);
-            let ov_addr =
-                d.offset.max(band_lo).min(band_hi)..(d.offset + d.size).min(band_hi);
+            let ov_addr = d.offset.max(band_lo).min(band_hi)..(d.offset + d.size).min(band_hi);
             let addr_len = ov_addr.end.saturating_sub(ov_addr.start);
             for (c, cell) in row.iter_mut().enumerate().take(c1 + 1).skip(c0) {
                 let sl_lo = c as u64 * slice;
@@ -107,7 +106,9 @@ mod tests {
         let s = render_plan(&plan, 2, 10);
         let body: Vec<&str> = s.lines().skip(1).collect();
         assert_eq!(body.len(), 2);
-        assert!(body.iter().all(|l| l.chars().filter(|&c| c == '█').count() == 10));
+        assert!(body
+            .iter()
+            .all(|l| l.chars().filter(|&c| c == '█').count() == 10));
     }
 
     #[test]

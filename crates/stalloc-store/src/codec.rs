@@ -1,0 +1,596 @@
+//! Binary plan codec: a compact, versioned wire format for [`Plan`].
+//!
+//! The JSON form of a plan spells out every per-request decision and runs
+//! to hundreds of kilobytes for even a small job (a ROADMAP open item).
+//! This codec exploits the same regularity the planner does: offsets,
+//! sizes, and timesteps of consecutive decisions are near-sorted and
+//! highly repetitive, so each field is stored as a zigzag **delta** from
+//! its predecessor, LEB128-**varint** encoded. Runs of equal sizes or
+//! monotone timestamps collapse to one byte per field.
+//!
+//! Layout (all integers varint unless noted):
+//!
+//! ```text
+//! magic "STPL" (4 raw bytes) | version (u16 LE)
+//! pool_size
+//! stats (9 fields)
+//! init_allocs  : count, then per alloc Δsize Δoffset Δts (te−ts)
+//! iter_allocs  : same encoding
+//! dyn groups   : count, then per group ls/le keys, t-range,
+//!                intervals (Δstart, len), profiled_bytes
+//! instance_seq : count, then per entry key, seq values
+//! ```
+//!
+//! The decoder is **strict**: it never panics on foreign input. Truncated,
+//! oversized, or malformed streams surface as typed [`CodecError`]s, and
+//! trailing bytes after a well-formed plan are rejected. Encoding is a
+//! pure function of the plan, so `encode(decode(bytes)) == bytes` for any
+//! accepted stream.
+
+use std::fmt;
+
+use stalloc_core::plan::{DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc};
+use stalloc_core::InstanceKey;
+
+/// File magic identifying a binary plan (`stalloc show` sniffs this).
+pub const MAGIC: [u8; 4] = *b"STPL";
+
+/// Current wire-format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Typed decode failures. The decoder returns these instead of panicking,
+/// whatever the input bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The stream's version is newer than this decoder understands.
+    UnsupportedVersion(u16),
+    /// The stream ended inside the named field.
+    Truncated {
+        /// Byte offset at which input ran out.
+        offset: usize,
+        /// Field being decoded.
+        context: &'static str,
+    },
+    /// A varint ran past 10 bytes / 64 bits.
+    VarintOverflow {
+        /// Byte offset of the offending varint.
+        offset: usize,
+    },
+    /// A varint used an overlong (zero-padded) encoding. The encoder only
+    /// emits canonical varints; rejecting the rest keeps
+    /// `encode(decode(bytes)) == bytes` true for every accepted stream.
+    NonCanonicalVarint {
+        /// Byte offset of the offending varint.
+        offset: usize,
+    },
+    /// A decoded integer does not fit the target field's type.
+    IntOutOfRange {
+        /// Field being decoded.
+        context: &'static str,
+    },
+    /// A collection claims more elements than the remaining bytes could
+    /// possibly hold.
+    LengthOverflow {
+        /// Collection being decoded.
+        context: &'static str,
+        /// Claimed element count.
+        len: u64,
+    },
+    /// Well-formed plan followed by unconsumed bytes.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a binary plan (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported plan format version {v} (max {FORMAT_VERSION})"
+                )
+            }
+            CodecError::Truncated { offset, context } => {
+                write!(
+                    f,
+                    "truncated input at byte {offset} while reading {context}"
+                )
+            }
+            CodecError::VarintOverflow { offset } => {
+                write!(f, "varint overflow at byte {offset}")
+            }
+            CodecError::NonCanonicalVarint { offset } => {
+                write!(f, "non-canonical (overlong) varint at byte {offset}")
+            }
+            CodecError::IntOutOfRange { context } => {
+                write!(f, "integer out of range for {context}")
+            }
+            CodecError::LengthOverflow { context, len } => {
+                write!(f, "implausible length {len} for {context}")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after plan")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Whether `bytes` look like a binary plan (magic sniff only).
+pub fn is_binary_plan(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+// --- primitive writers -------------------------------------------------
+
+fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Signed delta between two unsigned values, zigzag-varint encoded.
+fn put_delta(buf: &mut Vec<u8>, prev: u64, cur: u64) {
+    put_uvarint(buf, zigzag(cur.wrapping_sub(prev) as i64));
+}
+
+// --- primitive reader --------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                context,
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn uvarint(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        let start = self.pos;
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err(CodecError::Truncated {
+                    offset: self.pos,
+                    context,
+                });
+            };
+            self.pos += 1;
+            let payload = (byte & 0x7f) as u64;
+            if shift == 63 && payload > 1 {
+                return Err(CodecError::VarintOverflow { offset: start });
+            }
+            out |= payload << shift;
+            if byte & 0x80 == 0 {
+                // The encoder never emits a zero terminal byte after a
+                // continuation; such padding would make two distinct
+                // streams decode to the same plan.
+                if payload == 0 && shift > 0 {
+                    return Err(CodecError::NonCanonicalVarint { offset: start });
+                }
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::VarintOverflow { offset: start });
+            }
+        }
+    }
+
+    /// Applies a zigzag delta to `prev` (wrapping, mirroring the encoder).
+    fn delta(&mut self, prev: u64, context: &'static str) -> Result<u64, CodecError> {
+        let d = unzigzag(self.uvarint(context)?);
+        Ok(prev.wrapping_add(d as u64))
+    }
+
+    fn u32_field(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        let v = self.uvarint(context)?;
+        u32::try_from(v).map_err(|_| CodecError::IntOutOfRange { context })
+    }
+
+    fn usize_field(&mut self, context: &'static str) -> Result<usize, CodecError> {
+        let v = self.uvarint(context)?;
+        usize::try_from(v).map_err(|_| CodecError::IntOutOfRange { context })
+    }
+
+    /// Reads a collection length and sanity-checks it against the bytes
+    /// left: every element costs ≥ `min_elem_bytes`, so a count claiming
+    /// more is corrupt — rejecting it keeps pre-allocation safe.
+    fn length(
+        &mut self,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, CodecError> {
+        let len = self.uvarint(context)?;
+        let cap = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if len > cap {
+            return Err(CodecError::LengthOverflow { context, len });
+        }
+        Ok(len as usize)
+    }
+}
+
+// --- sections ----------------------------------------------------------
+
+fn put_allocs(buf: &mut Vec<u8>, allocs: &[PlannedAlloc]) {
+    put_uvarint(buf, allocs.len() as u64);
+    let (mut size, mut offset, mut ts) = (0u64, 0u64, 0u64);
+    for a in allocs {
+        put_delta(buf, size, a.size);
+        put_delta(buf, offset, a.offset);
+        put_delta(buf, ts, a.ts);
+        put_delta(buf, a.ts, a.te);
+        size = a.size;
+        offset = a.offset;
+        ts = a.ts;
+    }
+}
+
+fn get_allocs(r: &mut Reader<'_>, context: &'static str) -> Result<Vec<PlannedAlloc>, CodecError> {
+    // Four varints per alloc, one byte minimum each.
+    let len = r.length(4, context)?;
+    let mut out = Vec::with_capacity(len);
+    let (mut size, mut offset, mut ts) = (0u64, 0u64, 0u64);
+    for _ in 0..len {
+        size = r.delta(size, context)?;
+        offset = r.delta(offset, context)?;
+        ts = r.delta(ts, context)?;
+        let te = r.delta(ts, context)?;
+        out.push(PlannedAlloc {
+            size,
+            offset,
+            ts,
+            te,
+        });
+    }
+    Ok(out)
+}
+
+fn put_instance(buf: &mut Vec<u8>, k: &InstanceKey) {
+    put_uvarint(buf, k.module.0 as u64);
+    put_uvarint(buf, k.phase as u64);
+}
+
+fn get_instance(r: &mut Reader<'_>, context: &'static str) -> Result<InstanceKey, CodecError> {
+    Ok(InstanceKey {
+        module: trace_gen::ModuleId(r.u32_field(context)?),
+        phase: r.u32_field(context)?,
+    })
+}
+
+/// Encodes a plan to the binary wire format.
+pub fn encode_plan(plan: &Plan) -> Vec<u8> {
+    // Rough pre-size: header + a few bytes per decision.
+    let guess =
+        64 + 6 * (plan.init_allocs.len() + plan.iter_allocs.len()) + 32 * plan.dynamic.groups.len();
+    let mut buf = Vec::with_capacity(guess);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+    put_uvarint(&mut buf, plan.pool_size);
+
+    let s = &plan.stats;
+    put_uvarint(&mut buf, s.static_requests as u64);
+    put_uvarint(&mut buf, s.dynamic_requests as u64);
+    put_uvarint(&mut buf, s.phase_groups as u64);
+    put_uvarint(&mut buf, s.fused_groups as u64);
+    put_uvarint(&mut buf, s.layers as u64);
+    put_uvarint(&mut buf, s.gap_inserted as u64);
+    put_uvarint(&mut buf, s.homolayer_groups as u64);
+    put_uvarint(&mut buf, s.peak_static_demand);
+    put_uvarint(&mut buf, s.pool_size);
+
+    put_allocs(&mut buf, &plan.init_allocs);
+    put_allocs(&mut buf, &plan.iter_allocs);
+
+    put_uvarint(&mut buf, plan.dynamic.groups.len() as u64);
+    for g in &plan.dynamic.groups {
+        put_instance(&mut buf, &g.ls);
+        put_instance(&mut buf, &g.le);
+        put_uvarint(&mut buf, g.t_range.0);
+        put_delta(&mut buf, g.t_range.0, g.t_range.1);
+        put_uvarint(&mut buf, g.intervals.len() as u64);
+        let mut prev_start = 0u64;
+        for &(start, len) in &g.intervals {
+            put_delta(&mut buf, prev_start, start);
+            put_uvarint(&mut buf, len);
+            prev_start = start;
+        }
+        put_uvarint(&mut buf, g.profiled_bytes);
+    }
+
+    put_uvarint(&mut buf, plan.dynamic.instance_seq.len() as u64);
+    for (key, seq) in &plan.dynamic.instance_seq {
+        put_instance(&mut buf, key);
+        put_uvarint(&mut buf, seq.len() as u64);
+        for &v in seq {
+            put_uvarint(&mut buf, v as u64);
+        }
+    }
+
+    buf
+}
+
+/// Decodes a binary plan, rejecting anything malformed with a typed error.
+pub fn decode_plan(bytes: &[u8]) -> Result<Plan, CodecError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4, "magic")? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.take(2, "version")?.try_into().expect("2 bytes"));
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+
+    let pool_size = r.uvarint("pool_size")?;
+
+    let stats = PlanStats {
+        static_requests: r.usize_field("stats.static_requests")?,
+        dynamic_requests: r.usize_field("stats.dynamic_requests")?,
+        phase_groups: r.usize_field("stats.phase_groups")?,
+        fused_groups: r.usize_field("stats.fused_groups")?,
+        layers: r.usize_field("stats.layers")?,
+        gap_inserted: r.usize_field("stats.gap_inserted")?,
+        homolayer_groups: r.usize_field("stats.homolayer_groups")?,
+        peak_static_demand: r.uvarint("stats.peak_static_demand")?,
+        pool_size: r.uvarint("stats.pool_size")?,
+    };
+
+    let init_allocs = get_allocs(&mut r, "init_allocs")?;
+    let iter_allocs = get_allocs(&mut r, "iter_allocs")?;
+
+    // Each group costs ≥ 8 single-byte varints.
+    let group_count = r.length(8, "dynamic.groups")?;
+    let mut groups = Vec::with_capacity(group_count);
+    for _ in 0..group_count {
+        let ls = get_instance(&mut r, "group.ls")?;
+        let le = get_instance(&mut r, "group.le")?;
+        let t0 = r.uvarint("group.t_range")?;
+        let t1 = r.delta(t0, "group.t_range")?;
+        let n_intervals = r.length(2, "group.intervals")?;
+        let mut intervals = Vec::with_capacity(n_intervals);
+        let mut prev_start = 0u64;
+        for _ in 0..n_intervals {
+            let start = r.delta(prev_start, "group.intervals")?;
+            let len = r.uvarint("group.intervals")?;
+            intervals.push((start, len));
+            prev_start = start;
+        }
+        let profiled_bytes = r.uvarint("group.profiled_bytes")?;
+        groups.push(DynGroup {
+            ls,
+            le,
+            t_range: (t0, t1),
+            intervals,
+            profiled_bytes,
+        });
+    }
+
+    let seq_count = r.length(3, "instance_seq")?;
+    let mut instance_seq = Vec::with_capacity(seq_count);
+    for _ in 0..seq_count {
+        let key = get_instance(&mut r, "instance_seq.key")?;
+        let n = r.length(1, "instance_seq.values")?;
+        let mut seq = Vec::with_capacity(n);
+        for _ in 0..n {
+            seq.push(r.u32_field("instance_seq.values")?);
+        }
+        instance_seq.push((key, seq));
+    }
+
+    if r.remaining() != 0 {
+        return Err(CodecError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+
+    Ok(Plan {
+        pool_size,
+        init_allocs,
+        iter_allocs,
+        dynamic: DynamicPlan {
+            groups,
+            instance_seq,
+        },
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> Plan {
+        let alloc = |size, offset, ts, te| PlannedAlloc {
+            size,
+            offset,
+            ts,
+            te,
+        };
+        let key = |m, p| InstanceKey {
+            module: trace_gen::ModuleId(m),
+            phase: p,
+        };
+        Plan {
+            pool_size: 1 << 20,
+            init_allocs: vec![alloc(512, 0, 0, 100), alloc(512, 512, 0, 100)],
+            iter_allocs: vec![
+                alloc(1024, 1024, 3, 9),
+                alloc(1024, 2048, 4, 8),
+                alloc(4096, 1024, 10, 90),
+            ],
+            dynamic: DynamicPlan {
+                groups: vec![DynGroup {
+                    ls: key(7, 2),
+                    le: key(7, 5),
+                    t_range: (12, 44),
+                    intervals: vec![(0, 1024), (8192, 4096)],
+                    profiled_bytes: 12_800,
+                }],
+                instance_seq: vec![(key(7, 2), vec![0, 0, u32::MAX])],
+            },
+            stats: PlanStats {
+                static_requests: 5,
+                dynamic_requests: 3,
+                phase_groups: 2,
+                fused_groups: 1,
+                layers: 1,
+                gap_inserted: 0,
+                homolayer_groups: 1,
+                peak_static_demand: 6144,
+                pool_size: 1 << 20,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_stable_reencode() {
+        let plan = sample_plan();
+        let bytes = encode_plan(&plan);
+        assert!(is_binary_plan(&bytes));
+        let back = decode_plan(&bytes).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(encode_plan(&back), bytes, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn empty_plan_roundtrips() {
+        let plan = Plan::default();
+        let back = decode_plan(&encode_plan(&plan)).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_plan(&sample_plan());
+        for cut in 0..bytes.len() {
+            let err = decode_plan(&bytes[..cut]).expect_err("prefix must not decode");
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. }
+                        | CodecError::BadMagic
+                        | CodecError::LengthOverflow { .. }
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        assert_eq!(decode_plan(b"JSON{}"), Err(CodecError::BadMagic));
+        let mut bytes = encode_plan(&sample_plan());
+        bytes[4] = 0xff;
+        bytes[5] = 0x7f;
+        assert_eq!(
+            decode_plan(&bytes),
+            Err(CodecError::UnsupportedVersion(0x7fff))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_plan(&sample_plan());
+        bytes.push(0);
+        assert_eq!(
+            decode_plan(&bytes),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // pool_size + 9 stats fields, then a giant alloc count.
+        bytes.extend_from_slice(&[0; 10]);
+        put_uvarint(&mut bytes, u64::MAX);
+        assert!(matches!(
+            decode_plan(&bytes),
+            Err(CodecError::LengthOverflow { .. } | CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // pool_size = 0 encoded non-canonically as 0x80 0x00.
+        bytes.extend_from_slice(&[0x80, 0x00]);
+        assert_eq!(
+            decode_plan(&bytes),
+            Err(CodecError::NonCanonicalVarint { offset: 6 })
+        );
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // 11 continuation bytes: > 64 bits of payload.
+        bytes.extend_from_slice(&[0xff; 11]);
+        assert!(matches!(
+            decode_plan(&bytes),
+            Err(CodecError::VarintOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn random_byte_flips_never_panic() {
+        let bytes = encode_plan(&sample_plan());
+        // Deterministic pseudo-random walk over (position, mask) pairs.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pos = (state >> 33) as usize % bytes.len();
+            let mask = (state >> 8) as u8 | 1;
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= mask;
+            let _ = decode_plan(&corrupt); // must return, never panic
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Plan artifacts for the STAlloc reproduction: a compact binary codec
+//! for [`Plan`](stalloc_core::Plan)s and a content-addressed on-disk
+//! cache keyed by job fingerprint.
+//!
+//! STAlloc's premise is that planning runs ahead of time and is amortized
+//! across thousands of identical training iterations — which makes the
+//! computed plan a reusable *artifact*, not a transient in-memory value.
+//! This crate supplies the two missing pieces:
+//!
+//! * [`codec`] — a versioned, magic-numbered wire format. Offsets, sizes,
+//!   and timesteps of consecutive planned decisions are near-sorted, so
+//!   zigzag-delta + varint encoding shrinks plans to a fraction of their
+//!   JSON form. The decoder returns typed [`CodecError`]s (never panics)
+//!   on truncated or corrupt input.
+//! * [`store`] — a [`PlanStore`] directory of `<fingerprint>.stplan`
+//!   artifacts with a JSON index and atomic writes. Lookup is by the
+//!   [`Fingerprint`](stalloc_core::Fingerprint) of the profiled job, so
+//!   [`synthesize_cached`] makes repeat planning O(1).
+//!
+//! # Example
+//!
+//! ```
+//! use stalloc_core::{profile_trace, synthesize, SynthConfig};
+//! use stalloc_store::{decode_plan, encode_plan, synthesize_cached, CacheOutcome, PlanStore};
+//! use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+//!
+//! let job = TrainJob::new(
+//!     ModelSpec::gpt2_345m(),
+//!     ParallelConfig::new(1, 2, 1),
+//!     OptimConfig::naive(),
+//! )
+//! .with_mbs(1)
+//! .with_seq(256)
+//! .with_microbatches(2);
+//! let trace = job.build_trace().unwrap();
+//! let profile = profile_trace(&trace, 1).unwrap();
+//!
+//! // Lossless, compact round-trip.
+//! let plan = synthesize(&profile, &SynthConfig::default());
+//! let bytes = encode_plan(&plan);
+//! assert_eq!(decode_plan(&bytes).unwrap(), plan);
+//! assert!(bytes.len() < plan.to_json().len() / 4);
+//!
+//! // Cached planning: second call skips synthesis.
+//! let dir = std::env::temp_dir().join(format!("stalloc-doc-{}", std::process::id()));
+//! let store = PlanStore::open(&dir).unwrap();
+//! let (_, _, first) = synthesize_cached(&profile, &SynthConfig::default(), &store).unwrap();
+//! let (_, _, second) = synthesize_cached(&profile, &SynthConfig::default(), &store).unwrap();
+//! assert_eq!(first, CacheOutcome::Miss);
+//! assert_eq!(second, CacheOutcome::Hit);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod codec;
+pub mod store;
+
+pub use codec::{decode_plan, encode_plan, is_binary_plan, CodecError, FORMAT_VERSION, MAGIC};
+pub use store::{
+    synthesize_cached, CacheOutcome, GcReport, PlanStore, StoreEntry, StoreError, PLAN_EXT,
+};

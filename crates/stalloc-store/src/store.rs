@@ -1,0 +1,530 @@
+//! Content-addressed on-disk plan cache.
+//!
+//! A [`PlanStore`] is a directory of binary plan artifacts named by the
+//! [`Fingerprint`] of the job that produced them (`<hex>.stplan`), plus a
+//! JSON index (`index.json`) with per-entry metadata for `stalloc cache
+//! ls`. All writes are atomic (unique temp file + rename), so a crashed
+//! or concurrent writer can never leave a torn plan behind; at worst the
+//! index lags the data files, which [`PlanStore::gc`] repairs.
+//!
+//! [`synthesize_cached`] is the integration point: look the job up by
+//! fingerprint, and only on a miss run the (comparatively expensive) plan
+//! synthesizer and persist the result. Corrupt or unreadable cache
+//! entries are treated as misses and overwritten, so the cache is
+//! self-healing.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+use stalloc_core::plan::{Plan, SynthConfig};
+use stalloc_core::{fingerprint_job, synthesize, Fingerprint, ProfiledRequests};
+
+use crate::codec::{decode_plan, encode_plan, CodecError};
+
+/// Extension of plan artifacts inside the store directory.
+pub const PLAN_EXT: &str = "stplan";
+
+const INDEX_FILE: &str = "index.json";
+const INDEX_VERSION: u32 = 1;
+
+/// Store operation failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error, tagged with the path involved.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A cached artifact failed to decode.
+    Codec(CodecError),
+    /// The index file exists but cannot be parsed.
+    CorruptIndex(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            StoreError::Codec(e) => write!(f, "cached plan: {e}"),
+            StoreError::CorruptIndex(e) => write!(f, "corrupt index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Codec(e) => Some(e),
+            StoreError::CorruptIndex(_) => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// One index row: metadata of a cached plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreEntry {
+    /// Hex fingerprint (also the artifact file stem).
+    pub fingerprint: String,
+    /// Artifact size in bytes.
+    pub bytes: u64,
+    /// Creation time, seconds since the Unix epoch.
+    pub created_unix: u64,
+    /// Cached plan's pool size (so `cache ls` can summarize without
+    /// decoding artifacts).
+    pub pool_size: u64,
+    /// Cached plan's static request count.
+    pub static_requests: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Index {
+    version: u32,
+    entries: Vec<StoreEntry>,
+}
+
+impl Index {
+    fn empty() -> Self {
+        Index {
+            version: INDEX_VERSION,
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// Result of a [`PlanStore::gc`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Index entries dropped because their artifact was missing.
+    pub dangling_entries: usize,
+    /// Valid un-indexed artifacts adopted back into the index (e.g. after
+    /// a lost index write).
+    pub adopted_entries: usize,
+    /// Artifact files removed because they were undecodable or unsound.
+    pub orphan_files: usize,
+    /// Stale temp files removed.
+    pub temp_files: usize,
+    /// Bytes reclaimed from removed files.
+    pub reclaimed_bytes: u64,
+}
+
+/// Temp files younger than this are presumed to belong to an in-flight
+/// writer and are left alone by [`PlanStore::gc`].
+pub const GC_TEMP_TTL: Duration = Duration::from_secs(3600);
+
+/// A content-addressed plan cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct PlanStore {
+    dir: PathBuf,
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl PlanStore {
+    /// Opens (creating if necessary) a store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(PlanStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the artifact for `fp` (whether or not it exists).
+    pub fn plan_path(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.{PLAN_EXT}", fp.to_hex()))
+    }
+
+    /// Looks up a plan by fingerprint. `Ok(None)` on a clean miss; a
+    /// present-but-corrupt artifact is an error (callers wanting
+    /// self-healing semantics use [`synthesize_cached`]).
+    pub fn get(&self, fp: Fingerprint) -> Result<Option<Plan>, StoreError> {
+        let path = self.plan_path(fp);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        Ok(Some(decode_plan(&bytes)?))
+    }
+
+    /// Stores `plan` under `fp`, atomically, and updates the index.
+    /// Returns the new index row.
+    pub fn put(&self, fp: Fingerprint, plan: &Plan) -> Result<StoreEntry, StoreError> {
+        let bytes = encode_plan(plan);
+        let path = self.plan_path(fp);
+        self.write_atomic(&path, &bytes)?;
+        let entry = StoreEntry {
+            fingerprint: fp.to_hex(),
+            bytes: bytes.len() as u64,
+            created_unix: unix_now(),
+            pool_size: plan.pool_size,
+            static_requests: plan.stats.static_requests as u64,
+        };
+        let mut index = self.load_index()?;
+        index.entries.retain(|e| e.fingerprint != entry.fingerprint);
+        index.entries.push(entry.clone());
+        index
+            .entries
+            .sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        self.save_index(&index)?;
+        Ok(entry)
+    }
+
+    /// All index rows, sorted by fingerprint.
+    pub fn entries(&self) -> Result<Vec<StoreEntry>, StoreError> {
+        Ok(self.load_index()?.entries)
+    }
+
+    /// Repairs index/data divergence after crashes or racing writers:
+    /// drops dangling index rows, *adopts* valid un-indexed artifacts back
+    /// into the index (an index write lost to a race must not cost the
+    /// data), removes undecodable/unsound artifacts, and removes temp
+    /// files older than [`GC_TEMP_TTL`] (younger ones may belong to an
+    /// in-flight writer).
+    pub fn gc(&self) -> Result<GcReport, StoreError> {
+        self.gc_with_temp_ttl(GC_TEMP_TTL)
+    }
+
+    /// [`Self::gc`] with an explicit temp-file age cutoff.
+    pub fn gc_with_temp_ttl(&self, temp_ttl: Duration) -> Result<GcReport, StoreError> {
+        let mut report = GcReport::default();
+        let mut index = self.load_index()?;
+        index.entries.retain(|e| {
+            let keep = Fingerprint::from_hex(&e.fingerprint)
+                .map(|fp| self.plan_path(fp).exists())
+                .unwrap_or(false);
+            if !keep {
+                report.dangling_entries += 1;
+            }
+            keep
+        });
+
+        let referenced: Vec<String> = index
+            .entries
+            .iter()
+            .map(|e| format!("{}.{PLAN_EXT}", e.fingerprint))
+            .collect();
+        let mut remove = |path: &Path| -> Result<(), StoreError> {
+            let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            fs::remove_file(path).map_err(|e| io_err(path, e))?;
+            report.reclaimed_bytes += len;
+            Ok(())
+        };
+        let listing = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        for dirent in listing {
+            let dirent = dirent.map_err(|e| io_err(&self.dir, e))?;
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            let path = dirent.path();
+            if name.starts_with(".tmp-") {
+                // Unknown age (metadata error, clock skew putting the
+                // mtime in the future) defaults to *keep*: deleting an
+                // in-flight writer's temp file breaks its rename.
+                let expired = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age >= temp_ttl);
+                if expired {
+                    remove(&path)?;
+                    report.temp_files += 1;
+                }
+                continue;
+            }
+            let stem = name.strip_suffix(&format!(".{PLAN_EXT}"));
+            if name == INDEX_FILE || stem.is_none() || referenced.contains(&name) {
+                continue;
+            }
+            // Un-indexed artifact: adopt it if it holds a sound plan
+            // under its claimed fingerprint, drop it otherwise.
+            let adopted = Fingerprint::from_hex(stem.expect("checked")).and_then(|fp| {
+                let plan = self.get(fp).ok().flatten()?;
+                plan.validate().ok()?;
+                Some(StoreEntry {
+                    fingerprint: fp.to_hex(),
+                    bytes: fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                    created_unix: unix_now(),
+                    pool_size: plan.pool_size,
+                    static_requests: plan.stats.static_requests as u64,
+                })
+            });
+            match adopted {
+                Some(entry) => {
+                    index.entries.push(entry);
+                    report.adopted_entries += 1;
+                }
+                None => {
+                    remove(&path)?;
+                    report.orphan_files += 1;
+                }
+            }
+        }
+        index
+            .entries
+            .sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        self.save_index(&index)?;
+        Ok(report)
+    }
+
+    /// Removes every artifact and the index. Returns the number of plans
+    /// removed.
+    pub fn clear(&self) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        let listing = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        for dirent in listing {
+            let dirent = dirent.map_err(|e| io_err(&self.dir, e))?;
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            let path = dirent.path();
+            if name.ends_with(&format!(".{PLAN_EXT}")) {
+                removed += 1;
+                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            } else if name == INDEX_FILE || name.starts_with(".tmp-") {
+                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            }
+        }
+        Ok(removed)
+    }
+
+    fn load_index(&self) -> Result<Index, StoreError> {
+        let path = self.dir.join(INDEX_FILE);
+        let data = match fs::read_to_string(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Index::empty()),
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let index: Index =
+            serde_json::from_str(&data).map_err(|e| StoreError::CorruptIndex(e.to_string()))?;
+        if index.version != INDEX_VERSION {
+            return Err(StoreError::CorruptIndex(format!(
+                "index version {} (expected {INDEX_VERSION})",
+                index.version
+            )));
+        }
+        Ok(index)
+    }
+
+    fn save_index(&self, index: &Index) -> Result<(), StoreError> {
+        let data =
+            serde_json::to_string(index).map_err(|e| StoreError::CorruptIndex(e.to_string()))?;
+        self.write_atomic(&self.dir.join(INDEX_FILE), data.as_bytes())
+    }
+
+    fn write_atomic(&self, dest: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, dest).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            io_err(dest, e)
+        })
+    }
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Outcome of a [`synthesize_cached`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Plan decoded straight from the store; synthesis skipped.
+    Hit,
+    /// No usable entry; plan synthesized and persisted.
+    Miss,
+}
+
+/// Plans a job through the cache: O(1) fingerprint lookup on a hit, full
+/// synthesis + [`PlanStore::put`] on a miss. A corrupt, unreadable, or
+/// decodable-but-unsound entry counts as a miss and is overwritten.
+pub fn synthesize_cached(
+    profile: &ProfiledRequests,
+    config: &SynthConfig,
+    store: &PlanStore,
+) -> Result<(Plan, Fingerprint, CacheOutcome), StoreError> {
+    let fp = fingerprint_job(profile, config);
+    // A bit flip past the header can decode to a *different* plan, so a
+    // hit must also pass the soundness check before it is trusted.
+    if let Ok(Some(plan)) = store.get(fp) {
+        if plan.validate().is_ok() {
+            return Ok((plan, fp, CacheOutcome::Hit));
+        }
+    }
+    let plan = synthesize(profile, config);
+    store.put(fp, &plan)?;
+    Ok((plan, fp, CacheOutcome::Miss))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+    fn temp_store(tag: &str) -> PlanStore {
+        let dir =
+            std::env::temp_dir().join(format!("stalloc-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        PlanStore::open(dir).unwrap()
+    }
+
+    fn profile() -> ProfiledRequests {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(4)
+        .with_iterations(2)
+        .build_trace()
+        .unwrap();
+        stalloc_core::profile_trace(&trace, 1).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_index() {
+        let store = temp_store("roundtrip");
+        let p = profile();
+        let config = SynthConfig::default();
+        let plan = synthesize(&p, &config);
+        let fp = fingerprint_job(&p, &config);
+
+        assert_eq!(store.get(fp).unwrap(), None);
+        let entry = store.put(fp, &plan).unwrap();
+        assert_eq!(entry.fingerprint, fp.to_hex());
+        assert_eq!(entry.pool_size, plan.pool_size);
+        assert_eq!(store.get(fp).unwrap(), Some(plan));
+        assert_eq!(store.entries().unwrap(), vec![entry]);
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn synthesize_cached_hits_on_second_call() {
+        let store = temp_store("cached");
+        let p = profile();
+        let config = SynthConfig::default();
+
+        let (plan1, fp1, out1) = synthesize_cached(&p, &config, &store).unwrap();
+        assert_eq!(out1, CacheOutcome::Miss);
+        let (plan2, fp2, out2) = synthesize_cached(&p, &config, &store).unwrap();
+        assert_eq!(out2, CacheOutcome::Hit);
+        assert_eq!(fp1, fp2);
+        assert_eq!(plan1, plan2);
+
+        // A different config is a different job.
+        let other = SynthConfig {
+            enable_fusion: false,
+            ..config
+        };
+        let (_, fp3, out3) = synthesize_cached(&p, &other, &store).unwrap();
+        assert_eq!(out3, CacheOutcome::Miss);
+        assert_ne!(fp1, fp3);
+        assert_eq!(store.entries().unwrap().len(), 2);
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_self_heals() {
+        let store = temp_store("heal");
+        let p = profile();
+        let config = SynthConfig::default();
+        let (_, fp, _) = synthesize_cached(&p, &config, &store).unwrap();
+
+        fs::write(store.plan_path(fp), b"garbage").unwrap();
+        assert!(store.get(fp).is_err(), "corrupt artifact surfaces as error");
+        let (plan, _, outcome) = synthesize_cached(&p, &config, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(store.get(fp).unwrap(), Some(plan));
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_repairs_divergence() {
+        let store = temp_store("gc");
+        let p = profile();
+        let config = SynthConfig::default();
+        let (_, fp, _) = synthesize_cached(&p, &config, &store).unwrap();
+
+        // A valid un-indexed artifact (as left by a lost index write), a
+        // garbage artifact, a dangling index entry (file gone), and a
+        // temp file.
+        let good_orphan = store.dir().join(format!("{}.{PLAN_EXT}", "0".repeat(32)));
+        fs::write(&good_orphan, encode_plan(&Plan::default())).unwrap();
+        let bad_orphan = store.dir().join(format!("{}.{PLAN_EXT}", "f".repeat(32)));
+        fs::write(&bad_orphan, b"garbage").unwrap();
+        let temp = store.dir().join(".tmp-999-0");
+        fs::write(&temp, b"stale").unwrap();
+        fs::remove_file(store.plan_path(fp)).unwrap();
+
+        // Default TTL: a freshly written temp file is presumed in-flight.
+        let report = store.gc().unwrap();
+        assert_eq!(report.dangling_entries, 1);
+        assert_eq!(report.adopted_entries, 1, "valid orphan is re-indexed");
+        assert_eq!(report.orphan_files, 1, "garbage orphan is removed");
+        assert_eq!(report.temp_files, 0, "fresh temp file survives");
+        assert!(report.reclaimed_bytes > 0);
+        assert!(good_orphan.exists());
+        assert!(!bad_orphan.exists());
+        assert!(temp.exists());
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].fingerprint, "0".repeat(32));
+
+        // Zero TTL: the temp file is now fair game.
+        let report = store.gc_with_temp_ttl(Duration::ZERO).unwrap();
+        assert_eq!(report.temp_files, 1);
+        assert!(!temp.exists());
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let store = temp_store("clear");
+        let p = profile();
+        synthesize_cached(&p, &SynthConfig::default(), &store).unwrap();
+        synthesize_cached(
+            &p,
+            &SynthConfig {
+                ascending_sizes: true,
+                ..SynthConfig::default()
+            },
+            &store,
+        )
+        .unwrap();
+        assert_eq!(store.clear().unwrap(), 2);
+        assert!(store.entries().unwrap().is_empty());
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

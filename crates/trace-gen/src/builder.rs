@@ -20,12 +20,11 @@ use crate::moe::{
 use crate::parallel::{OffloadMode, OptimConfig, ParallelConfig, RecomputeMode, ZeroStage};
 use crate::schedule::{bubble_fraction, schedule_interleaved, Step, StepKind};
 use crate::tensors::{
-    attention_sublayer_forward, dense_layer_backward_temps, dense_layer_weights,
-    embedding_forward, layer_output, mlp_sublayer_forward, ActDims, LayerTensorLife, TensorDef,
-    ACT_BYTES, FP32_BYTES,
+    attention_sublayer_forward, dense_layer_backward_temps, dense_layer_weights, embedding_forward,
+    layer_output, mlp_sublayer_forward, ActDims, LayerTensorLife, TensorDef, ACT_BYTES, FP32_BYTES,
 };
 use crate::trace::{
-    ModuleId, PhaseId, PhaseInfo, PhaseKind, TensorCategory, Trace, TraceEvent, TensorId,
+    ModuleId, PhaseId, PhaseInfo, PhaseKind, TensorCategory, TensorId, Trace, TraceEvent,
     WorkloadMeta,
 };
 
@@ -363,8 +362,7 @@ impl<'a> Builder<'a> {
     }
 
     fn has_head(&self, chunk: u32) -> bool {
-        self.job.stage_rank == self.job.parallel.pp - 1
-            && chunk == self.job.parallel.vpp - 1
+        self.job.stage_rank == self.job.parallel.pp - 1 && chunk == self.job.parallel.vpp - 1
     }
 
     fn first_layer_of_chunk(&self, chunk: u32) -> u32 {
@@ -381,12 +379,8 @@ impl<'a> Builder<'a> {
     fn run(&mut self) {
         self.emit_init();
         let p = self.job.parallel;
-        let steps = schedule_interleaved(
-            p.pp,
-            self.job.stage_rank,
-            self.job.num_microbatches,
-            p.vpp,
-        );
+        let steps =
+            schedule_interleaved(p.pp, self.job.stage_rank, self.job.num_microbatches, p.vpp);
         for iter in 1..=self.job.iterations {
             self.cur_iter = iter;
             self.routing.clear();
@@ -560,11 +554,8 @@ impl<'a> Builder<'a> {
 
             let mut gather = None;
             if self.zero3() {
-                gather = Some(self.alloc(
-                    self.layer_param_bytes(),
-                    false,
-                    TensorCategory::Transient,
-                ));
+                gather =
+                    Some(self.alloc(self.layer_param_bytes(), false, TensorCategory::Transient));
             }
 
             self.emit_forward_defs(
@@ -740,11 +731,8 @@ impl<'a> Builder<'a> {
 
             let mut gather = None;
             if self.zero3() {
-                gather = Some(self.alloc(
-                    self.layer_param_bytes(),
-                    false,
-                    TensorCategory::Transient,
-                ));
+                gather =
+                    Some(self.alloc(self.layer_param_bytes(), false, TensorCategory::Transient));
             }
 
             // Offload: fetch this layer's activations back just in time.
@@ -834,11 +822,7 @@ impl<'a> Builder<'a> {
     /// forward pass is reproduced exactly (same inputs -> same routing).
     fn expert_backward_recompute(&mut self, mb: u32, gl: u32, temps: &mut Vec<TensorId>) {
         let model = self.job.model.clone();
-        let counts = self
-            .routing
-            .get(&(mb, gl))
-            .cloned()
-            .unwrap_or_default();
+        let counts = self.routing.get(&(mb, gl)).cloned().unwrap_or_default();
         let name = format!("layers.{gl}.experts");
         let m = self.enter(&name);
         for &tok in &counts {
@@ -854,11 +838,7 @@ impl<'a> Builder<'a> {
     /// expert, then free the forward's routed activations.
     fn expert_backward(&mut self, mb: u32, gl: u32, key: MbChunk) {
         let model = self.job.model.clone();
-        let counts = self
-            .routing
-            .get(&(mb, gl))
-            .cloned()
-            .unwrap_or_default();
+        let counts = self.routing.get(&(mb, gl)).cloned().unwrap_or_default();
         let name = format!("layers.{gl}.experts");
         let m = self.enter(&name);
         for &tok in &counts {
@@ -1032,7 +1012,9 @@ mod tests {
                 .iter()
                 .filter_map(|ev| match ev {
                     TraceEvent::Alloc {
-                        size, dynamic: true, ..
+                        size,
+                        dynamic: true,
+                        ..
                     } => Some(*size),
                     _ => None,
                 })

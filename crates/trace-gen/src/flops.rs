@@ -26,8 +26,7 @@ pub fn flops_per_iter_per_gpu(
     seq: u64,
     num_microbatches: u32,
 ) -> f64 {
-    let tokens_global =
-        mbs as u64 * seq * num_microbatches as u64 * parallel.dp as u64;
+    let tokens_global = mbs as u64 * seq * num_microbatches as u64 * parallel.dp as u64;
     flops_per_token(model, seq) * tokens_global as f64 / parallel.world_size() as f64
 }
 

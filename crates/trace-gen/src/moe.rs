@@ -34,13 +34,7 @@ impl ExpertRouter {
     /// Routes one microbatch: returns the token count assigned to each of
     /// this rank's `local_experts`, summing to (roughly) the rank's share
     /// `tokens * top_k / ep`.
-    pub fn route(
-        &mut self,
-        tokens: u64,
-        moe: &MoeSpec,
-        ep: u32,
-        local_experts: u32,
-    ) -> Vec<u64> {
+    pub fn route(&mut self, tokens: u64, moe: &MoeSpec, ep: u32, local_experts: u32) -> Vec<u64> {
         let total = tokens * moe.top_k as u64 / ep as u64;
         let n = local_experts as usize;
         if n == 0 {
@@ -121,13 +115,13 @@ pub fn moe_post_expert_forward(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> 
                 ));
             }
         }
-        v.push(TensorDef::new(
-            "shared_down",
-            t * h * ACT_BYTES / sp,
-            Saved,
-        ));
+        v.push(TensorDef::new("shared_down", t * h * ACT_BYTES / sp, Saved));
     }
-    v.push(TensorDef::new("unpermute_out", t * h * ACT_BYTES / sp, Saved));
+    v.push(TensorDef::new(
+        "unpermute_out",
+        t * h * ACT_BYTES / sp,
+        Saved,
+    ));
     v
 }
 
@@ -282,6 +276,9 @@ mod tests {
         // identical catalogues.
         let m = moe_model();
         let d = ActDims::new(8, 4096, 1);
-        assert_eq!(moe_layer_static_forward(&m, d), moe_layer_static_forward(&m, d));
+        assert_eq!(
+            moe_layer_static_forward(&m, d),
+            moe_layer_static_forward(&m, d)
+        );
     }
 }

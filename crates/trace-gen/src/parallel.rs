@@ -219,10 +219,19 @@ mod tests {
     fn validate_checks_divisibility() {
         let m = ModelSpec::llama2_7b(); // 32 layers
         assert!(ParallelConfig::new(1, 8, 1).validate(&m).is_ok());
-        assert!(ParallelConfig::new(1, 8, 1).with_vpp(2).validate(&m).is_ok());
-        assert!(ParallelConfig::new(1, 8, 1).with_vpp(3).validate(&m).is_err());
+        assert!(ParallelConfig::new(1, 8, 1)
+            .with_vpp(2)
+            .validate(&m)
+            .is_ok());
+        assert!(ParallelConfig::new(1, 8, 1)
+            .with_vpp(3)
+            .validate(&m)
+            .is_err());
         assert!(ParallelConfig::new(3, 1, 1).validate(&m).is_err(), "tp=3");
-        assert!(ParallelConfig::new(1, 1, 1).with_vpp(2).validate(&m).is_err());
+        assert!(ParallelConfig::new(1, 1, 1)
+            .with_vpp(2)
+            .validate(&m)
+            .is_err());
     }
 
     #[test]
@@ -234,7 +243,10 @@ mod tests {
         assert!(bad.validate(&m).is_err());
         // ep on a dense model is rejected.
         let dense = ModelSpec::llama2_7b();
-        assert!(ParallelConfig::new(1, 1, 8).with_ep(4).validate(&dense).is_err());
+        assert!(ParallelConfig::new(1, 1, 8)
+            .with_ep(4)
+            .validate(&dense)
+            .is_err());
     }
 
     #[test]

@@ -219,15 +219,11 @@ mod tests {
                 for mb in 0..m {
                     let f = s
                         .iter()
-                        .filter(|x| {
-                            x.kind == StepKind::Forward && x.mb == mb && x.chunk == chunk
-                        })
+                        .filter(|x| x.kind == StepKind::Forward && x.mb == mb && x.chunk == chunk)
                         .count();
                     let b = s
                         .iter()
-                        .filter(|x| {
-                            x.kind == StepKind::Backward && x.mb == mb && x.chunk == chunk
-                        })
+                        .filter(|x| x.kind == StepKind::Backward && x.mb == mb && x.chunk == chunk)
                         .count();
                     assert_eq!(f, 1, "rank {rank} chunk {chunk} mb {mb}");
                     assert_eq!(b, 1, "rank {rank} chunk {chunk} mb {mb}");
@@ -266,9 +262,7 @@ mod tests {
                     .unwrap();
                 let bpos = s
                     .iter()
-                    .position(|x| {
-                        x.kind == StepKind::Backward && x.mb == mb && x.chunk == chunk
-                    })
+                    .position(|x| x.kind == StepKind::Backward && x.mb == mb && x.chunk == chunk)
                     .unwrap();
                 assert!(fpos < bpos, "mb {mb} chunk {chunk}");
             }

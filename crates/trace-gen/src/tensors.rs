@@ -215,11 +215,7 @@ pub fn head_forward(model: &ModelSpec, d: ActDims) -> Vec<TensorDef> {
     use LayerTensorLife::{Saved, Temp};
     let t = d.tokens;
     vec![
-        TensorDef::new(
-            "logits",
-            t * model.vocab * ACT_BYTES / d.tp,
-            Saved,
-        ),
+        TensorDef::new("logits", t * model.vocab * ACT_BYTES / d.tp, Saved),
         TensorDef::new("logits_max", t * FP32_BYTES, Temp),
         TensorDef::new("loss_per_token", t * FP32_BYTES, Saved),
     ]

@@ -30,7 +30,11 @@ fn main() {
             if torch_ok { "ok" } else { "OOM" },
             if st_ok { "ok" } else { "OOM" },
             tput,
-            if st_ok && !torch_ok { "STAlloc-only" } else { "" },
+            if st_ok && !torch_ok {
+                "STAlloc-only"
+            } else {
+                ""
+            },
         );
         if st_ok {
             let better = best.as_ref().is_none_or(|(t, _, _)| tput > *t);

@@ -45,12 +45,18 @@ fn main() {
     );
 
     // Render the plan's occupancy in the time x address plane.
-    println!("
-{}", stalloc_core::render_plan(&plan, 16, 72));
+    println!(
+        "
+{}",
+        stalloc_core::render_plan(&plan, 16, 72)
+    );
 
     // Round-trip through JSON, as the pluggable-allocator deployment does.
     let json = plan.to_json();
     let restored = Plan::from_json(&json).expect("round-trips");
     assert_eq!(restored.pool_size, plan.pool_size);
-    println!("  serialized plan    : {} bytes of JSON, round-trips OK", json.len());
+    println!(
+        "  serialized plan    : {} bytes of JSON, round-trips OK",
+        json.len()
+    );
 }

@@ -27,7 +27,11 @@ fn main() {
     );
 
     let spec = DeviceSpec::a800_80g();
-    for kind in [AllocatorKind::Torch23, AllocatorKind::TorchEs, AllocatorKind::Stalloc] {
+    for kind in [
+        AllocatorKind::Torch23,
+        AllocatorKind::TorchEs,
+        AllocatorKind::Stalloc,
+    ] {
         let r = run(&trace, &spec, kind);
         println!(
             "  {:<18} allocated {:>6.2} GiB  reserved {:>6.2} GiB  efficiency {:>5.1}%{}",

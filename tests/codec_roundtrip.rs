@@ -1,0 +1,175 @@
+//! Codec round-trip and robustness properties.
+//!
+//! * encode → decode must reproduce the plan exactly, and re-encoding the
+//!   decoded plan must be byte-identical (the codec is canonical);
+//! * the binary form must stay well under the acceptance ceiling of 25%
+//!   of the JSON size on the GPT-2 345M example;
+//! * truncated or corrupted streams must fail with *typed* errors — the
+//!   decoder never panics on foreign bytes.
+
+use proptest::prelude::*;
+
+use stalloc_core::{profile_trace, synthesize, SynthConfig};
+use stalloc_store::{decode_plan, encode_plan, is_binary_plan, CodecError};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn model_zoo(idx: u64) -> (ModelSpec, ParallelConfig, OptimConfig) {
+    match idx % 4 {
+        0 => (
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        ),
+        1 => (
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1).with_vpp(2),
+            OptimConfig::r(),
+        ),
+        2 => (
+            ModelSpec::llama2_7b(),
+            ParallelConfig::new(2, 2, 1),
+            OptimConfig::r(),
+        ),
+        _ => (
+            ModelSpec::qwen15_moe_a27b(),
+            ParallelConfig::new(1, 1, 4).with_ep(4),
+            OptimConfig::naive(),
+        ),
+    }
+}
+
+fn synth_config(fusion: bool, gaps: bool, ascending: bool) -> SynthConfig {
+    SynthConfig {
+        enable_fusion: fusion,
+        enable_gap_insertion: gaps,
+        ascending_sizes: ascending,
+    }
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrips_across_model_zoo(
+        model_idx in 0u64..4,
+        mbs in 1u32..3,
+        mb_factor in 1u32..3,
+        seed in 0u64..1000,
+        fusion in prop::bool::ANY,
+        gaps in prop::bool::ANY,
+        ascending in prop::bool::ANY,
+    ) {
+        let (model, parallel, optim) = model_zoo(model_idx);
+        let trace = TrainJob::new(model, parallel, optim)
+            .with_mbs(mbs)
+            .with_seq(256)
+            // Interleaved schedules need microbatches divisible by pp.
+            .with_microbatches(parallel.pp * mb_factor)
+            .with_iterations(1)
+            .with_seed(seed)
+            .build_trace()
+            .map_err(|e| e.to_string())?;
+        let profile = profile_trace(&trace, 1).map_err(|e| e.to_string())?;
+        let plan = synthesize(&profile, &synth_config(fusion, gaps, ascending));
+
+        let bytes = encode_plan(&plan);
+        prop_assert!(is_binary_plan(&bytes));
+        let decoded = decode_plan(&bytes).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&decoded, &plan, "decode(encode(p)) != p");
+        prop_assert_eq!(encode_plan(&decoded), bytes, "re-encode not byte-identical");
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors_never_panics(
+        mbs in 1u32..3,
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(mbs)
+        .with_seq(256)
+        .with_microbatches(2)
+        .with_iterations(1)
+        .build_trace()
+        .map_err(|e| e.to_string())?;
+        let profile = profile_trace(&trace, 1).map_err(|e| e.to_string())?;
+        let plan = synthesize(&profile, &SynthConfig::default());
+        let bytes = encode_plan(&plan);
+
+        let cut = (cut_seed as usize) % bytes.len();
+        let err = decode_plan(&bytes[..cut]);
+        prop_assert!(err.is_err(), "strict prefix of length {} decoded", cut);
+        prop_assert!(
+            matches!(
+                err.unwrap_err(),
+                CodecError::Truncated { .. }
+                    | CodecError::BadMagic
+                    | CodecError::LengthOverflow { .. }
+            ),
+            "unexpected error class at cut {}", cut
+        );
+    }
+
+    #[test]
+    fn corrupted_bytes_decode_to_error_or_other_plan_without_panic(
+        flip_pos_seed in 0u64..u64::MAX,
+        flip_mask in 1u8..=255,
+    ) {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(2)
+        .with_iterations(1)
+        .build_trace()
+        .map_err(|e| e.to_string())?;
+        let profile = profile_trace(&trace, 1).map_err(|e| e.to_string())?;
+        let plan = synthesize(&profile, &SynthConfig::default());
+        let mut bytes = encode_plan(&plan);
+
+        let pos = (flip_pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip_mask;
+        // A flip may still decode (to a different plan) — the property is
+        // purely "no panic, and magic damage is detected as such".
+        match decode_plan(&bytes) {
+            Ok(_) => prop_assert!(pos >= 4, "magic corruption must not decode"),
+            Err(e) => {
+                if pos < 4 {
+                    prop_assert_eq!(e, CodecError::BadMagic);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gpt2_345m_binary_is_at_most_a_quarter_of_json() {
+    // The acceptance example: the ~220 KB ROADMAP item job.
+    let trace = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1),
+        OptimConfig::r(),
+    )
+    .with_mbs(2)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(2)
+    .build_trace()
+    .unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+    let plan = synthesize(&profile, &SynthConfig::default());
+
+    let bytes = encode_plan(&plan);
+    let json = plan.to_json();
+    assert_eq!(decode_plan(&bytes).unwrap(), plan);
+    assert!(
+        4 * bytes.len() <= json.len(),
+        "binary {} B vs json {} B: over the 25% ceiling",
+        bytes.len(),
+        json.len()
+    );
+}

@@ -4,7 +4,7 @@
 //! (hash-map iteration order, unstable sorts on equal keys, thread
 //! scheduling) shows up here as a serialized-plan mismatch.
 
-use stalloc_core::{profile_trace, synthesize, SynthConfig};
+use stalloc_core::{fingerprint_job, profile_trace, synthesize, SynthConfig};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
 
 fn synth_configs() -> Vec<SynthConfig> {
@@ -113,4 +113,50 @@ fn rebuilt_traces_profile_identically() {
         synthesize(&profile_trace(&trace, 1).unwrap(), &SynthConfig::default()).to_json()
     };
     assert_eq!(plan_a, plan_b, "two builds of the same seeded job diverged");
+}
+
+#[test]
+fn fingerprints_are_stable_across_runs() {
+    // The plan cache keys on the job fingerprint, so it must be a pure
+    // function of the profiled content: two independent builds of the
+    // same seeded job agree, every synthesis config yields a distinct
+    // digest, and touching the profile changes it.
+    let job = || {
+        TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1),
+            OptimConfig::r(),
+        )
+        .with_mbs(2)
+        .with_seq(512)
+        .with_microbatches(8)
+        .with_iterations(2)
+        .with_seed(17)
+    };
+    let profile_a = profile_trace(&job().build_trace().unwrap(), 1).unwrap();
+    let profile_b = profile_trace(&job().build_trace().unwrap(), 1).unwrap();
+
+    let mut digests = Vec::new();
+    for config in synth_configs() {
+        let fp_a = fingerprint_job(&profile_a, &config);
+        let fp_b = fingerprint_job(&profile_b, &config);
+        assert_eq!(fp_a, fp_b, "fingerprint diverged across runs: {config:?}");
+        assert_eq!(fp_a.to_hex().len(), 32);
+        digests.push(fp_a);
+    }
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(
+        digests.len(),
+        synth_configs().len(),
+        "distinct configs must map to distinct fingerprints"
+    );
+
+    let mut tweaked = profile_a.clone();
+    tweaked.statics[0].size += 512;
+    assert_ne!(
+        fingerprint_job(&profile_a, &SynthConfig::default()),
+        fingerprint_job(&tweaked, &SynthConfig::default()),
+        "profile content must be part of the fingerprint"
+    );
 }

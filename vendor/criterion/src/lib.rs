@@ -78,9 +78,11 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -146,7 +148,10 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
         return;
     }
     // Respect `cargo bench -- <filter>` style filters loosely.
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     if !args.is_empty() && !args.iter().any(|a| name.contains(a.as_str())) {
         return;
     }

@@ -16,10 +16,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[derive(Debug)]
@@ -194,14 +205,20 @@ fn parse_item(input: TokenStream) -> Result<Shape, String> {
                         other => return Err(format!("expected struct name, got {other:?}")),
                     };
                     return match it.next() {
-                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-                            Err(format!("generic struct {name} not supported by offline serde_derive"))
-                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                            "generic struct {name} not supported by offline serde_derive"
+                        )),
                         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                            Ok(Shape::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+                            Ok(Shape::NamedStruct {
+                                name,
+                                fields: parse_named_fields(g.stream())?,
+                            })
                         }
                         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                            Ok(Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+                            Ok(Shape::TupleStruct {
+                                name,
+                                arity: count_tuple_fields(g.stream()),
+                            })
                         }
                         Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
                             Ok(Shape::UnitStruct { name })
@@ -215,11 +232,14 @@ fn parse_item(input: TokenStream) -> Result<Shape, String> {
                         other => return Err(format!("expected enum name, got {other:?}")),
                     };
                     return match it.next() {
-                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-                            Err(format!("generic enum {name} not supported by offline serde_derive"))
-                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                            "generic enum {name} not supported by offline serde_derive"
+                        )),
                         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                            Ok(Shape::Enum { name, variants: parse_variants(g.stream())? })
+                            Ok(Shape::Enum {
+                                name,
+                                variants: parse_variants(g.stream())?,
+                            })
                         }
                         other => Err(format!("unexpected token after enum {name}: {other:?}")),
                     };

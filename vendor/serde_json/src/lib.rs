@@ -179,7 +179,10 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
