@@ -1,0 +1,116 @@
+//! Criterion bench: plan-server request throughput.
+//!
+//! Spins an in-process `stalloc-served` daemon and measures batches of
+//! concurrent plan requests at varying worker counts and cache hit
+//! ratios. At 100% hits the cost is wire + LRU lookup; each miss adds
+//! one synthesis (amortized across all clients by single-flight). The
+//! per-iteration time divided by the batch size is the requests/sec
+//! figure.
+
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stalloc_core::{profile_trace, ProfiledRequests, SynthConfig};
+use stalloc_served::{PlanClient, PlanServer, ServeConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+/// Requests per measured batch (shared by every scenario).
+const BATCH: usize = 16;
+/// Concurrent client connections issuing the batch.
+const CLIENTS: usize = 4;
+
+fn small_profile() -> ProfiledRequests {
+    let job = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 2, 1),
+        OptimConfig::naive(),
+    )
+    .with_mbs(1)
+    .with_seq(256)
+    .with_microbatches(2)
+    .with_iterations(1);
+    let trace = job.build_trace().unwrap();
+    profile_trace(&trace, 1).unwrap()
+}
+
+/// A profile variant with a distinct fingerprint per `salt` (so misses
+/// stay misses across criterion iterations).
+fn salted(base: &ProfiledRequests, salt: u64) -> ProfiledRequests {
+    let mut p = base.clone();
+    if let Some(r) = p.statics.first_mut() {
+        r.size += 512 * (salt + 1);
+    }
+    p
+}
+
+/// Issues `BATCH` plan requests over `CLIENTS` connections; `misses` of
+/// them are fresh fingerprints (salted), the rest repeat the warm base
+/// job. Returns once every response has arrived.
+fn drive_batch(
+    addr: std::net::SocketAddr,
+    base: &Arc<ProfiledRequests>,
+    misses: usize,
+    salt0: u64,
+) {
+    let config = SynthConfig::default();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let base = Arc::clone(base);
+            thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                for i in 0..BATCH / CLIENTS {
+                    let global = c * (BATCH / CLIENTS) + i;
+                    let profile = if global < misses {
+                        salted(&base, salt0 + global as u64)
+                    } else {
+                        (*base).clone()
+                    };
+                    client.plan(&profile, &config).expect("plan");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let base = Arc::new(small_profile());
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+
+    for &workers in &[1usize, 4] {
+        // Fresh server per scenario so hit ratios are exact.
+        for &(label, miss_per_batch) in &[("hit100", 0usize), ("hit75", BATCH / 4)] {
+            let server = PlanServer::start(ServeConfig {
+                workers,
+                queue_depth: CLIENTS * 2,
+                lru_capacity: 4096,
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            let addr = server.addr();
+            // Warm the base job so repeats are pure cache hits.
+            drive_batch(addr, &base, 0, 0);
+
+            // Monotonic salt: every measured batch's "miss" share is a
+            // genuinely new fingerprint.
+            let mut salt = 1u64 << 32;
+            let name = format!("{label}/workers{workers}/batch{BATCH}");
+            group.bench_function(name.as_str(), |b| {
+                b.iter(|| {
+                    salt += BATCH as u64;
+                    drive_batch(addr, &base, miss_per_batch, salt);
+                })
+            });
+            server.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

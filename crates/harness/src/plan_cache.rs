@@ -6,30 +6,41 @@
 //! [`planned`] keys synthesis by the job's [`Fingerprint`] and serves
 //! repeats from:
 //!
-//! 1. a process-wide in-memory memo (always on), and
-//! 2. an optional on-disk [`PlanStore`], enabled by pointing the
+//! 1. a process-wide in-memory memo (always on),
+//! 2. an optional `stalloc serve` daemon, enabled by pointing the
+//!    `STALLOC_PLAN_SERVER` environment variable at its address — so
+//!    concurrent experiment lineups across *machines* share one
+//!    synthesis, and
+//! 3. an optional on-disk [`PlanStore`], enabled by pointing the
 //!    `STALLOC_PLAN_CACHE` environment variable at a directory — so plans
 //!    survive across experiment *processes* (`all_experiments`, the
 //!    figure binaries, repeated bench runs).
 //!
-//! Disk-cache failures are deliberately non-fatal: the experiment falls
-//! back to plain synthesis. [`stats`] exposes hit counters so runs can
-//! report cache effectiveness.
+//! Remote and disk failures are deliberately non-fatal: the experiment
+//! falls back to plain synthesis. [`stats`] exposes hit counters so runs
+//! can report cache effectiveness.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use stalloc_core::{fingerprint_job, synthesize, Fingerprint, Plan, ProfiledRequests, SynthConfig};
+use stalloc_served::PlanClient;
 use stalloc_store::PlanStore;
 
 /// Environment variable naming the on-disk plan cache directory.
 pub const PLAN_CACHE_ENV: &str = "STALLOC_PLAN_CACHE";
+
+/// Environment variable naming a `stalloc serve` daemon address.
+pub const PLAN_SERVER_ENV: &str = "STALLOC_PLAN_SERVER";
 
 /// Cumulative cache counters for this process.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Plans served from the in-memory memo.
     pub memo_hits: u64,
+    /// Plans served by a remote plan server (whether the server itself
+    /// hit its cache or synthesized is the server's business).
+    pub remote: u64,
     /// Plans decoded from the on-disk store.
     pub store_hits: u64,
     /// Plans synthesized from scratch.
@@ -64,8 +75,30 @@ fn disk_store() -> Option<&'static PlanStore> {
         .as_ref()
 }
 
-/// Returns the plan for `(profile, config)`, consulting the memo and the
-/// optional disk store before synthesizing.
+/// Which tier ultimately produced a plan (for stats accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Remote,
+    Store,
+    Synthesized,
+}
+
+/// Plans `(profile, config)` against a `stalloc serve` daemon at `addr`.
+/// The received plan is validated by the client; errors surface so the
+/// caller can decide between failing and falling back.
+pub fn remote_planned(
+    addr: &str,
+    profile: &ProfiledRequests,
+    config: &SynthConfig,
+) -> Result<Plan, String> {
+    let mut client = PlanClient::connect(addr).map_err(|e| e.to_string())?;
+    let remote = client.plan(profile, config).map_err(|e| e.to_string())?;
+    Ok(remote.plan)
+}
+
+/// Returns the plan for `(profile, config)`, consulting the memo, the
+/// optional remote plan server, and the optional disk store — in that
+/// order — before synthesizing.
 pub fn planned(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
     let fp = fingerprint_job(profile, config);
     {
@@ -77,27 +110,48 @@ pub fn planned(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
         }
     }
 
+    // Remote tier: a shared daemon amortizes synthesis across processes
+    // and machines; any failure degrades to the local tiers.
+    let remote_plan = std::env::var(PLAN_SERVER_ENV)
+        .ok()
+        .filter(|addr| !addr.is_empty())
+        .and_then(|addr| remote_planned(&addr, profile, config).ok());
+
     // A disk artifact that decodes but fails the soundness check (e.g. a
     // bit flip past the codec header) must not reach the allocator.
-    let disk_plan = disk_store()
-        .and_then(|store| store.get(fp).ok().flatten())
-        .filter(|plan| plan.validate().is_ok());
-    let (plan, from_store) = match disk_plan {
-        Some(plan) => (plan, true),
+    let (plan, tier) = match remote_plan {
+        Some(plan) => (plan, Tier::Remote),
         None => {
-            let plan = synthesize(profile, config);
-            if let Some(store) = disk_store() {
-                let _ = store.put(fp, &plan); // best effort
+            let disk_plan = disk_store()
+                .and_then(|store| store.get(fp).ok().flatten())
+                .filter(|plan| plan.validate().is_ok());
+            match disk_plan {
+                Some(plan) => (plan, Tier::Store),
+                None => {
+                    let plan = synthesize(profile, config);
+                    if let Some(store) = disk_store() {
+                        let _ = store.put(fp, &plan); // best effort
+                    }
+                    (plan, Tier::Synthesized)
+                }
             }
-            (plan, false)
         }
     };
 
+    // A remotely served plan still lands in the local disk store, so the
+    // configured cross-process cache keeps working if the server later
+    // becomes unreachable.
+    if tier == Tier::Remote {
+        if let Some(store) = disk_store() {
+            let _ = store.put(fp, &plan); // best effort
+        }
+    }
+
     let mut s = state().lock().expect("plan cache lock");
-    if from_store {
-        s.stats.store_hits += 1;
-    } else {
-        s.stats.synthesized += 1;
+    match tier {
+        Tier::Remote => s.stats.remote += 1,
+        Tier::Store => s.stats.store_hits += 1,
+        Tier::Synthesized => s.stats.synthesized += 1,
     }
     s.memo.insert(fp, plan.clone());
     plan
@@ -139,12 +193,42 @@ mod tests {
         // First call either synthesized or (if another test populated the
         // memo already) hit; the second call must be a memo hit.
         assert!(
-            mid.synthesized + mid.memo_hits + mid.store_hits
-                > before.synthesized + before.memo_hits + before.store_hits
+            mid.synthesized + mid.memo_hits + mid.store_hits + mid.remote
+                > before.synthesized + before.memo_hits + before.store_hits + before.remote
         );
         // Strict inequality, not an exact delta: other tests in this
         // process share the global counters and may interleave their own
         // memo hits between the two reads.
         assert!(after.memo_hits > mid.memo_hits);
+    }
+
+    #[test]
+    fn remote_planned_round_trips_through_a_server() {
+        use stalloc_served::{PlanServer, ServeConfig};
+
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(2)
+        .with_iterations(2)
+        .build_trace()
+        .unwrap();
+        let profile = stalloc_core::profile_trace(&trace, 1).unwrap();
+        let config = SynthConfig::default();
+
+        let server = PlanServer::start(ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        let remote = remote_planned(&addr, &profile, &config).unwrap();
+        assert_eq!(remote, synthesize(&profile, &config));
+        assert_eq!(server.stats().plan_requests, 1);
+        server.shutdown();
+
+        // With the server gone, the remote tier reports (not panics) and
+        // `planned` would fall back to local synthesis.
+        assert!(remote_planned(&addr, &profile, &config).is_err());
     }
 }

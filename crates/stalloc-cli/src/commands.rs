@@ -4,7 +4,11 @@ use std::fs;
 
 use gpu_sim::DeviceSpec;
 use harness::{run, AllocatorKind};
-use stalloc_core::{profile_trace, synthesize, Plan, ProfiledRequests, SynthConfig};
+use stalloc_core::{
+    profile_trace, synthesize, Plan, ProfiledRequests, SynthConfig, FINGERPRINT_VERSION,
+    SYNTH_ALGO_VERSION,
+};
+use stalloc_served::{PlanClient, PlanServer, ServeConfig};
 use stalloc_store::{decode_plan, encode_plan, is_binary_plan, synthesize_cached};
 use stalloc_store::{CacheOutcome, PlanStore};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, Trace, TrainJob};
@@ -19,10 +23,13 @@ usage: stalloc <command> [--flags]
 commands:
   trace    generate a training memory trace
   profile  characterize one iteration's requests (paper section 4)
-  plan     synthesize the allocation plan (paper section 5)
+  plan     synthesize the allocation plan (paper section 5),
+           locally or against a plan server (--remote)
   show     render a plan's occupancy as ASCII art
   replay   replay a trace through an allocator (paper section 9 metrics)
-  cache    inspect a plan cache directory (ls | gc | clear)";
+  serve    run the plan-synthesis daemon over a shared plan cache
+  cache    inspect a plan cache directory (ls | gc | clear)
+  version  print tool and planner-algorithm versions";
 
 struct Command {
     name: &'static str,
@@ -90,11 +97,13 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
                     .stplan/.bin, else json)
   --cache DIR       consult/populate a plan cache: on a fingerprint hit
                     the plan is loaded and synthesis is skipped
+  --remote ADDR     plan via a `stalloc serve` daemon at ADDR instead of
+                    synthesizing locally (mutually exclusive with --cache)
   --no-fusion       disable HomoPhase fusion (ablation)
   --no-gaps         disable gap insertion (ablation)
   --ascending       process size classes ascending (ablation)",
         spec: FlagSpec {
-            value_flags: &["input", "output", "format", "cache"],
+            value_flags: &["input", "output", "format", "cache", "remote"],
             bool_flags: &["no-fusion", "no-gaps", "ascending"],
         },
         run: cmd_plan,
@@ -127,6 +136,38 @@ usage: stalloc replay --input TRACE [flags]
         },
         run: cmd_replay,
     },
+    Command {
+        name: "serve",
+        help: "\
+usage: stalloc serve [flags]
+  --addr A          bind address (default 127.0.0.1:4547; port 0 picks
+                    a free port, printed on startup)
+  --workers N       worker threads (default 4)
+  --cache DIR       shared on-disk plan store (default: in-memory only)
+  --queue N         accept-queue bound before Busy rejections (default 64)
+  --lru N           in-process LRU capacity in plans (default 128; 0 off)
+  --max-frame-mib N largest accepted request frame (default 64)
+
+serves the length-prefixed JSONL plan protocol until killed; identical
+concurrent jobs are deduplicated to one synthesis (single-flight)",
+        spec: FlagSpec {
+            value_flags: &["addr", "workers", "cache", "queue", "lru", "max-frame-mib"],
+            bool_flags: &[],
+        },
+        run: cmd_serve,
+    },
+    Command {
+        name: "version",
+        help: "\
+usage: stalloc version
+  prints the tool version plus the planner-algorithm and profile
+  fingerprint versions that key the plan caches",
+        spec: FlagSpec {
+            value_flags: &[],
+            bool_flags: &[],
+        },
+        run: cmd_version,
+    },
 ];
 
 const CACHE_HELP: &str = "\
@@ -146,6 +187,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         return Err("no command given".into());
     };
     match cmd.as_str() {
+        "--version" | "-V" => cmd_version(&Args::default()),
         "help" | "--help" | "-h" => {
             // `stalloc help <command>` prints that command's help.
             if let Some(topic) = rest.first() {
@@ -398,6 +440,11 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
+    if args.get("remote").is_some() && args.get("cache").is_some() {
+        return Err(
+            "--remote and --cache are mutually exclusive (the server owns its cache)".into(),
+        );
+    }
     let profile: ProfiledRequests = read_json(args.require("input")?)?;
     let config = SynthConfig {
         enable_fusion: !args.flag("no-fusion"),
@@ -407,7 +454,18 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     let output = args.require("output")?;
     let format = plan_format(args, output)?;
 
-    let plan = if let Some(dir) = args.get("cache") {
+    let plan = if let Some(addr) = args.get("remote") {
+        let mut client = PlanClient::connect(addr).map_err(|e| format!("--remote {addr}: {e}"))?;
+        let r = client
+            .plan(&profile, &config)
+            .map_err(|e| format!("--remote {addr}: {e}"))?;
+        let verdict = if r.source.is_hit() { "hit" } else { "miss" };
+        eprintln!(
+            "plan server {addr}: {verdict} {} ({:?}, {} µs server-side)",
+            r.fingerprint, r.source, r.micros
+        );
+        r.plan
+    } else if let Some(dir) = args.get("cache") {
         let store = PlanStore::open(dir).map_err(|e| e.to_string())?;
         let (plan, fp, outcome) =
             synthesize_cached(&profile, &config, &store).map_err(|e| e.to_string())?;
@@ -446,6 +504,42 @@ fn cmd_show(args: &Args) -> Result<(), String> {
     let rows = args.num("rows", 16usize)?;
     let cols = args.num("cols", 72usize)?;
     println!("{}", stalloc_core::render_plan(&plan, rows, cols));
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:4547").to_string(),
+        workers: args.num("workers", 4usize)?,
+        queue_depth: args.num("queue", 64usize)?,
+        lru_capacity: args.num("lru", 128usize)?,
+        max_frame: args.num("max-frame-mib", 64usize)? << 20,
+        store_dir: args.get("cache").map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let cache_desc = match &config.store_dir {
+        Some(d) => format!("store {}", d.display()),
+        None => "in-memory only".to_string(),
+    };
+    let handle = PlanServer::start(config.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "stalloc serve: listening on {} ({} workers, queue {}, lru {}, {})",
+        handle.addr(),
+        config.workers,
+        config.queue_depth,
+        config.lru_capacity,
+        cache_desc
+    );
+    handle.join();
+    Ok(())
+}
+
+fn cmd_version(_args: &Args) -> Result<(), String> {
+    println!(
+        "stalloc {} (planner algorithm v{SYNTH_ALGO_VERSION}, profile fingerprint \
+         v{FINGERPRINT_VERSION})",
+        env!("CARGO_PKG_VERSION")
+    );
     Ok(())
 }
 
@@ -535,17 +629,98 @@ mod tests {
             "help",
             "help plan",
             "help cache",
+            "help serve",
+            "help version",
             "trace --help",
             "profile -h",
             "plan --help",
             "show --help",
             "replay -h",
+            "serve --help",
             "cache --help",
             "cache ls --help",
         ] {
             dispatch(&argv(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
         assert!(dispatch(&argv("help fly")).is_err());
+    }
+
+    #[test]
+    fn version_paths_succeed() {
+        for line in ["version", "--version", "-V"] {
+            dispatch(&argv(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // The help text for version mentions both cache-keying versions.
+        assert!(dispatch(&argv("vresion")).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn remote_and_cache_are_mutually_exclusive() {
+        let err = dispatch(&argv(
+            "plan --input p.json --output x.json --cache c --remote 127.0.0.1:1",
+        ))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn remote_plan_against_live_server() {
+        use stalloc_served::{PlanServer, ServeConfig};
+
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-remote-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let trace_p = dir.join("t.json").to_string_lossy().to_string();
+        let prof_p = dir.join("p.json").to_string_lossy().to_string();
+        let plan_p = dir.join("pl.stplan").to_string_lossy().to_string();
+        let store_d = dir.join("served-store");
+
+        dispatch(&argv(&format!(
+            "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
+             --iterations 2 --output {trace_p}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "profile --input {trace_p} --output {prof_p}"
+        )))
+        .unwrap();
+
+        let server = PlanServer::start(ServeConfig {
+            workers: 2,
+            store_dir: Some(store_d),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+
+        // First remote plan synthesizes on the server; the second is a
+        // cache hit (the CI smoke test exercises the same pair through
+        // the real binary).
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --remote {addr}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --remote {addr}"
+        )))
+        .unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.plan_requests, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits(), 1);
+
+        // The remotely planned artifact is a normal local plan file.
+        let plan = read_plan(&plan_p).unwrap();
+        plan.validate().unwrap();
+
+        // An unreachable server is a clean error, not a hang or panic.
+        server.shutdown();
+        let err = dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --remote {addr}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--remote"), "{err}");
+
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,13 +6,16 @@
 //! stalloc trace   --model llama2-7b --tp 4 --pp 2 --optim R --output trace.json
 //! stalloc profile --input trace.json --output profile.json [--iteration 1]
 //! stalloc plan    --input profile.json --output plan.stplan [--format bin|json]
-//!                 [--cache DIR] [--no-fusion] [--no-gaps]
+//!                 [--cache DIR | --remote ADDR] [--no-fusion] [--no-gaps]
 //! stalloc show    --input plan.stplan [--rows 16] [--cols 72]
 //! stalloc replay  --input trace.json --allocator stalloc --device a800
+//! stalloc serve   [--addr 127.0.0.1:4547] [--workers 4] [--cache DIR]
 //! stalloc cache   {ls|gc|clear} --dir DIR
+//! stalloc version
 //! ```
 //!
-//! `--help`/`-h` works at the top level and per subcommand.
+//! `--help`/`-h` works at the top level and per subcommand; `serve` runs
+//! the plan-synthesis daemon that `plan --remote` talks to.
 
 mod args;
 mod commands;

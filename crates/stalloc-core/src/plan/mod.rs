@@ -160,8 +160,9 @@ impl Plan {
 /// planner (the fingerprint mixes this in).
 pub const SYNTH_ALGO_VERSION: u32 = 1;
 
-/// Configuration of the synthesizer (ablation switches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Configuration of the synthesizer (ablation switches). Serializable so
+/// it can travel in [`wire`](crate::wire) planning requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SynthConfig {
     /// Enable TMP-scored HomoPhase fusion (paper behaviour: on).
     pub enable_fusion: bool,

@@ -1,0 +1,252 @@
+//! Wire-facing types of the plan-synthesis service (`stalloc-served`).
+//!
+//! The planning daemon and its clients exchange these types as JSON
+//! payloads inside length-prefixed frames (the framing itself lives in
+//! `stalloc-served::frame`; this module is deliberately transport-free so
+//! that any crate can speak the protocol without pulling in the server).
+//!
+//! A request is either a full planning job `(ProfiledRequests,
+//! SynthConfig)`, a lookup by job [`Fingerprint`](crate::Fingerprint), a
+//! [`ServeStats`] snapshot request, or a liveness ping. Responses carry
+//! the plan plus provenance ([`PlanSource`]: which cache tier answered,
+//! or whether this request rode on another request's in-flight
+//! synthesis), per-request timing, and typed errors ([`WireErrorKind`])
+//! for protocol violations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{Plan, SynthConfig};
+use crate::profiler::ProfiledRequests;
+
+/// One client request to the planning service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PlanRequest {
+    /// Plan this job: answer from cache on a fingerprint hit, synthesize
+    /// (with single-flight deduplication) on a miss.
+    Plan {
+        /// The profiled request set (paper §4 output).
+        profile: ProfiledRequests,
+        /// Synthesizer switches; part of the cache key.
+        config: SynthConfig,
+    },
+    /// Look up a previously planned job by fingerprint only. Never
+    /// synthesizes: answers `NotFound` on a miss.
+    Get {
+        /// Lower-case hex fingerprint, as printed by `Fingerprint::to_hex`.
+        fingerprint: String,
+    },
+    /// Report the server's cumulative counters.
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+/// Which tier of the serving stack produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanSource {
+    /// In-process sharded LRU in front of the disk store.
+    Lru,
+    /// Decoded from the shared on-disk `PlanStore`.
+    Store,
+    /// Synthesized by this request (the single-flight leader).
+    Synthesized,
+    /// Waited on an identical in-flight synthesis started by another
+    /// request (a single-flight follower).
+    Coalesced,
+}
+
+impl PlanSource {
+    /// Whether the plan was served without running the synthesizer for
+    /// this request (coalesced followers count as hits: the synthesis
+    /// cost was paid once, by the leader).
+    pub fn is_hit(self) -> bool {
+        !matches!(self, PlanSource::Synthesized)
+    }
+}
+
+/// Typed protocol-level failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireErrorKind {
+    /// The frame could not be parsed (bad length header, missing
+    /// terminator, or a payload that is not a valid request).
+    BadFrame,
+    /// The declared payload length exceeds the server's frame limit.
+    Oversized,
+    /// The request decoded but cannot be served (e.g. an unparseable
+    /// fingerprint).
+    BadRequest,
+    /// The server's accept queue is full; retry later.
+    Busy,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// Unexpected server-side failure (e.g. storage error).
+    Internal,
+}
+
+impl std::fmt::Display for WireErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireErrorKind::BadFrame => "bad frame",
+            WireErrorKind::Oversized => "oversized frame",
+            WireErrorKind::BadRequest => "bad request",
+            WireErrorKind::Busy => "server busy",
+            WireErrorKind::ShuttingDown => "server shutting down",
+            WireErrorKind::Internal => "internal server error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cumulative server counters, reported by the `Stats` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Total requests decoded (all verbs).
+    pub requests: u64,
+    /// `Plan` requests.
+    pub plan_requests: u64,
+    /// `Plan`/`Get` requests answered from the in-process LRU.
+    pub lru_hits: u64,
+    /// `Plan`/`Get` requests answered from the on-disk store.
+    pub store_hits: u64,
+    /// `Plan` requests that ran the synthesizer (single-flight leaders).
+    pub misses: u64,
+    /// `Plan` requests that waited on an identical in-flight synthesis.
+    pub coalesced: u64,
+    /// Connections rejected with `Busy` because the accept queue was full.
+    pub rejected: u64,
+    /// Requests answered with a protocol or server error.
+    pub errors: u64,
+    /// Requests currently being processed by workers.
+    pub in_flight: u64,
+    /// Connections currently waiting in the accept queue.
+    pub queue_depth: u64,
+    /// Size of the worker pool.
+    pub workers: u64,
+}
+
+impl ServeStats {
+    /// All cache hits (LRU + store + coalesced followers).
+    pub fn hits(&self) -> u64 {
+        self.lru_hits + self.store_hits + self.coalesced
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PlanResponse {
+    /// A plan, from cache or synthesis.
+    Plan {
+        /// Hex fingerprint of the job.
+        fingerprint: String,
+        /// Which tier produced the plan.
+        source: PlanSource,
+        /// Server-side handling time, microseconds.
+        micros: u64,
+        /// The plan itself.
+        plan: Plan,
+    },
+    /// `Get` miss: no cached plan under that fingerprint.
+    NotFound {
+        /// The fingerprint that missed.
+        fingerprint: String,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// The counters at response time.
+        stats: ServeStats,
+    },
+    /// `Ping` reply.
+    Pong,
+    /// Typed failure.
+    Error {
+        /// Machine-readable failure class.
+        kind: WireErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let reqs = [
+            PlanRequest::Get {
+                fingerprint: "a".repeat(32),
+            },
+            PlanRequest::Stats,
+            PlanRequest::Ping,
+        ];
+        for r in reqs {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: PlanRequest = serde_json::from_str(&json).unwrap();
+            assert_eq!(format!("{r:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn plan_request_carries_profile_and_config() {
+        let r = PlanRequest::Plan {
+            profile: ProfiledRequests::default(),
+            config: SynthConfig::default(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PlanRequest = serde_json::from_str(&json).unwrap();
+        match back {
+            PlanRequest::Plan { profile, config } => {
+                assert_eq!(profile.statics.len(), 0);
+                assert_eq!(config, SynthConfig::default());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_json() {
+        let resp = PlanResponse::Plan {
+            fingerprint: "0".repeat(32),
+            source: PlanSource::Coalesced,
+            micros: 1234,
+            plan: Plan::default(),
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        match serde_json::from_str::<PlanResponse>(&json).unwrap() {
+            PlanResponse::Plan { source, micros, .. } => {
+                assert_eq!(source, PlanSource::Coalesced);
+                assert_eq!(micros, 1234);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let err = PlanResponse::Error {
+            kind: WireErrorKind::Oversized,
+            message: "too big".into(),
+        };
+        let json = serde_json::to_string(&err).unwrap();
+        match serde_json::from_str::<PlanResponse>(&json).unwrap() {
+            PlanResponse::Error { kind, message } => {
+                assert_eq!(kind, WireErrorKind::Oversized);
+                assert_eq!(message, "too big");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_hit_accounting() {
+        let s = ServeStats {
+            lru_hits: 2,
+            store_hits: 3,
+            coalesced: 5,
+            misses: 7,
+            ..ServeStats::default()
+        };
+        assert_eq!(s.hits(), 10);
+        assert!(PlanSource::Lru.is_hit());
+        assert!(PlanSource::Store.is_hit());
+        assert!(PlanSource::Coalesced.is_hit());
+        assert!(!PlanSource::Synthesized.is_hit());
+    }
+}

@@ -1,0 +1,217 @@
+//! Blocking client for the planning daemon.
+//!
+//! One [`PlanClient`] wraps one keep-alive TCP connection; requests on it
+//! are sequential (open more clients for concurrency). Responses are
+//! distrusted: plans are re-validated on receipt, so a corrupt or
+//! malicious server cannot push an unsound plan into a training run.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use stalloc_core::wire::{PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind};
+use stalloc_core::{Fingerprint, Plan, ProfiledRequests, SynthConfig};
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server's frame could not be decoded.
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Server {
+        /// Machine-readable failure class.
+        kind: WireErrorKind,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server broke the protocol (closed mid-exchange, wrong variant,
+    /// unsound plan).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "plan server i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "plan server frame: {e}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "plan server error ({kind}): {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "plan server protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A successfully served plan with its provenance.
+#[derive(Debug, Clone)]
+pub struct RemotePlan {
+    /// The validated plan.
+    pub plan: Plan,
+    /// Job fingerprint the server keyed it by.
+    pub fingerprint: Fingerprint,
+    /// Cache tier (or synthesis) that produced it.
+    pub source: PlanSource,
+    /// Server-side handling time, microseconds.
+    pub micros: u64,
+}
+
+/// One connection to a `stalloc-served` daemon.
+pub struct PlanClient {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl PlanClient {
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:4547"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous default: plan synthesis for large jobs takes a while
+        // and the server answers Busy fast when overloaded.
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        Ok(PlanClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Caps the response frames this client will accept.
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    fn roundtrip(&mut self, request: &PlanRequest) -> Result<PlanResponse, ClientError> {
+        let payload = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
+        write_frame(&mut self.stream, payload.as_bytes())?;
+        let frame = read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| ClientError::Protocol("server closed before responding".into()))?;
+        let text = std::str::from_utf8(&frame)
+            .map_err(|e| ClientError::Protocol(format!("non-UTF-8 response: {e}")))?;
+        let response: PlanResponse = serde_json::from_str(text)
+            .map_err(|e| ClientError::Protocol(format!("undecodable response: {e}")))?;
+        if let PlanResponse::Error { kind, message } = response {
+            return Err(ClientError::Server { kind, message });
+        }
+        Ok(response)
+    }
+
+    /// Accepts a plan response, distrusting the server: the echoed
+    /// fingerprint must match the one we can compute (or asked for)
+    /// locally — so a server-side mixup cannot hand this job another
+    /// job's plan — and the plan must pass the soundness check.
+    fn accept_plan(
+        &self,
+        expected: Fingerprint,
+        fingerprint: String,
+        source: PlanSource,
+        micros: u64,
+        plan: Plan,
+    ) -> Result<RemotePlan, ClientError> {
+        let fingerprint = Fingerprint::from_hex(&fingerprint)
+            .ok_or_else(|| ClientError::Protocol(format!("bad fingerprint '{fingerprint}'")))?;
+        if fingerprint != expected {
+            return Err(ClientError::Protocol(format!(
+                "server answered for job {fingerprint}, expected {expected}"
+            )));
+        }
+        plan.validate()
+            .map_err(|e| ClientError::Protocol(format!("server sent unsound plan: {e}")))?;
+        Ok(RemotePlan {
+            plan,
+            fingerprint,
+            source,
+            micros,
+        })
+    }
+
+    /// Plans a job remotely: cache hit, coalesced wait, or synthesis —
+    /// the server decides; the response says which ([`RemotePlan::source`]).
+    pub fn plan(
+        &mut self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+    ) -> Result<RemotePlan, ClientError> {
+        let expected = stalloc_core::fingerprint_job(profile, config);
+        let request = PlanRequest::Plan {
+            profile: profile.clone(),
+            config: *config,
+        };
+        match self.roundtrip(&request)? {
+            PlanResponse::Plan {
+                fingerprint,
+                source,
+                micros,
+                plan,
+            } => self.accept_plan(expected, fingerprint, source, micros, plan),
+            other => Err(ClientError::Protocol(format!(
+                "expected Plan response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Looks up a cached plan by fingerprint; `Ok(None)` if the server
+    /// has never planned that job.
+    pub fn get(&mut self, fp: Fingerprint) -> Result<Option<RemotePlan>, ClientError> {
+        let request = PlanRequest::Get {
+            fingerprint: fp.to_hex(),
+        };
+        match self.roundtrip(&request)? {
+            PlanResponse::Plan {
+                fingerprint,
+                source,
+                micros,
+                plan,
+            } => Ok(Some(self.accept_plan(
+                fp,
+                fingerprint,
+                source,
+                micros,
+                plan,
+            )?)),
+            PlanResponse::NotFound { .. } => Ok(None),
+            other => Err(ClientError::Protocol(format!(
+                "expected Plan/NotFound response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's cumulative counters.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        match self.roundtrip(&PlanRequest::Stats)? {
+            PlanResponse::Stats { stats } => Ok(stats),
+            other => Err(ClientError::Protocol(format!(
+                "expected Stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&PlanRequest::Ping)? {
+            PlanResponse::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected Pong response, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Length-prefixed JSONL framing.
+//!
+//! Every protocol message is one *frame*:
+//!
+//! ```text
+//! <payload length, ASCII decimal>\n
+//! <payload bytes, exactly that many>\n
+//! ```
+//!
+//! The payload is a single JSON document (a
+//! [`PlanRequest`](stalloc_core::wire::PlanRequest) or
+//! [`PlanResponse`](stalloc_core::wire::PlanResponse)). The decimal
+//! header keeps the protocol debuggable with `nc`, while the explicit
+//! length lets the receiver reject oversized payloads *before* reading
+//! them and makes message boundaries independent of JSON content.
+//!
+//! [`read_frame`] never panics: every malformed input maps to a typed
+//! [`FrameError`], and a clean EOF before the first header byte is the
+//! regular end-of-stream (`Ok(None)`).
+
+use std::io::{Read, Write};
+
+/// Default upper bound on a frame payload (64 MiB — a large profile is
+/// a few MB of JSON; anything bigger is a protocol violation, not data).
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+/// Longest accepted header line (enough for any `usize` plus slack).
+const MAX_HEADER_DIGITS: usize = 20;
+
+/// Typed framing failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error (including timeouts).
+    Io(std::io::Error),
+    /// The length header is not a plain decimal line.
+    BadHeader(String),
+    /// The declared payload length exceeds the receiver's limit.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// Receiver's limit.
+        max: usize,
+    },
+    /// The stream ended mid-frame.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The byte after the payload was not the `\n` terminator.
+    MissingTerminator,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::BadHeader(d) => write!(f, "bad frame header: {d}"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds limit {max}")
+            }
+            FrameError::Truncated { expected, got } => {
+                write!(f, "frame truncated: expected {expected} bytes, got {got}")
+            }
+            FrameError::MissingTerminator => write!(f, "frame missing trailing newline"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (header, payload, terminator) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(format!("{}\n", payload.len()).as_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` on clean EOF (stream closed at a
+/// frame boundary); every other irregularity is a typed [`FrameError`].
+///
+/// On [`FrameError::Oversized`] the payload has *not* been consumed: the
+/// caller must treat the stream as unsynchronized and close it.
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    // Header: decimal digits up to '\n', read byte-wise (callers that
+    // care wrap the stream in a BufReader; headers are ~10 bytes).
+    let mut header: Vec<u8> = Vec::with_capacity(MAX_HEADER_DIGITS);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if header.is_empty() {
+                    return Ok(None);
+                }
+                return Err(FrameError::BadHeader("eof inside length header".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if !byte[0].is_ascii_digit() {
+                    return Err(FrameError::BadHeader(format!(
+                        "non-digit byte 0x{:02x} in length header",
+                        byte[0]
+                    )));
+                }
+                if header.len() >= MAX_HEADER_DIGITS {
+                    return Err(FrameError::BadHeader("length header too long".into()));
+                }
+                header.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if header.is_empty() {
+        return Err(FrameError::BadHeader("empty length header".into()));
+    }
+    let declared: usize = std::str::from_utf8(&header)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| FrameError::BadHeader("unparseable length".into()))?;
+    if declared > max {
+        return Err(FrameError::Oversized { declared, max });
+    }
+
+    let mut payload = vec![0u8; declared];
+    let mut got = 0;
+    while got < declared {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    expected: declared,
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => return Err(FrameError::MissingTerminator),
+            Ok(_) if byte[0] == b'\n' => return Ok(Some(payload)),
+            Ok(_) => return Err(FrameError::MissingTerminator),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        assert_eq!(roundtrip(b"{}"), b"{}");
+        assert_eq!(roundtrip(b""), b"");
+        let big = vec![b'x'; 100_000];
+        assert_eq!(roundtrip(&big), big);
+    }
+
+    #[test]
+    fn consecutive_frames_share_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"one");
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"two");
+        assert!(read_frame(&mut cur, 64).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn garbage_header_is_typed() {
+        let e = read_frame(&mut Cursor::new(b"hello\n".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::BadHeader(_)), "{e}");
+        let e = read_frame(&mut Cursor::new(b"\n".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::BadHeader(_)), "{e}");
+        let e = read_frame(&mut Cursor::new(b"12".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::BadHeader(_)), "eof in header: {e}");
+        let e = read_frame(&mut Cursor::new(b"999999999999999999999\n".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::BadHeader(_)), "{e}");
+    }
+
+    #[test]
+    fn oversized_is_rejected_before_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let e = read_frame(&mut Cursor::new(buf), 64).unwrap_err();
+        match e {
+            FrameError::Oversized { declared, max } => {
+                assert_eq!((declared, max), (100, 64));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn truncation_reports_progress() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        buf.truncate(buf.len() - 5); // cut payload + terminator
+        let e = read_frame(&mut Cursor::new(buf), 64).unwrap_err();
+        match e {
+            FrameError::Truncated { expected, got } => {
+                assert_eq!(expected, 11);
+                assert!(got < expected);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_terminator_is_typed() {
+        let e = read_frame(&mut Cursor::new(b"2\nab".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::MissingTerminator), "{e}");
+        let e = read_frame(&mut Cursor::new(b"2\nabX".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::MissingTerminator), "{e}");
+    }
+}

@@ -1,0 +1,613 @@
+//! The planning daemon: a hand-rolled worker pool over
+//! `std::net::TcpListener`.
+//!
+//! One acceptor thread pushes connections into a bounded queue; `workers`
+//! threads pop connections and serve all frames on each (requests on one
+//! connection are sequential, connections are concurrent). When the queue
+//! is full the acceptor answers `Busy` and drops the connection — the
+//! protocol's backpressure signal. Shutdown is graceful: the acceptor
+//! stops, workers finish the request in hand, blocked reads abort at the
+//! next poll tick.
+//!
+//! Plan requests flow through three tiers: the in-process
+//! [`ShardedLru`], the shared on-disk [`PlanStore`], and synthesis. A
+//! synthesis is *single-flight*: concurrent requests for the same job
+//! fingerprint elect one leader to run the synthesizer while followers
+//! wait on its result — N identical jobs cost one synthesis.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use stalloc_core::wire::{PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind};
+use stalloc_core::{fingerprint_job, synthesize, Fingerprint, Plan};
+use stalloc_store::{PlanStore, ShardedLru};
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker pool size (= maximum concurrently served connections).
+    pub workers: usize,
+    /// Accept-queue bound: connections waiting for a worker beyond this
+    /// are rejected with `Busy`.
+    pub queue_depth: usize,
+    /// Maximum accepted frame payload, bytes.
+    pub max_frame: usize,
+    /// Shared on-disk plan store directory (`None` = memory-only).
+    pub store_dir: Option<PathBuf>,
+    /// In-process LRU capacity in plans (0 disables the LRU tier).
+    pub lru_capacity: usize,
+    /// Poll tick for shutdown-aware blocking reads.
+    pub poll_tick: Duration,
+    /// Connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            store_dir: None,
+            lru_capacity: 128,
+            poll_tick: Duration::from_millis(50),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Server startup/storage failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, local_addr).
+    Io(std::io::Error),
+    /// The plan store could not be opened.
+    Store(stalloc_store::StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve: {e}"),
+            ServeError::Store(e) => write!(f, "serve: plan store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    plan_requests: AtomicU64,
+    lru_hits: AtomicU64,
+    store_hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// One in-flight synthesis: the leader publishes its result (or failure)
+/// here; followers wait on the condvar.
+struct Flight {
+    done: Mutex<Option<Result<Plan, String>>>,
+    cv: Condvar,
+}
+
+struct Shared {
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    lru: ShardedLru,
+    store: Option<PlanStore>,
+    inflight: Mutex<HashMap<Fingerprint, Arc<Flight>>>,
+    counters: Counters,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServeStats {
+        let c = &self.counters;
+        ServeStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            plan_requests: c.plan_requests.load(Ordering::Relaxed),
+            lru_hits: c.lru_hits.load(Ordering::Relaxed),
+            store_hits: c.store_hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().expect("queue lock").len() as u64,
+            workers: self.config.workers as u64,
+        }
+    }
+}
+
+/// The planning daemon. [`PlanServer::start`] spawns the acceptor and
+/// worker threads and returns a [`ServerHandle`] to observe and stop it.
+pub struct PlanServer;
+
+impl PlanServer {
+    /// Binds `config.addr` and starts serving. Returns once the socket is
+    /// listening; serving continues on background threads until
+    /// [`ServerHandle::shutdown`].
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
+        let addr = listener.local_addr().map_err(ServeError::Io)?;
+        let store = match &config.store_dir {
+            Some(dir) => Some(PlanStore::open(dir).map_err(ServeError::Store)?),
+            None => None,
+        };
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            lru: ShardedLru::new(config.lru_capacity),
+            store,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            config,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("stalloc-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(ServeError::Io)?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stalloc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(ServeError::Io)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(ServerHandle {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Running-server handle: address, live stats, graceful shutdown.
+/// Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for :0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counter snapshot, without a network roundtrip.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, let workers finish the request
+    /// in hand, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the server stops (another thread must call
+    /// [`ServerHandle::shutdown`], or the process is killed). Used by
+    /// `stalloc serve`.
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a wake-up connection; it re-checks
+        // the flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (e.g. fd exhaustion) must
+                // not hot-loop the acceptor at 100% CPU.
+                std::thread::sleep(shared.config.poll_tick);
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = respond_and_drop(stream, WireErrorKind::ShuttingDown, "server shutting down");
+            return;
+        }
+        let mut q = shared.queue.lock().expect("queue lock");
+        if q.len() >= shared.config.queue_depth {
+            drop(q);
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = respond_and_drop(stream, WireErrorKind::Busy, "accept queue full; retry");
+            continue;
+        }
+        q.push_back(stream);
+        drop(q);
+        shared.queue_cv.notify_one();
+    }
+}
+
+/// Writes one typed error frame to a connection we are about to drop.
+///
+/// The client has usually already written its request; closing with
+/// those bytes unread would send an RST that can destroy the error frame
+/// in the client's receive queue before it is read. So: send the frame,
+/// half-close our write side, and drain (bounded) until the peer closes
+/// — the typed `Busy`/`ShuttingDown` signal then reliably arrives.
+fn respond_and_drop(
+    mut stream: TcpStream,
+    kind: WireErrorKind,
+    message: &str,
+) -> std::io::Result<()> {
+    let resp = PlanResponse::Error {
+        kind,
+        message: message.into(),
+    };
+    let payload = serde_json::to_string(&resp).unwrap_or_default();
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+    write_frame(&mut stream, payload.as_bytes())?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Hard wall-clock budget: this runs on the acceptor thread, and a
+    // trickling client must not be able to stall accepts.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 16 << 10];
+    while Instant::now() < deadline {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared
+                    .queue_cv
+                    .wait_timeout(q, shared.config.poll_tick)
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        match conn {
+            Some(stream) => handle_connection(stream, shared),
+            None => return,
+        }
+    }
+}
+
+/// `Read` adapter over a non-blocking-ish `TcpStream` (short read
+/// timeout): retries timeouts until data arrives, the idle budget runs
+/// out, or the server begins shutting down — so a worker blocked on a
+/// quiet keep-alive connection still notices shutdown within one tick.
+struct PatientReader<'a> {
+    stream: &'a TcpStream,
+    shared: &'a Shared,
+}
+
+impl std::io::Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut waited = Duration::ZERO;
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "server shutting down",
+                        ));
+                    }
+                    waited += self.shared.config.poll_tick;
+                    if waited >= self.shared.config.idle_timeout {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "connection idle",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_tick));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = PatientReader {
+        stream: &stream,
+        shared,
+    };
+
+    loop {
+        let payload = match read_frame(&mut reader, shared.config.max_frame) {
+            Ok(Some(p)) => p,
+            // Clean EOF at a frame boundary: keep-alive connection closed.
+            Ok(None) => return,
+            Err(FrameError::Io(_)) => return, // peer gone / idle / shutdown
+            Err(e) => {
+                // Malformed traffic gets a typed error, then the stream is
+                // unsynchronized, so close. The worker itself moves on to
+                // the next connection unharmed.
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let kind = match e {
+                    FrameError::Oversized { .. } => WireErrorKind::Oversized,
+                    _ => WireErrorKind::BadFrame,
+                };
+                let _ = write_response(
+                    &mut writer,
+                    &PlanResponse::Error {
+                        kind,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        let response = handle_request(&payload, started, shared);
+        let keep_alive = !matches!(
+            response,
+            PlanResponse::Error {
+                kind: WireErrorKind::BadFrame,
+                ..
+            }
+        );
+        // Decrement before the response write: a client that has read its
+        // response must never still observe itself as in-flight.
+        shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let write_ok = write_response(&mut writer, &response).is_ok();
+        if !write_ok || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn write_response(w: &mut TcpStream, resp: &PlanResponse) -> std::io::Result<()> {
+    let payload = serde_json::to_string(resp)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(w, payload.as_bytes())
+}
+
+fn handle_request(payload: &[u8], started: Instant, shared: &Shared) -> PlanResponse {
+    let request: PlanRequest = match std::str::from_utf8(payload)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return PlanResponse::Error {
+                kind: WireErrorKind::BadFrame,
+                message: format!("unparseable request: {e}"),
+            };
+        }
+    };
+
+    match request {
+        PlanRequest::Ping => PlanResponse::Pong,
+        PlanRequest::Stats => PlanResponse::Stats {
+            stats: shared.snapshot(),
+        },
+        PlanRequest::Get { fingerprint } => {
+            let Some(fp) = Fingerprint::from_hex(&fingerprint) else {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return PlanResponse::Error {
+                    kind: WireErrorKind::BadRequest,
+                    message: format!("'{fingerprint}' is not a 32-hex-digit fingerprint"),
+                };
+            };
+            match lookup_cached(fp, shared) {
+                Some((plan, source)) => PlanResponse::Plan {
+                    fingerprint,
+                    source,
+                    micros: started.elapsed().as_micros() as u64,
+                    plan,
+                },
+                None => PlanResponse::NotFound { fingerprint },
+            }
+        }
+        PlanRequest::Plan { profile, config } => {
+            shared
+                .counters
+                .plan_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let fp = fingerprint_job(&profile, &config);
+            if let Some((plan, source)) = lookup_cached(fp, shared) {
+                return PlanResponse::Plan {
+                    fingerprint: fp.to_hex(),
+                    source,
+                    micros: started.elapsed().as_micros() as u64,
+                    plan,
+                };
+            }
+            match plan_single_flight(fp, &profile, &config, shared) {
+                Ok((plan, source)) => PlanResponse::Plan {
+                    fingerprint: fp.to_hex(),
+                    source,
+                    micros: started.elapsed().as_micros() as u64,
+                    plan,
+                },
+                Err(message) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    PlanResponse::Error {
+                        kind: WireErrorKind::Internal,
+                        message,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cache tiers 1 and 2: the in-process LRU, then the shared disk store
+/// (promoting disk hits into the LRU). Corrupt or unsound store entries
+/// are treated as misses, mirroring `synthesize_cached`.
+fn lookup_cached(fp: Fingerprint, shared: &Shared) -> Option<(Plan, PlanSource)> {
+    if let Some(plan) = shared.lru.get(fp) {
+        shared.counters.lru_hits.fetch_add(1, Ordering::Relaxed);
+        return Some((plan, PlanSource::Lru));
+    }
+    let plan = shared
+        .store
+        .as_ref()
+        .and_then(|s| s.get(fp).ok().flatten())
+        .filter(|p| p.validate().is_ok())?;
+    shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+    shared.lru.insert(fp, plan.clone());
+    Some((plan, PlanSource::Store))
+}
+
+/// Cache tier 3: synthesis with single-flight deduplication. The first
+/// request for `fp` becomes the leader and synthesizes; requests landing
+/// while it runs wait on the flight and share the result.
+fn plan_single_flight(
+    fp: Fingerprint,
+    profile: &stalloc_core::ProfiledRequests,
+    config: &stalloc_core::SynthConfig,
+    shared: &Shared,
+) -> Result<(Plan, PlanSource), String> {
+    let (flight, leader) = {
+        let mut map = shared.inflight.lock().expect("inflight lock");
+        match map.get(&fp) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let f = Arc::new(Flight {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                map.insert(fp, Arc::clone(&f));
+                (f, true)
+            }
+        }
+    };
+
+    if !leader {
+        let mut done = flight.done.lock().expect("flight lock");
+        while done.is_none() {
+            done = flight.cv.wait(done).expect("flight lock");
+        }
+        let result = done.clone().expect("checked some");
+        return match result {
+            Ok(plan) => {
+                shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok((plan, PlanSource::Coalesced))
+            }
+            Err(e) => Err(format!("coalesced synthesis failed: {e}")),
+        };
+    }
+
+    // Leader re-check: this thread may have read the caches *before* a
+    // previous leader for the same job published its plan and retired its
+    // flight entry. Without this, two "one" syntheses could both run —
+    // the map insert happens-after the previous leader's cache insert, so
+    // a second look is conclusive.
+    if let Some((plan, source)) = lookup_cached(fp, shared) {
+        {
+            let mut done = flight.done.lock().expect("flight lock");
+            *done = Some(Ok(plan.clone()));
+            flight.cv.notify_all();
+        }
+        shared.inflight.lock().expect("inflight lock").remove(&fp);
+        return Ok((plan, source));
+    }
+
+    // Leader: synthesize behind a panic guard — a worker must survive any
+    // pathological profile, and followers must never wait forever.
+    let outcome = catch_unwind(AssertUnwindSafe(|| synthesize(profile, config)))
+        .map_err(|_| "synthesis panicked".to_string());
+    if let Ok(plan) = &outcome {
+        shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+        shared.lru.insert(fp, plan.clone());
+        if let Some(store) = &shared.store {
+            // Best effort: a store write failure must not fail the
+            // request — the plan is already in hand.
+            let _ = store.put(fp, plan);
+        }
+    }
+    {
+        let mut done = flight.done.lock().expect("flight lock");
+        *done = Some(outcome.clone());
+        flight.cv.notify_all();
+    }
+    shared.inflight.lock().expect("inflight lock").remove(&fp);
+    outcome.map(|p| (p, PlanSource::Synthesized))
+}

@@ -1,0 +1,175 @@
+//! End-to-end acceptance: an in-process server under a concurrent load of
+//! ≥ 32 plan requests over a mix of 4 job configs. Every response must
+//! decode to a valid plan, each unique fingerprint must be synthesized
+//! exactly once (single-flight), and the `stats` verb must agree with the
+//! observed hit/miss split.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use stalloc_core::{fingerprint_job, profile_trace, ProfiledRequests, SynthConfig};
+use stalloc_served::{PlanClient, PlanServer, ServeConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn profile() -> ProfiledRequests {
+    let trace = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 2, 1),
+        OptimConfig::naive(),
+    )
+    .with_mbs(1)
+    .with_seq(256)
+    .with_microbatches(4)
+    .with_iterations(2)
+    .build_trace()
+    .unwrap();
+    profile_trace(&trace, 1).unwrap()
+}
+
+fn four_configs() -> [SynthConfig; 4] {
+    [
+        SynthConfig::default(),
+        SynthConfig {
+            enable_fusion: false,
+            ..SynthConfig::default()
+        },
+        SynthConfig {
+            enable_gap_insertion: false,
+            ..SynthConfig::default()
+        },
+        SynthConfig {
+            ascending_sizes: true,
+            ..SynthConfig::default()
+        },
+    ]
+}
+
+#[test]
+fn concurrent_mixed_load_is_single_flight_and_accounted() {
+    const CLIENTS: usize = 32;
+
+    let dir = std::env::temp_dir().join(format!("stalloc-served-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = PlanServer::start(ServeConfig {
+        workers: 8,
+        queue_depth: CLIENTS,
+        store_dir: Some(dir.clone()),
+        lru_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let profile = Arc::new(profile());
+    let configs = four_configs();
+    let expected_fps: Vec<String> = configs
+        .iter()
+        .map(|c| fingerprint_job(&profile, c).to_hex())
+        .collect();
+
+    // 32 clients, 8 per config, all released at once.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let profile = Arc::clone(&profile);
+            let config = configs[i % configs.len()];
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                barrier.wait();
+                // PlanClient::plan re-validates the plan on receipt, so an
+                // Ok here certifies `Plan::validate`.
+                client.plan(&profile, &config).expect("plan request")
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(results.len(), CLIENTS);
+
+    // All responses carry sound plans for the expected fingerprints, and
+    // identical jobs received identical plans.
+    for r in &results {
+        r.plan.validate().expect("response plan is valid");
+        assert!(expected_fps.contains(&r.fingerprint.to_hex()));
+    }
+    for fp in &expected_fps {
+        let group: Vec<_> = results
+            .iter()
+            .filter(|r| &r.fingerprint.to_hex() == fp)
+            .collect();
+        assert_eq!(group.len(), CLIENTS / configs.len());
+        for r in &group[1..] {
+            assert_eq!(r.plan, group[0].plan, "divergent plans for {fp}");
+        }
+    }
+
+    // Single-flight: exactly one synthesis per unique fingerprint, and
+    // the client-observed sources agree.
+    let synthesized = results
+        .iter()
+        .filter(|r| !r.source.is_hit())
+        .map(|r| r.fingerprint.to_hex())
+        .collect::<std::collections::BTreeSet<_>>();
+    let observed_misses = results.iter().filter(|r| !r.source.is_hit()).count();
+    assert_eq!(
+        observed_misses,
+        configs.len(),
+        "each unique job synthesized exactly once"
+    );
+    assert_eq!(synthesized.len(), configs.len());
+
+    // The stats verb agrees with what the clients saw.
+    let mut stats_client = PlanClient::connect(addr).unwrap();
+    let stats = stats_client.stats().unwrap();
+    assert_eq!(stats.plan_requests, CLIENTS as u64);
+    assert_eq!(stats.misses, configs.len() as u64);
+    assert_eq!(
+        stats.hits(),
+        (CLIENTS - configs.len()) as u64,
+        "hits + misses cover every plan request: {stats:?}"
+    );
+    assert_eq!(stats.in_flight, 1, "only the stats request is in flight");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.workers, 8);
+
+    // The local handle agrees with the wire snapshot.
+    let local = server.stats();
+    assert_eq!(local.misses, stats.misses);
+    assert_eq!(local.plan_requests, stats.plan_requests);
+    assert_eq!(local.in_flight, 0, "quiesced after responses");
+
+    // The plans landed in the shared store: a fresh server over the same
+    // directory (cold LRU) serves them as store hits.
+    server.shutdown();
+    let server2 = PlanServer::start(ServeConfig {
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = PlanClient::connect(server2.addr()).unwrap();
+    let again = client.plan(&profile, &configs[0]).unwrap();
+    assert!(again.source.is_hit(), "persisted plan survives restart");
+    assert_eq!(server2.stats().misses, 0);
+    server2.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_under_idle_connections() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    // Two idle keep-alive connections parked on workers, one queued.
+    let c1 = PlanClient::connect(server.addr()).unwrap();
+    let c2 = PlanClient::connect(server.addr()).unwrap();
+    let c3 = PlanClient::connect(server.addr()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Shutdown must return despite the parked connections (the workers'
+    // patient reads notice the flag at the next poll tick).
+    server.shutdown();
+    drop((c1, c2, c3));
+}

@@ -1,0 +1,208 @@
+//! Wire-protocol robustness: malformed frames, oversized payloads, and
+//! mid-stream disconnects must produce typed errors and never poison a
+//! worker — the same worker pool must keep serving well-formed traffic
+//! afterwards.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use stalloc_core::wire::WireErrorKind;
+use stalloc_core::{profile_trace, ProfiledRequests, SynthConfig};
+use stalloc_served::{read_frame, ClientError, PlanClient, PlanServer, ServeConfig};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn small_profile() -> ProfiledRequests {
+    let trace = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 2, 1),
+        OptimConfig::naive(),
+    )
+    .with_mbs(1)
+    .with_seq(256)
+    .with_microbatches(2)
+    .with_iterations(2)
+    .build_trace()
+    .unwrap();
+    profile_trace(&trace, 1).unwrap()
+}
+
+/// Reads the server's one response frame off a raw socket as a string.
+fn read_error_frame(stream: &mut TcpStream) -> String {
+    let frame = read_frame(stream, 1 << 20)
+        .expect("server answers with a frame")
+        .expect("server answers before closing");
+    String::from_utf8(frame).expect("responses are JSON text")
+}
+
+/// The server must still serve a real request — proof the worker that saw
+/// the malformed traffic is not poisoned.
+fn assert_still_serving(addr: std::net::SocketAddr) {
+    let mut client = PlanClient::connect(addr).unwrap();
+    client
+        .ping()
+        .expect("server still answers after bad client");
+}
+
+#[test]
+fn malformed_header_gets_typed_error_and_worker_survives() {
+    // One worker: the same thread that sees the garbage must serve the
+    // follow-up request.
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"this is not a length header\n").unwrap();
+    let resp = read_error_frame(&mut raw);
+    assert!(resp.contains("BadFrame"), "typed error, got: {resp}");
+    // The stream is unsynchronized; the server closes it.
+    let mut rest = Vec::new();
+    let _ = raw.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "no further frames after a bad header");
+
+    assert_still_serving(server.addr());
+    assert!(server.stats().errors >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_payload_is_rejected_before_read() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        max_frame: 1024,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // Declare 1 MiB against a 1 KiB limit; send no payload. The server
+    // must reject on the header alone.
+    raw.write_all(b"1048576\n").unwrap();
+    let resp = read_error_frame(&mut raw);
+    assert!(resp.contains("Oversized"), "typed error, got: {resp}");
+
+    assert_still_serving(server.addr());
+    server.shutdown();
+}
+
+#[test]
+fn bad_json_payload_gets_typed_error() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    stalloc_served::write_frame(&mut raw, b"{\"not\": \"a request\"}").unwrap();
+    let resp = read_error_frame(&mut raw);
+    assert!(resp.contains("BadFrame"), "typed error, got: {resp}");
+
+    assert_still_serving(server.addr());
+    server.shutdown();
+}
+
+#[test]
+fn midstream_disconnect_does_not_poison_worker() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // Promise 64 KiB, deliver 10 bytes, vanish.
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"65536\n0123456789").unwrap();
+        raw.flush().unwrap();
+    } // dropped: RST/EOF mid-payload
+
+    // And once more with zero payload bytes after the header.
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"65536\n").unwrap();
+        raw.flush().unwrap();
+    }
+
+    assert_still_serving(server.addr());
+    server.shutdown();
+}
+
+#[test]
+fn bad_fingerprint_is_bad_request_and_connection_survives() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // The typed client cannot produce a malformed fingerprint, so speak
+    // the protocol by hand.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    stalloc_served::write_frame(&mut raw, br#"{"Get": {"fingerprint": "wat"}}"#).unwrap();
+    let resp = read_error_frame(&mut raw);
+    assert!(resp.contains("BadRequest"), "typed error, got: {resp}");
+
+    // A BadRequest leaves the frame boundary intact: the *same*
+    // connection keeps working.
+    stalloc_served::write_frame(&mut raw, br#""Ping""#).unwrap();
+    let resp = read_error_frame(&mut raw);
+    assert!(resp.contains("Pong"), "connection survives: {resp}");
+
+    server.shutdown();
+}
+
+#[test]
+fn zero_queue_depth_sheds_load_with_busy() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut client = PlanClient::connect(server.addr()).unwrap();
+    match client.ping() {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, WireErrorKind::Busy),
+        other => panic!("expected Busy rejection, got {other:?}"),
+    }
+    assert!(server.stats().rejected >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_serves_many_verbs() {
+    let dir = std::env::temp_dir().join(format!("stalloc-served-proto-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = PlanServer::start(ServeConfig {
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let profile = small_profile();
+    let config = SynthConfig::default();
+    let mut client = PlanClient::connect(server.addr()).unwrap();
+
+    client.ping().unwrap();
+    let first = client.plan(&profile, &config).unwrap();
+    assert!(!first.source.is_hit());
+    // Lookup by fingerprint alone finds the cached artifact.
+    let looked_up = client.get(first.fingerprint).unwrap().expect("cached");
+    assert_eq!(looked_up.plan, first.plan);
+    assert!(looked_up.source.is_hit());
+    // Unknown fingerprint is a clean NotFound, not an error.
+    let missing = client.get(stalloc_core::Fingerprint([0x5a; 16])).unwrap();
+    assert!(missing.is_none());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.misses, 1);
+    assert!(stats.hits() >= 1);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 1, "the stats request itself");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

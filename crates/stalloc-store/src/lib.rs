@@ -15,7 +15,12 @@
 //! * [`store`] — a [`PlanStore`] directory of `<fingerprint>.stplan`
 //!   artifacts with a JSON index and atomic writes. Lookup is by the
 //!   [`Fingerprint`](stalloc_core::Fingerprint) of the profiled job, so
-//!   [`synthesize_cached`] makes repeat planning O(1).
+//!   [`synthesize_cached`] makes repeat planning O(1). Index mutations
+//!   serialize on an advisory lock file and re-read-merge, so concurrent
+//!   writers (threads or processes) never lose each other's entries.
+//! * [`lru`] — a [`ShardedLru`] of decoded plans to put in front of the
+//!   disk store when many requests share one process (the
+//!   `stalloc-served` daemon), skipping the read + decode on hot jobs.
 //!
 //! # Example
 //!
@@ -52,9 +57,11 @@
 //! ```
 
 pub mod codec;
+pub mod lru;
 pub mod store;
 
 pub use codec::{decode_plan, encode_plan, is_binary_plan, CodecError, FORMAT_VERSION, MAGIC};
+pub use lru::{ShardedLru, DEFAULT_LRU_SHARDS};
 pub use store::{
     synthesize_cached, CacheOutcome, GcReport, PlanStore, StoreEntry, StoreError, PLAN_EXT,
 };

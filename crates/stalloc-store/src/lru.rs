@@ -1,0 +1,199 @@
+//! Sharded in-process LRU cache of decoded [`Plan`]s.
+//!
+//! The on-disk [`PlanStore`](crate::PlanStore) makes repeat planning
+//! cheap across *processes*, but every hit still pays a file read and a
+//! binary decode. A [`ShardedLru`] sits in front of the disk: fully
+//! decoded plans keyed by [`Fingerprint`], sharded so that concurrent
+//! server workers contend on `1/shards` of the lock traffic instead of a
+//! single global mutex. Eviction is least-recently-used per shard, via a
+//! monotonic touch stamp.
+//!
+//! The cache is passive (no hit/miss counters): callers that need
+//! accounting — the `stalloc-served` stats verb — count at their layer.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use stalloc_core::{Fingerprint, Plan};
+
+/// Default shard count: enough to spread an 8–16 worker pool with a
+/// power-of-two modulus.
+pub const DEFAULT_LRU_SHARDS: usize = 8;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Fingerprint, (u64, Plan)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// A fingerprint-keyed, sharded LRU of decoded plans.
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+}
+
+impl ShardedLru {
+    /// Cache holding at most `capacity` plans across [`DEFAULT_LRU_SHARDS`]
+    /// shards. `capacity == 0` disables the cache (all lookups miss,
+    /// inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_LRU_SHARDS)
+    }
+
+    /// Cache with an explicit shard count (rounded up to at least 1); the
+    /// capacity is split evenly with at least one slot per shard.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_cap = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap,
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<Shard> {
+        // Any fingerprint byte is uniformly mixed (splitmix finalizer).
+        &self.shards[fp.0[0] as usize % self.shards.len()]
+    }
+
+    /// Looks up a plan, refreshing its recency on a hit.
+    pub fn get(&self, fp: Fingerprint) -> Option<Plan> {
+        if self.per_shard_cap == 0 {
+            return None;
+        }
+        let mut shard = self.shard(fp).lock().expect("lru shard lock");
+        let stamp = shard.touch();
+        let (seen, plan) = shard.map.get_mut(&fp)?;
+        *seen = stamp;
+        Some(plan.clone())
+    }
+
+    /// Inserts (or refreshes) a plan, evicting the least-recently-used
+    /// entry of the shard when it is full.
+    pub fn insert(&self, fp: Fingerprint, plan: Plan) {
+        if self.per_shard_cap == 0 {
+            return;
+        }
+        let mut shard = self.shard(fp).lock().expect("lru shard lock");
+        let stamp = shard.touch();
+        shard.map.insert(fp, (stamp, plan));
+        if shard.map.len() > self.per_shard_cap {
+            // Caps are small (a handful of plans per shard), so a linear
+            // scan beats maintaining an intrusive list.
+            if let Some(&coldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (seen, _))| *seen)
+                .map(|(fp, _)| fp)
+            {
+                shard.map.remove(&coldest);
+            }
+        }
+    }
+
+    /// Number of cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard lock").map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total plan capacity (shards × per-shard capacity; 0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(tag: u8) -> Fingerprint {
+        // Same first byte → same shard, so eviction order is exercised
+        // deterministically.
+        let mut b = [0u8; 16];
+        b[1] = tag;
+        Fingerprint(b)
+    }
+
+    fn plan(pool: u64) -> Plan {
+        Plan {
+            pool_size: pool,
+            ..Plan::default()
+        }
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let lru = ShardedLru::with_shards(2, 1);
+        lru.insert(fp(1), plan(1));
+        lru.insert(fp(2), plan(2));
+        // Touch 1, then insert 3: 2 is now the coldest and must go.
+        assert_eq!(lru.get(fp(1)).unwrap().pool_size, 1);
+        lru.insert(fp(3), plan(3));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get(fp(2)).is_none(), "coldest entry evicted");
+        assert!(lru.get(fp(1)).is_some());
+        assert!(lru.get(fp(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let lru = ShardedLru::new(0);
+        lru.insert(fp(1), plan(1));
+        assert!(lru.get(fp(1)).is_none());
+        assert!(lru.is_empty());
+        assert_eq!(lru.capacity(), 0);
+    }
+
+    #[test]
+    fn capacity_is_split_across_shards() {
+        let lru = ShardedLru::with_shards(8, 4);
+        assert_eq!(lru.capacity(), 8);
+        let lru = ShardedLru::with_shards(3, 4);
+        // Rounded up: at least one slot per shard.
+        assert_eq!(lru.capacity(), 4);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let lru = std::sync::Arc::new(ShardedLru::new(16));
+        let handles: Vec<_> = (0..8u8)
+            .map(|t| {
+                let lru = lru.clone();
+                std::thread::spawn(move || {
+                    for i in 0..64u8 {
+                        let mut b = [0u8; 16];
+                        b[0] = i % 4; // hit all shards
+                        b[1] = t;
+                        let f = Fingerprint(b);
+                        lru.insert(f, plan(u64::from(i)));
+                        let _ = lru.get(f);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(lru.len() <= lru.capacity());
+    }
+}

@@ -3,9 +3,16 @@
 //! A [`PlanStore`] is a directory of binary plan artifacts named by the
 //! [`Fingerprint`] of the job that produced them (`<hex>.stplan`), plus a
 //! JSON index (`index.json`) with per-entry metadata for `stalloc cache
-//! ls`. All writes are atomic (unique temp file + rename), so a crashed
-//! or concurrent writer can never leave a torn plan behind; at worst the
-//! index lags the data files, which [`PlanStore::gc`] repairs.
+//! ls`. All writes are atomic (unique temp file, fsync, rename), so a
+//! crashed or concurrent writer can never leave a torn plan behind; at
+//! worst the index lags the data files, which [`PlanStore::gc`] repairs.
+//!
+//! The store is safe for concurrent writers — threads in one process and
+//! separate processes alike (the `stalloc-served` daemon shares one store
+//! across its whole worker pool, possibly alongside ad-hoc `stalloc plan
+//! --cache` runs). Index mutations serialize on an advisory `index.lock`
+//! file and re-read the index inside the critical section, so a
+//! merge never drops a concurrent writer's entry.
 //!
 //! [`synthesize_cached`] is the integration point: look the job up by
 //! fingerprint, and only on a miss run the (comparatively expensive) plan
@@ -28,6 +35,7 @@ use crate::codec::{decode_plan, encode_plan, CodecError};
 pub const PLAN_EXT: &str = "stplan";
 
 const INDEX_FILE: &str = "index.json";
+const LOCK_FILE: &str = "index.lock";
 const INDEX_VERSION: u32 = 1;
 
 /// Store operation failures.
@@ -171,6 +179,11 @@ impl PlanStore {
 
     /// Stores `plan` under `fp`, atomically, and updates the index.
     /// Returns the new index row.
+    ///
+    /// Safe against concurrent writers: the artifact write is atomic and
+    /// content-addressed (racing writers produce identical bytes), and
+    /// the index update re-reads the index under the store lock, so a
+    /// concurrent `put` of a *different* job is merged, not overwritten.
     pub fn put(&self, fp: Fingerprint, plan: &Plan) -> Result<StoreEntry, StoreError> {
         let bytes = encode_plan(plan);
         let path = self.plan_path(fp);
@@ -182,6 +195,13 @@ impl PlanStore {
             pool_size: plan.pool_size,
             static_requests: plan.stats.static_requests as u64,
         };
+        let _lock = self.lock_exclusive()?;
+        // The blob was written outside the lock; a concurrent `clear`
+        // may have swept it in between. Re-write it under the lock
+        // rather than indexing a file that no longer exists.
+        if !path.exists() {
+            self.write_atomic(&path, &bytes)?;
+        }
         let mut index = self.load_index()?;
         index.entries.retain(|e| e.fingerprint != entry.fingerprint);
         index.entries.push(entry.clone());
@@ -210,6 +230,7 @@ impl PlanStore {
     /// [`Self::gc`] with an explicit temp-file age cutoff.
     pub fn gc_with_temp_ttl(&self, temp_ttl: Duration) -> Result<GcReport, StoreError> {
         let mut report = GcReport::default();
+        let _lock = self.lock_exclusive()?;
         let mut index = self.load_index()?;
         index.entries.retain(|e| {
             let keep = Fingerprint::from_hex(&e.fingerprint)
@@ -226,11 +247,19 @@ impl PlanStore {
             .iter()
             .map(|e| format!("{}.{PLAN_EXT}", e.fingerprint))
             .collect();
-        let mut remove = |path: &Path| -> Result<(), StoreError> {
+        // A file that vanished between listing and removal (a racing gc or
+        // writer got there first) is already the outcome we wanted; only
+        // real I/O failures surface as errors.
+        let mut remove = |path: &Path| -> Result<bool, StoreError> {
             let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            fs::remove_file(path).map_err(|e| io_err(path, e))?;
-            report.reclaimed_bytes += len;
-            Ok(())
+            match fs::remove_file(path) {
+                Ok(()) => {
+                    report.reclaimed_bytes += len;
+                    Ok(true)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+                Err(e) => Err(io_err(path, e)),
+            }
         };
         let listing = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
         for dirent in listing {
@@ -246,8 +275,7 @@ impl PlanStore {
                     .ok()
                     .and_then(|t| t.elapsed().ok())
                     .is_some_and(|age| age >= temp_ttl);
-                if expired {
-                    remove(&path)?;
+                if expired && remove(&path)? {
                     report.temp_files += 1;
                 }
                 continue;
@@ -275,8 +303,9 @@ impl PlanStore {
                     report.adopted_entries += 1;
                 }
                 None => {
-                    remove(&path)?;
-                    report.orphan_files += 1;
+                    if remove(&path)? {
+                        report.orphan_files += 1;
+                    }
                 }
             }
         }
@@ -288,22 +317,45 @@ impl PlanStore {
     }
 
     /// Removes every artifact and the index. Returns the number of plans
-    /// removed.
+    /// removed. The lock file itself survives (removing it would let a
+    /// concurrent writer lock a deleted inode).
     pub fn clear(&self) -> Result<usize, StoreError> {
+        let _lock = self.lock_exclusive()?;
         let mut removed = 0;
         let listing = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
         for dirent in listing {
             let dirent = dirent.map_err(|e| io_err(&self.dir, e))?;
             let name = dirent.file_name().to_string_lossy().into_owned();
             let path = dirent.path();
+            let gone = |r: std::io::Result<()>| match r {
+                Ok(()) => Ok(true),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+                Err(e) => Err(io_err(&path, e)),
+            };
             if name.ends_with(&format!(".{PLAN_EXT}")) {
-                removed += 1;
-                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+                if gone(fs::remove_file(&path))? {
+                    removed += 1;
+                }
             } else if name == INDEX_FILE || name.starts_with(".tmp-") {
-                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+                gone(fs::remove_file(&path))?;
             }
         }
         Ok(removed)
+    }
+
+    /// Takes the store's advisory write lock; dropping the returned file
+    /// releases it. Serializes index mutations across threads *and*
+    /// processes sharing the directory.
+    fn lock_exclusive(&self) -> Result<fs::File, StoreError> {
+        let path = self.dir.join(LOCK_FILE);
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        file.lock().map_err(|e| io_err(&path, e))?;
+        Ok(file)
     }
 
     fn load_index(&self) -> Result<Index, StoreError> {
@@ -336,11 +388,29 @@ impl PlanStore {
             std::process::id(),
             TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+        // fsync before the rename: otherwise a crash can promote a
+        // zero-length or partial temp file to the destination name, and
+        // the index in particular must never come back torn.
+        let write_synced = || -> std::io::Result<()> {
+            use std::io::Write as _;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        };
+        write_synced().map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            io_err(&tmp, e)
+        })?;
         fs::rename(&tmp, dest).map_err(|e| {
             let _ = fs::remove_file(&tmp);
             io_err(dest, e)
-        })
+        })?;
+        // Best-effort directory sync so the rename itself is durable;
+        // not all platforms allow fsync on directories.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
     }
 }
 
