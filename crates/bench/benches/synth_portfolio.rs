@@ -1,0 +1,54 @@
+//! Criterion bench: the solver portfolio — per-strategy synthesis time
+//! (each benchmark id carries the strategy's packing efficiency on the
+//! workload, so time vs quality reads off one report) plus the cost of
+//! the full parallel race.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stalloc_core::{profile_trace, ProfiledRequests, SynthConfig};
+use stalloc_solver::{registry, Portfolio};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+fn vpp_profile() -> ProfiledRequests {
+    // The virtual-pipeline workload is where strategies diverge the most.
+    let job = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1).with_vpp(2),
+        OptimConfig::r(),
+    )
+    .with_mbs(2)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(1);
+    let trace = job.build_trace().unwrap();
+    profile_trace(&trace, 1).unwrap()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let profile = vpp_profile();
+    let config = SynthConfig::default();
+    let mut group = c.benchmark_group("synth_portfolio");
+    group.sample_size(10);
+    for s in registry() {
+        let eff = s.plan(&profile, &config).stats.packing_efficiency();
+        group.bench_with_input(
+            BenchmarkId::new(s.name(), format!("eff={eff:.4}")),
+            &profile,
+            |b, p| b.iter(|| s.plan(p, &config)),
+        );
+    }
+    let portfolio = Portfolio::standard();
+    let eff = portfolio
+        .run(&profile, &config)
+        .winner
+        .stats
+        .packing_efficiency();
+    group.bench_with_input(
+        BenchmarkId::new("portfolio-race", format!("eff={eff:.4}")),
+        &profile,
+        |b, p| b.iter(|| portfolio.run(p, &config)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

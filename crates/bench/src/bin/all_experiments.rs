@@ -32,5 +32,7 @@ fn main() {
     print!("{}", ex::table3().render());
     println!();
     print!("{}", ex::ablations().render());
+    println!();
+    print!("{}", ex::strategy_comparison().render());
     eprintln!("\ntotal wall time: {:.1}s", start.elapsed().as_secs_f64());
 }

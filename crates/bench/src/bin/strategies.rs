@@ -1,0 +1,6 @@
+//! Strategy-portfolio comparison table: per-strategy packing efficiency,
+//! synthesis time, and the portfolio winner across the model zoo.
+fn main() {
+    let t = harness::experiments::strategy_comparison();
+    print!("{}", t.render());
+}

@@ -533,6 +533,64 @@ pub fn table3() -> Table {
     t
 }
 
+/// Strategy-portfolio comparison: packing efficiency and synthesis time
+/// of every registered solver strategy across the model zoo, plus the
+/// portfolio's (deterministic) winner per workload.
+pub fn strategy_comparison() -> Table {
+    use stalloc_core::profile_trace;
+    use stalloc_solver::registry;
+
+    let mut headers: Vec<String> = vec!["workload".into()];
+    headers.extend(registry().iter().map(|s| format!("{} eff (ms)", s.name())));
+    headers.push("portfolio winner".into());
+    let mut t = Table {
+        title: "Strategy portfolio: packing efficiency per strategy (higher is better)".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    let jobs: Vec<(&str, trace_gen::TrainJob)> = vec![
+        ("GPT-2-N", configs::gpt2_job(OptimConfig::naive(), false)),
+        ("GPT-2-VPP", configs::gpt2_job(OptimConfig::naive(), true)),
+        ("Llama2-7B-R", configs::llama2_job(OptimConfig::r(), false)),
+        (
+            "Qwen1.5-MoE-N",
+            configs::moe_job(OptimConfig::naive(), false),
+        ),
+    ];
+    for (label, job) in jobs {
+        let trace = job.build_trace().unwrap();
+        let profile = profile_trace(&trace, 1).unwrap();
+        let config = stalloc_core::SynthConfig::default();
+        let mut row = vec![label.to_string()];
+        // The winner is a pure function of the per-strategy plans, so
+        // select it from the plans just computed with the portfolio's
+        // own (pool, fragmentation, name) key — no second race needed.
+        let mut winner: Option<(u64, u64, &'static str)> = None;
+        for s in registry() {
+            let t0 = std::time::Instant::now();
+            let plan = s.plan(&profile, &config);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            plan.validate().expect("sound");
+            row.push(format!(
+                "{:.4} ({:.0})",
+                plan.stats.packing_efficiency(),
+                ms
+            ));
+            let key = (
+                plan.pool_size,
+                plan.pool_size - plan.stats.peak_static_demand,
+                s.name(),
+            );
+            if winner.is_none_or(|w| key < w) {
+                winner = Some(key);
+            }
+        }
+        row.push(winner.expect("registry is non-empty").2.to_string());
+        t.push_row(row);
+    }
+    t
+}
+
 /// Ablation study: the design choices DESIGN.md calls out.
 pub fn ablations() -> Table {
     use stalloc_core::{profile_trace, synthesize, SynthConfig};

@@ -23,8 +23,9 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-use stalloc_core::{fingerprint_job, synthesize, Fingerprint, Plan, ProfiledRequests, SynthConfig};
+use stalloc_core::{fingerprint_job, Fingerprint, Plan, ProfiledRequests, SynthConfig};
 use stalloc_served::PlanClient;
+use stalloc_solver::synthesize_strategy;
 use stalloc_store::PlanStore;
 
 /// Environment variable naming the on-disk plan cache directory.
@@ -128,7 +129,9 @@ pub fn planned(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
             match disk_plan {
                 Some(plan) => (plan, Tier::Store),
                 None => {
-                    let plan = synthesize(profile, config);
+                    // Strategy-aware: a lineup asking for the portfolio
+                    // gets the raced winner, keyed by its own fingerprint.
+                    let plan = synthesize_strategy(profile, config);
                     if let Some(store) = disk_store() {
                         let _ = store.put(fp, &plan); // best effort
                     }
@@ -223,7 +226,7 @@ mod tests {
         let server = PlanServer::start(ServeConfig::default()).unwrap();
         let addr = server.addr().to_string();
         let remote = remote_planned(&addr, &profile, &config).unwrap();
-        assert_eq!(remote, synthesize(&profile, &config));
+        assert_eq!(remote, stalloc_core::synthesize(&profile, &config));
         assert_eq!(server.stats().plan_requests, 1);
         server.shutdown();
 

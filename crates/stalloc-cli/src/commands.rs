@@ -5,10 +5,11 @@ use std::fs;
 use gpu_sim::DeviceSpec;
 use harness::{run, AllocatorKind};
 use stalloc_core::{
-    profile_trace, synthesize, Plan, ProfiledRequests, SynthConfig, FINGERPRINT_VERSION,
+    profile_trace, Plan, ProfiledRequests, StrategyChoice, SynthConfig, FINGERPRINT_VERSION,
     SYNTH_ALGO_VERSION,
 };
 use stalloc_served::{PlanClient, PlanServer, ServeConfig};
+use stalloc_solver::{registry, synthesize_portfolio, synthesize_strategy};
 use stalloc_store::{decode_plan, encode_plan, is_binary_plan, synthesize_cached};
 use stalloc_store::{CacheOutcome, PlanStore};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, Trace, TrainJob};
@@ -21,15 +22,16 @@ usage: stalloc <command> [--flags]
        stalloc <command> --help   for per-command details
 
 commands:
-  trace    generate a training memory trace
-  profile  characterize one iteration's requests (paper section 4)
-  plan     synthesize the allocation plan (paper section 5),
-           locally or against a plan server (--remote)
-  show     render a plan's occupancy as ASCII art
-  replay   replay a trace through an allocator (paper section 9 metrics)
-  serve    run the plan-synthesis daemon over a shared plan cache
-  cache    inspect a plan cache directory (ls | gc | clear)
-  version  print tool and planner-algorithm versions";
+  trace       generate a training memory trace
+  profile     characterize one iteration's requests (paper section 4)
+  plan        synthesize the allocation plan (paper section 5),
+              locally or against a plan server (--remote)
+  show        render a plan's occupancy as ASCII art
+  replay      replay a trace through an allocator (paper section 9 metrics)
+  serve       run the plan-synthesis daemon over a shared plan cache
+  cache       inspect a plan cache directory (ls | gc | clear)
+  strategies  list the registered plan-synthesis strategies
+  version     print tool and planner-algorithm versions";
 
 struct Command {
     name: &'static str,
@@ -95,6 +97,10 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
   --output FILE     plan destination
   --format F        bin|json (default: bin when FILE ends in
                     .stplan/.bin, else json)
+  --strategy S      packing strategy: baseline|bestfit|tmp-order|
+                    lookahead, or `portfolio` to race them all and keep
+                    the best plan (default baseline; see
+                    `stalloc strategies`)
   --cache DIR       consult/populate a plan cache: on a fingerprint hit
                     the plan is loaded and synthesis is skipped
   --remote ADDR     plan via a `stalloc serve` daemon at ADDR instead of
@@ -103,10 +109,23 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
   --no-gaps         disable gap insertion (ablation)
   --ascending       process size classes ascending (ablation)",
         spec: FlagSpec {
-            value_flags: &["input", "output", "format", "cache", "remote"],
+            value_flags: &["input", "output", "format", "strategy", "cache", "remote"],
             bool_flags: &["no-fusion", "no-gaps", "ascending"],
         },
         run: cmd_plan,
+    },
+    Command {
+        name: "strategies",
+        help: "\
+usage: stalloc strategies
+  lists the registered plan-synthesis strategies (usable as
+  `stalloc plan --strategy NAME`) plus the `portfolio` meta-strategy
+  that races all of them in parallel and keeps the best plan",
+        spec: FlagSpec {
+            value_flags: &[],
+            bool_flags: &[],
+        },
+        run: cmd_strategies,
     },
     Command {
         name: "show",
@@ -439,6 +458,19 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     write_json(args.require("output")?, &profile)
 }
 
+/// Parses `--strategy`, suggesting the nearest name on a typo.
+fn parse_strategy(name: &str) -> Result<StrategyChoice, String> {
+    StrategyChoice::parse(name).ok_or_else(|| {
+        let names = StrategyChoice::ALL.iter().map(|c| c.name());
+        match nearest(name, names) {
+            Some(s) => format!("unknown strategy '{name}' (did you mean '{s}'?)"),
+            None => format!(
+                "unknown strategy '{name}' (see `stalloc strategies` for the registered set)"
+            ),
+        }
+    })
+}
+
 fn cmd_plan(args: &Args) -> Result<(), String> {
     if args.get("remote").is_some() && args.get("cache").is_some() {
         return Err(
@@ -446,10 +478,15 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         );
     }
     let profile: ProfiledRequests = read_json(args.require("input")?)?;
+    let strategy = match args.get("strategy") {
+        Some(name) => parse_strategy(name)?,
+        None => StrategyChoice::Baseline,
+    };
     let config = SynthConfig {
         enable_fusion: !args.flag("no-fusion"),
         enable_gap_insertion: !args.flag("no-gaps"),
         ascending_sizes: args.flag("ascending"),
+        strategy,
     };
     let output = args.require("output")?;
     let format = plan_format(args, output)?;
@@ -474,14 +511,36 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
             CacheOutcome::Miss => eprintln!("plan cache: miss {fp} — synthesized and stored"),
         }
         plan
+    } else if strategy == StrategyChoice::Portfolio {
+        // Local portfolio run: report every candidate, then the winner.
+        let outcome = synthesize_portfolio(&profile, &config);
+        for c in &outcome.candidates {
+            let verdict = if !c.valid {
+                "invalid".to_string()
+            } else {
+                format!(
+                    "packing {:.4}, pool {:.3} GiB",
+                    c.packing_efficiency,
+                    c.pool_size as f64 / (1u64 << 30) as f64
+                )
+            };
+            eprintln!(
+                "  {:<10} {verdict} ({} ms){}",
+                c.strategy.name(),
+                c.elapsed.as_millis(),
+                if c.winner { "  ← winner" } else { "" }
+            );
+        }
+        outcome.winner
     } else {
-        synthesize(&profile, &config)
+        synthesize_strategy(&profile, &config)
     };
     plan.validate()?;
     let s = plan.stats;
     eprintln!(
-        "plan: pool {:.3} GiB, packing {:.3}, {} layers, {} gap insertions, \
-         {} HomoLayer groups",
+        "plan: strategy {}, pool {:.3} GiB, packing {:.3}, {} layers, \
+         {} gap insertions, {} HomoLayer groups",
+        s.strategy.name(),
         s.pool_size as f64 / (1u64 << 30) as f64,
         s.packing_efficiency(),
         s.layers,
@@ -531,6 +590,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         cache_desc
     );
     handle.join();
+    Ok(())
+}
+
+fn cmd_strategies(_args: &Args) -> Result<(), String> {
+    println!("registered plan-synthesis strategies (stalloc plan --strategy NAME):");
+    for s in registry() {
+        println!("  {:<10} {}", s.name(), s.description());
+    }
+    println!(
+        "  {:<10} race all of the above on parallel workers; the valid\n  {:<10} \
+         plan with the smallest (pool, fragmentation, name) wins",
+        StrategyChoice::Portfolio.name(),
+        ""
+    );
     Ok(())
 }
 
@@ -630,7 +703,10 @@ mod tests {
             "help plan",
             "help cache",
             "help serve",
+            "help strategies",
             "help version",
+            "strategies",
+            "strategies --help",
             "trace --help",
             "profile -h",
             "plan --help",
@@ -652,6 +728,74 @@ mod tests {
         }
         // The help text for version mentions both cache-keying versions.
         assert!(dispatch(&argv("vresion")).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn strategy_flag_parses_and_suggests() {
+        assert_eq!(
+            parse_strategy("portfolio").unwrap(),
+            StrategyChoice::Portfolio
+        );
+        assert_eq!(
+            parse_strategy("tmp-order").unwrap(),
+            StrategyChoice::TmpOrder
+        );
+        let err = parse_strategy("basline").unwrap_err();
+        assert!(err.contains("did you mean 'baseline'"), "{err}");
+        let err = parse_strategy("zzzzz").unwrap_err();
+        assert!(err.contains("stalloc strategies"), "{err}");
+    }
+
+    #[test]
+    fn plan_strategy_portfolio_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-strat-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let trace_p = dir.join("t.json").to_string_lossy().to_string();
+        let prof_p = dir.join("p.json").to_string_lossy().to_string();
+        let base_p = dir.join("base.stplan").to_string_lossy().to_string();
+        let port_p = dir.join("port.stplan").to_string_lossy().to_string();
+        let port2_p = dir.join("port2.stplan").to_string_lossy().to_string();
+
+        dispatch(&argv(&format!(
+            "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
+             --iterations 2 --output {trace_p}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "profile --input {trace_p} --output {prof_p}"
+        )))
+        .unwrap();
+
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {base_p} --strategy baseline"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {port_p} --strategy portfolio"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {port2_p} --strategy portfolio"
+        )))
+        .unwrap();
+
+        let base = read_plan(&base_p).unwrap();
+        let port = read_plan(&port_p).unwrap();
+        assert!(
+            port.pool_size <= base.pool_size,
+            "portfolio never loses to baseline"
+        );
+        assert_ne!(port.stats.strategy, StrategyChoice::Portfolio);
+        // Deterministic winner: repeated portfolio runs are byte-identical.
+        assert_eq!(fs::read(&port_p).unwrap(), fs::read(&port2_p).unwrap());
+
+        let err = dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {port_p} --strategy lookahed"
+        )))
+        .unwrap_err();
+        assert!(err.contains("did you mean 'lookahead'"), "{err}");
+
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,7 +26,11 @@ use crate::profiler::{InstanceKey, ProfiledRequests, RequestEvent};
 
 /// Version tag mixed into every digest; bump when the canonical walk or
 /// the profile schema changes shape.
-pub const FINGERPRINT_VERSION: u32 = 1;
+///
+/// v2: [`SynthConfig::strategy`] joined the walk — a job planned by the
+/// portfolio is a different job than the same profile planned by the
+/// baseline pipeline, and cached plans must never cross between them.
+pub const FINGERPRINT_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -168,6 +172,7 @@ pub fn fingerprint_job(profile: &ProfiledRequests, config: &SynthConfig) -> Fing
     h.write_u64(config.enable_fusion as u64);
     h.write_u64(config.enable_gap_insertion as u64);
     h.write_u64(config.ascending_sizes as u64);
+    h.write_u64(config.strategy.index() as u64);
 
     // Profile scalars.
     h.write_u64(profile.init_count as u64);
@@ -259,6 +264,31 @@ mod tests {
         ] {
             assert_ne!(base, fingerprint_job(&p, &c), "{c:?}");
         }
+    }
+
+    #[test]
+    fn every_strategy_choice_changes_the_digest() {
+        use crate::plan::StrategyChoice;
+        let p = profile();
+        let mut digests: Vec<_> = StrategyChoice::ALL
+            .into_iter()
+            .map(|strategy| {
+                fingerprint_job(
+                    &p,
+                    &SynthConfig {
+                        strategy,
+                        ..SynthConfig::default()
+                    },
+                )
+            })
+            .collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(
+            digests.len(),
+            StrategyChoice::ALL.len(),
+            "strategies must key distinct cache entries"
+        );
     }
 
     #[test]

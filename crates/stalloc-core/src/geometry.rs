@@ -98,6 +98,58 @@ impl TimeSpacePacker {
         }
     }
 
+    /// Every free gap in the `[t0,t1)` time window that can hold `len`
+    /// bytes, as `(offset, gap_len)` in ascending offset order. The last
+    /// entry is always the top of the occupied span with `gap_len ==
+    /// u64::MAX` (unbounded above). Shared machinery behind
+    /// [`Self::find_best_fit`] and the solver crate's gap-scoring
+    /// packers.
+    pub fn free_gaps(&self, t0: u64, t1: u64, len: u64) -> Vec<(u64, u64)> {
+        debug_assert!(t0 < t1 && len > 0);
+        let mut spans: Vec<(u64, u64)> = self
+            .rects
+            .iter()
+            .filter(|r| r.t0 < t1 && t0 < r.t1)
+            .map(|r| (r.off, r.off + r.len))
+            .collect();
+        spans.sort_unstable();
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for (s, e) in spans {
+            if s > cursor && s - cursor >= len {
+                out.push((cursor, s - cursor));
+            }
+            cursor = cursor.max(e);
+        }
+        out.push((cursor, u64::MAX));
+        out
+    }
+
+    /// Finds the *tightest* gap `<= limit - len` where a `[t0,t1) x len`
+    /// rectangle fits: among all interior gaps (bounded above by another
+    /// placement in the time window) the one wasting the fewest bytes,
+    /// ties broken by the lowest offset. When no interior gap fits, falls
+    /// back to the first-fit position on top of the occupied spans —
+    /// best-fit packers should only grow the pool as a last resort.
+    pub fn find_best_fit(&self, t0: u64, t1: u64, len: u64, limit: u64) -> Option<u64> {
+        let gaps = self.free_gaps(t0, t1, len);
+        let best = gaps
+            .iter()
+            // Top gap: unbounded above, so never "tight" — used only
+            // when no interior gap fits.
+            .filter(|&&(off, gap_len)| gap_len != u64::MAX && off + len <= limit)
+            .min_by_key(|&&(off, gap_len)| (gap_len - len, off));
+        if let Some(&(off, _)) = best {
+            return Some(off);
+        }
+        let (top, _) = *gaps.last().expect("top gap always present");
+        if top + len <= limit {
+            Some(top)
+        } else {
+            None
+        }
+    }
+
     /// Convenience: first-fit place, growing the height if needed. Returns
     /// the chosen offset.
     pub fn pack(&mut self, t0: u64, t1: u64, len: u64) -> u64 {
@@ -364,6 +416,32 @@ mod tests {
         assert_eq!(p.find_first_fit(0, 10, 40, u64::MAX), Some(10));
         // A 41-byte request does not; it goes above everything.
         assert_eq!(p.find_first_fit(0, 10, 41, u64::MAX), Some(60));
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_gap() {
+        let mut p = TimeSpacePacker::new();
+        // Two gaps in the same window: [10, 50) (40 wide) and [60, 75)
+        // (15 wide), then occupied up to 100.
+        for (off, len) in [(0u64, 10u64), (50, 10), (75, 25)] {
+            p.place_at(Rect {
+                t0: 0,
+                t1: 10,
+                off,
+                len,
+            });
+        }
+        // First-fit takes the lower, looser gap; best-fit the tighter one.
+        assert_eq!(p.find_first_fit(0, 10, 12, u64::MAX), Some(10));
+        assert_eq!(p.find_best_fit(0, 10, 12, u64::MAX), Some(60));
+        // An exact fit wins outright.
+        assert_eq!(p.find_best_fit(0, 10, 15, u64::MAX), Some(60));
+        // Nothing interior fits: fall back to the top.
+        assert_eq!(p.find_best_fit(0, 10, 60, u64::MAX), Some(100));
+        // A limit below the top gap rejects the fallback.
+        assert_eq!(p.find_best_fit(0, 10, 60, 120), None);
+        // Disjoint time window: offset 0 is the (only) candidate.
+        assert_eq!(p.find_best_fit(20, 30, 12, u64::MAX), Some(0));
     }
 
     #[test]

@@ -51,13 +51,13 @@ pub mod wire;
 pub use fingerprint::{fingerprint_job, Fingerprint, JobHasher, FINGERPRINT_VERSION};
 pub use geometry::{IntervalSet, Rect, TimeSpacePacker};
 pub use plan::{
-    synthesize, DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc, SynthConfig,
-    SYNTH_ALGO_VERSION,
+    baseline_layout, finish_plan, synthesize, DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc,
+    StaticLayout, StrategyChoice, SynthConfig, SYNTH_ALGO_VERSION,
 };
 pub use profiler::{profile_trace, InstanceKey, ProfileError, ProfiledRequests, RequestEvent};
 pub use runtime::{RuntimeConfig, RuntimeCounters, StallocAllocator};
 pub use visualize::render_plan;
-pub use wire::{PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind};
+pub use wire::{PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind};
 
 #[cfg(test)]
 mod tests {

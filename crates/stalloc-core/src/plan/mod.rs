@@ -29,9 +29,97 @@ pub struct PlannedAlloc {
     pub te: u64,
 }
 
+/// Which packing strategy produced (or should produce) a plan.
+///
+/// The concrete packers live in `stalloc-solver`; this enum lives here
+/// because it travels everywhere a [`SynthConfig`] does — the job
+/// fingerprint, the wire protocol, and the binary plan codec all carry
+/// it. [`synthesize`] itself always runs the baseline pipeline; callers
+/// wanting another strategy (or the portfolio race) go through
+/// `stalloc_solver::synthesize_strategy`, which dispatches on
+/// [`SynthConfig::strategy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyChoice {
+    /// The paper pipeline: HomoPhase grouping → TMP fusion → HomoSize
+    /// layering with gap insertion, plus the first-fit refinement sweep.
+    #[default]
+    Baseline,
+    /// Size-descending best-fit over the time × address plane.
+    BestFit,
+    /// Weight-ordered variant of the paper heuristic: fused cohorts are
+    /// placed in descending time-memory-product weight order.
+    TmpOrder,
+    /// Temporal-lookahead interval packer: arrival-order sweep that
+    /// prefers gaps whose previous occupant freed closest before the
+    /// request arrives.
+    Lookahead,
+    /// Race every concrete strategy and keep the best plan.
+    Portfolio,
+}
+
+impl StrategyChoice {
+    /// Every selectable choice, concrete strategies first.
+    pub const ALL: [StrategyChoice; 5] = [
+        StrategyChoice::Baseline,
+        StrategyChoice::BestFit,
+        StrategyChoice::TmpOrder,
+        StrategyChoice::Lookahead,
+        StrategyChoice::Portfolio,
+    ];
+
+    /// The concrete (directly runnable) strategies the portfolio races.
+    pub const CONCRETE: [StrategyChoice; 4] = [
+        StrategyChoice::Baseline,
+        StrategyChoice::BestFit,
+        StrategyChoice::TmpOrder,
+        StrategyChoice::Lookahead,
+    ];
+
+    /// Stable command-line / display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyChoice::Baseline => "baseline",
+            StrategyChoice::BestFit => "bestfit",
+            StrategyChoice::TmpOrder => "tmp-order",
+            StrategyChoice::Lookahead => "lookahead",
+            StrategyChoice::Portfolio => "portfolio",
+        }
+    }
+
+    /// Parses a [`Self::name`] back into a choice.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// Stable small integer for the binary plan codec and fingerprints.
+    pub fn index(self) -> u8 {
+        match self {
+            StrategyChoice::Baseline => 0,
+            StrategyChoice::BestFit => 1,
+            StrategyChoice::TmpOrder => 2,
+            StrategyChoice::Lookahead => 3,
+            StrategyChoice::Portfolio => 4,
+        }
+    }
+
+    /// Inverse of [`Self::index`].
+    pub fn from_index(i: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.index() == i)
+    }
+}
+
+impl std::fmt::Display for StrategyChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Synthesis statistics (reported in experiment tables and Table 2).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanStats {
+    /// The strategy that produced this plan (for a portfolio run: the
+    /// winning concrete strategy, not `Portfolio`).
+    pub strategy: StrategyChoice,
     /// Static requests planned (persistent + iteration).
     pub static_requests: usize,
     /// Dynamic requests profiled.
@@ -170,6 +258,10 @@ pub struct SynthConfig {
     pub enable_gap_insertion: bool,
     /// Process size classes ascending instead of descending (ablation).
     pub ascending_sizes: bool,
+    /// Which packing strategy to run (part of the job fingerprint).
+    /// [`synthesize`] honours only `Baseline`; the solver crate's
+    /// `synthesize_strategy` dispatches the rest.
+    pub strategy: StrategyChoice,
 }
 
 impl Default for SynthConfig {
@@ -178,13 +270,35 @@ impl Default for SynthConfig {
             enable_fusion: true,
             enable_gap_insertion: true,
             ascending_sizes: false,
+            strategy: StrategyChoice::Baseline,
         }
     }
 }
 
-/// Runs the full plan synthesis on a profile.
-pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
-    // --- Static planning (§5.1) ---
+/// The static half of a plan, as produced by one packing strategy:
+/// an absolute offset per profiled static request plus layout
+/// diagnostics. [`finish_plan`] turns it into a full [`Plan`].
+#[derive(Debug, Clone)]
+pub struct StaticLayout {
+    /// Absolute offset of every static request, indexed like
+    /// `profile.statics`.
+    pub request_offsets: Vec<u64>,
+    /// Static pool size (must cover every `offset + size`).
+    pub pool_size: u64,
+    /// HomoPhase groups before fusion (0 for strategies that skip it).
+    pub phase_groups: usize,
+    /// Local plans after fusion (0 for strategies that skip it).
+    pub fused_groups: usize,
+    /// Memory-layers created (0 for strategies without layering).
+    pub layers: usize,
+    /// Members placed by gap insertion (0 for strategies without it).
+    pub gap_inserted: usize,
+}
+
+/// Runs the baseline (paper §5.1) static pipeline: HomoPhase grouping →
+/// TMP fusion → HomoSize layering with gap insertion, then the global
+/// first-fit refinement sweep (kept when it packs tighter).
+pub fn baseline_layout(profile: &ProfiledRequests, config: &SynthConfig) -> StaticLayout {
     let plans = phase_group::build_phase_groups(&profile.statics);
     let phase_groups = plans.len();
     let plans = if config.enable_fusion {
@@ -205,7 +319,7 @@ pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
 
     // Absolute offset of every static request; the first-fit refinement
     // sweep replaces the group layout when it packs tighter.
-    let (offsets, pool_size) = {
+    let (request_offsets, pool_size) = {
         let (refined, refined_pool) = global::refine_first_fit(&profile.statics);
         if refined_pool < layout.pool_size {
             (refined, refined_pool)
@@ -213,6 +327,35 @@ pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
             (layout.request_offsets.clone(), layout.pool_size)
         }
     };
+
+    StaticLayout {
+        request_offsets,
+        pool_size,
+        phase_groups,
+        fused_groups,
+        layers: layout.layer_count,
+        gap_inserted: layout.gap_inserted,
+    }
+}
+
+/// Completes a plan from a strategy's static layout: builds the planned
+/// allocation tables, runs dynamic planning (§5.2) against the placed
+/// statics, and fills in the stats (tagged with `strategy`, the concrete
+/// strategy that produced `layout`).
+pub fn finish_plan(
+    profile: &ProfiledRequests,
+    strategy: StrategyChoice,
+    layout: StaticLayout,
+) -> Plan {
+    let StaticLayout {
+        request_offsets: offsets,
+        pool_size,
+        phase_groups,
+        fused_groups,
+        layers,
+        gap_inserted,
+    } = layout;
+    debug_assert_eq!(offsets.len(), profile.statics.len());
 
     let make = |idx: usize| -> PlannedAlloc {
         let r = &profile.statics[idx];
@@ -243,12 +386,13 @@ pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
     let dynamic = dynamic::locate_reusable_space(profile, &placed, pool_size);
 
     let stats = PlanStats {
+        strategy,
         static_requests: profile.statics.len(),
         dynamic_requests: profile.dynamics.len(),
         phase_groups,
         fused_groups,
-        layers: layout.layer_count,
-        gap_inserted: layout.gap_inserted,
+        layers,
+        gap_inserted,
         homolayer_groups: dynamic.groups.len(),
         peak_static_demand: profile.peak_static_demand(),
         pool_size,
@@ -261,4 +405,16 @@ pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
         dynamic,
         stats,
     }
+}
+
+/// Runs the full plan synthesis on a profile — always with the baseline
+/// pipeline, whatever [`SynthConfig::strategy`] says. Strategy dispatch
+/// (and the portfolio race) lives in `stalloc_solver::synthesize_strategy`,
+/// which every cache/server/CLI path routes through.
+pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+    finish_plan(
+        profile,
+        StrategyChoice::Baseline,
+        baseline_layout(profile, config),
+    )
 }

@@ -18,6 +18,27 @@ use serde::{Deserialize, Serialize};
 use crate::plan::{Plan, SynthConfig};
 use crate::profiler::ProfiledRequests;
 
+/// How a plan should travel in the response.
+///
+/// `Json` embeds the plan inside the JSON response document (simple,
+/// `nc`-debuggable). `Binary` answers with a [`PlanResponse::PlanBin`]
+/// header frame followed by one *raw* frame holding the plan in the
+/// `stalloc-store` binary codec — skipping the JSON value-tree round
+/// trip that dominates big-plan responses.
+///
+/// The request field is optional on the wire: frames from clients that
+/// predate it carry no `encoding` key and are served `Json`, exactly as
+/// before the field existed — old clients keep working against new
+/// servers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanEncoding {
+    /// Plan embedded in the JSON response (the pre-`encoding` behaviour).
+    Json,
+    /// Plan in a follow-up binary-codec frame.
+    #[default]
+    Binary,
+}
+
 /// One client request to the planning service.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum PlanRequest {
@@ -28,12 +49,16 @@ pub enum PlanRequest {
         profile: ProfiledRequests,
         /// Synthesizer switches; part of the cache key.
         config: SynthConfig,
+        /// Response encoding; absent (old clients) means `Json`.
+        encoding: Option<PlanEncoding>,
     },
     /// Look up a previously planned job by fingerprint only. Never
     /// synthesizes: answers `NotFound` on a miss.
     Get {
         /// Lower-case hex fingerprint, as printed by `Fingerprint::to_hex`.
         fingerprint: String,
+        /// Response encoding; absent (old clients) means `Json`.
+        encoding: Option<PlanEncoding>,
     },
     /// Report the server's cumulative counters.
     Stats,
@@ -145,6 +170,20 @@ pub enum PlanResponse {
         /// The plan itself.
         plan: Plan,
     },
+    /// A plan served with [`PlanEncoding::Binary`]: this header frame is
+    /// immediately followed by one raw frame whose payload is the plan in
+    /// the `stalloc-store` binary codec (`bytes` long, for sanity
+    /// checking before the read).
+    PlanBin {
+        /// Hex fingerprint of the job.
+        fingerprint: String,
+        /// Which tier produced the plan.
+        source: PlanSource,
+        /// Server-side handling time, microseconds.
+        micros: u64,
+        /// Payload length of the follow-up binary frame.
+        bytes: u64,
+    },
     /// `Get` miss: no cached plan under that fingerprint.
     NotFound {
         /// The fingerprint that missed.
@@ -175,6 +214,11 @@ mod tests {
         let reqs = [
             PlanRequest::Get {
                 fingerprint: "a".repeat(32),
+                encoding: Some(PlanEncoding::Json),
+            },
+            PlanRequest::Get {
+                fingerprint: "b".repeat(32),
+                encoding: Some(PlanEncoding::Binary),
             },
             PlanRequest::Stats,
             PlanRequest::Ping,
@@ -191,16 +235,59 @@ mod tests {
         let r = PlanRequest::Plan {
             profile: ProfiledRequests::default(),
             config: SynthConfig::default(),
+            encoding: Some(PlanEncoding::Binary),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: PlanRequest = serde_json::from_str(&json).unwrap();
         match back {
-            PlanRequest::Plan { profile, config } => {
+            PlanRequest::Plan {
+                profile,
+                config,
+                encoding,
+            } => {
                 assert_eq!(profile.statics.len(), 0);
                 assert_eq!(config, SynthConfig::default());
+                assert_eq!(encoding, Some(PlanEncoding::Binary));
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn requests_without_encoding_still_decode() {
+        // Wire compatibility: frames from clients that predate the
+        // `encoding` field must keep parsing (and default to Json
+        // server-side).
+        let old = r#"{"Get": {"fingerprint": "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}}"#;
+        match serde_json::from_str::<PlanRequest>(old).unwrap() {
+            PlanRequest::Get { encoding, .. } => assert_eq!(encoding, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_bin_header_roundtrips() {
+        let resp = PlanResponse::PlanBin {
+            fingerprint: "7".repeat(32),
+            source: PlanSource::Store,
+            micros: 77,
+            bytes: 4096,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        match serde_json::from_str::<PlanResponse>(&json).unwrap() {
+            PlanResponse::PlanBin {
+                source,
+                micros,
+                bytes,
+                ..
+            } => {
+                assert_eq!(source, PlanSource::Store);
+                assert_eq!(micros, 77);
+                assert_eq!(bytes, 4096);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(PlanEncoding::default(), PlanEncoding::Binary);
     }
 
     #[test]

@@ -4,12 +4,21 @@
 //! are sequential (open more clients for concurrency). Responses are
 //! distrusted: plans are re-validated on receipt, so a corrupt or
 //! malicious server cannot push an unsound plan into a training run.
+//!
+//! Plans travel binary-encoded by default ([`PlanEncoding::Binary`]): the
+//! server answers with a `PlanBin` header frame plus one raw frame in the
+//! `stalloc-store` codec, and the client decodes transparently — same
+//! [`RemotePlan`] either way. [`PlanClient::with_encoding`] switches back
+//! to inline JSON (handy when eavesdropping on the wire with `nc`).
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use stalloc_core::wire::{PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind};
+use stalloc_core::wire::{
+    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind,
+};
 use stalloc_core::{Fingerprint, Plan, ProfiledRequests, SynthConfig};
+use stalloc_store::decode_plan;
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 
@@ -76,6 +85,7 @@ pub struct RemotePlan {
 pub struct PlanClient {
     stream: TcpStream,
     max_frame: usize,
+    encoding: PlanEncoding,
 }
 
 impl PlanClient {
@@ -90,12 +100,19 @@ impl PlanClient {
         Ok(PlanClient {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            encoding: PlanEncoding::default(),
         })
     }
 
     /// Caps the response frames this client will accept.
     pub fn with_max_frame(mut self, max_frame: usize) -> Self {
         self.max_frame = max_frame;
+        self
+    }
+
+    /// Chooses how served plans travel (default: [`PlanEncoding::Binary`]).
+    pub fn with_encoding(mut self, encoding: PlanEncoding) -> Self {
+        self.encoding = encoding;
         self
     }
 
@@ -144,6 +161,22 @@ impl PlanClient {
         })
     }
 
+    /// Reads the raw binary-codec frame a `PlanBin` header announces and
+    /// decodes it. The declared length is checked first: a mismatch means
+    /// the stream is unsynchronized and must not be trusted.
+    fn read_binary_plan(&mut self, declared: u64) -> Result<Plan, ClientError> {
+        let frame = read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| ClientError::Protocol("server closed before plan payload".into()))?;
+        if frame.len() as u64 != declared {
+            return Err(ClientError::Protocol(format!(
+                "binary plan frame is {} bytes, header declared {declared}",
+                frame.len()
+            )));
+        }
+        decode_plan(&frame)
+            .map_err(|e| ClientError::Protocol(format!("undecodable binary plan: {e}")))
+    }
+
     /// Plans a job remotely: cache hit, coalesced wait, or synthesis —
     /// the server decides; the response says which ([`RemotePlan::source`]).
     pub fn plan(
@@ -155,6 +188,7 @@ impl PlanClient {
         let request = PlanRequest::Plan {
             profile: profile.clone(),
             config: *config,
+            encoding: Some(self.encoding),
         };
         match self.roundtrip(&request)? {
             PlanResponse::Plan {
@@ -163,6 +197,15 @@ impl PlanClient {
                 micros,
                 plan,
             } => self.accept_plan(expected, fingerprint, source, micros, plan),
+            PlanResponse::PlanBin {
+                fingerprint,
+                source,
+                micros,
+                bytes,
+            } => {
+                let plan = self.read_binary_plan(bytes)?;
+                self.accept_plan(expected, fingerprint, source, micros, plan)
+            }
             other => Err(ClientError::Protocol(format!(
                 "expected Plan response, got {other:?}"
             ))),
@@ -174,6 +217,7 @@ impl PlanClient {
     pub fn get(&mut self, fp: Fingerprint) -> Result<Option<RemotePlan>, ClientError> {
         let request = PlanRequest::Get {
             fingerprint: fp.to_hex(),
+            encoding: Some(self.encoding),
         };
         match self.roundtrip(&request)? {
             PlanResponse::Plan {
@@ -188,6 +232,21 @@ impl PlanClient {
                 micros,
                 plan,
             )?)),
+            PlanResponse::PlanBin {
+                fingerprint,
+                source,
+                micros,
+                bytes,
+            } => {
+                let plan = self.read_binary_plan(bytes)?;
+                Ok(Some(self.accept_plan(
+                    fp,
+                    fingerprint,
+                    source,
+                    micros,
+                    plan,
+                )?))
+            }
             PlanResponse::NotFound { .. } => Ok(None),
             other => Err(ClientError::Protocol(format!(
                 "expected Plan/NotFound response, got {other:?}"

@@ -10,10 +10,14 @@
 //! * [`frame`] — length-prefixed JSONL framing with typed errors.
 //! * [`server`] — the daemon: hand-rolled worker pool (no async runtime),
 //!   bounded accept queue with `Busy` backpressure, three cache tiers
-//!   (sharded in-process LRU → shared disk store → synthesis), and
+//!   (sharded in-process LRU → shared disk store → strategy-aware
+//!   synthesis via `stalloc_solver`, portfolio included), and
 //!   single-flight deduplication of concurrent identical jobs.
 //! * [`client`] — a blocking keep-alive client that re-validates every
-//!   received plan.
+//!   received plan. Plans travel in the binary plan codec by default
+//!   (a `PlanBin` header frame plus one raw codec frame), decoded
+//!   transparently; `PlanClient::with_encoding` opts back into inline
+//!   JSON.
 //!
 //! The wire-facing request/response types live in
 //! [`stalloc_core::wire`], so speaking the protocol does not require

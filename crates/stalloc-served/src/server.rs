@@ -24,9 +24,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use stalloc_core::wire::{PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind};
-use stalloc_core::{fingerprint_job, synthesize, Fingerprint, Plan};
-use stalloc_store::{PlanStore, ShardedLru};
+use stalloc_core::wire::{
+    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind,
+};
+use stalloc_core::{fingerprint_job, Fingerprint, Plan};
+use stalloc_solver::synthesize_strategy;
+use stalloc_store::{encode_plan, PlanStore, ShardedLru};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 
@@ -423,7 +426,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         let started = Instant::now();
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
         shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
-        let response = handle_request(&payload, started, shared);
+        let (response, raw) = handle_request(&payload, started, shared);
         let keep_alive = !matches!(
             response,
             PlanResponse::Error {
@@ -434,7 +437,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         // Decrement before the response write: a client that has read its
         // response must never still observe itself as in-flight.
         shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-        let write_ok = write_response(&mut writer, &response).is_ok();
+        let write_ok = write_response(&mut writer, &response).is_ok()
+            && match &raw {
+                // Binary-encoded plans ride in a raw follow-up frame,
+                // skipping the JSON value-tree round trip.
+                Some(bytes) => write_frame(&mut writer, bytes).is_ok(),
+                None => true,
+            };
         if !write_ok || !keep_alive {
             return;
         }
@@ -447,7 +456,49 @@ fn write_response(w: &mut TcpStream, resp: &PlanResponse) -> std::io::Result<()>
     write_frame(w, payload.as_bytes())
 }
 
-fn handle_request(payload: &[u8], started: Instant, shared: &Shared) -> PlanResponse {
+/// Packages a served plan for the requested encoding: inline JSON, or a
+/// `PlanBin` header plus the raw binary-codec payload for the follow-up
+/// frame.
+fn plan_response(
+    fingerprint: String,
+    source: PlanSource,
+    started: Instant,
+    plan: Plan,
+    encoding: PlanEncoding,
+) -> (PlanResponse, Option<Vec<u8>>) {
+    match encoding {
+        PlanEncoding::Json => (
+            PlanResponse::Plan {
+                fingerprint,
+                source,
+                micros: started.elapsed().as_micros() as u64,
+                plan,
+            },
+            None,
+        ),
+        PlanEncoding::Binary => {
+            let bytes = encode_plan(&plan);
+            (
+                PlanResponse::PlanBin {
+                    fingerprint,
+                    source,
+                    micros: started.elapsed().as_micros() as u64,
+                    bytes: bytes.len() as u64,
+                },
+                Some(bytes),
+            )
+        }
+    }
+}
+
+/// Handles one decoded request. The second tuple element, when present,
+/// is a raw binary payload the connection handler writes as its own
+/// frame right after the JSON response.
+fn handle_request(
+    payload: &[u8],
+    started: Instant,
+    shared: &Shared,
+) -> (PlanResponse, Option<Vec<u8>>) {
     let request: PlanRequest = match std::str::from_utf8(payload)
         .map_err(|e| e.to_string())
         .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
@@ -455,63 +506,71 @@ fn handle_request(payload: &[u8], started: Instant, shared: &Shared) -> PlanResp
         Ok(r) => r,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return PlanResponse::Error {
-                kind: WireErrorKind::BadFrame,
-                message: format!("unparseable request: {e}"),
-            };
+            return (
+                PlanResponse::Error {
+                    kind: WireErrorKind::BadFrame,
+                    message: format!("unparseable request: {e}"),
+                },
+                None,
+            );
         }
     };
 
     match request {
-        PlanRequest::Ping => PlanResponse::Pong,
-        PlanRequest::Stats => PlanResponse::Stats {
-            stats: shared.snapshot(),
-        },
-        PlanRequest::Get { fingerprint } => {
+        PlanRequest::Ping => (PlanResponse::Pong, None),
+        PlanRequest::Stats => (
+            PlanResponse::Stats {
+                stats: shared.snapshot(),
+            },
+            None,
+        ),
+        PlanRequest::Get {
+            fingerprint,
+            encoding,
+        } => {
+            // Absent = a client from before the field existed: serve the
+            // plan inline in JSON, as such clients expect.
+            let encoding = encoding.unwrap_or(PlanEncoding::Json);
             let Some(fp) = Fingerprint::from_hex(&fingerprint) else {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                return PlanResponse::Error {
-                    kind: WireErrorKind::BadRequest,
-                    message: format!("'{fingerprint}' is not a 32-hex-digit fingerprint"),
-                };
+                return (
+                    PlanResponse::Error {
+                        kind: WireErrorKind::BadRequest,
+                        message: format!("'{fingerprint}' is not a 32-hex-digit fingerprint"),
+                    },
+                    None,
+                );
             };
             match lookup_cached(fp, shared) {
-                Some((plan, source)) => PlanResponse::Plan {
-                    fingerprint,
-                    source,
-                    micros: started.elapsed().as_micros() as u64,
-                    plan,
-                },
-                None => PlanResponse::NotFound { fingerprint },
+                Some((plan, source)) => plan_response(fingerprint, source, started, plan, encoding),
+                None => (PlanResponse::NotFound { fingerprint }, None),
             }
         }
-        PlanRequest::Plan { profile, config } => {
+        PlanRequest::Plan {
+            profile,
+            config,
+            encoding,
+        } => {
+            let encoding = encoding.unwrap_or(PlanEncoding::Json);
             shared
                 .counters
                 .plan_requests
                 .fetch_add(1, Ordering::Relaxed);
             let fp = fingerprint_job(&profile, &config);
             if let Some((plan, source)) = lookup_cached(fp, shared) {
-                return PlanResponse::Plan {
-                    fingerprint: fp.to_hex(),
-                    source,
-                    micros: started.elapsed().as_micros() as u64,
-                    plan,
-                };
+                return plan_response(fp.to_hex(), source, started, plan, encoding);
             }
             match plan_single_flight(fp, &profile, &config, shared) {
-                Ok((plan, source)) => PlanResponse::Plan {
-                    fingerprint: fp.to_hex(),
-                    source,
-                    micros: started.elapsed().as_micros() as u64,
-                    plan,
-                },
+                Ok((plan, source)) => plan_response(fp.to_hex(), source, started, plan, encoding),
                 Err(message) => {
                     shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    PlanResponse::Error {
-                        kind: WireErrorKind::Internal,
-                        message,
-                    }
+                    (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::Internal,
+                            message,
+                        },
+                        None,
+                    )
                 }
             }
         }
@@ -592,7 +651,9 @@ fn plan_single_flight(
 
     // Leader: synthesize behind a panic guard — a worker must survive any
     // pathological profile, and followers must never wait forever.
-    let outcome = catch_unwind(AssertUnwindSafe(|| synthesize(profile, config)))
+    // `synthesize_strategy` honours the request's strategy choice,
+    // including the portfolio race.
+    let outcome = catch_unwind(AssertUnwindSafe(|| synthesize_strategy(profile, config)))
         .map_err(|_| "synthesis panicked".to_string());
     if let Ok(plan) = &outcome {
         shared.counters.misses.fetch_add(1, Ordering::Relaxed);

@@ -141,6 +141,8 @@ fn bad_fingerprint_is_bad_request_and_connection_survives() {
     // The typed client cannot produce a malformed fingerprint, so speak
     // the protocol by hand.
     let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // No `encoding` key: this is also the frame shape of clients that
+    // predate the field, which must keep parsing.
     stalloc_served::write_frame(&mut raw, br#"{"Get": {"fingerprint": "wat"}}"#).unwrap();
     let resp = read_error_frame(&mut raw);
     assert!(resp.contains("BadRequest"), "typed error, got: {resp}");
@@ -151,6 +153,41 @@ fn bad_fingerprint_is_bad_request_and_connection_survives() {
     let resp = read_error_frame(&mut raw);
     assert!(resp.contains("Pong"), "connection survives: {resp}");
 
+    server.shutdown();
+}
+
+#[test]
+fn binary_and_json_encodings_serve_identical_plans() {
+    use stalloc_core::wire::PlanEncoding;
+
+    let server = PlanServer::start(ServeConfig::default()).unwrap();
+    let profile = small_profile();
+    let config = SynthConfig::default();
+
+    // Default client speaks binary; an explicit JSON client must get the
+    // exact same plan for the same job (served from cache the 2nd time).
+    let mut bin_client = PlanClient::connect(server.addr()).unwrap();
+    let via_bin = bin_client.plan(&profile, &config).unwrap();
+    let mut json_client = PlanClient::connect(server.addr())
+        .unwrap()
+        .with_encoding(PlanEncoding::Json);
+    let via_json = json_client.plan(&profile, &config).unwrap();
+
+    assert_eq!(via_bin.plan, via_json.plan);
+    assert_eq!(via_bin.fingerprint, via_json.fingerprint);
+    assert!(!via_bin.source.is_hit(), "first request synthesizes");
+    assert!(via_json.source.is_hit(), "second is a cache hit");
+
+    // Get by fingerprint round-trips through the binary path too, and
+    // the keep-alive connection stays frame-synchronized afterwards.
+    let got = bin_client
+        .get(via_bin.fingerprint)
+        .unwrap()
+        .expect("cached");
+    assert_eq!(got.plan, via_bin.plan);
+    bin_client.ping().unwrap();
+
+    assert_eq!(server.stats().misses, 1);
     server.shutdown();
 }
 

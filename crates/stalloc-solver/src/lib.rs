@@ -1,0 +1,91 @@
+//! `stalloc-solver`: a multi-strategy plan-synthesis portfolio.
+//!
+//! Memory planning is a search problem: different request mixes reward
+//! different packing orders and placement rules (ROAM and "Memory
+//! Planning for Deep Neural Networks" both report workload-dependent
+//! winners). `stalloc-core` supplies one pipeline — the paper's §5.1
+//! heuristic — as the [`StaticLayout`](stalloc_core::StaticLayout)
+//! producer behind `synthesize`. This crate generalizes that into:
+//!
+//! * a [`Strategy`] trait with four concrete packers
+//!   ([`registry`]): the paper pipeline (`baseline`), a size-descending
+//!   best-fit (`bestfit`), a TMP-weight-ordered variant of the paper
+//!   heuristic (`tmp-order`), and a temporal-lookahead interval packer
+//!   (`lookahead`);
+//! * a [`Portfolio`] runner that races strategies on `std::thread`
+//!   workers (optionally under a wall-clock budget), validates every
+//!   candidate, and deterministically keeps the best plan;
+//! * [`synthesize_strategy`] — the strategy-aware superset of
+//!   `stalloc_core::synthesize` that every cache/server/CLI path routes
+//!   through, dispatching on
+//!   [`SynthConfig::strategy`](stalloc_core::SynthConfig).
+//!
+//! Every strategy is required to produce a [`Plan`] that passes
+//! [`Plan::validate`] (no two decisions overlapping in both lifetime and
+//! address range) — the portfolio re-checks and discards any candidate
+//! that does not.
+//!
+//! # Example
+//!
+//! ```
+//! use stalloc_core::{profile_trace, StrategyChoice, SynthConfig};
+//! use stalloc_solver::{synthesize_portfolio, synthesize_strategy};
+//! use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+//!
+//! let trace = TrainJob::new(
+//!     ModelSpec::gpt2_345m(),
+//!     ParallelConfig::new(1, 2, 1),
+//!     OptimConfig::naive(),
+//! )
+//! .with_mbs(1)
+//! .with_seq(256)
+//! .with_microbatches(2)
+//! .build_trace()
+//! .unwrap();
+//! let profile = profile_trace(&trace, 1).unwrap();
+//!
+//! let config = SynthConfig {
+//!     strategy: StrategyChoice::Portfolio,
+//!     ..SynthConfig::default()
+//! };
+//! let outcome = synthesize_portfolio(&profile, &config);
+//! assert!(outcome.winner.validate().is_ok());
+//! // The portfolio can never lose to its own baseline member.
+//! let baseline = synthesize_strategy(
+//!     &profile,
+//!     &SynthConfig::default(),
+//! );
+//! assert!(outcome.winner.pool_size <= baseline.pool_size);
+//! ```
+
+pub mod portfolio;
+pub mod strategy;
+
+pub use portfolio::{CandidateReport, Portfolio, PortfolioOutcome};
+pub use strategy::{registry, strategy_for, Strategy};
+
+use stalloc_core::{Plan, ProfiledRequests, StrategyChoice, SynthConfig};
+
+/// Synthesizes a plan honouring [`SynthConfig::strategy`]: a concrete
+/// strategy runs directly; [`StrategyChoice::Portfolio`] races the whole
+/// [`registry`] and returns the winner.
+///
+/// This is the strategy-aware superset of `stalloc_core::synthesize`
+/// (which always runs the baseline pipeline); cache keys computed with
+/// `fingerprint_job` already incorporate the strategy, so plans produced
+/// here are safe to store content-addressed.
+pub fn synthesize_strategy(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+    match config.strategy {
+        StrategyChoice::Portfolio => Portfolio::standard().run(profile, config).winner,
+        choice => strategy_for(choice)
+            .expect("every concrete choice is registered")
+            .plan(profile, config),
+    }
+}
+
+/// Runs the standard portfolio regardless of [`SynthConfig::strategy`]
+/// and returns the full outcome (winner plus one report per candidate) —
+/// the CLI and the harness's comparison table use the reports.
+pub fn synthesize_portfolio(profile: &ProfiledRequests, config: &SynthConfig) -> PortfolioOutcome {
+    Portfolio::standard().run(profile, config)
+}

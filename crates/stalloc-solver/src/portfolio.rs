@@ -1,0 +1,369 @@
+//! The [`Portfolio`] runner: race strategies in parallel, keep the best.
+//!
+//! Each registered strategy synthesizes on its own `std::thread` worker;
+//! candidates are validated as they arrive and the winner is selected
+//! **deterministically** by `(pool size, fragmentation, strategy name)` —
+//! thread finishing order never influences the result. An optional
+//! wall-clock budget bounds how long the runner waits: candidates that
+//! miss the deadline are ignored (their threads finish in the background
+//! and their results are dropped), but the runner always waits for at
+//! least one usable candidate, so a budget can degrade quality, never
+//! correctness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stalloc_core::{Plan, ProfiledRequests, StrategyChoice, SynthConfig};
+
+use crate::strategy::{registry, Strategy};
+
+/// One strategy's result in a portfolio race.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Which strategy produced it.
+    pub strategy: StrategyChoice,
+    /// The candidate's static pool size (`u64::MAX` if it failed).
+    pub pool_size: u64,
+    /// Peak static demand over pool size (0.0 if it failed).
+    pub packing_efficiency: f64,
+    /// Wall-clock synthesis time for this strategy.
+    pub elapsed: Duration,
+    /// Whether the candidate existed and passed [`Plan::validate`].
+    pub valid: bool,
+    /// Whether this candidate won the race.
+    pub winner: bool,
+}
+
+/// Result of a [`Portfolio::run`].
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The best valid plan (its `stats.strategy` names the winning
+    /// concrete strategy).
+    pub winner: Plan,
+    /// One report per candidate that was considered, in registry order.
+    /// Strategies cut off by the time budget are absent.
+    pub candidates: Vec<CandidateReport>,
+}
+
+/// Races a set of strategies over one planning job.
+pub struct Portfolio {
+    /// `Arc` so each race worker can hold the *caller's* instance — a
+    /// custom [`Strategy`] passed to [`Portfolio::new`] is raced as-is,
+    /// never swapped for a registry lookalike.
+    strategies: Vec<Arc<dyn Strategy>>,
+    time_budget: Option<Duration>,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// What one worker sends back: its registry slot, the (validated-later)
+/// plan if synthesis survived, and how long it took.
+struct RaceResult {
+    slot: usize,
+    plan: Option<Plan>,
+    elapsed: Duration,
+}
+
+impl Portfolio {
+    /// The standard portfolio: every strategy in [`registry`], no budget.
+    pub fn standard() -> Self {
+        Self::new(registry())
+    }
+
+    /// Builds a portfolio over an explicit strategy set (custom
+    /// [`Strategy`] implementations welcome — they are raced as given).
+    pub fn new(strategies: Vec<Box<dyn Strategy>>) -> Self {
+        assert!(!strategies.is_empty(), "a portfolio needs ≥ 1 strategy");
+        Portfolio {
+            strategies: strategies.into_iter().map(Arc::from).collect(),
+            time_budget: None,
+        }
+    }
+
+    /// Caps how long [`Self::run`] waits for candidates. The runner still
+    /// waits for at least one usable result past the deadline, so the
+    /// budget trades quality (fewer candidates compared), never
+    /// soundness. Note that with a budget the candidate *set* depends on
+    /// machine speed — run without one when byte-stable winners across
+    /// machines matter (caches always may, so `synthesize_strategy` uses
+    /// the unbudgeted standard portfolio).
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// The names of the competing strategies, in registry order.
+    pub fn strategy_names(&self) -> Vec<&'static str> {
+        self.strategies.iter().map(|s| s.name()).collect()
+    }
+
+    /// Runs the race and returns the winner plus per-candidate reports.
+    ///
+    /// Winner selection is a pure function of the candidate set: the
+    /// valid plan with the smallest `(pool size, fragmentation, strategy
+    /// name)` triple wins. Fragmentation is `pool − peak static demand`;
+    /// since every candidate plans the same profile, the peak is shared
+    /// and the name is the only true tiebreaker for equal pools.
+    pub fn run(&self, profile: &ProfiledRequests, config: &SynthConfig) -> PortfolioOutcome {
+        let profile = Arc::new(profile.clone());
+        let (tx, rx) = mpsc::channel::<RaceResult>();
+        let mut workers = Vec::with_capacity(self.strategies.len());
+        for (slot, strategy) in self.strategies.iter().enumerate() {
+            let worker = Arc::clone(strategy);
+            let worker_profile = Arc::clone(&profile);
+            let worker_config = *config;
+            let worker_tx = tx.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("stalloc-solve-{}", worker.name()))
+                .spawn(move || {
+                    let started = Instant::now();
+                    // A panicking strategy must neither poison the race
+                    // nor leave the collector waiting for a result.
+                    let plan = catch_unwind(AssertUnwindSafe(|| {
+                        worker.plan(&worker_profile, &worker_config)
+                    }))
+                    .ok();
+                    let _ = worker_tx.send(RaceResult {
+                        slot,
+                        plan,
+                        elapsed: started.elapsed(),
+                    });
+                });
+            match spawned {
+                Ok(h) => workers.push(h),
+                Err(_) => {
+                    // Spawn failure (thread exhaustion): run inline so
+                    // the race still sees this candidate.
+                    let started = Instant::now();
+                    let plan =
+                        catch_unwind(AssertUnwindSafe(|| strategy.plan(&profile, config))).ok();
+                    let _ = tx.send(RaceResult {
+                        slot,
+                        plan,
+                        elapsed: started.elapsed(),
+                    });
+                }
+            }
+        }
+        drop(tx);
+
+        let mut results = self.collect(rx);
+        // Stragglers past the deadline are abandoned, not joined: their
+        // send lands in a closed channel. Without a budget every worker
+        // has already sent, so joining is instant and keeps thread
+        // accounting tidy.
+        if self.time_budget.is_none() {
+            for w in workers {
+                let _ = w.join();
+            }
+        }
+
+        // Deterministic selection, independent of arrival order. The
+        // winner is remembered by candidate index, so two strategies
+        // reporting the same `StrategyChoice` can never both be flagged.
+        results.sort_unstable_by_key(|r| r.slot);
+        let mut candidates = Vec::with_capacity(results.len());
+        let mut winner: Option<(u64, u64, &'static str, usize, Plan)> = None;
+        for (ci, r) in results.iter().enumerate() {
+            let name = self.strategies[r.slot].name();
+            let valid = r
+                .plan
+                .as_ref()
+                .is_some_and(|p| p.validate().is_ok() && p.pool_size >= p.stats.peak_static_demand);
+            let (pool, eff) = match (&r.plan, valid) {
+                (Some(p), true) => (p.pool_size, p.stats.packing_efficiency()),
+                _ => (u64::MAX, 0.0),
+            };
+            candidates.push(CandidateReport {
+                strategy: self.strategies[r.slot].choice(),
+                pool_size: pool,
+                packing_efficiency: eff,
+                elapsed: r.elapsed,
+                valid,
+                winner: false,
+            });
+            if valid {
+                let plan = r.plan.as_ref().expect("valid implies present");
+                let frag = pool - plan.stats.peak_static_demand;
+                let key = (pool, frag, name);
+                if winner
+                    .as_ref()
+                    .is_none_or(|(wp, wf, wn, ..)| key < (*wp, *wf, *wn))
+                {
+                    winner = Some((pool, frag, name, ci, plan.clone()));
+                }
+            }
+        }
+
+        let winner = match winner {
+            Some((.., ci, plan)) => {
+                candidates[ci].winner = true;
+                plan
+            }
+            // Every candidate failed or missed the deadline — fall back
+            // to the baseline pipeline inline; it is the reference
+            // implementation and must not be racy.
+            None => stalloc_core::synthesize(&profile, config),
+        };
+        PortfolioOutcome { winner, candidates }
+    }
+
+    /// Collects race results: all of them without a budget; with one,
+    /// whatever arrives before the deadline (but always ≥ 1 result).
+    fn collect(&self, rx: mpsc::Receiver<RaceResult>) -> Vec<RaceResult> {
+        let expected = self.strategies.len();
+        let mut out = Vec::with_capacity(expected);
+        match self.time_budget {
+            None => {
+                while out.len() < expected {
+                    match rx.recv() {
+                        Ok(r) => out.push(r),
+                        Err(_) => break, // all senders gone
+                    }
+                }
+            }
+            Some(budget) => {
+                let deadline = Instant::now() + budget;
+                while out.len() < expected {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    match rx.recv_timeout(left) {
+                        Ok(r) => out.push(r),
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                if out.is_empty() {
+                    // Never return empty-handed while a worker is still
+                    // coming: one synthesis is the price of soundness.
+                    if let Ok(r) = rx.recv() {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::strategy_for;
+    use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+    fn profile() -> ProfiledRequests {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(4)
+        .with_iterations(2)
+        .build_trace()
+        .unwrap();
+        stalloc_core::profile_trace(&trace, 1).unwrap()
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_baseline() {
+        let p = profile();
+        let config = SynthConfig::default();
+        let outcome = Portfolio::standard().run(&p, &config);
+        outcome.winner.validate().unwrap();
+        let baseline = stalloc_core::synthesize(&p, &config);
+        assert!(outcome.winner.pool_size <= baseline.pool_size);
+        assert_eq!(outcome.candidates.len(), StrategyChoice::CONCRETE.len());
+        assert_eq!(outcome.candidates.iter().filter(|c| c.winner).count(), 1);
+        let w = outcome
+            .candidates
+            .iter()
+            .find(|c| c.winner)
+            .expect("one winner");
+        assert_eq!(w.strategy, outcome.winner.stats.strategy);
+        assert_eq!(w.pool_size, outcome.winner.pool_size);
+    }
+
+    #[test]
+    fn winner_is_deterministic_across_runs() {
+        let p = profile();
+        let config = SynthConfig {
+            strategy: StrategyChoice::Portfolio,
+            ..SynthConfig::default()
+        };
+        let a = Portfolio::standard().run(&p, &config);
+        let b = Portfolio::standard().run(&p, &config);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.winner.to_json(), b.winner.to_json());
+    }
+
+    #[test]
+    fn single_strategy_portfolio_degenerates() {
+        let p = profile();
+        let config = SynthConfig::default();
+        let solo = Portfolio::new(vec![strategy_for(StrategyChoice::BestFit).unwrap()]);
+        let outcome = solo.run(&p, &config);
+        assert_eq!(outcome.winner.stats.strategy, StrategyChoice::BestFit);
+        assert_eq!(outcome.candidates.len(), 1);
+        assert!(outcome.candidates[0].winner);
+    }
+
+    /// Claims to be Baseline but panics: if the runner ever swapped
+    /// caller instances for registry lookups again, this candidate would
+    /// come back valid.
+    struct PanickingImpostor;
+
+    impl Strategy for PanickingImpostor {
+        fn choice(&self) -> StrategyChoice {
+            StrategyChoice::Baseline
+        }
+
+        fn description(&self) -> &'static str {
+            "always panics (test double)"
+        }
+
+        fn plan(&self, _: &ProfiledRequests, _: &SynthConfig) -> Plan {
+            panic!("the caller's instance must actually run")
+        }
+    }
+
+    #[test]
+    fn custom_strategies_are_raced_as_given() {
+        let p = profile();
+        let config = SynthConfig::default();
+        let portfolio = Portfolio::new(vec![
+            Box::new(PanickingImpostor),
+            strategy_for(StrategyChoice::BestFit).unwrap(),
+        ]);
+        let outcome = portfolio.run(&p, &config);
+        assert_eq!(outcome.candidates.len(), 2);
+        assert!(
+            !outcome.candidates[0].valid,
+            "the impostor itself must run (and panic), not a registry stand-in"
+        );
+        assert!(outcome.candidates[1].winner);
+        assert_eq!(outcome.winner.stats.strategy, StrategyChoice::BestFit);
+        outcome.winner.validate().unwrap();
+    }
+
+    #[test]
+    fn generous_budget_sees_every_candidate() {
+        let p = profile();
+        let config = SynthConfig::default();
+        let outcome = Portfolio::standard()
+            .with_time_budget(Duration::from_secs(120))
+            .run(&p, &config);
+        assert_eq!(outcome.candidates.len(), StrategyChoice::CONCRETE.len());
+        outcome.winner.validate().unwrap();
+    }
+}

@@ -1,0 +1,339 @@
+//! The [`Strategy`] trait and the four concrete packers.
+//!
+//! A strategy owns only the *static* half of planning — producing a
+//! [`StaticLayout`] (an absolute offset per profiled static request plus
+//! a pool size). The shared tail (planned-allocation tables, §5.2
+//! dynamic planning, stats) is `stalloc_core::finish_plan`, so every
+//! strategy's output is a complete, comparable [`Plan`].
+
+use stalloc_core::plan::phase_group::{build_phase_groups, fuse_groups};
+use stalloc_core::{
+    baseline_layout, finish_plan, Plan, ProfiledRequests, Rect, StaticLayout, StrategyChoice,
+    SynthConfig, TimeSpacePacker,
+};
+
+/// One pluggable packing strategy.
+///
+/// Implementations must be deterministic (same inputs ⇒ byte-identical
+/// plan) and sound (the returned plan passes [`Plan::validate`]); the
+/// portfolio re-validates and drops any candidate that is not.
+pub trait Strategy: Send + Sync {
+    /// The [`StrategyChoice`] this strategy implements.
+    fn choice(&self) -> StrategyChoice;
+
+    /// Stable name (the CLI's `--strategy` value).
+    fn name(&self) -> &'static str {
+        self.choice().name()
+    }
+
+    /// One-line description for `stalloc strategies`.
+    fn description(&self) -> &'static str;
+
+    /// Synthesizes a full plan for the profile.
+    fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan;
+}
+
+/// All registered concrete strategies, in [`StrategyChoice::CONCRETE`]
+/// order. The portfolio races exactly this set.
+pub fn registry() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(Baseline),
+        Box::new(BestFitDecreasing),
+        Box::new(TmpOrdered),
+        Box::new(TemporalLookahead),
+    ]
+}
+
+/// Looks up one concrete strategy; `None` for
+/// [`StrategyChoice::Portfolio`] (which is a runner, not a packer).
+pub fn strategy_for(choice: StrategyChoice) -> Option<Box<dyn Strategy>> {
+    registry().into_iter().find(|s| s.choice() == choice)
+}
+
+/// `baseline`: the paper's §5.1 pipeline, verbatim — HomoPhase grouping,
+/// TMP-scored fusion, HomoSize memory-layers with gap insertion, and the
+/// global first-fit refinement sweep.
+pub struct Baseline;
+
+impl Strategy for Baseline {
+    fn choice(&self) -> StrategyChoice {
+        StrategyChoice::Baseline
+    }
+
+    fn description(&self) -> &'static str {
+        "paper pipeline: phase-group, TMP fusion, size layers, first-fit refine"
+    }
+
+    fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+        finish_plan(
+            profile,
+            StrategyChoice::Baseline,
+            baseline_layout(profile, config),
+        )
+    }
+}
+
+/// `bestfit`: size-descending best-fit. Requests are placed largest
+/// first (earlier start breaking ties), each at the *tightest* free gap
+/// in the time × address plane rather than the lowest one — big tensors
+/// anchor the layout, and small ones fill the leftover notches exactly.
+pub struct BestFitDecreasing;
+
+impl Strategy for BestFitDecreasing {
+    fn choice(&self) -> StrategyChoice {
+        StrategyChoice::BestFit
+    }
+
+    fn description(&self) -> &'static str {
+        "size-descending best-fit over the time x address plane"
+    }
+
+    fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+        let _ = config; // ablation switches steer the grouped pipelines only
+        let reqs = &profile.statics;
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        order.sort_unstable_by_key(|&i| (u64::MAX - reqs[i].size, reqs[i].ts, i));
+        let mut packer = TimeSpacePacker::new();
+        let mut offsets = vec![0u64; reqs.len()];
+        for i in order {
+            let r = &reqs[i];
+            let t1 = r.te.max(r.ts + 1);
+            let off = packer
+                .find_best_fit(r.ts, t1, r.size, u64::MAX)
+                .expect("unbounded fit always succeeds");
+            packer.place_at(Rect {
+                t0: r.ts,
+                t1,
+                off,
+                len: r.size,
+            });
+            offsets[i] = off;
+        }
+        finish_plan(
+            profile,
+            StrategyChoice::BestFit,
+            StaticLayout {
+                pool_size: packer.height(),
+                request_offsets: offsets,
+                phase_groups: 0,
+                fused_groups: 0,
+                layers: 0,
+                gap_inserted: 0,
+            },
+        )
+    }
+}
+
+/// `tmp-order`: a weight-ordered variant of the paper heuristic. The
+/// HomoPhase grouping and TMP fusion run as in §5.1, but instead of
+/// HomoSize classes the fused cohorts are placed directly into one
+/// global packer in descending time-memory-product *weight* order
+/// (size × lifetime, the fusion-acceptance weight of Eq. 2) — the
+/// cohorts that dominate the space-time volume claim the bottom of the
+/// pool, and everything lighter first-fits around them.
+pub struct TmpOrdered;
+
+impl Strategy for TmpOrdered {
+    fn choice(&self) -> StrategyChoice {
+        StrategyChoice::TmpOrder
+    }
+
+    fn description(&self) -> &'static str {
+        "paper grouping + fusion, cohorts placed in TMP-weight order"
+    }
+
+    fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+        let reqs = &profile.statics;
+        let plans = build_phase_groups(reqs);
+        let phase_groups = plans.len();
+        let plans = if config.enable_fusion {
+            fuse_groups(plans, reqs)
+        } else {
+            plans
+        };
+        let fused_groups = plans.len();
+
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        // Weights are products of u64s: finite, so total_cmp is a strict
+        // deterministic order; member index breaks exact ties.
+        order.sort_unstable_by(|&a, &b| {
+            plans[b]
+                .weight()
+                .total_cmp(&plans[a].weight())
+                .then(plans[a].ts.cmp(&plans[b].ts))
+                .then(plans[a].members[0].0.cmp(&plans[b].members[0].0))
+        });
+
+        let mut packer = TimeSpacePacker::new();
+        let mut offsets = vec![0u64; reqs.len()];
+        for pi in order {
+            let mut members = plans[pi].members.clone();
+            members.sort_unstable_by_key(|&(ri, _)| (reqs[ri].ts, ri));
+            for (ri, _) in members {
+                let r = &reqs[ri];
+                let t1 = r.te.max(r.ts + 1);
+                let off = packer.pack(r.ts, t1, r.size);
+                offsets[ri] = off;
+            }
+        }
+        finish_plan(
+            profile,
+            StrategyChoice::TmpOrder,
+            StaticLayout {
+                pool_size: packer.height(),
+                request_offsets: offsets,
+                phase_groups,
+                fused_groups,
+                layers: 0,
+                gap_inserted: 0,
+            },
+        )
+    }
+}
+
+/// `lookahead`: a temporal-lookahead interval packer. Requests are swept
+/// in arrival order (longest-lived first among simultaneous arrivals, as
+/// in interval-graph coloring) and each one is offered every free gap in
+/// its time window; the chosen gap is the one whose previous occupant
+/// freed *closest before* the request arrives — the request slots in
+/// right behind its temporal predecessor, generalizing Algorithm 1's
+/// preferred-layer rule to request granularity.
+pub struct TemporalLookahead;
+
+impl TemporalLookahead {
+    /// How long the address range `[off, off+len)` has been idle at tick
+    /// `ts`: `ts` minus the latest end time of any placement that spatially
+    /// overlaps the range and freed at or before `ts`. Smaller = snugger.
+    fn idle_gap(packer: &TimeSpacePacker, off: u64, len: u64, ts: u64) -> u64 {
+        let t_prev = packer
+            .rects()
+            .iter()
+            .filter(|r| r.off < off + len && off < r.off + r.len && r.t1 <= ts)
+            .map(|r| r.t1)
+            .max()
+            .unwrap_or(0);
+        ts - t_prev
+    }
+}
+
+impl Strategy for TemporalLookahead {
+    fn choice(&self) -> StrategyChoice {
+        StrategyChoice::Lookahead
+    }
+
+    fn description(&self) -> &'static str {
+        "arrival-order sweep preferring the most recently freed gap"
+    }
+
+    fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+        let _ = config;
+        let reqs = &profile.statics;
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        order.sort_unstable_by_key(|&i| (reqs[i].ts, u64::MAX - reqs[i].te, i));
+        let mut packer = TimeSpacePacker::new();
+        let mut offsets = vec![0u64; reqs.len()];
+        for i in order {
+            let r = &reqs[i];
+            let t1 = r.te.max(r.ts + 1);
+            // Candidates: the bottom of every free gap in the window
+            // (the final free_gaps entry is the always-feasible top of
+            // the occupied span).
+            let off = packer
+                .free_gaps(r.ts, t1, r.size)
+                .into_iter()
+                .min_by_key(|&(off, _)| (Self::idle_gap(&packer, off, r.size, r.ts), off))
+                .map(|(off, _)| off)
+                .expect("top-of-stack candidate always exists");
+            packer.place_at(Rect {
+                t0: r.ts,
+                t1,
+                off,
+                len: r.size,
+            });
+            offsets[i] = off;
+        }
+        finish_plan(
+            profile,
+            StrategyChoice::Lookahead,
+            StaticLayout {
+                pool_size: packer.height(),
+                request_offsets: offsets,
+                phase_groups: 0,
+                fused_groups: 0,
+                layers: 0,
+                gap_inserted: 0,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+    fn profile() -> ProfiledRequests {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::r(),
+        )
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(4)
+        .with_iterations(2)
+        .build_trace()
+        .unwrap();
+        stalloc_core::profile_trace(&trace, 1).unwrap()
+    }
+
+    #[test]
+    fn registry_covers_every_concrete_choice() {
+        let reg = registry();
+        let choices: Vec<StrategyChoice> = reg.iter().map(|s| s.choice()).collect();
+        assert_eq!(choices, StrategyChoice::CONCRETE.to_vec());
+        assert!(strategy_for(StrategyChoice::Portfolio).is_none());
+        for s in &reg {
+            assert!(!s.description().is_empty());
+            assert_eq!(s.name(), s.choice().name());
+        }
+    }
+
+    #[test]
+    fn every_strategy_is_sound_and_tagged() {
+        let p = profile();
+        let config = SynthConfig::default();
+        for s in registry() {
+            let plan = s.plan(&p, &config);
+            plan.validate()
+                .unwrap_or_else(|e| panic!("{}: unsound plan: {e}", s.name()));
+            assert_eq!(plan.stats.strategy, s.choice(), "{}", s.name());
+            assert!(
+                plan.pool_size >= plan.stats.peak_static_demand,
+                "{}: pool below the information-theoretic bound",
+                s.name()
+            );
+            assert_eq!(plan.init_allocs.len(), p.init_count);
+        }
+    }
+
+    #[test]
+    fn baseline_strategy_matches_core_synthesize() {
+        let p = profile();
+        let config = SynthConfig::default();
+        let via_strategy = Baseline.plan(&p, &config);
+        let via_core = stalloc_core::synthesize(&p, &config);
+        assert_eq!(via_strategy, via_core);
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let p = profile();
+        let config = SynthConfig::default();
+        for s in registry() {
+            let a = s.plan(&p, &config).to_json();
+            let b = s.plan(&p, &config).to_json();
+            assert_eq!(a, b, "{} is nondeterministic", s.name());
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //! ```text
 //! magic "STPL" (4 raw bytes) | version (u16 LE)
 //! pool_size
-//! stats (9 fields)
+//! stats (strategy tag since v2, then 9 fields)
 //! init_allocs  : count, then per alloc Δsize Δoffset Δts (te−ts)
 //! iter_allocs  : same encoding
 //! dyn groups   : count, then per group ls/le keys, t-range,
@@ -29,14 +29,18 @@
 
 use std::fmt;
 
-use stalloc_core::plan::{DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc};
+use stalloc_core::plan::{DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc, StrategyChoice};
 use stalloc_core::InstanceKey;
 
 /// File magic identifying a binary plan (`stalloc show` sniffs this).
 pub const MAGIC: [u8; 4] = *b"STPL";
 
 /// Current wire-format version.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// v2 added the synthesizing-strategy tag as the first stats field;
+/// v1 streams still decode (their strategy defaults to `baseline`, the
+/// only packer that existed when they were written).
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Typed decode failures. The decoder returns these instead of panicking,
 /// whatever the input bytes.
@@ -308,6 +312,7 @@ pub fn encode_plan(plan: &Plan) -> Vec<u8> {
     put_uvarint(&mut buf, plan.pool_size);
 
     let s = &plan.stats;
+    put_uvarint(&mut buf, s.strategy.index() as u64);
     put_uvarint(&mut buf, s.static_requests as u64);
     put_uvarint(&mut buf, s.dynamic_requests as u64);
     put_uvarint(&mut buf, s.phase_groups as u64);
@@ -362,7 +367,22 @@ pub fn decode_plan(bytes: &[u8]) -> Result<Plan, CodecError> {
 
     let pool_size = r.uvarint("pool_size")?;
 
+    // v1 predates the strategy tag; everything it stored came from the
+    // (then-only) baseline pipeline.
+    let strategy = if version >= 2 {
+        let idx = r.uvarint("stats.strategy")?;
+        u8::try_from(idx)
+            .ok()
+            .and_then(StrategyChoice::from_index)
+            .ok_or(CodecError::IntOutOfRange {
+                context: "stats.strategy",
+            })?
+    } else {
+        StrategyChoice::Baseline
+    };
+
     let stats = PlanStats {
+        strategy,
         static_requests: r.usize_field("stats.static_requests")?,
         dynamic_requests: r.usize_field("stats.dynamic_requests")?,
         phase_groups: r.usize_field("stats.phase_groups")?,
@@ -468,6 +488,7 @@ mod tests {
                 instance_seq: vec![(key(7, 2), vec![0, 0, u32::MAX])],
             },
             stats: PlanStats {
+                strategy: StrategyChoice::Lookahead,
                 static_requests: 5,
                 dynamic_requests: 3,
                 phase_groups: 2,
@@ -528,6 +549,43 @@ mod tests {
     }
 
     #[test]
+    fn v1_streams_decode_with_baseline_strategy() {
+        // A v1 stream is a v2 stream of a Baseline-tagged plan minus the
+        // strategy byte, with the version field rewound.
+        let mut plan = sample_plan();
+        plan.stats.strategy = StrategyChoice::Baseline;
+        let v2 = encode_plan(&plan);
+        // Layout: magic(4) version(2) pool_size(varint) strategy(1 byte
+        // here: index 0) rest...
+        let pool_len = {
+            let mut r = Reader::new(&v2[6..]);
+            r.uvarint("pool").unwrap();
+            r.pos
+        };
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&v2[6..6 + pool_len]);
+        v1.extend_from_slice(&v2[6 + pool_len + 1..]);
+        assert_eq!(decode_plan(&v1).unwrap(), plan);
+    }
+
+    #[test]
+    fn unknown_strategy_index_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        put_uvarint(&mut bytes, 0); // pool_size
+        put_uvarint(&mut bytes, 99); // no such strategy
+        assert_eq!(
+            decode_plan(&bytes),
+            Err(CodecError::IntOutOfRange {
+                context: "stats.strategy"
+            })
+        );
+    }
+
+    #[test]
     fn trailing_bytes_rejected() {
         let mut bytes = encode_plan(&sample_plan());
         bytes.push(0);
@@ -542,8 +600,9 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&MAGIC);
         bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        // pool_size + 9 stats fields, then a giant alloc count.
-        bytes.extend_from_slice(&[0; 10]);
+        // pool_size + strategy tag + 9 stats fields, then a giant alloc
+        // count.
+        bytes.extend_from_slice(&[0; 11]);
         put_uvarint(&mut bytes, u64::MAX);
         assert!(matches!(
             decode_plan(&bytes),

@@ -27,7 +27,8 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use serde::{Deserialize, Serialize};
 use stalloc_core::plan::{Plan, SynthConfig};
-use stalloc_core::{fingerprint_job, synthesize, Fingerprint, ProfiledRequests};
+use stalloc_core::{fingerprint_job, Fingerprint, ProfiledRequests};
+use stalloc_solver::synthesize_strategy;
 
 use crate::codec::{decode_plan, encode_plan, CodecError};
 
@@ -433,6 +434,12 @@ pub enum CacheOutcome {
 /// Plans a job through the cache: O(1) fingerprint lookup on a hit, full
 /// synthesis + [`PlanStore::put`] on a miss. A corrupt, unreadable, or
 /// decodable-but-unsound entry counts as a miss and is overwritten.
+///
+/// Synthesis honours [`SynthConfig::strategy`] (dispatching through
+/// `stalloc_solver::synthesize_strategy`, including the portfolio race),
+/// and the fingerprint incorporates the strategy — so a job planned by
+/// the portfolio and the same profile planned by one concrete strategy
+/// are distinct cache entries that can never serve each other.
 pub fn synthesize_cached(
     profile: &ProfiledRequests,
     config: &SynthConfig,
@@ -446,7 +453,7 @@ pub fn synthesize_cached(
             return Ok((plan, fp, CacheOutcome::Hit));
         }
     }
-    let plan = synthesize(profile, config);
+    let plan = synthesize_strategy(profile, config);
     store.put(fp, &plan)?;
     Ok((plan, fp, CacheOutcome::Miss))
 }
@@ -483,7 +490,7 @@ mod tests {
         let store = temp_store("roundtrip");
         let p = profile();
         let config = SynthConfig::default();
-        let plan = synthesize(&p, &config);
+        let plan = stalloc_core::synthesize(&p, &config);
         let fp = fingerprint_job(&p, &config);
 
         assert_eq!(store.get(fp).unwrap(), None);
@@ -518,6 +525,40 @@ mod tests {
         assert_eq!(out3, CacheOutcome::Miss);
         assert_ne!(fp1, fp3);
         assert_eq!(store.entries().unwrap().len(), 2);
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn strategies_key_distinct_cache_entries() {
+        use stalloc_core::StrategyChoice;
+        let store = temp_store("strategies");
+        let p = profile();
+
+        // Baseline and portfolio are distinct jobs: distinct fingerprints,
+        // two store entries, and neither lookup serves the other.
+        let base_cfg = SynthConfig::default();
+        let port_cfg = SynthConfig {
+            strategy: StrategyChoice::Portfolio,
+            ..SynthConfig::default()
+        };
+        let (base_plan, base_fp, o1) = synthesize_cached(&p, &base_cfg, &store).unwrap();
+        let (port_plan, port_fp, o2) = synthesize_cached(&p, &port_cfg, &store).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Miss);
+        assert_ne!(base_fp, port_fp);
+        assert_eq!(store.entries().unwrap().len(), 2);
+        assert_eq!(base_plan.stats.strategy, StrategyChoice::Baseline);
+        // The portfolio's winner is tagged with the concrete strategy
+        // that produced it, never `Portfolio` itself.
+        assert_ne!(port_plan.stats.strategy, StrategyChoice::Portfolio);
+        // The portfolio can never do worse than its baseline member.
+        assert!(port_plan.pool_size <= base_plan.pool_size);
+
+        // Both entries hit on repeat, returning the identical plan.
+        let (again, _, o3) = synthesize_cached(&p, &port_cfg, &store).unwrap();
+        assert_eq!(o3, CacheOutcome::Hit);
+        assert_eq!(again, port_plan);
 
         let _ = fs::remove_dir_all(store.dir());
     }

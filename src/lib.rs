@@ -4,5 +4,6 @@ pub use gpu_sim;
 pub use harness;
 pub use stalloc_core;
 pub use stalloc_served;
+pub use stalloc_solver;
 pub use stalloc_store;
 pub use trace_gen;

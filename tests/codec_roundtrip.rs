@@ -43,6 +43,7 @@ fn synth_config(fusion: bool, gaps: bool, ascending: bool) -> SynthConfig {
         enable_fusion: fusion,
         enable_gap_insertion: gaps,
         ascending_sizes: ascending,
+        ..SynthConfig::default()
     }
 }
 

@@ -116,6 +116,56 @@ fn rebuilt_traces_profile_identically() {
 }
 
 #[test]
+fn portfolio_cached_plans_are_byte_identical() {
+    // Two independent portfolio runs of the same job, cached into two
+    // independent stores, must persist byte-identical artifacts — the
+    // race's thread scheduling must never leak into the winner, or a
+    // shared plan cache would serve different plans for one fingerprint.
+    use stalloc_core::StrategyChoice;
+    use stalloc_store::{synthesize_cached, CacheOutcome, PlanStore};
+
+    let trace = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1).with_vpp(2),
+        OptimConfig::r(),
+    )
+    .with_mbs(2)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(2)
+    .build_trace()
+    .unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+    let config = SynthConfig {
+        strategy: StrategyChoice::Portfolio,
+        ..SynthConfig::default()
+    };
+
+    let base = std::env::temp_dir().join(format!("stalloc-det-portfolio-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store_a = PlanStore::open(base.join("a")).unwrap();
+    let store_b = PlanStore::open(base.join("b")).unwrap();
+
+    let (plan_a, fp_a, out_a) = synthesize_cached(&profile, &config, &store_a).unwrap();
+    let (plan_b, fp_b, out_b) = synthesize_cached(&profile, &config, &store_b).unwrap();
+    assert_eq!(out_a, CacheOutcome::Miss);
+    assert_eq!(out_b, CacheOutcome::Miss);
+    assert_eq!(fp_a, fp_b, "portfolio jobs fingerprint identically");
+    assert_eq!(plan_a, plan_b);
+    assert_ne!(
+        fp_a,
+        stalloc_core::fingerprint_job(&profile, &SynthConfig::default()),
+        "portfolio and baseline are distinct cache keys"
+    );
+
+    let bytes_a = std::fs::read(store_a.plan_path(fp_a)).unwrap();
+    let bytes_b = std::fs::read(store_b.plan_path(fp_b)).unwrap();
+    assert_eq!(bytes_a, bytes_b, "cached artifacts diverged");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn fingerprints_are_stable_across_runs() {
     // The plan cache keys on the job fingerprint, so it must be a pure
     // function of the profiled content: two independent builds of the
