@@ -105,9 +105,11 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
                     the plan is loaded and synthesis is skipped
   --remote ADDR     plan via a `stalloc serve` daemon at ADDR instead of
                     synthesizing locally (mutually exclusive with --cache)
-  --no-fusion       disable HomoPhase fusion (ablation)
-  --no-gaps         disable gap insertion (ablation)
-  --ascending       process size classes ascending (ablation)",
+  --no-fusion       disable HomoPhase fusion (ablation; steers the
+                    grouped pipelines — baseline, tmp-order — only)
+  --no-gaps         disable gap insertion (ablation; baseline only)
+  --ascending       process size classes ascending (ablation;
+                    baseline only)",
         spec: FlagSpec {
             value_flags: &["input", "output", "format", "strategy", "cache", "remote"],
             bool_flags: &["no-fusion", "no-gaps", "ascending"],
@@ -488,6 +490,20 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         ascending_sizes: args.flag("ascending"),
         strategy,
     };
+    // The ablation switches steer the grouped pipelines only; make the
+    // no-op visible (the flags are still part of the job fingerprint).
+    let ablations_on = args.flag("no-fusion") || args.flag("no-gaps") || args.flag("ascending");
+    if ablations_on
+        && matches!(
+            strategy,
+            StrategyChoice::BestFit | StrategyChoice::Lookahead
+        )
+    {
+        eprintln!(
+            "note: --strategy {strategy} ignores --no-fusion/--no-gaps/--ascending \
+             (they steer the baseline and tmp-order pipelines only)"
+        );
+    }
     let output = args.require("output")?;
     let format = plan_format(args, output)?;
 

@@ -118,7 +118,11 @@ impl std::fmt::Display for StrategyChoice {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanStats {
     /// The strategy that produced this plan (for a portfolio run: the
-    /// winning concrete strategy, not `Portfolio`).
+    /// winning concrete strategy, not `Portfolio`). Defaults to
+    /// `Baseline` so JSON plan artifacts written before this field
+    /// existed still deserialize (mirroring the binary codec's v1
+    /// fallback).
+    #[serde(default)]
     pub strategy: StrategyChoice,
     /// Static requests planned (persistent + iteration).
     pub static_requests: usize,
@@ -260,7 +264,10 @@ pub struct SynthConfig {
     pub ascending_sizes: bool,
     /// Which packing strategy to run (part of the job fingerprint).
     /// [`synthesize`] honours only `Baseline`; the solver crate's
-    /// `synthesize_strategy` dispatches the rest.
+    /// `synthesize_strategy` dispatches the rest. Defaults to
+    /// `Baseline` so wire requests from clients predating this field
+    /// (3-field config JSON) still deserialize.
+    #[serde(default)]
     pub strategy: StrategyChoice,
 }
 
@@ -412,6 +419,15 @@ pub fn finish_plan(
 /// (and the portfolio race) lives in `stalloc_solver::synthesize_strategy`,
 /// which every cache/server/CLI path routes through.
 pub fn synthesize(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+    // Guard the pairing trap: fingerprint_job() hashes config.strategy,
+    // so calling synthesize() (baseline-only) with a non-baseline config
+    // would cache a baseline plan under another strategy's fingerprint.
+    debug_assert_eq!(
+        config.strategy,
+        StrategyChoice::Baseline,
+        "synthesize() always runs the baseline pipeline; dispatch other \
+         strategies through stalloc_solver::synthesize_strategy"
+    );
     finish_plan(
         profile,
         StrategyChoice::Baseline,

@@ -263,6 +263,24 @@ mod tests {
             PlanRequest::Get { encoding, .. } => assert_eq!(encoding, None),
             other => panic!("wrong variant: {other:?}"),
         }
+
+        // Same for `Plan` requests, whose config additionally predates
+        // the `strategy` field: a 3-field SynthConfig must decode as
+        // Baseline (the only behaviour old servers had).
+        let profile = serde_json::to_string(&ProfiledRequests::default()).unwrap();
+        let old_plan = format!(
+            r#"{{"Plan": {{"profile": {profile}, "config": {{"enable_fusion": true, "enable_gap_insertion": true, "ascending_sizes": false}}}}}}"#
+        );
+        match serde_json::from_str::<PlanRequest>(&old_plan).unwrap() {
+            PlanRequest::Plan {
+                config, encoding, ..
+            } => {
+                assert_eq!(config, SynthConfig::default());
+                assert_eq!(config.strategy, crate::plan::StrategyChoice::Baseline);
+                assert_eq!(encoding, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl Portfolio {
     /// machine speed — run without one when byte-stable winners across
     /// machines matter (caches always may, so `synthesize_strategy` uses
     /// the unbudgeted standard portfolio).
+    ///
+    /// Stragglers past the deadline are abandoned, not joined: each
+    /// keeps its thread and its clone of the profile alive until its
+    /// strategy finishes, so tightly-budgeted runs over large profiles
+    /// retain that memory in the background. Repeated budgeted runs can
+    /// stack such stragglers; callers that care should size the budget
+    /// so only pathological strategies miss it.
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
         self
@@ -208,8 +215,15 @@ impl Portfolio {
             }
             // Every candidate failed or missed the deadline — fall back
             // to the baseline pipeline inline; it is the reference
-            // implementation and must not be racy.
-            None => stalloc_core::synthesize(&profile, config),
+            // implementation and must not be racy. Normalized to the
+            // baseline strategy: synthesize() asserts the pairing.
+            None => stalloc_core::synthesize(
+                &profile,
+                &SynthConfig {
+                    strategy: StrategyChoice::Baseline,
+                    ..*config
+                },
+            ),
         };
         PortfolioOutcome { winner, candidates }
     }

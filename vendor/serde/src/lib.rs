@@ -125,6 +125,25 @@ pub mod helpers {
         }
     }
 
+    /// Like [`from_field`], but a missing field yields
+    /// `Default::default()` — the facade's `#[serde(default)]`.
+    pub fn from_field_or_default<T: Deserialize + Default>(
+        v: &Value,
+        name: &str,
+    ) -> Result<T, Error> {
+        match v {
+            Value::Map(_) => match v.get(name) {
+                None => Ok(T::default()),
+                Some(val) => {
+                    T::from_value(val).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+                }
+            },
+            other => Err(Error::custom(format!(
+                "expected map with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
     /// Fetches element `i` of a serialized tuple.
     pub fn seq_item<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
         match v {

@@ -9,8 +9,11 @@
 //! Supported shapes — the full set used by this workspace:
 //! named structs, tuple structs (newtypes serialize transparently), unit
 //! structs, and enums with unit / tuple / struct variants (externally
-//! tagged). Generic type parameters and `#[serde(...)]` attributes are not
-//! supported and produce a compile error.
+//! tagged). The only `#[serde(...)]` attribute understood is
+//! `#[serde(default)]` on a named field (a missing key deserializes as
+//! `Default::default()`, like the real serde); generic type parameters
+//! and every other serde attribute produce a compile error rather than
+//! being silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -18,7 +21,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -33,6 +36,13 @@ enum Shape {
     },
 }
 
+/// One named field and whether it carries `#[serde(default)]`.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
 #[derive(Debug)]
 struct Variant {
     name: String,
@@ -43,20 +53,26 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn compile_error(msg: &str) -> TokenStream {
     format!("::core::compile_error!({msg:?});").parse().unwrap()
 }
 
-/// Skips one attribute (`#` already consumed callers pass the iterator at `#`).
-fn skip_attr(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
-    // `#` then `[...]` (outer attribute). `#![...]` does not occur on items
-    // handed to a derive.
-    if let Some(TokenTree::Group(_)) = it.peek() {
+/// Consumes one attribute with the iterator positioned just past `#`
+/// (the `[...]` group; `#![...]` does not occur on items handed to a
+/// derive), returning whether it was `#[serde(default)]`. Unsupported
+/// serde forms error via [`parse_attr_body`].
+fn take_attr(
+    it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Result<bool, String> {
+    let mut is_default = false;
+    if let Some(TokenTree::Group(g)) = it.peek() {
+        is_default = parse_attr_body(g.stream())?;
         it.next();
     }
+    Ok(is_default)
 }
 
 /// Skips a visibility modifier if present (`pub`, `pub(crate)`, ...).
@@ -73,16 +89,53 @@ fn skip_vis(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
     }
 }
 
-/// Parses `name: Type,` fields out of a brace-group body, returning names.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// Inspects one attribute body (`[...]` group content): `Ok(true)` for
+/// `serde(default)`, `Ok(false)` for any non-serde attribute (doc
+/// comments included), and an error for every other `serde(...)` form —
+/// a silently-ignored `rename`/`skip` would corrupt the wire format.
+fn parse_attr_body(attr: TokenStream) -> Result<bool, String> {
+    let mut it = attr.into_iter();
+    let (first, second) = (it.next(), it.next());
+    match (&first, &second) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            // Exactly one ident `default`, nothing else: forms like
+            // `default = "path"` or `default(...)` have different
+            // semantics (call a function) and must not be mistaken for
+            // the bare field default.
+            let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+            match toks.as_slice() {
+                [TokenTree::Ident(i)] if i.to_string() == "default" => Ok(true),
+                _ => Err(format!(
+                    "unsupported serde attribute serde({}): offline serde_derive \
+                     only understands a bare #[serde(default)] on named fields",
+                    g.stream()
+                )),
+            }
+        }
+        (Some(TokenTree::Ident(id)), _) if id.to_string() == "serde" => Err(
+            "unsupported bare #[serde] attribute: offline serde_derive only \
+             understands #[serde(default)] on named fields"
+                .to_string(),
+        ),
+        _ => Ok(false),
+    }
+}
+
+/// Parses `name: Type,` fields out of a brace-group body, honouring
+/// `#[serde(default)]` field attributes.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut it = body.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        // Skip field attributes (doc comments included).
+        // Field attributes (doc comments included): record
+        // #[serde(default)], skip the rest.
+        let mut default = false;
         while let Some(TokenTree::Punct(p)) = it.peek() {
             if p.as_char() == '#' {
                 it.next();
-                skip_attr(&mut it);
+                default |= take_attr(&mut it)?;
             } else {
                 break;
             }
@@ -110,17 +163,21 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
                 }
             }
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
 
-/// Counts top-level fields of a paren-group (tuple struct / tuple variant).
-fn count_tuple_fields(body: TokenStream) -> usize {
+/// Counts top-level fields of a paren-group (tuple struct / tuple
+/// variant). Rejects serde attributes on tuple fields — the generated
+/// code has nowhere to honour them, and silently dropping one would
+/// break the no-silent-ignore guarantee.
+fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
+    let mut it = body.into_iter().peekable();
     let mut angle = 0i32;
     let mut arity = 0usize;
     let mut saw_token = false;
-    for tt in body {
+    while let Some(tt) = it.next() {
         if let TokenTree::Punct(p) = &tt {
             match p.as_char() {
                 '<' => angle += 1,
@@ -130,6 +187,13 @@ fn count_tuple_fields(body: TokenStream) -> usize {
                     saw_token = false;
                     continue;
                 }
+                // The guard consumes the attribute group either way; a
+                // non-default attr falls through to the `_` arm.
+                '#' if angle == 0 && take_attr(&mut it)? => {
+                    return Err("#[serde(default)] is not supported on tuple \
+                         fields by offline serde_derive; only named fields"
+                        .to_string());
+                }
                 _ => {}
             }
         }
@@ -138,7 +202,7 @@ fn count_tuple_fields(body: TokenStream) -> usize {
     if saw_token {
         arity += 1;
     }
-    arity
+    Ok(arity)
 }
 
 fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
@@ -148,7 +212,11 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
         while let Some(TokenTree::Punct(p)) = it.peek() {
             if p.as_char() == '#' {
                 it.next();
-                skip_attr(&mut it);
+                if take_attr(&mut it)? {
+                    return Err("variant-level #[serde(default)] is not supported by \
+                         offline serde_derive"
+                        .to_string());
+                }
             } else {
                 break;
             }
@@ -162,7 +230,7 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
         if let Some(TokenTree::Group(g)) = it.peek() {
             match g.delimiter() {
                 Delimiter::Parenthesis => {
-                    kind = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                    kind = VariantKind::Tuple(count_tuple_fields(g.stream())?);
                     it.next();
                 }
                 Delimiter::Brace => {
@@ -190,7 +258,13 @@ fn parse_item(input: TokenStream) -> Result<Shape, String> {
     loop {
         match it.next() {
             None => return Err("no struct or enum found".into()),
-            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut it),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if take_attr(&mut it)? {
+                    return Err("container-level #[serde(default)] is not supported by \
+                         offline serde_derive; put it on individual fields"
+                        .to_string());
+                }
+            }
             Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
                 "pub" => {
                     if let Some(TokenTree::Group(g)) = it.peek() {
@@ -217,7 +291,7 @@ fn parse_item(input: TokenStream) -> Result<Shape, String> {
                         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                             Ok(Shape::TupleStruct {
                                 name,
-                                arity: count_tuple_fields(g.stream()),
+                                arity: count_tuple_fields(g.stream())?,
                             })
                         }
                         Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
@@ -251,7 +325,7 @@ fn parse_item(input: TokenStream) -> Result<Shape, String> {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = match parse_item(input) {
         Ok(s) => s,
@@ -262,6 +336,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
                     )
@@ -319,10 +394,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f})),"
                                     )
@@ -345,7 +425,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().unwrap()
 }
 
-#[proc_macro_derive(Deserialize)]
+/// Emits one `name: helper(src, "name")?,` struct-literal entry, picking
+/// the defaulting helper for `#[serde(default)]` fields.
+fn field_init(f: &Field, src: &str) -> String {
+    let n = &f.name;
+    let helper = if f.default {
+        "from_field_or_default"
+    } else {
+        "from_field"
+    };
+    format!("{n}: ::serde::helpers::{helper}({src}, {n:?})?,")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = match parse_item(input) {
         Ok(s) => s,
@@ -353,10 +445,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     };
     let code = match &shape {
         Shape::NamedStruct { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::helpers::from_field(v, {f:?})?,"))
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(f, "v")).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
@@ -415,10 +504,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             ))
                         }
                         VariantKind::Named(fields) => {
-                            let inits: String = fields
-                                .iter()
-                                .map(|f| format!("{f}: ::serde::helpers::from_field(__inner, {f:?})?,"))
-                                .collect();
+                            let inits: String =
+                                fields.iter().map(|f| field_init(f, "__inner")).collect();
                             Some(format!(
                                 "{vname:?} => return ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
                             ))
