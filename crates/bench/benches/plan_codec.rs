@@ -1,13 +1,21 @@
-//! Criterion bench: binary plan codec vs JSON, and plan-cache hit cost.
+//! Criterion bench: binary codecs (plan `STPL`, profile `PROF`) vs
+//! JSON, and plan-cache hit cost.
 //!
-//! Prints the artifact sizes first (the codec's reason to exist), then
-//! times encode/decode against `to_json`/`from_json`, and finally
-//! measures a `PlanStore` cache hit against cold synthesis — the paper's
-//! amortize-the-planning story in one table.
+//! Prints the artifact sizes first (the codecs' reason to exist), then
+//! times encode/decode against the serde paths, and finally measures a
+//! `PlanStore` cache hit against cold synthesis — the paper's
+//! amortize-the-planning story in one table. The profile group also
+//! times `fingerprint_job_body` over raw `PROF` bytes against the
+//! decoded-profile `fingerprint_job`, the server's cache-hit fast path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stalloc_core::{fingerprint_job, profile_trace, synthesize, Plan, SynthConfig};
-use stalloc_store::{decode_plan, encode_plan, synthesize_cached, PlanStore};
+use stalloc_core::{
+    fingerprint_job, fingerprint_job_body, profile_trace, synthesize, Plan, SynthConfig,
+};
+use stalloc_store::{
+    decode_plan, decode_profile, encode_plan, encode_profile, profile_body, synthesize_cached,
+    PlanStore,
+};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
 
 fn gpt2_profile() -> stalloc_core::ProfiledRequests {
@@ -47,13 +55,51 @@ fn bench_codec_vs_json(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_profile_codec_vs_json(c: &mut Criterion) {
+    let profile = gpt2_profile();
+    let bytes = encode_profile(&profile);
+    let json = serde_json::to_string(&profile).unwrap();
+    println!(
+        "profile payload sizes (GPT-2 345M): binary {} B, json {} B ({:.1}% of json)",
+        bytes.len(),
+        json.len(),
+        100.0 * bytes.len() as f64 / json.len() as f64
+    );
+
+    let config = SynthConfig::default();
+    let mut group = c.benchmark_group("profile_codec");
+    group.sample_size(20);
+    group.bench_function("encode_bin", |b| b.iter(|| encode_profile(&profile)));
+    group.bench_function("decode_bin", |b| b.iter(|| decode_profile(&bytes).unwrap()));
+    group.bench_function("encode_json", |b| {
+        b.iter(|| serde_json::to_string(&profile).unwrap())
+    });
+    group.bench_function("decode_json", |b| {
+        b.iter(|| serde_json::from_str::<stalloc_core::ProfiledRequests>(&json).unwrap())
+    });
+    // The server's binary-request fast path vs the decoded-profile walk.
+    group.bench_function("fingerprint_from_bytes", |b| {
+        b.iter(|| fingerprint_job_body(profile_body(&bytes).unwrap(), &config))
+    });
+    group.bench_function("fingerprint_from_profile", |b| {
+        b.iter(|| fingerprint_job(&profile, &config))
+    });
+    group.finish();
+}
+
 fn bench_cache_vs_synthesis(c: &mut Criterion) {
     let profile = gpt2_profile();
     let config = SynthConfig::default();
     let dir = std::env::temp_dir().join(format!("stalloc-bench-cache-{}", std::process::id()));
     let store = PlanStore::open(&dir).unwrap();
     // Warm the store so the cached path measures a pure hit.
-    synthesize_cached(&profile, &config, &store).unwrap();
+    synthesize_cached(
+        &profile,
+        &config,
+        &store,
+        stalloc_solver::synthesize_strategy,
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("plan_cache");
     group.sample_size(10);
@@ -64,11 +110,24 @@ fn bench_cache_vs_synthesis(c: &mut Criterion) {
         b.iter(|| synthesize(&profile, &config))
     });
     group.bench_function("synthesize_cached_hit", |b| {
-        b.iter(|| synthesize_cached(&profile, &config, &store).unwrap())
+        b.iter(|| {
+            synthesize_cached(
+                &profile,
+                &config,
+                &store,
+                stalloc_solver::synthesize_strategy,
+            )
+            .unwrap()
+        })
     });
     group.finish();
     std::fs::remove_dir_all(&dir).ok();
 }
 
-criterion_group!(benches, bench_codec_vs_json, bench_cache_vs_synthesis);
+criterion_group!(
+    benches,
+    bench_codec_vs_json,
+    bench_profile_codec_vs_json,
+    bench_cache_vs_synthesis
+);
 criterion_main!(benches);

@@ -1,17 +1,21 @@
 //! Criterion bench: plan-server request throughput.
 //!
 //! Spins an in-process `stalloc-served` daemon and measures batches of
-//! concurrent plan requests at varying worker counts and cache hit
-//! ratios. At 100% hits the cost is wire + LRU lookup; each miss adds
-//! one synthesis (amortized across all clients by single-flight). The
-//! per-iteration time divided by the batch size is the requests/sec
-//! figure.
+//! concurrent plan requests at varying worker counts, cache hit ratios,
+//! and *profile wire encodings* — `reqjson` sends the profile inline in
+//! the JSON `Plan` frame (the pre-binary behaviour), `reqbin` sends a
+//! `ProfileBin` header plus one raw `PROF` codec frame. At 100% hits the
+//! cost is wire + LRU lookup, which is exactly where the request-side
+//! serde tax shows: the binary path fingerprints the raw bytes and
+//! never touches the serde value tree. Each miss adds one synthesis
+//! (amortized across all clients by single-flight). The per-iteration
+//! time divided by the batch size is the requests/sec figure.
 
 use std::sync::Arc;
 use std::thread;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stalloc_core::{profile_trace, ProfiledRequests, SynthConfig};
+use stalloc_core::{profile_trace, ProfileEncoding, ProfiledRequests, SynthConfig};
 use stalloc_served::{PlanClient, PlanServer, ServeConfig};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
 
@@ -52,13 +56,16 @@ fn drive_batch(
     base: &Arc<ProfiledRequests>,
     misses: usize,
     salt0: u64,
+    wire: ProfileEncoding,
 ) {
     let config = SynthConfig::default();
     let handles: Vec<_> = (0..CLIENTS)
         .map(|c| {
             let base = Arc::clone(base);
             thread::spawn(move || {
-                let mut client = PlanClient::connect(addr).expect("connect");
+                let mut client = PlanClient::connect(addr)
+                    .expect("connect")
+                    .with_profile_encoding(wire);
                 for i in 0..BATCH / CLIENTS {
                     let global = c * (BATCH / CLIENTS) + i;
                     let profile = if global < misses {
@@ -82,31 +89,36 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_throughput");
     group.sample_size(10);
 
-    for &workers in &[1usize, 4] {
-        // Fresh server per scenario so hit ratios are exact.
-        for &(label, miss_per_batch) in &[("hit100", 0usize), ("hit75", BATCH / 4)] {
-            let server = PlanServer::start(ServeConfig {
-                workers,
-                queue_depth: CLIENTS * 2,
-                lru_capacity: 4096,
-                ..ServeConfig::default()
-            })
-            .unwrap();
-            let addr = server.addr();
-            // Warm the base job so repeats are pure cache hits.
-            drive_batch(addr, &base, 0, 0);
-
-            // Monotonic salt: every measured batch's "miss" share is a
-            // genuinely new fingerprint.
-            let mut salt = 1u64 << 32;
-            let name = format!("{label}/workers{workers}/batch{BATCH}");
-            group.bench_function(name.as_str(), |b| {
-                b.iter(|| {
-                    salt += BATCH as u64;
-                    drive_batch(addr, &base, miss_per_batch, salt);
+    for &(wire_label, wire) in &[
+        ("reqbin", ProfileEncoding::Binary),
+        ("reqjson", ProfileEncoding::Json),
+    ] {
+        for &workers in &[1usize, 4] {
+            // Fresh server per scenario so hit ratios are exact.
+            for &(label, miss_per_batch) in &[("hit100", 0usize), ("hit75", BATCH / 4)] {
+                let server = PlanServer::start(ServeConfig {
+                    workers,
+                    queue_depth: CLIENTS * 2,
+                    lru_capacity: 4096,
+                    ..ServeConfig::default()
                 })
-            });
-            server.shutdown();
+                .unwrap();
+                let addr = server.addr();
+                // Warm the base job so repeats are pure cache hits.
+                drive_batch(addr, &base, 0, 0, wire);
+
+                // Monotonic salt: every measured batch's "miss" share is
+                // a genuinely new fingerprint.
+                let mut salt = 1u64 << 32;
+                let name = format!("{wire_label}/{label}/workers{workers}/batch{BATCH}");
+                group.bench_function(name.as_str(), |b| {
+                    b.iter(|| {
+                        salt += BATCH as u64;
+                        drive_batch(addr, &base, miss_per_batch, salt, wire);
+                    })
+                });
+                server.shutdown();
+            }
         }
     }
     group.finish();

@@ -87,6 +87,11 @@ enum Tier {
 /// Plans `(profile, config)` against a `stalloc serve` daemon at `addr`.
 /// The received plan is validated by the client; errors surface so the
 /// caller can decide between failing and falling back.
+///
+/// Both payloads travel in the binary codecs (the `PlanClient`
+/// defaults): the profile as a `ProfileBin` + raw `PROF` frame pair, the
+/// plan back as a `PlanBin` + raw `STPL` frame pair — so a lineup's
+/// repeat jobs cost the server an LRU lookup, not a serde round trip.
 pub fn remote_planned(
     addr: &str,
     profile: &ProfiledRequests,

@@ -5,8 +5,8 @@ use std::fs;
 use gpu_sim::DeviceSpec;
 use harness::{run, AllocatorKind};
 use stalloc_core::{
-    profile_trace, Plan, ProfiledRequests, StrategyChoice, SynthConfig, FINGERPRINT_VERSION,
-    SYNTH_ALGO_VERSION,
+    profile_trace, Plan, ProfileEncoding, ProfiledRequests, StrategyChoice, SynthConfig,
+    FINGERPRINT_VERSION, SYNTH_ALGO_VERSION,
 };
 use stalloc_served::{PlanClient, PlanServer, ServeConfig};
 use stalloc_solver::{registry, synthesize_portfolio, synthesize_strategy};
@@ -105,13 +105,19 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
                     the plan is loaded and synthesis is skipped
   --remote ADDR     plan via a `stalloc serve` daemon at ADDR instead of
                     synthesizing locally (mutually exclusive with --cache)
+  --wire W          with --remote: how the profile travels — `bin`
+                    (default: PROF binary codec in a raw frame) or
+                    `json` (inline, for pre-binary servers / nc
+                    debugging)
   --no-fusion       disable HomoPhase fusion (ablation; steers the
                     grouped pipelines — baseline, tmp-order — only)
   --no-gaps         disable gap insertion (ablation; baseline only)
   --ascending       process size classes ascending (ablation;
                     baseline only)",
         spec: FlagSpec {
-            value_flags: &["input", "output", "format", "strategy", "cache", "remote"],
+            value_flags: &[
+                "input", "output", "format", "strategy", "cache", "remote", "wire",
+            ],
             bool_flags: &["no-fusion", "no-gaps", "ascending"],
         },
         run: cmd_plan,
@@ -508,20 +514,35 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     let format = plan_format(args, output)?;
 
     let plan = if let Some(addr) = args.get("remote") {
-        let mut client = PlanClient::connect(addr).map_err(|e| format!("--remote {addr}: {e}"))?;
+        let wire = match args.get("wire") {
+            None | Some("bin") => ProfileEncoding::Binary,
+            Some("json") => ProfileEncoding::Json,
+            Some(other) => {
+                return Err(format!("--wire must be `bin` or `json`, got '{other}'"));
+            }
+        };
+        let mut client = PlanClient::connect(addr)
+            .map_err(|e| format!("--remote {addr}: {e}"))?
+            .with_profile_encoding(wire);
         let r = client
             .plan(&profile, &config)
             .map_err(|e| format!("--remote {addr}: {e}"))?;
         let verdict = if r.source.is_hit() { "hit" } else { "miss" };
+        let wire_name = match wire {
+            ProfileEncoding::Binary => "bin",
+            ProfileEncoding::Json => "json",
+        };
         eprintln!(
-            "plan server {addr}: {verdict} {} ({:?}, {} µs server-side)",
+            "plan server {addr}: {verdict} {} ({:?}, {} µs server-side, profile wire: {wire_name})",
             r.fingerprint, r.source, r.micros
         );
         r.plan
+    } else if args.get("wire").is_some() {
+        return Err("--wire only applies to --remote planning".into());
     } else if let Some(dir) = args.get("cache") {
         let store = PlanStore::open(dir).map_err(|e| e.to_string())?;
-        let (plan, fp, outcome) =
-            synthesize_cached(&profile, &config, &store).map_err(|e| e.to_string())?;
+        let (plan, fp, outcome) = synthesize_cached(&profile, &config, &store, synthesize_strategy)
+            .map_err(|e| e.to_string())?;
         match outcome {
             CacheOutcome::Hit => eprintln!("plan cache: hit {fp} — synthesis skipped"),
             CacheOutcome::Miss => eprintln!("plan cache: miss {fp} — synthesized and stored"),
@@ -871,6 +892,27 @@ mod tests {
         // The remotely planned artifact is a normal local plan file.
         let plan = read_plan(&plan_p).unwrap();
         plan.validate().unwrap();
+
+        // A JSON-wire request (for pre-binary servers) is the same job:
+        // another cache hit, same artifact.
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --remote {addr} --wire json"
+        )))
+        .unwrap();
+        assert_eq!(server.stats().hits(), 2);
+        assert_eq!(read_plan(&plan_p).unwrap(), plan);
+
+        // --wire is remote-only, and its values are checked.
+        let err = dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --wire json"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--wire"), "{err}");
+        let err = dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --remote {addr} --wire xml"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--wire"), "{err}");
 
         // An unreachable server is a clean error, not a hang or panic.
         server.shutdown();

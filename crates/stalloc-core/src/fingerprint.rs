@@ -7,11 +7,16 @@
 //! [`Fingerprint`] computed here.
 //!
 //! The hash is a self-contained 128-bit FNV-1a variant (two independent
-//! 64-bit lanes) over a *canonical* field walk: every field of the profile
-//! and config is fed in a fixed order, and all collections inside
-//! [`ProfiledRequests`] are `Vec`s in deterministic (sorted or arrival)
-//! order, so the digest is independent of any `HashMap` iteration order
-//! and stable across runs, builds, and platforms.
+//! 64-bit lanes) over a *canonical byte serialization* of the profile:
+//! [`write_profile_body`] walks every field in a fixed order (all
+//! collections inside [`ProfiledRequests`] are `Vec`s in deterministic
+//! sorted or arrival order) and emits exactly the **body of the `PROF` v1
+//! binary profile format** specified in `stalloc-store::codec`. Because
+//! that byte stream is a pure, canonical function of the profile,
+//! hashing it is equivalent to hashing the fields — which is what makes
+//! [`fingerprint_job_body`] possible: a server holding an
+//! already-encoded binary profile can fingerprint the raw bytes and
+//! answer a cache hit *without ever decoding the profile*.
 //!
 //! The digest is versioned on two axes: [`FINGERPRINT_VERSION`] covers
 //! the profile schema and walk order, and [`SYNTH_ALGO_VERSION`] covers
@@ -30,7 +35,12 @@ use crate::profiler::{InstanceKey, ProfiledRequests, RequestEvent};
 /// v2: [`SynthConfig::strategy`] joined the walk — a job planned by the
 /// portfolio is a different job than the same profile planned by the
 /// baseline pipeline, and cached plans must never cross between them.
-pub const FINGERPRINT_VERSION: u32 = 2;
+///
+/// v3: the profile part of the walk became the canonical `PROF` v1 body
+/// byte stream ([`write_profile_body`]) instead of a per-field `u64`
+/// feed, so that [`fingerprint_job_body`] over pre-encoded bytes and
+/// [`fingerprint_job`] over the decoded profile agree by construction.
+pub const FINGERPRINT_VERSION: u32 = 3;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -119,32 +129,6 @@ impl JobHasher {
         out[8..].copy_from_slice(&mix(self.lane2).to_le_bytes());
         Fingerprint(out)
     }
-
-    fn write_instance(&mut self, k: &InstanceKey) {
-        self.write_u64(k.module.0 as u64);
-        self.write_u64(k.phase as u64);
-    }
-
-    fn write_opt_instance(&mut self, k: &Option<InstanceKey>) {
-        match k {
-            None => self.write_u64(0),
-            Some(k) => {
-                self.write_u64(1);
-                self.write_instance(k);
-            }
-        }
-    }
-
-    fn write_request(&mut self, r: &RequestEvent) {
-        self.write_u64(r.size);
-        self.write_u64(r.ts);
-        self.write_u64(r.te);
-        self.write_u64(r.ps as u64);
-        self.write_u64(r.pe as u64);
-        self.write_u64(r.dynamic as u64);
-        self.write_opt_instance(&r.ls);
-        self.write_opt_instance(&r.le);
-    }
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -156,12 +140,170 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+// --- canonical profile byte walk ---------------------------------------
+//
+// These are THE writer primitives of both binary codecs: the bytes
+// emitted by `write_profile_body` ARE the body of a `PROF` v1 stream
+// (everything after the 6-byte magic + version header), and
+// `stalloc-store::codec` builds its `STPL` and `PROF` encoders on the
+// same functions — there is exactly one varint/zigzag writer in the
+// tree. The byte-format contract is specified in that module's
+// documentation; changing the walk layout below is a `PROF` format
+// bump AND a `FINGERPRINT_VERSION` bump.
+
+/// Appends a canonical LEB128 varint (see the `stalloc-store::codec`
+/// spec: 7 payload bits per byte, high bit = continuation, no overlong
+/// encodings emitted).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Maps a signed delta to unsigned so small values of either sign
+/// varint-encode in one byte: `(v << 1) ^ (v >> 63)`.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Appends the signed delta between two unsigned values, zigzag-varint
+/// encoded (two's-complement wrapping subtraction).
+pub fn put_delta(out: &mut Vec<u8>, prev: u64, cur: u64) {
+    put_uvarint(out, zigzag(cur.wrapping_sub(prev) as i64));
+}
+
+/// Appends an instance key: `module` then `phase`, both varints.
+pub fn put_instance(out: &mut Vec<u8>, k: &InstanceKey) {
+    put_uvarint(out, k.module.0 as u64);
+    put_uvarint(out, k.phase as u64);
+}
+
+/// `PROF` request flags byte, bit 0: the request originates from a
+/// dynamic layer ([`RequestEvent::dynamic`]).
+///
+/// The flags byte carries this marker plus presence bits for the two
+/// optional instance keys. All other bits are reserved and must be zero
+/// (the `stalloc-store` decoder rejects them to keep the encoding
+/// canonical).
+pub const PROFILE_FLAG_DYNAMIC: u8 = 1 << 0;
+/// `PROF` request flags byte, bit 1: an allocating instance key
+/// ([`RequestEvent::ls`]) follows the fixed fields.
+pub const PROFILE_FLAG_HAS_LS: u8 = 1 << 1;
+/// `PROF` request flags byte, bit 2: a freeing instance key
+/// ([`RequestEvent::le`]) follows the fixed fields (after `ls` if both
+/// are present).
+pub const PROFILE_FLAG_HAS_LE: u8 = 1 << 2;
+
+fn put_request(out: &mut Vec<u8>, prev_size: u64, prev_ts: u64, r: &RequestEvent) {
+    let mut flags = 0u8;
+    if r.dynamic {
+        flags |= PROFILE_FLAG_DYNAMIC;
+    }
+    if r.ls.is_some() {
+        flags |= PROFILE_FLAG_HAS_LS;
+    }
+    if r.le.is_some() {
+        flags |= PROFILE_FLAG_HAS_LE;
+    }
+    out.push(flags);
+    put_delta(out, prev_size, r.size);
+    put_delta(out, prev_ts, r.ts);
+    put_delta(out, r.ts, r.te);
+    put_uvarint(out, r.ps as u64);
+    put_uvarint(out, r.pe as u64);
+    if let Some(ls) = &r.ls {
+        put_instance(out, ls);
+    }
+    if let Some(le) = &r.le {
+        put_instance(out, le);
+    }
+}
+
+fn put_requests(out: &mut Vec<u8>, requests: &[RequestEvent]) {
+    put_uvarint(out, requests.len() as u64);
+    let (mut size, mut ts) = (0u64, 0u64);
+    for r in requests {
+        put_request(out, size, ts, r);
+        size = r.size;
+        ts = r.ts;
+    }
+}
+
+/// Appends the canonical byte serialization of `profile` to `out` —
+/// exactly the **body** of the `PROF` v1 binary profile format (the
+/// stream `stalloc-store::codec::encode_profile` produces, minus its
+/// 6-byte magic + version header; see that module for the byte-level
+/// spec).
+///
+/// This is the profile walk behind [`fingerprint_job`]: the encoding is
+/// canonical (a pure, injective-modulo-spec function of the profile), so
+/// hashing these bytes and hashing the fields are interchangeable.
+pub fn write_profile_body(profile: &ProfiledRequests, out: &mut Vec<u8>) {
+    put_uvarint(out, profile.init_count as u64);
+    put_uvarint(out, profile.num_phases as u64);
+    put_uvarint(out, profile.window_len);
+
+    put_requests(out, &profile.statics);
+    put_requests(out, &profile.dynamics);
+
+    put_uvarint(out, profile.instance_windows.len() as u64);
+    let mut prev_start = 0u64;
+    for (k, (start, end)) in &profile.instance_windows {
+        put_instance(out, k);
+        put_delta(out, prev_start, *start);
+        put_delta(out, *start, *end);
+        prev_start = *start;
+    }
+
+    put_uvarint(out, profile.instance_arrivals.len() as u64);
+    for (k, seq) in &profile.instance_arrivals {
+        put_instance(out, k);
+        put_uvarint(out, seq.len() as u64);
+        let mut prev = 0u64;
+        for &i in seq {
+            put_delta(out, prev, i as u64);
+            prev = i as u64;
+        }
+    }
+}
+
+/// Rough pre-size for the canonical body buffer.
+fn profile_body_capacity(profile: &ProfiledRequests) -> usize {
+    32 + 12 * (profile.statics.len() + profile.dynamics.len())
+        + 8 * profile.instance_windows.len()
+        + 4 * profile
+            .instance_arrivals
+            .iter()
+            .map(|(_, s)| s.len() + 4)
+            .sum::<usize>()
+}
+
 /// Fingerprints one planning job: the full canonical content of `profile`
 /// plus every [`SynthConfig`] switch.
 ///
 /// Two jobs share a fingerprint iff the synthesizer would (modulo hash
 /// collisions, ~2⁻¹²⁸) produce the same plan for both.
 pub fn fingerprint_job(profile: &ProfiledRequests, config: &SynthConfig) -> Fingerprint {
+    let mut body = Vec::with_capacity(profile_body_capacity(profile));
+    write_profile_body(profile, &mut body);
+    fingerprint_job_body(&body, config)
+}
+
+/// Fingerprints a job whose profile is already in canonical encoded form:
+/// `profile_body` must be the `PROF` v1 **body** byte stream (what
+/// [`write_profile_body`] emits — `stalloc-store` exposes
+/// `profile_body()` to strip the header off a full `PROF` stream).
+///
+/// Equal to [`fingerprint_job`] of the decoded profile by construction,
+/// which lets a server fingerprint a received binary profile — and
+/// answer a cache hit — without decoding it.
+pub fn fingerprint_job_body(profile_body: &[u8], config: &SynthConfig) -> Fingerprint {
     let mut h = JobHasher::new();
 
     // Planner algorithm version: a cache must never serve a plan an
@@ -174,35 +316,10 @@ pub fn fingerprint_job(profile: &ProfiledRequests, config: &SynthConfig) -> Fing
     h.write_u64(config.ascending_sizes as u64);
     h.write_u64(config.strategy.index() as u64);
 
-    // Profile scalars.
-    h.write_u64(profile.init_count as u64);
-    h.write_u64(profile.num_phases as u64);
-    h.write_u64(profile.window_len);
-
-    // Every length is fed before its elements so concatenations of
-    // different shapes cannot collide.
-    h.write_u64(profile.statics.len() as u64);
-    for r in &profile.statics {
-        h.write_request(r);
-    }
-    h.write_u64(profile.dynamics.len() as u64);
-    for r in &profile.dynamics {
-        h.write_request(r);
-    }
-    h.write_u64(profile.instance_windows.len() as u64);
-    for (k, (a, b)) in &profile.instance_windows {
-        h.write_instance(k);
-        h.write_u64(*a);
-        h.write_u64(*b);
-    }
-    h.write_u64(profile.instance_arrivals.len() as u64);
-    for (k, seq) in &profile.instance_arrivals {
-        h.write_instance(k);
-        h.write_u64(seq.len() as u64);
-        for &i in seq {
-            h.write_u64(i as u64);
-        }
-    }
+    // The profile, as its canonical byte stream, length-prefixed so a
+    // config/profile boundary shift cannot collide.
+    h.write_u64(profile_body.len() as u64);
+    h.write(profile_body);
 
     h.finish()
 }
@@ -289,6 +406,38 @@ mod tests {
             StrategyChoice::ALL.len(),
             "strategies must key distinct cache entries"
         );
+    }
+
+    #[test]
+    fn body_bytes_and_field_walk_agree() {
+        // The whole point of the canonical byte walk: hashing a
+        // pre-encoded profile body must equal hashing the profile.
+        let p = profile();
+        for config in [
+            SynthConfig::default(),
+            SynthConfig {
+                ascending_sizes: true,
+                ..SynthConfig::default()
+            },
+        ] {
+            let mut body = Vec::new();
+            write_profile_body(&p, &mut body);
+            assert_eq!(
+                fingerprint_job(&p, &config),
+                fingerprint_job_body(&body, &config)
+            );
+        }
+    }
+
+    #[test]
+    fn profile_body_is_deterministic() {
+        let p = profile();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_profile_body(&p, &mut a);
+        write_profile_body(&p.clone(), &mut b);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub mod runtime;
 pub mod visualize;
 pub mod wire;
 
-pub use fingerprint::{fingerprint_job, Fingerprint, JobHasher, FINGERPRINT_VERSION};
+pub use fingerprint::{
+    fingerprint_job, fingerprint_job_body, write_profile_body, Fingerprint, JobHasher,
+    FINGERPRINT_VERSION, PROFILE_FLAG_DYNAMIC, PROFILE_FLAG_HAS_LE, PROFILE_FLAG_HAS_LS,
+};
 pub use geometry::{IntervalSet, Rect, TimeSpacePacker};
 pub use plan::{
     baseline_layout, finish_plan, synthesize, DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc,
@@ -57,7 +60,9 @@ pub use plan::{
 pub use profiler::{profile_trace, InstanceKey, ProfileError, ProfiledRequests, RequestEvent};
 pub use runtime::{RuntimeConfig, RuntimeCounters, StallocAllocator};
 pub use visualize::render_plan;
-pub use wire::{PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind};
+pub use wire::{
+    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding, ServeStats, WireErrorKind,
+};
 
 #[cfg(test)]
 mod tests {

@@ -54,7 +54,7 @@ pub struct RequestEvent {
 /// Profiler output: the plan synthesizer's input `M` (paper §4), split into
 /// static and dynamic subsets, plus the bookkeeping the runtime matcher
 /// needs to map arriving requests back onto profiled ones.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProfiledRequests {
     /// Static requests: the first [`Self::init_count`] are persistent
     /// (allocated before the window, in original allocation order); the

@@ -6,7 +6,10 @@
 //! that any crate can speak the protocol without pulling in the server).
 //!
 //! A request is either a full planning job `(ProfiledRequests,
-//! SynthConfig)`, a lookup by job [`Fingerprint`](crate::Fingerprint), a
+//! SynthConfig)` — with the profile inline as JSON (`Plan`) or in a
+//! follow-up `PROF` binary-codec frame (`ProfileBin`, see
+//! [`ProfileEncoding`]) — a lookup by job
+//! [`Fingerprint`](crate::Fingerprint), a
 //! [`ServeStats`] snapshot request, or a liveness ping. Responses carry
 //! the plan plus provenance ([`PlanSource`]: which cache tier answered,
 //! or whether this request rode on another request's in-flight
@@ -39,6 +42,31 @@ pub enum PlanEncoding {
     Binary,
 }
 
+/// How the profile of a `Plan` job travels in the request.
+///
+/// `Json` embeds the profile inside the JSON [`PlanRequest::Plan`]
+/// frame — the pre-binary behaviour, and what every request without an
+/// explicit choice means: clients that predate this type never send a
+/// [`PlanRequest::ProfileBin`] header, so they keep working unchanged.
+/// `Binary` sends a [`PlanRequest::ProfileBin`] header frame followed by
+/// one *raw* frame holding the profile in the `stalloc-store` `PROF`
+/// binary codec — skipping the serde value-tree round trip that
+/// dominates per-request cost even on cache hits (the profile is by far
+/// the largest recurring payload of the protocol).
+///
+/// The default is `Binary`: that is what new clients (`PlanClient`,
+/// `stalloc plan --remote`) send unless told otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileEncoding {
+    /// Profile embedded in the JSON `Plan` request (the pre-`ProfileBin`
+    /// behaviour, and the implied encoding of every `Plan` frame).
+    Json,
+    /// Profile in a follow-up `PROF` binary-codec frame, announced by a
+    /// `ProfileBin` header frame.
+    #[default]
+    Binary,
+}
+
 /// One client request to the planning service.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum PlanRequest {
@@ -51,6 +79,21 @@ pub enum PlanRequest {
         config: SynthConfig,
         /// Response encoding; absent (old clients) means `Json`.
         encoding: Option<PlanEncoding>,
+    },
+    /// Plan this job, profile in [`ProfileEncoding::Binary`]: this header
+    /// frame is immediately followed by one raw frame whose payload is
+    /// the profile in the `stalloc-store` `PROF` binary codec (`bytes`
+    /// long, checked before the read). Semantically identical to
+    /// [`PlanRequest::Plan`] — same fingerprint, same caches, same
+    /// single-flight — only the profile's wire form differs.
+    ProfileBin {
+        /// Synthesizer switches; part of the cache key (tiny, stays
+        /// JSON).
+        config: SynthConfig,
+        /// Response encoding; absent means `Json`, exactly as on `Plan`.
+        encoding: Option<PlanEncoding>,
+        /// Payload length of the follow-up binary profile frame.
+        bytes: u64,
     },
     /// Look up a previously planned job by fingerprint only. Never
     /// synthesizes: answers `NotFound` on a miss.
@@ -281,6 +324,31 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn profile_bin_header_roundtrips() {
+        let r = PlanRequest::ProfileBin {
+            config: SynthConfig::default(),
+            encoding: Some(PlanEncoding::Binary),
+            bytes: 12_345,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        match serde_json::from_str::<PlanRequest>(&json).unwrap() {
+            PlanRequest::ProfileBin {
+                config,
+                encoding,
+                bytes,
+            } => {
+                assert_eq!(config, SynthConfig::default());
+                assert_eq!(encoding, Some(PlanEncoding::Binary));
+                assert_eq!(bytes, 12_345);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // New clients default to binary profiles; old clients simply
+        // never send this header, which is how "absent means Json" works.
+        assert_eq!(ProfileEncoding::default(), ProfileEncoding::Binary);
     }
 
     #[test]

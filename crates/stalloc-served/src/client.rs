@@ -5,20 +5,25 @@
 //! distrusted: plans are re-validated on receipt, so a corrupt or
 //! malicious server cannot push an unsound plan into a training run.
 //!
-//! Plans travel binary-encoded by default ([`PlanEncoding::Binary`]): the
-//! server answers with a `PlanBin` header frame plus one raw frame in the
-//! `stalloc-store` codec, and the client decodes transparently — same
-//! [`RemotePlan`] either way. [`PlanClient::with_encoding`] switches back
-//! to inline JSON (handy when eavesdropping on the wire with `nc`).
+//! Both large payloads travel binary-encoded by default: served plans
+//! come back as a `PlanBin` header frame plus one raw `STPL` codec frame
+//! ([`PlanEncoding::Binary`]), and the *request's profile* goes out as a
+//! `ProfileBin` header frame plus one raw `PROF` codec frame
+//! ([`ProfileEncoding::Binary`]) — skipping the serde value-tree round
+//! trips that dominate per-request cost on both directions. The client
+//! encodes/decodes transparently; [`PlanClient::with_encoding`] and
+//! [`PlanClient::with_profile_encoding`] switch either direction back to
+//! inline JSON (handy when eavesdropping on the wire with `nc`, or when
+//! talking to a pre-`ProfileBin` server).
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use stalloc_core::wire::{
-    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind,
+    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding, ServeStats, WireErrorKind,
 };
 use stalloc_core::{Fingerprint, Plan, ProfiledRequests, SynthConfig};
-use stalloc_store::decode_plan;
+use stalloc_store::{decode_plan, encode_profile, profile_body};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 
@@ -86,6 +91,7 @@ pub struct PlanClient {
     stream: TcpStream,
     max_frame: usize,
     encoding: PlanEncoding,
+    profile_encoding: ProfileEncoding,
 }
 
 impl PlanClient {
@@ -101,6 +107,7 @@ impl PlanClient {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
             encoding: PlanEncoding::default(),
+            profile_encoding: ProfileEncoding::default(),
         })
     }
 
@@ -116,10 +123,27 @@ impl PlanClient {
         self
     }
 
-    fn roundtrip(&mut self, request: &PlanRequest) -> Result<PlanResponse, ClientError> {
+    /// Chooses how this client's profiles travel (default:
+    /// [`ProfileEncoding::Binary`]). Use [`ProfileEncoding::Json`] to
+    /// speak to servers that predate the `ProfileBin` verb.
+    pub fn with_profile_encoding(mut self, profile_encoding: ProfileEncoding) -> Self {
+        self.profile_encoding = profile_encoding;
+        self
+    }
+
+    /// How this client's profiles travel.
+    pub fn profile_encoding(&self) -> ProfileEncoding {
+        self.profile_encoding
+    }
+
+    fn send(&mut self, request: &PlanRequest) -> Result<(), ClientError> {
         let payload = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
         write_frame(&mut self.stream, payload.as_bytes())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<PlanResponse, ClientError> {
         let frame = read_frame(&mut self.stream, self.max_frame)?
             .ok_or_else(|| ClientError::Protocol("server closed before responding".into()))?;
         let text = std::str::from_utf8(&frame)
@@ -130,6 +154,11 @@ impl PlanClient {
             return Err(ClientError::Server { kind, message });
         }
         Ok(response)
+    }
+
+    fn roundtrip(&mut self, request: &PlanRequest) -> Result<PlanResponse, ClientError> {
+        self.send(request)?;
+        self.recv()
     }
 
     /// Accepts a plan response, distrusting the server: the echoed
@@ -179,18 +208,47 @@ impl PlanClient {
 
     /// Plans a job remotely: cache hit, coalesced wait, or synthesis —
     /// the server decides; the response says which ([`RemotePlan::source`]).
+    ///
+    /// The profile travels per [`Self::profile_encoding`]: inline JSON
+    /// in a `Plan` request, or (the default) a `ProfileBin` header frame
+    /// followed by one raw `PROF` codec frame — the fingerprint, cache
+    /// behaviour, and response are identical either way.
     pub fn plan(
         &mut self,
         profile: &ProfiledRequests,
         config: &SynthConfig,
     ) -> Result<RemotePlan, ClientError> {
-        let expected = stalloc_core::fingerprint_job(profile, config);
-        let request = PlanRequest::Plan {
-            profile: profile.clone(),
-            config: *config,
-            encoding: Some(self.encoding),
+        let expected = match self.profile_encoding {
+            ProfileEncoding::Json => {
+                let expected = stalloc_core::fingerprint_job(profile, config);
+                let request = PlanRequest::Plan {
+                    profile: profile.clone(),
+                    config: *config,
+                    encoding: Some(self.encoding),
+                };
+                self.send(&request)?;
+                expected
+            }
+            ProfileEncoding::Binary => {
+                // One canonical encode serves both purposes: the wire
+                // payload and the fingerprint (the `PROF` body is the
+                // fingerprint walk, so hashing the bytes equals
+                // `fingerprint_job` on the profile).
+                let raw = encode_profile(profile);
+                let body = profile_body(&raw)
+                    .map_err(|e| ClientError::Protocol(format!("encode profile: {e}")))?;
+                let expected = stalloc_core::fingerprint_job_body(body, config);
+                let header = PlanRequest::ProfileBin {
+                    config: *config,
+                    encoding: Some(self.encoding),
+                    bytes: raw.len() as u64,
+                };
+                self.send(&header)?;
+                write_frame(&mut self.stream, &raw)?;
+                expected
+            }
         };
-        match self.roundtrip(&request)? {
+        match self.recv()? {
             PlanResponse::Plan {
                 fingerprint,
                 source,

@@ -12,12 +12,19 @@
 //!   bounded accept queue with `Busy` backpressure, three cache tiers
 //!   (sharded in-process LRU → shared disk store → strategy-aware
 //!   synthesis via `stalloc_solver`, portfolio included), and
-//!   single-flight deduplication of concurrent identical jobs.
+//!   single-flight deduplication of concurrent identical jobs. Binary
+//!   (`ProfileBin`) requests are fingerprinted from their canonical
+//!   `PROF` bytes, so a cache hit never decodes the profile; cache
+//!   entries memoize the plan's binary encoding, so a hit never
+//!   re-encodes the plan either — a hot binary round trip is pure frame
+//!   I/O plus an LRU lookup.
 //! * [`client`] — a blocking keep-alive client that re-validates every
-//!   received plan. Plans travel in the binary plan codec by default
-//!   (a `PlanBin` header frame plus one raw codec frame), decoded
-//!   transparently; `PlanClient::with_encoding` opts back into inline
-//!   JSON.
+//!   received plan. Both big payloads travel in the binary codecs by
+//!   default: requests send the profile as a `ProfileBin` header frame
+//!   plus one raw `PROF` frame, responses return the plan as a `PlanBin`
+//!   header frame plus one raw `STPL` frame — both transparent;
+//!   `PlanClient::with_encoding` / `with_profile_encoding` opt back into
+//!   inline JSON per direction.
 //!
 //! The wire-facing request/response types live in
 //! [`stalloc_core::wire`], so speaking the protocol does not require

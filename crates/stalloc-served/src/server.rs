@@ -14,22 +14,29 @@
 //! synthesis is *single-flight*: concurrent requests for the same job
 //! fingerprint elect one leader to run the synthesizer while followers
 //! wait on its result — N identical jobs cost one synthesis.
+//!
+//! Both directions of the hot path avoid the serde value tree: a
+//! `ProfileBin` request's profile arrives as raw `PROF` codec bytes and
+//! is fingerprinted *without decoding* (the `PROF` body is the canonical
+//! fingerprint walk), and every cache entry memoizes the plan's `STPL`
+//! encoding, so a binary-encoded cache hit decodes nothing and encodes
+//! nothing.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use stalloc_core::wire::{
     PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind,
 };
-use stalloc_core::{fingerprint_job, Fingerprint, Plan};
+use stalloc_core::{fingerprint_job, fingerprint_job_body, Fingerprint, Plan};
 use stalloc_solver::synthesize_strategy;
-use stalloc_store::{encode_plan, PlanStore, ShardedLru};
+use stalloc_store::{decode_profile, encode_plan, profile_body, PlanStore, ShardedLru};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 
@@ -103,10 +110,46 @@ struct Counters {
     in_flight: AtomicU64,
 }
 
+/// A served plan plus its memoized binary (`STPL`) encoding.
+///
+/// Binary is the default response encoding, so without the memo every
+/// LRU hit would re-run `encode_plan` — pure waste, since the encoding
+/// is a pure function of the plan and the disk store already holds
+/// exactly those bytes. The encoding is populated eagerly when it is
+/// already in hand (a store read, a synthesis that is about to be
+/// persisted) and lazily on the first binary response otherwise.
+pub(crate) struct CachedPlan {
+    plan: Plan,
+    encoded: OnceLock<Vec<u8>>,
+}
+
+impl CachedPlan {
+    fn new(plan: Plan) -> Arc<Self> {
+        Arc::new(CachedPlan {
+            plan,
+            encoded: OnceLock::new(),
+        })
+    }
+
+    fn with_bytes(plan: Plan, bytes: Vec<u8>) -> Arc<Self> {
+        let entry = CachedPlan {
+            plan,
+            encoded: OnceLock::new(),
+        };
+        let _ = entry.encoded.set(bytes);
+        Arc::new(entry)
+    }
+
+    /// The plan's binary encoding, computed at most once per cache entry.
+    fn encoded(&self) -> &[u8] {
+        self.encoded.get_or_init(|| encode_plan(&self.plan))
+    }
+}
+
 /// One in-flight synthesis: the leader publishes its result (or failure)
 /// here; followers wait on the condvar.
 struct Flight {
-    done: Mutex<Option<Result<Plan, String>>>,
+    done: Mutex<Option<Result<Arc<CachedPlan>, String>>>,
     cv: Condvar,
 }
 
@@ -115,7 +158,7 @@ struct Shared {
     shutdown: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
-    lru: ShardedLru,
+    lru: ShardedLru<Arc<CachedPlan>>,
     store: Option<PlanStore>,
     inflight: Mutex<HashMap<Fingerprint, Arc<Flight>>>,
     counters: Counters,
@@ -425,8 +468,70 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 
         let started = Instant::now();
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+
+        let request: PlanRequest = match std::str::from_utf8(&payload)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    &PlanResponse::Error {
+                        kind: WireErrorKind::BadFrame,
+                        message: format!("unparseable request: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+
+        // A `ProfileBin` header announces one raw profile frame; pull it
+        // off the connection before dispatch. Any irregularity here
+        // leaves the stream unsynchronized, so answer typed and close.
+        let raw_profile = match &request {
+            PlanRequest::ProfileBin { bytes, .. } => {
+                let raw = match read_frame(&mut reader, shared.config.max_frame) {
+                    Ok(Some(r)) => r,
+                    Ok(None) | Err(FrameError::Io(_)) => return,
+                    Err(e) => {
+                        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        let kind = match e {
+                            FrameError::Oversized { .. } => WireErrorKind::Oversized,
+                            _ => WireErrorKind::BadFrame,
+                        };
+                        let _ = write_response(
+                            &mut writer,
+                            &PlanResponse::Error {
+                                kind,
+                                message: format!("binary profile frame: {e}"),
+                            },
+                        );
+                        return;
+                    }
+                };
+                if raw.len() as u64 != *bytes {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(
+                        &mut writer,
+                        &PlanResponse::Error {
+                            kind: WireErrorKind::BadFrame,
+                            message: format!(
+                                "binary profile frame is {} bytes, header declared {bytes}",
+                                raw.len()
+                            ),
+                        },
+                    );
+                    return;
+                }
+                Some(raw)
+            }
+            _ => None,
+        };
+
         shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
-        let (response, raw) = handle_request(&payload, started, shared);
+        let (response, raw) = handle_request(request, raw_profile, started, shared);
         let keep_alive = !matches!(
             response,
             PlanResponse::Error {
@@ -441,7 +546,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             && match &raw {
                 // Binary-encoded plans ride in a raw follow-up frame,
                 // skipping the JSON value-tree round trip.
-                Some(bytes) => write_frame(&mut writer, bytes).is_ok(),
+                Some(entry) => write_frame(&mut writer, entry.encoded()).is_ok(),
                 None => true,
             };
         if !write_ok || !keep_alive {
@@ -457,65 +562,48 @@ fn write_response(w: &mut TcpStream, resp: &PlanResponse) -> std::io::Result<()>
 }
 
 /// Packages a served plan for the requested encoding: inline JSON, or a
-/// `PlanBin` header plus the raw binary-codec payload for the follow-up
-/// frame.
+/// `PlanBin` header plus the cache entry whose memoized binary encoding
+/// the connection handler writes as the follow-up frame. The encoding is
+/// computed at most once per cache entry, not once per response.
 fn plan_response(
     fingerprint: String,
     source: PlanSource,
     started: Instant,
-    plan: Plan,
+    entry: Arc<CachedPlan>,
     encoding: PlanEncoding,
-) -> (PlanResponse, Option<Vec<u8>>) {
+) -> (PlanResponse, Option<Arc<CachedPlan>>) {
     match encoding {
         PlanEncoding::Json => (
             PlanResponse::Plan {
                 fingerprint,
                 source,
                 micros: started.elapsed().as_micros() as u64,
-                plan,
+                plan: entry.plan.clone(),
             },
             None,
         ),
-        PlanEncoding::Binary => {
-            let bytes = encode_plan(&plan);
-            (
-                PlanResponse::PlanBin {
-                    fingerprint,
-                    source,
-                    micros: started.elapsed().as_micros() as u64,
-                    bytes: bytes.len() as u64,
-                },
-                Some(bytes),
-            )
-        }
+        PlanEncoding::Binary => (
+            PlanResponse::PlanBin {
+                fingerprint,
+                source,
+                micros: started.elapsed().as_micros() as u64,
+                bytes: entry.encoded().len() as u64,
+            },
+            Some(entry),
+        ),
     }
 }
 
-/// Handles one decoded request. The second tuple element, when present,
-/// is a raw binary payload the connection handler writes as its own
-/// frame right after the JSON response.
+/// Handles one parsed request (`raw_profile` is the payload of the raw
+/// frame a `ProfileBin` header announced). The second tuple element,
+/// when present, is the cache entry whose binary encoding the connection
+/// handler writes as its own frame right after the JSON response.
 fn handle_request(
-    payload: &[u8],
+    request: PlanRequest,
+    raw_profile: Option<Vec<u8>>,
     started: Instant,
     shared: &Shared,
-) -> (PlanResponse, Option<Vec<u8>>) {
-    let request: PlanRequest = match std::str::from_utf8(payload)
-        .map_err(|e| e.to_string())
-        .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
-    {
-        Ok(r) => r,
-        Err(e) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return (
-                PlanResponse::Error {
-                    kind: WireErrorKind::BadFrame,
-                    message: format!("unparseable request: {e}"),
-                },
-                None,
-            );
-        }
-    };
-
+) -> (PlanResponse, Option<Arc<CachedPlan>>) {
     match request {
         PlanRequest::Ping => (PlanResponse::Pong, None),
         PlanRequest::Stats => (
@@ -542,7 +630,9 @@ fn handle_request(
                 );
             };
             match lookup_cached(fp, shared) {
-                Some((plan, source)) => plan_response(fingerprint, source, started, plan, encoding),
+                Some((entry, source)) => {
+                    plan_response(fingerprint, source, started, entry, encoding)
+                }
                 None => (PlanResponse::NotFound { fingerprint }, None),
             }
         }
@@ -557,11 +647,68 @@ fn handle_request(
                 .plan_requests
                 .fetch_add(1, Ordering::Relaxed);
             let fp = fingerprint_job(&profile, &config);
-            if let Some((plan, source)) = lookup_cached(fp, shared) {
-                return plan_response(fp.to_hex(), source, started, plan, encoding);
+            if let Some((entry, source)) = lookup_cached(fp, shared) {
+                return plan_response(fp.to_hex(), source, started, entry, encoding);
             }
             match plan_single_flight(fp, &profile, &config, shared) {
-                Ok((plan, source)) => plan_response(fp.to_hex(), source, started, plan, encoding),
+                Ok((entry, source)) => plan_response(fp.to_hex(), source, started, entry, encoding),
+                Err(message) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::Internal,
+                            message,
+                        },
+                        None,
+                    )
+                }
+            }
+        }
+        PlanRequest::ProfileBin {
+            config, encoding, ..
+        } => {
+            let encoding = encoding.unwrap_or(PlanEncoding::Json);
+            shared
+                .counters
+                .plan_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let raw = raw_profile.expect("connection handler reads the profile frame");
+            // Fingerprint the canonical bytes directly: a cache hit never
+            // pays the profile decode (nor, with the encoding memo, a
+            // plan encode) — the whole point of the binary request path.
+            let body = match profile_body(&raw) {
+                Ok(b) => b,
+                Err(e) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    return (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::BadRequest,
+                            message: format!("binary profile: {e}"),
+                        },
+                        None,
+                    );
+                }
+            };
+            let fp = fingerprint_job_body(body, &config);
+            if let Some((entry, source)) = lookup_cached(fp, shared) {
+                return plan_response(fp.to_hex(), source, started, entry, encoding);
+            }
+            // Miss: now the profile is actually needed.
+            let profile = match decode_profile(&raw) {
+                Ok(p) => p,
+                Err(e) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    return (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::BadRequest,
+                            message: format!("binary profile: {e}"),
+                        },
+                        None,
+                    );
+                }
+            };
+            match plan_single_flight(fp, &profile, &config, shared) {
+                Ok((entry, source)) => plan_response(fp.to_hex(), source, started, entry, encoding),
                 Err(message) => {
                     shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                     (
@@ -579,20 +726,24 @@ fn handle_request(
 
 /// Cache tiers 1 and 2: the in-process LRU, then the shared disk store
 /// (promoting disk hits into the LRU). Corrupt or unsound store entries
-/// are treated as misses, mirroring `synthesize_cached`.
-fn lookup_cached(fp: Fingerprint, shared: &Shared) -> Option<(Plan, PlanSource)> {
-    if let Some(plan) = shared.lru.get(fp) {
+/// are treated as misses, mirroring `synthesize_cached`. A disk hit
+/// seeds the entry's encoding memo with the artifact's own bytes — they
+/// are exactly `encode_plan` output, so binary responses for that entry
+/// never encode at all.
+fn lookup_cached(fp: Fingerprint, shared: &Shared) -> Option<(Arc<CachedPlan>, PlanSource)> {
+    if let Some(entry) = shared.lru.get(fp) {
         shared.counters.lru_hits.fetch_add(1, Ordering::Relaxed);
-        return Some((plan, PlanSource::Lru));
+        return Some((entry, PlanSource::Lru));
     }
-    let plan = shared
+    let (plan, bytes) = shared
         .store
         .as_ref()
-        .and_then(|s| s.get(fp).ok().flatten())
-        .filter(|p| p.validate().is_ok())?;
+        .and_then(|s| s.get_with_bytes(fp).ok().flatten())
+        .filter(|(p, _)| p.validate().is_ok())?;
     shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
-    shared.lru.insert(fp, plan.clone());
-    Some((plan, PlanSource::Store))
+    let entry = CachedPlan::with_bytes(plan, bytes);
+    shared.lru.insert(fp, Arc::clone(&entry));
+    Some((entry, PlanSource::Store))
 }
 
 /// Cache tier 3: synthesis with single-flight deduplication. The first
@@ -603,7 +754,7 @@ fn plan_single_flight(
     profile: &stalloc_core::ProfiledRequests,
     config: &stalloc_core::SynthConfig,
     shared: &Shared,
-) -> Result<(Plan, PlanSource), String> {
+) -> Result<(Arc<CachedPlan>, PlanSource), String> {
     let (flight, leader) = {
         let mut map = shared.inflight.lock().expect("inflight lock");
         match map.get(&fp) {
@@ -626,9 +777,9 @@ fn plan_single_flight(
         }
         let result = done.clone().expect("checked some");
         return match result {
-            Ok(plan) => {
+            Ok(entry) => {
                 shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-                Ok((plan, PlanSource::Coalesced))
+                Ok((entry, PlanSource::Coalesced))
             }
             Err(e) => Err(format!("coalesced synthesis failed: {e}")),
         };
@@ -639,14 +790,14 @@ fn plan_single_flight(
     // flight entry. Without this, two "one" syntheses could both run —
     // the map insert happens-after the previous leader's cache insert, so
     // a second look is conclusive.
-    if let Some((plan, source)) = lookup_cached(fp, shared) {
+    if let Some((entry, source)) = lookup_cached(fp, shared) {
         {
             let mut done = flight.done.lock().expect("flight lock");
-            *done = Some(Ok(plan.clone()));
+            *done = Some(Ok(Arc::clone(&entry)));
             flight.cv.notify_all();
         }
         shared.inflight.lock().expect("inflight lock").remove(&fp);
-        return Ok((plan, source));
+        return Ok((entry, source));
     }
 
     // Leader: synthesize behind a panic guard — a worker must survive any
@@ -654,14 +805,17 @@ fn plan_single_flight(
     // `synthesize_strategy` honours the request's strategy choice,
     // including the portfolio race.
     let outcome = catch_unwind(AssertUnwindSafe(|| synthesize_strategy(profile, config)))
+        .map(CachedPlan::new)
         .map_err(|_| "synthesis panicked".to_string());
-    if let Ok(plan) = &outcome {
+    if let Ok(entry) = &outcome {
         shared.counters.misses.fetch_add(1, Ordering::Relaxed);
-        shared.lru.insert(fp, plan.clone());
+        shared.lru.insert(fp, Arc::clone(entry));
         if let Some(store) = &shared.store {
             // Best effort: a store write failure must not fail the
-            // request — the plan is already in hand.
-            let _ = store.put(fp, plan);
+            // request — the plan is already in hand. The encoding this
+            // forces is the same one binary responses reuse (memoized),
+            // so the plan is encoded once per synthesis, total.
+            let _ = store.put_encoded(fp, &entry.plan, entry.encoded());
         }
     }
     {
@@ -670,5 +824,5 @@ fn plan_single_flight(
         flight.cv.notify_all();
     }
     shared.inflight.lock().expect("inflight lock").remove(&fp);
-    outcome.map(|p| (p, PlanSource::Synthesized))
+    outcome.map(|entry| (entry, PlanSource::Synthesized))
 }

@@ -192,6 +192,145 @@ fn binary_and_json_encodings_serve_identical_plans() {
 }
 
 #[test]
+fn json_and_binary_profile_requests_share_one_cache_entry() {
+    use stalloc_core::wire::ProfileEncoding;
+
+    let server = PlanServer::start(ServeConfig::default()).unwrap();
+    let profile = small_profile();
+    let config = SynthConfig::default();
+
+    // A JSON-profile client plans first (one synthesis) …
+    let mut json_client = PlanClient::connect(server.addr())
+        .unwrap()
+        .with_profile_encoding(ProfileEncoding::Json);
+    let via_json = json_client.plan(&profile, &config).unwrap();
+    assert!(!via_json.source.is_hit());
+
+    // … and a binary-profile client asking for the same job MUST hit
+    // that entry: the fingerprint computed from the raw `PROF` bytes and
+    // the one computed from the decoded profile are the same digest.
+    let mut bin_client = PlanClient::connect(server.addr()).unwrap();
+    assert_eq!(
+        bin_client.profile_encoding(),
+        ProfileEncoding::Binary,
+        "binary profiles are the client default"
+    );
+    let via_bin = bin_client.plan(&profile, &config).unwrap();
+    assert!(
+        via_bin.source.is_hit(),
+        "binary request missed the JSON request's cache entry"
+    );
+    assert_eq!(via_bin.fingerprint, via_json.fingerprint);
+    assert_eq!(via_bin.plan, via_json.plan);
+
+    assert_eq!(server.stats().misses, 1, "exactly one synthesis");
+    server.shutdown();
+}
+
+#[test]
+fn old_style_json_plan_request_still_served() {
+    // A client from before `ProfileEncoding`/`PlanEncoding` existed:
+    // profile inline, no encoding keys anywhere, pre-strategy 3-field
+    // config. The server must answer with an inline-JSON `Plan`
+    // response, exactly as it did then.
+    use stalloc_served::write_frame;
+
+    let server = PlanServer::start(ServeConfig::default()).unwrap();
+    let profile = small_profile();
+    let profile_json = serde_json::to_string(&profile).unwrap();
+    let old_request = format!(
+        r#"{{"Plan": {{"profile": {profile_json}, "config": {{"enable_fusion": true, "enable_gap_insertion": true, "ascending_sizes": false}}}}}}"#
+    );
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, old_request.as_bytes()).unwrap();
+    let response = read_error_frame(&mut raw); // reads any response frame
+    assert!(
+        response.contains(r#""Plan""#) && response.contains(r#""pool_size""#),
+        "expected an inline-JSON Plan response, got: {response}"
+    );
+    assert!(
+        !response.contains(r#""PlanBin""#),
+        "old clients must never receive a binary header: {response}"
+    );
+
+    // The plan it got is the same artifact a modern binary client gets.
+    let mut modern = PlanClient::connect(server.addr()).unwrap();
+    let remote = modern.plan(&profile, &SynthConfig::default()).unwrap();
+    assert!(remote.source.is_hit(), "same fingerprint, same cache entry");
+    assert_eq!(server.stats().misses, 1);
+    server.shutdown();
+}
+
+#[test]
+fn profile_bin_length_mismatch_is_typed_and_closes() {
+    use stalloc_core::wire::{PlanRequest, ProfileEncoding};
+    use stalloc_served::write_frame;
+
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let raw_profile = stalloc_store::encode_profile(&small_profile());
+    let header = PlanRequest::ProfileBin {
+        config: SynthConfig::default(),
+        encoding: None,
+        bytes: raw_profile.len() as u64 + 7, // lie about the length
+    };
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, serde_json::to_string(&header).unwrap().as_bytes()).unwrap();
+    write_frame(&mut raw, &raw_profile).unwrap();
+    let resp = read_error_frame(&mut raw);
+    assert!(resp.contains("BadFrame"), "typed error, got: {resp}");
+    // The stream is unsynchronized; the server closes it.
+    let mut rest = Vec::new();
+    let _ = raw.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "no further frames after the error");
+
+    // The same worker keeps serving, and real binary requests work.
+    assert_still_serving(server.addr());
+    let mut client = PlanClient::connect(server.addr()).unwrap();
+    assert_eq!(client.profile_encoding(), ProfileEncoding::Binary);
+    client
+        .plan(&small_profile(), &SynthConfig::default())
+        .unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_binary_profile_is_bad_request_and_connection_survives() {
+    use stalloc_core::wire::PlanRequest;
+    use stalloc_served::write_frame;
+
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // Well-framed, correctly sized — but not a PROF stream.
+    let garbage = b"these bytes are not a profile".to_vec();
+    let header = PlanRequest::ProfileBin {
+        config: SynthConfig::default(),
+        encoding: None,
+        bytes: garbage.len() as u64,
+    };
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, serde_json::to_string(&header).unwrap().as_bytes()).unwrap();
+    write_frame(&mut raw, &garbage).unwrap();
+    let resp = read_error_frame(&mut raw);
+    assert!(resp.contains("BadRequest"), "typed error, got: {resp}");
+
+    // Frames stayed synchronized, so the same connection keeps working.
+    write_frame(&mut raw, br#""Ping""#).unwrap();
+    let pong = read_error_frame(&mut raw);
+    assert!(pong.contains("Pong"), "keep-alive after BadRequest: {pong}");
+    server.shutdown();
+}
+
+#[test]
 fn zero_queue_depth_sheds_load_with_busy() {
     let server = PlanServer::start(ServeConfig {
         workers: 1,

@@ -1,46 +1,159 @@
-//! Binary plan codec: a compact, versioned wire format for [`Plan`].
+//! Binary codecs for the two large STAlloc artifacts: plans (`STPL`) and
+//! profiles (`PROF`).
 //!
-//! The JSON form of a plan spells out every per-request decision and runs
-//! to hundreds of kilobytes for even a small job (a ROADMAP open item).
-//! This codec exploits the same regularity the planner does: offsets,
-//! sizes, and timesteps of consecutive decisions are near-sorted and
-//! highly repetitive, so each field is stored as a zigzag **delta** from
-//! its predecessor, LEB128-**varint** encoded. Runs of equal sizes or
+//! The JSON form of either artifact spells out every per-request record
+//! and runs to hundreds of kilobytes for even a small job. Both codecs
+//! exploit the same regularity the planner does: offsets, sizes, and
+//! timesteps of consecutive records are near-sorted and highly
+//! repetitive, so each field is stored as a zigzag **delta** from its
+//! predecessor, LEB128-**varint** encoded. Runs of equal sizes or
 //! monotone timestamps collapse to one byte per field.
 //!
-//! Layout (all integers varint unless noted):
+//! This documentation is the **normative byte-level specification** of
+//! both formats — precise enough to reimplement a decoder without
+//! reading the code. `ARCHITECTURE.md` at the repository root describes
+//! where these streams travel (files, cache artifacts, wire frames).
+//!
+//! # Shared primitives
+//!
+//! * **uvarint** — LEB128: little-endian base-128, 7 payload bits per
+//!   byte, high bit = continuation. At most 10 bytes / 64 payload bits.
+//!   Decoders MUST reject streams with more than 64 bits of payload
+//!   ([`CodecError::VarintOverflow`]) and *overlong* encodings whose
+//!   final byte is `0x00` after a continuation byte
+//!   ([`CodecError::NonCanonicalVarint`]) — every value has exactly one
+//!   accepted encoding, which is what makes
+//!   `encode(decode(bytes)) == bytes` hold for all accepted streams.
+//! * **zigzag(v)** — maps a signed 64-bit delta to unsigned:
+//!   `(v << 1) ^ (v >> 63)`, so small negative and positive deltas both
+//!   varint-encode in one byte.
+//! * **delta(prev)** — a field stored as `zigzag(cur − prev)` (two's
+//!   complement wrapping), uvarint encoded. Each section below names the
+//!   predecessor; delta chains reset to 0 at the start of each section.
+//! * **instance key** — two uvarints: `module` (the `ModuleId`'s `u32`),
+//!   then `phase` (`u32`). Values that do not fit the target width are
+//!   rejected with [`CodecError::IntOutOfRange`].
+//! * **header** — 4 raw magic bytes, then the format version as a
+//!   little-endian `u16` (the only non-varint integer in either format).
+//!   Version 0 and versions above the current one are rejected with
+//!   [`CodecError::UnsupportedVersion`].
+//! * **collection count** — a uvarint element count. Decoders MUST
+//!   sanity-check the count against the bytes remaining (every element
+//!   has a known minimum encoded size) and reject implausible counts
+//!   with [`CodecError::LengthOverflow`] before allocating.
+//!
+//! # `STPL`: binary plan format
+//!
+//! Stream layout (all integers uvarint unless noted):
 //!
 //! ```text
-//! magic "STPL" (4 raw bytes) | version (u16 LE)
+//! magic "STPL" (4 raw bytes) | version (u16 LE, current = 2)
 //! pool_size
-//! stats (strategy tag since v2, then 9 fields)
-//! init_allocs  : count, then per alloc Δsize Δoffset Δts (te−ts)
-//! iter_allocs  : same encoding
-//! dyn groups   : count, then per group ls/le keys, t-range,
-//!                intervals (Δstart, len), profiled_bytes
-//! instance_seq : count, then per entry key, seq values
+//! stats:
+//!   strategy     : registry index of the synthesizing strategy
+//!                  (v2+ only; v1 streams omit it and decode as
+//!                  `baseline`, the only packer that existed then;
+//!                  unknown indices are rejected)
+//!   then 9 uvarints: static_requests, dynamic_requests, phase_groups,
+//!   fused_groups, layers, gap_inserted, homolayer_groups,
+//!   peak_static_demand, pool_size
+//! init_allocs  : count, then per alloc (min 4 bytes each):
+//!                delta(prev size), delta(prev offset), delta(prev ts),
+//!                delta(own ts) = te
+//! iter_allocs  : same encoding, fresh delta chain
+//! dyn groups   : count, then per group (min 8 bytes each):
+//!                ls key, le key, t0, delta(t0) = t1,
+//!                interval count, then per interval
+//!                  delta(prev interval start), length,
+//!                profiled_bytes
+//! instance_seq : count, then per entry (min 3 bytes each):
+//!                key, value count, then per value a plain uvarint u32
 //! ```
 //!
-//! The decoder is **strict**: it never panics on foreign input. Truncated,
-//! oversized, or malformed streams surface as typed [`CodecError`]s, and
-//! trailing bytes after a well-formed plan are rejected. Encoding is a
-//! pure function of the plan, so `encode(decode(bytes)) == bytes` for any
-//! accepted stream.
+//! # `PROF`: binary profile format
+//!
+//! The profile (`ProfiledRequests`, the §4 profiler output and the plan
+//! request's dominant payload) has its own stream:
+//!
+//! ```text
+//! magic "PROF" (4 raw bytes) | version (u16 LE, current = 1)
+//! body — see below
+//! ```
+//!
+//! The **body** (everything after the 6-byte header) is *canonical*: it
+//! is also the exact byte stream `stalloc_core::write_profile_body`
+//! emits, which the job fingerprint hashes — so
+//! `fingerprint_job_body(profile_body(stream), config)` equals
+//! `fingerprint_job(decode_profile(stream), config)` by construction,
+//! and a server can fingerprint a received binary profile without
+//! decoding it. Changing the body layout is therefore a simultaneous
+//! `PROF` version bump and `FINGERPRINT_VERSION` bump.
+//!
+//! ```text
+//! init_count   : number of persistent entries at the head of statics;
+//!                rejected if it exceeds the statics count
+//! num_phases   : u32
+//! window_len
+//! statics      : count, then per request (min 6 bytes each; encoding
+//!                below)
+//! dynamics     : same encoding, fresh delta chain
+//! instance_windows : count, then per entry (min 4 bytes each):
+//!                key, delta(prev entry's start) = start,
+//!                delta(own start) = end
+//! instance_arrivals: count, then per entry (min 3 bytes each):
+//!                key, index count, then indices as delta(prev index)
+//!                (u32 range; the first index is a delta from 0)
+//! ```
+//!
+//! Per-request encoding (`RequestEvent`), in order:
+//!
+//! ```text
+//! flags        : 1 raw byte — bit 0 `dynamic`, bit 1 `ls` present,
+//!                bit 2 `le` present (`stalloc_core::PROFILE_FLAG_*`);
+//!                any other bit set is rejected (canonical form)
+//! size         : delta(prev request's size)
+//! ts           : delta(prev request's ts)
+//! te           : delta(own ts)
+//! ps, pe       : plain uvarints (u32 range)
+//! ls, le       : instance keys, present iff their flag bit is set,
+//!                ls first
+//! ```
+//!
+//! # Decoder contract
+//!
+//! Both decoders are **strict**: they never panic on foreign input.
+//! Truncated, oversized, or malformed streams surface as typed
+//! [`CodecError`]s, and trailing bytes after a well-formed artifact are
+//! rejected ([`CodecError::TrailingBytes`]). Encoding is a pure function
+//! of the value, and only canonical streams are accepted, so
+//! `encode(decode(bytes)) == bytes` for every accepted stream — the
+//! property that lets fingerprints and content-addressed caches treat
+//! the bytes and the value interchangeably.
 
 use std::fmt;
 
+use stalloc_core::fingerprint::{put_delta, put_instance, put_uvarint};
 use stalloc_core::plan::{DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc, StrategyChoice};
-use stalloc_core::InstanceKey;
+use stalloc_core::{
+    InstanceKey, ProfiledRequests, RequestEvent, PROFILE_FLAG_DYNAMIC, PROFILE_FLAG_HAS_LE,
+    PROFILE_FLAG_HAS_LS,
+};
 
 /// File magic identifying a binary plan (`stalloc show` sniffs this).
 pub const MAGIC: [u8; 4] = *b"STPL";
 
-/// Current wire-format version.
+/// Current plan wire-format version.
 ///
 /// v2 added the synthesizing-strategy tag as the first stats field;
 /// v1 streams still decode (their strategy defaults to `baseline`, the
 /// only packer that existed when they were written).
 pub const FORMAT_VERSION: u16 = 2;
+
+/// Stream magic identifying a binary profile (`PROF`).
+pub const PROFILE_MAGIC: [u8; 4] = *b"PROF";
+
+/// Current profile wire-format version.
+pub const PROFILE_FORMAT_VERSION: u16 = 1;
 
 /// Typed decode failures. The decoder returns these instead of panicking,
 /// whatever the input bytes.
@@ -92,12 +205,9 @@ pub enum CodecError {
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::BadMagic => write!(f, "not a binary plan (bad magic)"),
+            CodecError::BadMagic => write!(f, "not a binary artifact (bad magic)"),
             CodecError::UnsupportedVersion(v) => {
-                write!(
-                    f,
-                    "unsupported plan format version {v} (max {FORMAT_VERSION})"
-                )
+                write!(f, "unsupported format version {v}")
             }
             CodecError::Truncated { offset, context } => {
                 write!(
@@ -131,31 +241,20 @@ pub fn is_binary_plan(bytes: &[u8]) -> bool {
     bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
 }
 
+/// Whether `bytes` look like a binary profile (magic sniff only).
+pub fn is_binary_profile(bytes: &[u8]) -> bool {
+    bytes.len() >= PROFILE_MAGIC.len() && bytes[..PROFILE_MAGIC.len()] == PROFILE_MAGIC
+}
+
 // --- primitive writers -------------------------------------------------
-
-fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
-
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
+//
+// The writers live in `stalloc_core::fingerprint` (imported above):
+// both codecs and the job fingerprint must emit byte-identical streams,
+// so there is exactly one copy of the varint/zigzag/delta emitters in
+// the tree. Only the reader side is defined here.
 
 fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-/// Signed delta between two unsigned values, zigzag-varint encoded.
-fn put_delta(buf: &mut Vec<u8>, prev: u64, cur: u64) {
-    put_uvarint(buf, zigzag(cur.wrapping_sub(prev) as i64));
 }
 
 // --- primitive reader --------------------------------------------------
@@ -286,11 +385,6 @@ fn get_allocs(r: &mut Reader<'_>, context: &'static str) -> Result<Vec<PlannedAl
         });
     }
     Ok(out)
-}
-
-fn put_instance(buf: &mut Vec<u8>, k: &InstanceKey) {
-    put_uvarint(buf, k.module.0 as u64);
-    put_uvarint(buf, k.phase as u64);
 }
 
 fn get_instance(r: &mut Reader<'_>, context: &'static str) -> Result<InstanceKey, CodecError> {
@@ -451,6 +545,173 @@ pub fn decode_plan(bytes: &[u8]) -> Result<Plan, CodecError> {
             instance_seq,
         },
         stats,
+    })
+}
+
+// --- profile codec -----------------------------------------------------
+
+/// Encodes a profile to the `PROF` binary wire format.
+///
+/// The body after the 6-byte header is produced by
+/// [`stalloc_core::write_profile_body`] — the same canonical byte walk
+/// the job fingerprint hashes, so the encoding doubles as the
+/// fingerprintable form of the profile (see [`profile_body`]).
+pub fn encode_profile(profile: &ProfiledRequests) -> Vec<u8> {
+    // Rough pre-size: header + ~10 bytes per request record.
+    let guess = 32 + 10 * (profile.statics.len() + profile.dynamics.len());
+    let mut buf = Vec::with_capacity(guess);
+    buf.extend_from_slice(&PROFILE_MAGIC);
+    buf.extend_from_slice(&PROFILE_FORMAT_VERSION.to_le_bytes());
+    stalloc_core::write_profile_body(profile, &mut buf);
+    buf
+}
+
+/// Validates the `PROF` header of an encoded profile and returns its
+/// **body** — the canonical byte stream
+/// `stalloc_core::fingerprint_job_body` hashes. This is the
+/// fingerprint-without-decoding entry point: a server holding the raw
+/// request bytes can compute the job fingerprint (and answer a cache
+/// hit) without running [`decode_profile`].
+pub fn profile_body(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4, "magic")? != PROFILE_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.take(2, "version")?.try_into().expect("2 bytes"));
+    if version == 0 || version > PROFILE_FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    Ok(&bytes[r.pos..])
+}
+
+const PROFILE_FLAGS_MASK: u8 = PROFILE_FLAG_DYNAMIC | PROFILE_FLAG_HAS_LS | PROFILE_FLAG_HAS_LE;
+
+fn get_request(
+    r: &mut Reader<'_>,
+    prev_size: u64,
+    prev_ts: u64,
+    context: &'static str,
+) -> Result<RequestEvent, CodecError> {
+    let flags = r.take(1, context)?[0];
+    // Reserved bits must be zero: the encoder never sets them, and
+    // accepting them would break canonical re-encoding.
+    if flags & !PROFILE_FLAGS_MASK != 0 {
+        return Err(CodecError::IntOutOfRange { context });
+    }
+    let size = r.delta(prev_size, context)?;
+    let ts = r.delta(prev_ts, context)?;
+    let te = r.delta(ts, context)?;
+    let ps = r.u32_field(context)?;
+    let pe = r.u32_field(context)?;
+    let ls = if flags & PROFILE_FLAG_HAS_LS != 0 {
+        Some(get_instance(r, context)?)
+    } else {
+        None
+    };
+    let le = if flags & PROFILE_FLAG_HAS_LE != 0 {
+        Some(get_instance(r, context)?)
+    } else {
+        None
+    };
+    Ok(RequestEvent {
+        size,
+        ts,
+        te,
+        ps,
+        pe,
+        dynamic: flags & PROFILE_FLAG_DYNAMIC != 0,
+        ls,
+        le,
+    })
+}
+
+fn get_requests(
+    r: &mut Reader<'_>,
+    context: &'static str,
+) -> Result<Vec<RequestEvent>, CodecError> {
+    // Flags byte + five single-byte varints per request, minimum.
+    let len = r.length(6, context)?;
+    let mut out = Vec::with_capacity(len);
+    let (mut size, mut ts) = (0u64, 0u64);
+    for _ in 0..len {
+        let req = get_request(r, size, ts, context)?;
+        size = req.size;
+        ts = req.ts;
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// Decodes a binary profile, rejecting anything malformed with a typed
+/// error. Structural invariants the rest of the pipeline relies on
+/// (`init_count` within bounds, arrival indices inside `dynamics`) are
+/// also enforced here, so a decoded profile is safe to plan.
+pub fn decode_profile(bytes: &[u8]) -> Result<ProfiledRequests, CodecError> {
+    let body = profile_body(bytes)?;
+    let mut r = Reader::new(body);
+
+    let init_count = r.usize_field("init_count")?;
+    let num_phases = r.u32_field("num_phases")?;
+    let window_len = r.uvarint("window_len")?;
+
+    let statics = get_requests(&mut r, "statics")?;
+    if init_count > statics.len() {
+        return Err(CodecError::IntOutOfRange {
+            context: "init_count",
+        });
+    }
+    let dynamics = get_requests(&mut r, "dynamics")?;
+
+    // Key + two deltas, minimum 4 bytes per entry.
+    let window_count = r.length(4, "instance_windows")?;
+    let mut instance_windows = Vec::with_capacity(window_count);
+    let mut prev_start = 0u64;
+    for _ in 0..window_count {
+        let key = get_instance(&mut r, "instance_windows")?;
+        let start = r.delta(prev_start, "instance_windows")?;
+        let end = r.delta(start, "instance_windows")?;
+        instance_windows.push((key, (start, end)));
+        prev_start = start;
+    }
+
+    // Key + count, minimum 3 bytes per entry.
+    let arrival_count = r.length(3, "instance_arrivals")?;
+    let mut instance_arrivals = Vec::with_capacity(arrival_count);
+    for _ in 0..arrival_count {
+        let key = get_instance(&mut r, "instance_arrivals")?;
+        let n = r.length(1, "instance_arrivals")?;
+        let mut seq = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            let idx = r.delta(prev, "instance_arrivals")?;
+            let idx32 = u32::try_from(idx).map_err(|_| CodecError::IntOutOfRange {
+                context: "instance_arrivals",
+            })?;
+            if idx as usize >= dynamics.len() {
+                return Err(CodecError::IntOutOfRange {
+                    context: "instance_arrivals",
+                });
+            }
+            seq.push(idx32);
+            prev = idx;
+        }
+        instance_arrivals.push((key, seq));
+    }
+
+    if r.remaining() != 0 {
+        return Err(CodecError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+
+    Ok(ProfiledRequests {
+        statics,
+        init_count,
+        dynamics,
+        num_phases,
+        window_len,
+        instance_windows,
+        instance_arrivals,
     })
 }
 
@@ -634,6 +895,184 @@ mod tests {
             decode_plan(&bytes),
             Err(CodecError::VarintOverflow { .. })
         ));
+    }
+
+    fn sample_profile() -> ProfiledRequests {
+        let key = |m, p| InstanceKey {
+            module: trace_gen::ModuleId(m),
+            phase: p,
+        };
+        let req = |size, ts, te, ps, pe, dynamic, ls: Option<InstanceKey>, le| RequestEvent {
+            size,
+            ts,
+            te,
+            ps,
+            pe,
+            dynamic,
+            ls,
+            le,
+        };
+        ProfiledRequests {
+            statics: vec![
+                req(4096, 0, 100, 0, 3, false, None, None),
+                req(4096, 0, 100, 0, 3, false, None, None),
+                req(512, 7, 12, 1, 1, false, Some(key(3, 1)), Some(key(4, 1))),
+            ],
+            init_count: 2,
+            dynamics: vec![
+                req(8192, 9, 11, 1, 1, true, Some(key(5, 1)), Some(key(5, 1))),
+                req(1024, 40, 90, 2, 2, true, Some(key(5, 2)), None),
+            ],
+            num_phases: 2,
+            window_len: 100,
+            instance_windows: vec![
+                (key(3, 1), (5, 20)),
+                (key(5, 1), (8, 15)),
+                (key(5, 2), (35, 95)),
+            ],
+            instance_arrivals: vec![(key(5, 1), vec![0]), (key(5, 2), vec![1])],
+        }
+    }
+
+    #[test]
+    fn profile_roundtrip_and_stable_reencode() {
+        let profile = sample_profile();
+        let bytes = encode_profile(&profile);
+        assert!(is_binary_profile(&bytes));
+        assert!(!is_binary_plan(&bytes));
+        let back = decode_profile(&bytes).unwrap();
+        assert_eq!(back, profile);
+        assert_eq!(encode_profile(&back), bytes, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn empty_profile_roundtrips() {
+        let profile = ProfiledRequests::default();
+        let bytes = encode_profile(&profile);
+        let back = decode_profile(&bytes).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn profile_body_is_the_fingerprint_walk() {
+        // The PROF body and the canonical fingerprint walk must be the
+        // same bytes — the property that allows fingerprinting a
+        // received binary profile without decoding it.
+        let profile = sample_profile();
+        let bytes = encode_profile(&profile);
+        let mut walk = Vec::new();
+        stalloc_core::write_profile_body(&profile, &mut walk);
+        assert_eq!(profile_body(&bytes).unwrap(), &walk[..]);
+
+        let config = stalloc_core::SynthConfig::default();
+        assert_eq!(
+            stalloc_core::fingerprint_job_body(profile_body(&bytes).unwrap(), &config),
+            stalloc_core::fingerprint_job(&profile, &config),
+        );
+    }
+
+    #[test]
+    fn profile_every_truncation_is_a_typed_error() {
+        let bytes = encode_profile(&sample_profile());
+        for cut in 0..bytes.len() {
+            let err = decode_profile(&bytes[..cut]).expect_err("prefix must not decode");
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. }
+                        | CodecError::BadMagic
+                        | CodecError::LengthOverflow { .. }
+                        | CodecError::IntOutOfRange { .. }
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_bad_magic_and_version() {
+        assert_eq!(decode_profile(b"JSON{}"), Err(CodecError::BadMagic));
+        // A plan stream is not a profile.
+        assert_eq!(
+            decode_profile(&encode_plan(&sample_plan())),
+            Err(CodecError::BadMagic)
+        );
+        let mut bytes = encode_profile(&sample_profile());
+        bytes[4] = 0x42;
+        bytes[5] = 0x42;
+        assert_eq!(
+            decode_profile(&bytes),
+            Err(CodecError::UnsupportedVersion(0x4242))
+        );
+    }
+
+    #[test]
+    fn profile_reserved_flag_bits_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&PROFILE_MAGIC);
+        bytes.extend_from_slice(&PROFILE_FORMAT_VERSION.to_le_bytes());
+        put_uvarint(&mut bytes, 0); // init_count
+        put_uvarint(&mut bytes, 1); // num_phases
+        put_uvarint(&mut bytes, 10); // window_len
+        put_uvarint(&mut bytes, 1); // statics: one request
+        bytes.push(0x80); // flags with a reserved bit set
+        bytes.extend_from_slice(&[0; 8]); // enough bytes for the fields
+        assert!(matches!(
+            decode_profile(&bytes),
+            Err(CodecError::IntOutOfRange { .. } | CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_init_count_beyond_statics_rejected() {
+        let mut profile = sample_profile();
+        profile.init_count = profile.statics.len() + 1;
+        let bytes = encode_profile(&profile);
+        assert_eq!(
+            decode_profile(&bytes),
+            Err(CodecError::IntOutOfRange {
+                context: "init_count"
+            })
+        );
+    }
+
+    #[test]
+    fn profile_arrival_index_out_of_range_rejected() {
+        let mut profile = sample_profile();
+        profile.instance_arrivals[0].1 = vec![99]; // no such dynamic
+        let bytes = encode_profile(&profile);
+        assert_eq!(
+            decode_profile(&bytes),
+            Err(CodecError::IntOutOfRange {
+                context: "instance_arrivals"
+            })
+        );
+    }
+
+    #[test]
+    fn profile_trailing_bytes_rejected() {
+        let mut bytes = encode_profile(&sample_profile());
+        bytes.push(0);
+        assert_eq!(
+            decode_profile(&bytes),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn profile_random_byte_flips_never_panic() {
+        let bytes = encode_profile(&sample_profile());
+        let mut state = 0xfeed_f00d_dead_beefu64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pos = (state >> 33) as usize % bytes.len();
+            let mask = (state >> 8) as u8 | 1;
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= mask;
+            let _ = decode_profile(&corrupt); // must return, never panic
+        }
     }
 
     #[test]

@@ -7,11 +7,16 @@
 //! computed plan a reusable *artifact*, not a transient in-memory value.
 //! This crate supplies the two missing pieces:
 //!
-//! * [`codec`] — a versioned, magic-numbered wire format. Offsets, sizes,
-//!   and timesteps of consecutive planned decisions are near-sorted, so
-//!   zigzag-delta + varint encoding shrinks plans to a fraction of their
-//!   JSON form. The decoder returns typed [`CodecError`]s (never panics)
-//!   on truncated or corrupt input.
+//! * [`codec`] — versioned, magic-numbered wire formats for the two
+//!   large artifacts: plans (`STPL`) and profiles (`PROF`). Offsets,
+//!   sizes, and timesteps of consecutive records are near-sorted, so
+//!   zigzag-delta + varint encoding shrinks both to a fraction of their
+//!   JSON form. The decoders return typed [`CodecError`]s (never panic)
+//!   on truncated or corrupt input, and the module documentation is the
+//!   normative byte-level spec of both formats. The `PROF` body doubles
+//!   as the canonical fingerprint walk, so a job can be fingerprinted
+//!   from its encoded profile without decoding ([`profile_body`] +
+//!   `stalloc_core::fingerprint_job_body`).
 //! * [`store`] — a [`PlanStore`] directory of `<fingerprint>.stplan`
 //!   artifacts with a JSON index and atomic writes. Lookup is by the
 //!   [`Fingerprint`](stalloc_core::Fingerprint) of the profiled job, so
@@ -49,8 +54,10 @@
 //! // Cached planning: second call skips synthesis.
 //! let dir = std::env::temp_dir().join(format!("stalloc-doc-{}", std::process::id()));
 //! let store = PlanStore::open(&dir).unwrap();
-//! let (_, _, first) = synthesize_cached(&profile, &SynthConfig::default(), &store).unwrap();
-//! let (_, _, second) = synthesize_cached(&profile, &SynthConfig::default(), &store).unwrap();
+//! let (_, _, first) =
+//!     synthesize_cached(&profile, &SynthConfig::default(), &store, synthesize).unwrap();
+//! let (_, _, second) =
+//!     synthesize_cached(&profile, &SynthConfig::default(), &store, synthesize).unwrap();
 //! assert_eq!(first, CacheOutcome::Miss);
 //! assert_eq!(second, CacheOutcome::Hit);
 //! std::fs::remove_dir_all(&dir).ok();
@@ -60,7 +67,10 @@ pub mod codec;
 pub mod lru;
 pub mod store;
 
-pub use codec::{decode_plan, encode_plan, is_binary_plan, CodecError, FORMAT_VERSION, MAGIC};
+pub use codec::{
+    decode_plan, decode_profile, encode_plan, encode_profile, is_binary_plan, is_binary_profile,
+    profile_body, CodecError, FORMAT_VERSION, MAGIC, PROFILE_FORMAT_VERSION, PROFILE_MAGIC,
+};
 pub use lru::{ShardedLru, DEFAULT_LRU_SHARDS};
 pub use store::{
     synthesize_cached, CacheOutcome, GcReport, PlanStore, StoreEntry, StoreError, PLAN_EXT,

@@ -1,4 +1,5 @@
-//! Sharded in-process LRU cache of decoded [`Plan`]s.
+//! Sharded in-process LRU cache of decoded [`Plan`]s (or anything else
+//! worth keying by [`Fingerprint`]).
 //!
 //! The on-disk [`PlanStore`](crate::PlanStore) makes repeat planning
 //! cheap across *processes*, but every hit still pays a file read and a
@@ -7,6 +8,11 @@
 //! server workers contend on `1/shards` of the lock traffic instead of a
 //! single global mutex. Eviction is least-recently-used per shard, via a
 //! monotonic touch stamp.
+//!
+//! The value type is generic (default [`Plan`]): the `stalloc-served`
+//! daemon caches `Arc`-wrapped entries that carry the plan *and* its
+//! memoized binary encoding, so serving a hot job binary-encoded costs
+//! neither a decode nor a re-encode.
 //!
 //! The cache is passive (no hit/miss counters): callers that need
 //! accounting — the `stalloc-served` stats verb — count at their layer.
@@ -20,28 +26,37 @@ use stalloc_core::{Fingerprint, Plan};
 /// power-of-two modulus.
 pub const DEFAULT_LRU_SHARDS: usize = 8;
 
-#[derive(Debug, Default)]
-struct Shard {
-    map: HashMap<Fingerprint, (u64, Plan)>,
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<Fingerprint, (u64, V)>,
     tick: u64,
 }
 
-impl Shard {
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+impl<V> Shard<V> {
     fn touch(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 }
 
-/// A fingerprint-keyed, sharded LRU of decoded plans.
+/// A fingerprint-keyed, sharded LRU (of decoded plans by default).
 #[derive(Debug)]
-pub struct ShardedLru {
-    shards: Vec<Mutex<Shard>>,
+pub struct ShardedLru<V = Plan> {
+    shards: Vec<Mutex<Shard<V>>>,
     per_shard_cap: usize,
 }
 
-impl ShardedLru {
-    /// Cache holding at most `capacity` plans across [`DEFAULT_LRU_SHARDS`]
+impl<V: Clone> ShardedLru<V> {
+    /// Cache holding at most `capacity` entries across [`DEFAULT_LRU_SHARDS`]
     /// shards. `capacity == 0` disables the cache (all lookups miss,
     /// inserts are dropped).
     pub fn new(capacity: usize) -> Self {
@@ -63,32 +78,32 @@ impl ShardedLru {
         }
     }
 
-    fn shard(&self, fp: Fingerprint) -> &Mutex<Shard> {
+    fn shard(&self, fp: Fingerprint) -> &Mutex<Shard<V>> {
         // Any fingerprint byte is uniformly mixed (splitmix finalizer).
         &self.shards[fp.0[0] as usize % self.shards.len()]
     }
 
-    /// Looks up a plan, refreshing its recency on a hit.
-    pub fn get(&self, fp: Fingerprint) -> Option<Plan> {
+    /// Looks up an entry, refreshing its recency on a hit.
+    pub fn get(&self, fp: Fingerprint) -> Option<V> {
         if self.per_shard_cap == 0 {
             return None;
         }
         let mut shard = self.shard(fp).lock().expect("lru shard lock");
         let stamp = shard.touch();
-        let (seen, plan) = shard.map.get_mut(&fp)?;
+        let (seen, value) = shard.map.get_mut(&fp)?;
         *seen = stamp;
-        Some(plan.clone())
+        Some(value.clone())
     }
 
-    /// Inserts (or refreshes) a plan, evicting the least-recently-used
-    /// entry of the shard when it is full.
-    pub fn insert(&self, fp: Fingerprint, plan: Plan) {
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one in the shard when it is full.
+    pub fn insert(&self, fp: Fingerprint, value: V) {
         if self.per_shard_cap == 0 {
             return;
         }
         let mut shard = self.shard(fp).lock().expect("lru shard lock");
         let stamp = shard.touch();
-        shard.map.insert(fp, (stamp, plan));
+        shard.map.insert(fp, (stamp, value));
         if shard.map.len() > self.per_shard_cap {
             // Caps are small (a handful of plans per shard), so a linear
             // scan beats maintaining an intrusive list.
@@ -103,7 +118,7 @@ impl ShardedLru {
         }
     }
 
-    /// Number of cached plans across all shards.
+    /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -111,12 +126,12 @@ impl ShardedLru {
             .sum()
     }
 
-    /// Whether the cache currently holds no plans.
+    /// Whether the cache currently holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Total plan capacity (shards × per-shard capacity; 0 = disabled).
+    /// Total entry capacity (shards × per-shard capacity; 0 = disabled).
     pub fn capacity(&self) -> usize {
         self.per_shard_cap * self.shards.len()
     }
@@ -143,7 +158,7 @@ mod tests {
 
     #[test]
     fn get_refreshes_recency() {
-        let lru = ShardedLru::with_shards(2, 1);
+        let lru = ShardedLru::<Plan>::with_shards(2, 1);
         lru.insert(fp(1), plan(1));
         lru.insert(fp(2), plan(2));
         // Touch 1, then insert 3: 2 is now the coldest and must go.
@@ -157,7 +172,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables() {
-        let lru = ShardedLru::new(0);
+        let lru = ShardedLru::<Plan>::new(0);
         lru.insert(fp(1), plan(1));
         assert!(lru.get(fp(1)).is_none());
         assert!(lru.is_empty());
@@ -166,16 +181,16 @@ mod tests {
 
     #[test]
     fn capacity_is_split_across_shards() {
-        let lru = ShardedLru::with_shards(8, 4);
+        let lru = ShardedLru::<Plan>::with_shards(8, 4);
         assert_eq!(lru.capacity(), 8);
-        let lru = ShardedLru::with_shards(3, 4);
+        let lru = ShardedLru::<Plan>::with_shards(3, 4);
         // Rounded up: at least one slot per shard.
         assert_eq!(lru.capacity(), 4);
     }
 
     #[test]
     fn concurrent_access_is_safe() {
-        let lru = std::sync::Arc::new(ShardedLru::new(16));
+        let lru = std::sync::Arc::new(ShardedLru::<Plan>::new(16));
         let handles: Vec<_> = (0..8u8)
             .map(|t| {
                 let lru = lru.clone();

@@ -28,7 +28,6 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use serde::{Deserialize, Serialize};
 use stalloc_core::plan::{Plan, SynthConfig};
 use stalloc_core::{fingerprint_job, Fingerprint, ProfiledRequests};
-use stalloc_solver::synthesize_strategy;
 
 use crate::codec::{decode_plan, encode_plan, CodecError};
 
@@ -169,13 +168,24 @@ impl PlanStore {
     /// present-but-corrupt artifact is an error (callers wanting
     /// self-healing semantics use [`synthesize_cached`]).
     pub fn get(&self, fp: Fingerprint) -> Result<Option<Plan>, StoreError> {
+        Ok(self.get_with_bytes(fp)?.map(|(plan, _)| plan))
+    }
+
+    /// Like [`Self::get`], but also returns the artifact's raw encoded
+    /// bytes. Because the codec is canonical and `put` writes exactly
+    /// `encode_plan` output, those bytes *are* what a fresh
+    /// `encode_plan(&plan)` would produce — callers that serve
+    /// binary-encoded plans (the `stalloc-served` daemon) reuse them
+    /// instead of re-encoding on every hit.
+    pub fn get_with_bytes(&self, fp: Fingerprint) -> Result<Option<(Plan, Vec<u8>)>, StoreError> {
         let path = self.plan_path(fp);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(io_err(&path, e)),
         };
-        Ok(Some(decode_plan(&bytes)?))
+        let plan = decode_plan(&bytes)?;
+        Ok(Some((plan, bytes)))
     }
 
     /// Stores `plan` under `fp`, atomically, and updates the index.
@@ -186,9 +196,22 @@ impl PlanStore {
     /// the index update re-reads the index under the store lock, so a
     /// concurrent `put` of a *different* job is merged, not overwritten.
     pub fn put(&self, fp: Fingerprint, plan: &Plan) -> Result<StoreEntry, StoreError> {
-        let bytes = encode_plan(plan);
+        self.put_encoded(fp, plan, &encode_plan(plan))
+    }
+
+    /// [`Self::put`] for callers that already hold the plan's encoded
+    /// bytes (e.g. a server memoizing binary responses): skips the
+    /// re-encode. `bytes` must be `encode_plan(plan)` output — the store
+    /// is content-addressed, and a mismatching artifact would be served
+    /// to every future reader of `fp`.
+    pub fn put_encoded(
+        &self,
+        fp: Fingerprint,
+        plan: &Plan,
+        bytes: &[u8],
+    ) -> Result<StoreEntry, StoreError> {
         let path = self.plan_path(fp);
-        self.write_atomic(&path, &bytes)?;
+        self.write_atomic(&path, bytes)?;
         let entry = StoreEntry {
             fingerprint: fp.to_hex(),
             bytes: bytes.len() as u64,
@@ -201,7 +224,7 @@ impl PlanStore {
         // may have swept it in between. Re-write it under the lock
         // rather than indexing a file that no longer exists.
         if !path.exists() {
-            self.write_atomic(&path, &bytes)?;
+            self.write_atomic(&path, bytes)?;
         }
         let mut index = self.load_index()?;
         index.entries.retain(|e| e.fingerprint != entry.fingerprint);
@@ -435,15 +458,21 @@ pub enum CacheOutcome {
 /// synthesis + [`PlanStore::put`] on a miss. A corrupt, unreadable, or
 /// decodable-but-unsound entry counts as a miss and is overwritten.
 ///
-/// Synthesis honours [`SynthConfig::strategy`] (dispatching through
-/// `stalloc_solver::synthesize_strategy`, including the portfolio race),
-/// and the fingerprint incorporates the strategy — so a job planned by
-/// the portfolio and the same profile planned by one concrete strategy
-/// are distinct cache entries that can never serve each other.
+/// The synthesizer is *injected*: this crate is the artifact layer and
+/// deliberately does not know how plans are computed (`stalloc-core`'s
+/// `synthesize`, `stalloc-solver`'s strategy-aware
+/// `synthesize_strategy`, a test stub — the caller decides). The
+/// fingerprint incorporates every [`SynthConfig`] switch including the
+/// strategy, so a job planned by the portfolio and the same profile
+/// planned by one concrete strategy are distinct cache entries that can
+/// never serve each other — but only if `synth` itself honours
+/// `config.strategy`; callers with the solver in scope should pass
+/// `stalloc_solver::synthesize_strategy`.
 pub fn synthesize_cached(
     profile: &ProfiledRequests,
     config: &SynthConfig,
     store: &PlanStore,
+    synth: impl FnOnce(&ProfiledRequests, &SynthConfig) -> Plan,
 ) -> Result<(Plan, Fingerprint, CacheOutcome), StoreError> {
     let fp = fingerprint_job(profile, config);
     // A bit flip past the header can decode to a *different* plan, so a
@@ -453,7 +482,7 @@ pub fn synthesize_cached(
             return Ok((plan, fp, CacheOutcome::Hit));
         }
     }
-    let plan = synthesize_strategy(profile, config);
+    let plan = synth(profile, config);
     store.put(fp, &plan)?;
     Ok((plan, fp, CacheOutcome::Miss))
 }
@@ -509,9 +538,11 @@ mod tests {
         let p = profile();
         let config = SynthConfig::default();
 
-        let (plan1, fp1, out1) = synthesize_cached(&p, &config, &store).unwrap();
+        let (plan1, fp1, out1) =
+            synthesize_cached(&p, &config, &store, stalloc_core::synthesize).unwrap();
         assert_eq!(out1, CacheOutcome::Miss);
-        let (plan2, fp2, out2) = synthesize_cached(&p, &config, &store).unwrap();
+        let (plan2, fp2, out2) =
+            synthesize_cached(&p, &config, &store, stalloc_core::synthesize).unwrap();
         assert_eq!(out2, CacheOutcome::Hit);
         assert_eq!(fp1, fp2);
         assert_eq!(plan1, plan2);
@@ -521,7 +552,8 @@ mod tests {
             enable_fusion: false,
             ..config
         };
-        let (_, fp3, out3) = synthesize_cached(&p, &other, &store).unwrap();
+        let (_, fp3, out3) =
+            synthesize_cached(&p, &other, &store, stalloc_core::synthesize).unwrap();
         assert_eq!(out3, CacheOutcome::Miss);
         assert_ne!(fp1, fp3);
         assert_eq!(store.entries().unwrap().len(), 2);
@@ -531,34 +563,89 @@ mod tests {
 
     #[test]
     fn strategies_key_distinct_cache_entries() {
+        // The strategy choice is part of the fingerprint, so a portfolio
+        // job and a baseline job are distinct cache entries even when
+        // the injected synthesizer is the same. (End-to-end coverage
+        // with the real solver dispatch lives in `tests/determinism.rs`,
+        // above this crate in the DAG.)
         use stalloc_core::StrategyChoice;
         let store = temp_store("strategies");
         let p = profile();
 
-        // Baseline and portfolio are distinct jobs: distinct fingerprints,
-        // two store entries, and neither lookup serves the other.
         let base_cfg = SynthConfig::default();
         let port_cfg = SynthConfig {
             strategy: StrategyChoice::Portfolio,
             ..SynthConfig::default()
         };
-        let (base_plan, base_fp, o1) = synthesize_cached(&p, &base_cfg, &store).unwrap();
-        let (port_plan, port_fp, o2) = synthesize_cached(&p, &port_cfg, &store).unwrap();
+        // `stalloc_core::synthesize` only runs the baseline pipeline;
+        // stand in for the solver's dispatch by normalizing the strategy
+        // (the real dispatch is exercised in `tests/determinism.rs`).
+        let stub = |p: &ProfiledRequests, c: &SynthConfig| {
+            stalloc_core::synthesize(
+                p,
+                &SynthConfig {
+                    strategy: StrategyChoice::Baseline,
+                    ..*c
+                },
+            )
+        };
+        let (base_plan, base_fp, o1) = synthesize_cached(&p, &base_cfg, &store, stub).unwrap();
+        let (port_plan, port_fp, o2) = synthesize_cached(&p, &port_cfg, &store, stub).unwrap();
         assert_eq!(o1, CacheOutcome::Miss);
         assert_eq!(o2, CacheOutcome::Miss);
         assert_ne!(base_fp, port_fp);
         assert_eq!(store.entries().unwrap().len(), 2);
         assert_eq!(base_plan.stats.strategy, StrategyChoice::Baseline);
-        // The portfolio's winner is tagged with the concrete strategy
-        // that produced it, never `Portfolio` itself.
-        assert_ne!(port_plan.stats.strategy, StrategyChoice::Portfolio);
-        // The portfolio can never do worse than its baseline member.
-        assert!(port_plan.pool_size <= base_plan.pool_size);
 
         // Both entries hit on repeat, returning the identical plan.
-        let (again, _, o3) = synthesize_cached(&p, &port_cfg, &store).unwrap();
+        let (again, _, o3) =
+            synthesize_cached(&p, &port_cfg, &store, stalloc_core::synthesize).unwrap();
         assert_eq!(o3, CacheOutcome::Hit);
         assert_eq!(again, port_plan);
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn injected_synthesizer_runs_only_on_miss() {
+        use std::cell::Cell;
+        let store = temp_store("inject");
+        let p = profile();
+        let config = SynthConfig::default();
+        let calls = Cell::new(0u32);
+        let synth = |profile: &ProfiledRequests, config: &SynthConfig| {
+            calls.set(calls.get() + 1);
+            stalloc_core::synthesize(profile, config)
+        };
+
+        synthesize_cached(&p, &config, &store, synth).unwrap();
+        assert_eq!(calls.get(), 1);
+        synthesize_cached(&p, &config, &store, synth).unwrap();
+        assert_eq!(calls.get(), 1, "a hit must not run the synthesizer");
+
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn get_with_bytes_returns_the_exact_artifact() {
+        let store = temp_store("rawbytes");
+        let p = profile();
+        let config = SynthConfig::default();
+        let (plan, fp, _) =
+            synthesize_cached(&p, &config, &store, stalloc_core::synthesize).unwrap();
+
+        let (decoded, bytes) = store.get_with_bytes(fp).unwrap().unwrap();
+        assert_eq!(decoded, plan);
+        assert_eq!(
+            bytes,
+            encode_plan(&plan),
+            "bytes are the canonical encoding"
+        );
+        assert_eq!(bytes, fs::read(store.plan_path(fp)).unwrap());
+        assert!(store
+            .get_with_bytes(Fingerprint([9; 16]))
+            .unwrap()
+            .is_none());
 
         let _ = fs::remove_dir_all(store.dir());
     }
@@ -568,11 +655,12 @@ mod tests {
         let store = temp_store("heal");
         let p = profile();
         let config = SynthConfig::default();
-        let (_, fp, _) = synthesize_cached(&p, &config, &store).unwrap();
+        let (_, fp, _) = synthesize_cached(&p, &config, &store, stalloc_core::synthesize).unwrap();
 
         fs::write(store.plan_path(fp), b"garbage").unwrap();
         assert!(store.get(fp).is_err(), "corrupt artifact surfaces as error");
-        let (plan, _, outcome) = synthesize_cached(&p, &config, &store).unwrap();
+        let (plan, _, outcome) =
+            synthesize_cached(&p, &config, &store, stalloc_core::synthesize).unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(store.get(fp).unwrap(), Some(plan));
 
@@ -584,7 +672,7 @@ mod tests {
         let store = temp_store("gc");
         let p = profile();
         let config = SynthConfig::default();
-        let (_, fp, _) = synthesize_cached(&p, &config, &store).unwrap();
+        let (_, fp, _) = synthesize_cached(&p, &config, &store, stalloc_core::synthesize).unwrap();
 
         // A valid un-indexed artifact (as left by a lost index write), a
         // garbage artifact, a dangling index entry (file gone), and a
@@ -623,7 +711,13 @@ mod tests {
     fn clear_empties_the_store() {
         let store = temp_store("clear");
         let p = profile();
-        synthesize_cached(&p, &SynthConfig::default(), &store).unwrap();
+        synthesize_cached(
+            &p,
+            &SynthConfig::default(),
+            &store,
+            stalloc_core::synthesize,
+        )
+        .unwrap();
         synthesize_cached(
             &p,
             &SynthConfig {
@@ -631,6 +725,7 @@ mod tests {
                 ..SynthConfig::default()
             },
             &store,
+            stalloc_core::synthesize,
         )
         .unwrap();
         assert_eq!(store.clear().unwrap(), 2);

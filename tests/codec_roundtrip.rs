@@ -1,16 +1,22 @@
-//! Codec round-trip and robustness properties.
+//! Codec round-trip and robustness properties, for both binary formats
+//! (`STPL` plans and `PROF` profiles).
 //!
-//! * encode → decode must reproduce the plan exactly, and re-encoding the
-//!   decoded plan must be byte-identical (the codec is canonical);
-//! * the binary form must stay well under the acceptance ceiling of 25%
-//!   of the JSON size on the GPT-2 345M example;
+//! * encode → decode must reproduce the artifact exactly, and re-encoding
+//!   the decoded value must be byte-identical (the codecs are canonical);
+//! * the binary forms must stay under the acceptance ceiling of 25% of
+//!   the JSON size on the GPT-2 345M example;
 //! * truncated or corrupted streams must fail with *typed* errors — the
-//!   decoder never panics on foreign bytes.
+//!   decoders never panic on foreign bytes;
+//! * the `PROF` body must hash to the same fingerprint as the decoded
+//!   profile's field walk, across the whole model zoo.
 
 use proptest::prelude::*;
 
-use stalloc_core::{profile_trace, synthesize, SynthConfig};
-use stalloc_store::{decode_plan, encode_plan, is_binary_plan, CodecError};
+use stalloc_core::{fingerprint_job, fingerprint_job_body, profile_trace, synthesize, SynthConfig};
+use stalloc_store::{
+    decode_plan, decode_profile, encode_plan, encode_profile, is_binary_plan, is_binary_profile,
+    profile_body, CodecError,
+};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
 
 fn model_zoo(idx: u64) -> (ModelSpec, ParallelConfig, OptimConfig) {
@@ -76,6 +82,109 @@ proptest! {
         let decoded = decode_plan(&bytes).map_err(|e| e.to_string())?;
         prop_assert_eq!(&decoded, &plan, "decode(encode(p)) != p");
         prop_assert_eq!(encode_plan(&decoded), bytes, "re-encode not byte-identical");
+    }
+
+    #[test]
+    fn profile_encode_decode_roundtrips_across_model_zoo(
+        model_idx in 0u64..4,
+        mbs in 1u32..3,
+        mb_factor in 1u32..3,
+        seed in 0u64..1000,
+    ) {
+        let (model, parallel, optim) = model_zoo(model_idx);
+        let trace = TrainJob::new(model, parallel, optim)
+            .with_mbs(mbs)
+            .with_seq(256)
+            .with_microbatches(parallel.pp * mb_factor)
+            .with_iterations(1)
+            .with_seed(seed)
+            .build_trace()
+            .map_err(|e| e.to_string())?;
+        let profile = profile_trace(&trace, 1).map_err(|e| e.to_string())?;
+
+        let bytes = encode_profile(&profile);
+        prop_assert!(is_binary_profile(&bytes));
+        prop_assert!(!is_binary_plan(&bytes));
+        let decoded = decode_profile(&bytes).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&decoded, &profile, "decode(encode(p)) != p");
+        prop_assert_eq!(encode_profile(&decoded), bytes, "re-encode not byte-identical");
+
+        // The PROF body is the canonical fingerprint walk: hashing the
+        // raw bytes (the server's binary-request fast path) must agree
+        // with hashing the decoded profile.
+        let config = SynthConfig::default();
+        prop_assert_eq!(
+            fingerprint_job_body(profile_body(&bytes).map_err(|e| e.to_string())?, &config),
+            fingerprint_job(&profile, &config),
+            "bytes fingerprint != field-walk fingerprint"
+        );
+    }
+
+    #[test]
+    fn profile_truncation_yields_typed_errors_never_panics(
+        mbs in 1u32..3,
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(mbs)
+        .with_seq(256)
+        .with_microbatches(2)
+        .with_iterations(1)
+        .build_trace()
+        .map_err(|e| e.to_string())?;
+        let profile = profile_trace(&trace, 1).map_err(|e| e.to_string())?;
+        let bytes = encode_profile(&profile);
+
+        let cut = (cut_seed as usize) % bytes.len();
+        let err = decode_profile(&bytes[..cut]);
+        prop_assert!(err.is_err(), "strict prefix of length {} decoded", cut);
+        prop_assert!(
+            matches!(
+                err.unwrap_err(),
+                CodecError::Truncated { .. }
+                    | CodecError::BadMagic
+                    | CodecError::LengthOverflow { .. }
+                    | CodecError::IntOutOfRange { .. }
+            ),
+            "unexpected error class at cut {}", cut
+        );
+    }
+
+    #[test]
+    fn corrupted_profile_bytes_never_panic(
+        flip_pos_seed in 0u64..u64::MAX,
+        flip_mask in 1u8..=255,
+    ) {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(2)
+        .with_iterations(1)
+        .build_trace()
+        .map_err(|e| e.to_string())?;
+        let profile = profile_trace(&trace, 1).map_err(|e| e.to_string())?;
+        let mut bytes = encode_profile(&profile);
+
+        let pos = (flip_pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip_mask;
+        // A flip may still decode (to a different profile) — the
+        // property is purely "no panic, and magic damage is detected".
+        match decode_profile(&bytes) {
+            Ok(_) => prop_assert!(pos >= 4, "magic corruption must not decode"),
+            Err(e) => {
+                if pos < 4 {
+                    prop_assert_eq!(e, CodecError::BadMagic);
+                }
+            }
+        }
     }
 
     #[test]
@@ -145,6 +254,34 @@ proptest! {
             }
         }
     }
+}
+
+#[test]
+fn gpt2_345m_binary_profile_is_at_most_a_quarter_of_json() {
+    // The acceptance example: the dominant request payload of the plan
+    // service, binary vs the serde value-tree JSON it replaces.
+    let trace = TrainJob::new(
+        ModelSpec::gpt2_345m(),
+        ParallelConfig::new(1, 4, 1),
+        OptimConfig::r(),
+    )
+    .with_mbs(2)
+    .with_seq(512)
+    .with_microbatches(8)
+    .with_iterations(2)
+    .build_trace()
+    .unwrap();
+    let profile = profile_trace(&trace, 1).unwrap();
+
+    let bytes = encode_profile(&profile);
+    let json = serde_json::to_string(&profile).unwrap();
+    assert_eq!(decode_profile(&bytes).unwrap(), profile);
+    assert!(
+        4 * bytes.len() <= json.len(),
+        "binary profile {} B vs json {} B: over the 25% ceiling",
+        bytes.len(),
+        json.len()
+    );
 }
 
 #[test]

@@ -146,8 +146,20 @@ fn portfolio_cached_plans_are_byte_identical() {
     let store_a = PlanStore::open(base.join("a")).unwrap();
     let store_b = PlanStore::open(base.join("b")).unwrap();
 
-    let (plan_a, fp_a, out_a) = synthesize_cached(&profile, &config, &store_a).unwrap();
-    let (plan_b, fp_b, out_b) = synthesize_cached(&profile, &config, &store_b).unwrap();
+    let (plan_a, fp_a, out_a) = synthesize_cached(
+        &profile,
+        &config,
+        &store_a,
+        stalloc_solver::synthesize_strategy,
+    )
+    .unwrap();
+    let (plan_b, fp_b, out_b) = synthesize_cached(
+        &profile,
+        &config,
+        &store_b,
+        stalloc_solver::synthesize_strategy,
+    )
+    .unwrap();
     assert_eq!(out_a, CacheOutcome::Miss);
     assert_eq!(out_b, CacheOutcome::Miss);
     assert_eq!(fp_a, fp_b, "portfolio jobs fingerprint identically");
