@@ -561,31 +561,31 @@ pub fn strategy_comparison() -> Table {
         let trace = job.build_trace().unwrap();
         let profile = profile_trace(&trace, 1).unwrap();
         let config = stalloc_core::SynthConfig::default();
+        // One real race per workload: the table's cells and its winner
+        // column come from the same `CandidateReport`s the portfolio
+        // itself produced, so the table can never disagree with what
+        // `--strategy portfolio` would actually pick.
+        let outcome = stalloc_solver::synthesize_portfolio(&profile, &config);
         let mut row = vec![label.to_string()];
-        // The winner is a pure function of the per-strategy plans, so
-        // select it from the plans just computed with the portfolio's
-        // own (pool, fragmentation, name) key — no second race needed.
-        let mut winner: Option<(u64, u64, &'static str)> = None;
-        for s in registry() {
-            let t0 = std::time::Instant::now();
-            let plan = s.plan(&profile, &config);
-            let ms = t0.elapsed().as_secs_f64() * 1e3;
-            plan.validate().expect("sound");
-            row.push(format!(
-                "{:.4} ({:.0})",
-                plan.stats.packing_efficiency(),
-                ms
-            ));
-            let key = (
-                plan.pool_size,
-                plan.pool_size - plan.stats.peak_static_demand,
-                s.name(),
-            );
-            if winner.is_none_or(|w| key < w) {
-                winner = Some(key);
-            }
+        for c in &outcome.candidates {
+            row.push(if c.valid {
+                format!(
+                    "{:.4} ({:.0})",
+                    c.packing_efficiency,
+                    c.elapsed.as_secs_f64() * 1e3
+                )
+            } else {
+                "invalid".to_string()
+            });
         }
-        row.push(winner.expect("registry is non-empty").2.to_string());
+        row.push(
+            outcome
+                .candidates
+                .iter()
+                .find(|c| c.winner)
+                .map(|c| c.strategy.name().to_string())
+                .unwrap_or_else(|| "none (baseline fallback)".to_string()),
+        );
         t.push_row(row);
     }
     t

@@ -31,6 +31,7 @@ commands:
   serve       run the plan-synthesis daemon over a shared plan cache
   cache       inspect a plan cache directory (ls | gc | clear)
   strategies  list the registered plan-synthesis strategies
+  fuzz        fuzz the wire decoders and the plan server (deterministic)
   version     print tool and planner-algorithm versions";
 
 struct Command {
@@ -182,6 +183,31 @@ concurrent jobs are deduplicated to one synthesis (single-flight)",
             bool_flags: &[],
         },
         run: cmd_serve,
+    },
+    Command {
+        name: "fuzz",
+        help: "\
+usage: stalloc fuzz [flags]
+  --iters N         mutations per codec target (default 100000; the
+                    server harness runs min(N, 256) live TCP scenarios)
+  --seed N          master RNG seed (default 42) — same seed, same run,
+                    any machine
+  --target T        prof|stpl|frame|server|all (default all)
+  --corpus DIR      committed-seed corpus root (default: the corpus
+                    shipped in crates/stalloc-fuzz/corpus)
+
+replays the committed regression corpus, then fires structure-aware
+mutants at the strict decoders, checking differential oracles
+(decode→re-encode fixpoint, fingerprint-of-bytes == fingerprint-of-
+value, STPL v1/v2 interop) and malformed-stream recovery on a live
+loopback server; exits nonzero on any panic, oracle violation, or
+never-exercised rejection variant (minimized failures land in
+target/fuzz-failures/)",
+        spec: FlagSpec {
+            value_flags: &["iters", "seed", "target", "corpus"],
+            bool_flags: &[],
+        },
+        run: cmd_fuzz,
     },
     Command {
         name: "version",
@@ -651,6 +677,34 @@ fn cmd_version(_args: &Args) -> Result<(), String> {
         env!("CARGO_PKG_VERSION")
     );
     Ok(())
+}
+
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let targets = match args.get("target").unwrap_or("all") {
+        "all" => stalloc_fuzz::FuzzTarget::ALL.to_vec(),
+        name => vec![stalloc_fuzz::FuzzTarget::parse(name).ok_or_else(|| {
+            format!("unknown fuzz target '{name}' (expected prof|stpl|frame|server|all)")
+        })?],
+    };
+    let config = stalloc_fuzz::FuzzConfig {
+        iters: args.num("iters", 100_000u64)?,
+        seed: args.num("seed", 42u64)?,
+        targets,
+        corpus_dir: args.get("corpus").map(std::path::PathBuf::from),
+        failure_dir: None,
+    };
+    // Decoder panics are caught and reported; silence the per-panic
+    // stderr backtrace spam so the summary stays readable.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = stalloc_fuzz::run(&config);
+    std::panic::set_hook(default_hook);
+    println!("{}", report.summary());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err("fuzzing found failures (see summary above)".into())
+    }
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {

@@ -1,0 +1,152 @@
+//! Corpus management: committed regression seeds on disk plus runtime
+//! seeds generated from the 4-model zoo.
+//!
+//! The committed corpus lives under `crates/stalloc-fuzz/corpus/<target>/`
+//! — one hand-minimized file per decoder rejection class, named after
+//! the `CodecError`/`FrameError` variant it triggers. It is replayed
+//! *before* any mutation, so every required variant is exercised even on
+//! a 1-iteration run, and a regression found once stays covered forever.
+
+use crate::FuzzTarget;
+use stalloc_core::{profile_trace, synthesize, ProfiledRequests, StrategyChoice, SynthConfig};
+use stalloc_served::write_frame;
+use stalloc_store::{encode_plan, encode_profile};
+use std::path::{Path, PathBuf};
+use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+/// The in-repo committed corpus root (next to this crate's sources).
+pub fn default_corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+/// Committed regression seeds for `target`, sorted by file name for a
+/// deterministic replay order. Missing directories yield an empty set
+/// (the caller decides whether that is fatal).
+pub fn committed_seeds(dir: &Path, target: FuzzTarget) -> Vec<(PathBuf, Vec<u8>)> {
+    let sub = dir.join(target.dir_name());
+    let mut out = Vec::new();
+    let Ok(rd) = std::fs::read_dir(&sub) else {
+        return out;
+    };
+    for entry in rd.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "bin") {
+            if let Ok(bytes) = std::fs::read(&path) {
+                out.push((path, bytes));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// One zoo job per model family, mirroring the codec round-trip tests:
+/// GPT-2 naive, GPT-2 interleaved-VPP + recompute, Llama-2 7B +
+/// recompute, Qwen1.5 MoE expert-parallel.
+fn zoo_job(idx: u64) -> (ModelSpec, ParallelConfig, OptimConfig) {
+    match idx % 4 {
+        0 => (
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        ),
+        1 => (
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 4, 1).with_vpp(2),
+            OptimConfig::r(),
+        ),
+        2 => (
+            ModelSpec::llama2_7b(),
+            ParallelConfig::new(2, 2, 1),
+            OptimConfig::r(),
+        ),
+        _ => (
+            ModelSpec::qwen15_moe_a27b(),
+            ParallelConfig::new(1, 1, 4).with_ep(4),
+            OptimConfig::naive(),
+        ),
+    }
+}
+
+/// A profiled zoo job (seq 256, one microbatch round per pipeline stage).
+pub fn zoo_profile(idx: u64) -> ProfiledRequests {
+    let (model, parallel, optim) = zoo_job(idx);
+    let trace = TrainJob::new(model, parallel, optim)
+        .with_mbs(1)
+        .with_seq(256)
+        .with_microbatches(parallel.pp)
+        .with_iterations(1)
+        .with_seed(idx)
+        .build_trace()
+        .expect("zoo jobs build");
+    profile_trace(&trace, 1).expect("zoo jobs profile")
+}
+
+/// Runtime seed corpus for `target`, generated from the zoo: encoded
+/// profiles, encoded plans (tagged with every valid strategy index so
+/// mutation explores each tag), and framed payloads of assorted shapes.
+pub fn runtime_seeds(target: FuzzTarget) -> Vec<Vec<u8>> {
+    match target {
+        FuzzTarget::Prof => (0..4).map(|i| encode_profile(&zoo_profile(i))).collect(),
+        FuzzTarget::Stpl => (0..4)
+            .map(|i| {
+                let profile = zoo_profile(i);
+                let mut plan = synthesize(&profile, &SynthConfig::default());
+                // Retag so the committed+runtime corpus carries every
+                // valid strategy byte, not just Baseline.
+                if let Some(s) = StrategyChoice::from_index((i % 5) as u8) {
+                    plan.stats.strategy = s;
+                }
+                encode_plan(&plan)
+            })
+            .collect(),
+        FuzzTarget::Frame => {
+            let mut seeds = Vec::new();
+            for payload in [
+                &b""[..],
+                &b"{}"[..],
+                &b"{\"Ping\":null}"[..],
+                &[0xab; 300][..],
+            ] {
+                let mut buf = Vec::new();
+                write_frame(&mut buf, payload).expect("vec write");
+                seeds.push(buf);
+            }
+            // A two-frame stream: boundaries between frames are where
+            // resynchronization bugs live.
+            let mut double = Vec::new();
+            write_frame(&mut double, b"one").expect("vec write");
+            write_frame(&mut double, b"two").expect("vec write");
+            seeds.push(double);
+            seeds
+        }
+        FuzzTarget::Server => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_corpus_is_present_for_every_codec_target() {
+        let dir = default_corpus_dir();
+        for target in [FuzzTarget::Prof, FuzzTarget::Stpl, FuzzTarget::Frame] {
+            let seeds = committed_seeds(&dir, target);
+            assert!(
+                seeds.len() >= 3,
+                "{} corpus has {} seeds, need >= 3",
+                target.name(),
+                seeds.len()
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_seeds_cover_the_zoo() {
+        assert_eq!(runtime_seeds(FuzzTarget::Prof).len(), 4);
+        assert_eq!(runtime_seeds(FuzzTarget::Stpl).len(), 4);
+        assert!(runtime_seeds(FuzzTarget::Frame).len() >= 4);
+        assert!(runtime_seeds(FuzzTarget::Server).is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Branch-level coverage proxy over the strict decoders.
+//!
+//! The decoders expose their rejection taxonomy through
+//! `CodecError::variant_name()` / `context()` (and the analogous
+//! `FrameError` hooks): every typed rejection names both the error class
+//! and the field whose parse rejected the stream. A corpus that never
+//! produces one of the required classes has a blind spot, so
+//! [`crate::run`] fails when any required variant goes unexercised.
+
+use std::collections::BTreeSet;
+
+/// Which error variants and decoder branches a corpus has exercised.
+#[derive(Debug, Default)]
+pub struct CoverageLedger {
+    variants: BTreeSet<String>,
+    contexts: BTreeSet<String>,
+    ok_decodes: u64,
+}
+
+impl CoverageLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one typed rejection; `context` (when the variant carries
+    /// one) identifies the decoder branch that rejected the stream.
+    pub fn record_error(&mut self, variant: &str, context: Option<&str>) {
+        self.variants.insert(variant.to_string());
+        if let Some(c) = context {
+            self.contexts.insert(format!("{variant}:{c}"));
+        }
+    }
+
+    /// Records one successful decode (the oracles then take over).
+    pub fn record_ok(&mut self) {
+        self.ok_decodes += 1;
+    }
+
+    pub fn ok_decodes(&self) -> u64 {
+        self.ok_decodes
+    }
+
+    /// Distinct error variants seen.
+    pub fn variants(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Distinct `(variant, context)` decoder branches seen.
+    pub fn contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Whether an input producing `(variant, context)` adds coverage the
+    /// ledger does not have yet. Used to grow the mutation pool.
+    pub fn is_new(&self, variant: &str, context: Option<&str>) -> bool {
+        !self.variants.contains(variant)
+            || context.is_some_and(|c| !self.contexts.contains(&format!("{variant}:{c}")))
+    }
+
+    /// Required variants never exercised — non-empty fails the run.
+    pub fn missing(&self, required: &[&str]) -> Vec<String> {
+        required
+            .iter()
+            .filter(|v| !self.variants.contains(**v))
+            .map(|v| v.to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_tracks_required_set() {
+        let mut cov = CoverageLedger::new();
+        cov.record_error("BadMagic", None);
+        cov.record_error("Truncated", Some("magic"));
+        assert_eq!(
+            cov.missing(&["BadMagic", "Truncated", "TrailingBytes"]),
+            vec!["TrailingBytes"]
+        );
+        assert_eq!(cov.contexts(), 1);
+        assert!(cov.is_new("Truncated", Some("pool_size")));
+        assert!(!cov.is_new("Truncated", Some("magic")));
+        assert!(cov.is_new("VarintOverflow", None));
+    }
+}

@@ -1,0 +1,106 @@
+//! Byte-level input minimization for fuzz failures: ddmin-style chunk
+//! removal (halving granularity) followed by a byte-zeroing pass, all
+//! under a bounded predicate budget so minimization can never stall a
+//! run.
+
+/// Shrinks `input` while `still_fails` holds, spending at most `budget`
+/// predicate evaluations. The result fails the same predicate (the
+/// original is returned unchanged if nothing smaller fails).
+pub fn minimize_bytes<F>(input: &[u8], mut still_fails: F, budget: usize) -> Vec<u8>
+where
+    F: FnMut(&[u8]) -> bool,
+{
+    let mut cur = input.to_vec();
+    let mut attempts = 0usize;
+
+    // Phase 1: remove chunks, halving the chunk size until single bytes.
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut offset = 0;
+        while offset < cur.len() {
+            if attempts >= budget {
+                return cur;
+            }
+            let end = (offset + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - offset));
+            cand.extend_from_slice(&cur[..offset]);
+            cand.extend_from_slice(&cur[end..]);
+            attempts += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                removed_any = true;
+                // Retry the same offset: the bytes shifted down into it.
+            } else {
+                offset = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+            // Keep sweeping at byte granularity until a full clean pass.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Phase 2: canonicalize surviving bytes toward zero.
+    let mut i = 0;
+    while i < cur.len() {
+        if attempts >= budget {
+            break;
+        }
+        if cur[i] != 0 {
+            let mut cand = cur.clone();
+            cand[i] = 0;
+            attempts += 1;
+            if still_fails(&cand) {
+                cur = cand;
+            }
+        }
+        i += 1;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failure_witness() {
+        // Fails iff the bytes contain 0xAA followed somewhere by 0xBB.
+        let pred = |b: &[u8]| {
+            let a = b.iter().position(|&x| x == 0xaa);
+            match a {
+                Some(i) => b[i..].contains(&0xbb),
+                None => false,
+            }
+        };
+        let mut input = vec![0x11; 200];
+        input[50] = 0xaa;
+        input[150] = 0xbb;
+        assert!(pred(&input));
+        let min = minimize_bytes(&input, pred, 10_000);
+        assert!(pred(&min), "minimized input must still fail");
+        assert_eq!(min, vec![0xaa, 0xbb], "witness should be exactly two bytes");
+    }
+
+    #[test]
+    fn already_minimal_inputs_survive() {
+        let pred = |b: &[u8]| b == b"X";
+        assert_eq!(minimize_bytes(b"X", pred, 100), b"X");
+    }
+
+    #[test]
+    fn budget_bounds_work() {
+        let calls = std::cell::Cell::new(0usize);
+        let pred = |_: &[u8]| {
+            calls.set(calls.get() + 1);
+            true
+        };
+        let _ = minimize_bytes(&[1u8; 64], pred, 10);
+        assert!(calls.get() <= 10);
+    }
+}

@@ -1,0 +1,253 @@
+//! Differential oracles over the three strict decoders.
+//!
+//! "Never panic" is the floor; each oracle also enforces equivalences
+//! the rest of the system silently relies on:
+//!
+//! * **Fixpoint** — the codecs are canonical, so any accepted stream
+//!   must re-encode to exactly the bytes that were decoded.
+//! * **Fingerprint** — the `PROF` body *is* the fingerprint walk, so
+//!   hashing the raw body must agree with hashing the decoded value
+//!   (`fingerprint_job_body(bytes) == fingerprint_job(decoded)`); the
+//!   server's cache-hit-without-decode path depends on this.
+//! * **Version interop** — a v1 `STPL` stream is a Baseline-tagged v2
+//!   stream minus the strategy byte; downgrading must round-trip both
+//!   directions, never silently diverge.
+//!
+//! An `Err` from a check is an **oracle violation** (a bug); a typed
+//! decode error is the expected rejection path and only feeds coverage.
+
+use crate::coverage::CoverageLedger;
+use stalloc_core::{fingerprint_job, fingerprint_job_body, StrategyChoice, SynthConfig};
+use stalloc_served::{read_frame, write_frame, FrameError};
+use stalloc_store::{
+    decode_plan, decode_profile, encode_plan, encode_profile, profile_body, CodecError,
+};
+use std::io::Cursor;
+
+/// Frame cap used by the frame-layer fuzz target (small enough that the
+/// committed `Oversized` seed stays a handful of digits).
+pub const FRAME_FUZZ_MAX: usize = 1 << 20;
+
+/// `CodecError` variants the `PROF`/`STPL` corpora must exercise.
+pub const REQUIRED_CODEC_VARIANTS: &[&str] = CodecError::VARIANT_NAMES;
+
+/// `FrameError` variants the frame corpus must exercise (`Io` excluded:
+/// an in-memory cursor cannot fail).
+pub const REQUIRED_FRAME_VARIANTS: &[&str] =
+    &["BadHeader", "Oversized", "Truncated", "MissingTerminator"];
+
+/// The `(variant, context)` pair of a typed rejection — the coverage key.
+pub fn codec_error_key(e: &CodecError) -> (&'static str, Option<&'static str>) {
+    (e.variant_name(), e.context())
+}
+
+/// `PROF` oracle: typed rejection, or fixpoint + fingerprint agreement.
+pub fn check_prof(bytes: &[u8], cov: &mut CoverageLedger) -> Result<(), String> {
+    match decode_profile(bytes) {
+        Err(e) => {
+            let (v, c) = codec_error_key(&e);
+            cov.record_error(v, c);
+            Ok(())
+        }
+        Ok(p) => {
+            cov.record_ok();
+            let re = encode_profile(&p);
+            if re != bytes {
+                return Err(format!(
+                    "PROF decode→re-encode is not a fixpoint ({} bytes in, {} out)",
+                    bytes.len(),
+                    re.len()
+                ));
+            }
+            let body = profile_body(bytes)
+                .map_err(|e| format!("profile_body rejected a decodable stream: {e}"))?;
+            let config = SynthConfig::default();
+            let by_body = fingerprint_job_body(body, &config);
+            let by_value = fingerprint_job(&p, &config);
+            if by_body != by_value {
+                return Err(format!(
+                    "fingerprint divergence: raw body {} vs decoded walk {}",
+                    by_body.to_hex(),
+                    by_value.to_hex()
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `STPL` oracle: typed rejection, or fixpoint (v2) / downgrade
+/// round-trip (v1), plus the v2→v1 differential on Baseline plans.
+pub fn check_stpl(bytes: &[u8], cov: &mut CoverageLedger) -> Result<(), String> {
+    match decode_plan(bytes) {
+        Err(e) => {
+            let (v, c) = codec_error_key(&e);
+            cov.record_error(v, c);
+            Ok(())
+        }
+        Ok(plan) => {
+            cov.record_ok();
+            let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+            let v2 = encode_plan(&plan);
+            match version {
+                2 => {
+                    if v2 != bytes {
+                        return Err(format!(
+                            "STPL v2 decode→re-encode is not a fixpoint ({} bytes in, {} out)",
+                            bytes.len(),
+                            v2.len()
+                        ));
+                    }
+                }
+                1 => {
+                    if plan.stats.strategy != StrategyChoice::Baseline {
+                        return Err(format!(
+                            "v1 stream decoded to strategy {:?}, not Baseline",
+                            plan.stats.strategy
+                        ));
+                    }
+                    let down = downgrade_to_v1(&v2)
+                        .ok_or("could not re-derive the v1 form of a decoded v1 stream")?;
+                    if down != bytes {
+                        return Err("v1 stream != downgrade(re-encode(decode(v1)))".into());
+                    }
+                }
+                other => return Err(format!("decoder accepted unknown version {other}")),
+            }
+            // Differential: any valid Baseline v2 stream must survive the
+            // v1 downgrade and decode to the identical plan.
+            if version == 2 && plan.stats.strategy == StrategyChoice::Baseline {
+                let v1 = downgrade_to_v1(bytes)
+                    .ok_or("could not derive the v1 form of a valid v2 stream")?;
+                match decode_plan(&v1) {
+                    Ok(p1) if p1 == plan => {}
+                    Ok(_) => return Err("v1 downgrade decodes to a different plan".into()),
+                    Err(e) => {
+                        return Err(format!("v1 downgrade of a valid v2 stream rejected: {e}"))
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// v2 `STPL` stream → its v1 form: drop the strategy varint (the field
+/// v1 predates, right after `pool_size`) and rewind the header version.
+/// Returns `None` if the stream is too short or a varint never
+/// terminates (only possible on undecodable input).
+pub fn downgrade_to_v1(v2: &[u8]) -> Option<Vec<u8>> {
+    if v2.len() < 7 {
+        return None;
+    }
+    let skip_varint = |mut pos: usize| -> Option<usize> {
+        loop {
+            let b = *v2.get(pos)?;
+            pos += 1;
+            if b & 0x80 == 0 {
+                return Some(pos);
+            }
+        }
+    };
+    let strat_start = skip_varint(6)?; // past magic+version+pool_size
+    let strat_end = skip_varint(strat_start)?;
+    let mut out = Vec::with_capacity(v2.len() - (strat_end - strat_start) + 1);
+    out.extend_from_slice(&v2[..4]);
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&v2[6..strat_start]);
+    out.extend_from_slice(&v2[strat_end..]);
+    Some(out)
+}
+
+/// Frame oracle: typed rejection, or the consumed prefix re-frames to
+/// exactly itself (leading-zero headers are rejected upstream precisely
+/// so this holds).
+pub fn check_frame(bytes: &[u8], cov: &mut CoverageLedger) -> Result<(), String> {
+    let mut cur = Cursor::new(bytes);
+    match read_frame(&mut cur, FRAME_FUZZ_MAX) {
+        Ok(None) => {
+            // Clean EOF at a frame boundary (only the empty stream).
+            cov.record_ok();
+            Ok(())
+        }
+        Ok(Some(payload)) => {
+            cov.record_ok();
+            let consumed = cur.position() as usize;
+            let mut re = Vec::new();
+            write_frame(&mut re, &payload).map_err(|e| format!("re-framing failed: {e}"))?;
+            if re != bytes[..consumed] {
+                return Err(format!(
+                    "frame decode→re-encode is not a fixpoint ({} bytes consumed, {} re-framed)",
+                    consumed,
+                    re.len()
+                ));
+            }
+            Ok(())
+        }
+        Err(e) => {
+            if matches!(e, FrameError::Io(_)) {
+                return Err(format!("in-memory cursor produced an i/o error: {e}"));
+            }
+            cov.record_error(e.variant_name(), None);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stalloc_core::{profile_trace, synthesize};
+    use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
+
+    fn sample_profile() -> stalloc_core::ProfiledRequests {
+        let trace = TrainJob::new(
+            ModelSpec::gpt2_345m(),
+            ParallelConfig::new(1, 2, 1),
+            OptimConfig::naive(),
+        )
+        .with_mbs(1)
+        .with_seq(128)
+        .with_microbatches(2)
+        .with_iterations(1)
+        .build_trace()
+        .unwrap();
+        profile_trace(&trace, 1).unwrap()
+    }
+
+    #[test]
+    fn valid_artifacts_pass_every_oracle() {
+        let profile = sample_profile();
+        let plan = synthesize(&profile, &SynthConfig::default());
+        let mut cov = CoverageLedger::new();
+        check_prof(&encode_profile(&profile), &mut cov).unwrap();
+        check_stpl(&encode_plan(&plan), &mut cov).unwrap();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"{\"Ping\":null}").unwrap();
+        check_frame(&framed, &mut cov).unwrap();
+        assert_eq!(cov.ok_decodes(), 3);
+    }
+
+    #[test]
+    fn downgrade_round_trips_through_the_decoder() {
+        let profile = sample_profile();
+        let plan = synthesize(&profile, &SynthConfig::default());
+        assert_eq!(plan.stats.strategy, StrategyChoice::Baseline);
+        let v2 = encode_plan(&plan);
+        let v1 = downgrade_to_v1(&v2).unwrap();
+        assert_eq!(v1.len(), v2.len() - 1, "strategy byte dropped");
+        assert_eq!(decode_plan(&v1).unwrap(), plan);
+        // And the oracle accepts the v1 form directly.
+        let mut cov = CoverageLedger::new();
+        check_stpl(&v1, &mut cov).unwrap();
+    }
+
+    #[test]
+    fn rejections_feed_coverage_not_violations() {
+        let mut cov = CoverageLedger::new();
+        check_prof(b"JUNK", &mut cov).unwrap();
+        check_stpl(b"STPL\x03\x00", &mut cov).unwrap();
+        check_frame(b"hello\n", &mut cov).unwrap();
+        assert_eq!(cov.variants(), 3);
+    }
+}

@@ -1,0 +1,349 @@
+//! Loopback server harness: fires mutated request streams at a live
+//! `PlanServer` and checks *recovery*, not just rejection — a worker
+//! that rejects a malformed frame must answer the next well-formed
+//! request correctly, on a fresh connection (frame-level corruption
+//! closes the stream) or on the same one (request-level corruption keeps
+//! it open).
+
+use crate::mutate::Mutator;
+use rand::{Rng, SeedableRng, StdRng};
+use stalloc_core::wire::{PlanEncoding, PlanRequest, PlanResponse, WireErrorKind};
+use stalloc_core::{fingerprint_job, SynthConfig};
+use stalloc_served::{read_frame, write_frame, PlanServer, ServeConfig};
+use stalloc_store::encode_profile;
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Response shapes the harness must observe for full coverage: liveness,
+/// real planning, and each typed rejection class the server can emit at
+/// this trust boundary.
+pub const REQUIRED_RESPONSES: &[&str] = &[
+    "Pong",
+    "Plan",
+    "Error:BadFrame",
+    "Error:Oversized",
+    "Error:BadRequest",
+];
+
+/// Per-request cap the harness server runs with (small, so an oversized
+/// probe is cheap to express).
+const HARNESS_MAX_FRAME: usize = 1 << 20;
+
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+pub struct ServerFuzzOutcome {
+    pub executed: u64,
+    pub violations: Vec<String>,
+    pub missing: Vec<String>,
+}
+
+/// Runs the loopback harness for `iters` scenarios (capped at 256 — each
+/// is a real TCP round trip). Deterministic for a given seed.
+pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
+    let handle = match PlanServer::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+        max_frame: HARNESS_MAX_FRAME,
+        store_dir: None,
+        lru_capacity: 16,
+        poll_tick: Duration::from_millis(10),
+        idle_timeout: Duration::from_secs(10),
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            return ServerFuzzOutcome {
+                executed: 0,
+                violations: vec![format!("server failed to start: {e}")],
+                missing: REQUIRED_RESPONSES.iter().map(|s| s.to_string()).collect(),
+            }
+        }
+    };
+    let addr = handle.addr();
+
+    // One tiny job, synthesized once server-side then a cache hit.
+    let profile = crate::corpus::zoo_profile(0);
+    let config = SynthConfig::default();
+    let expected_fp = fingerprint_job(&profile, &config).to_hex();
+    let prof_bytes = encode_profile(&profile);
+    let plan_req = serde_json::to_string(&PlanRequest::Plan {
+        profile: profile.clone(),
+        config,
+        encoding: Some(PlanEncoding::Json),
+    })
+    .expect("request serializes")
+    .into_bytes();
+    let mut framed_plan_req = Vec::new();
+    write_frame(&mut framed_plan_req, &plan_req).expect("vec write");
+
+    let n = iters.clamp(1, 256);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e4e_5e4e);
+    let mut mutator = Mutator::new(seed ^ 0x00ba_df00);
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut violations = Vec::new();
+
+    for i in 0..n {
+        let scenario = rng.gen_range(0u32..6);
+        let result = match scenario {
+            0 => garbage_then_recover(addr, &mut mutator, &framed_plan_req, &mut seen),
+            1 => bad_payload_is_typed(addr, &mut seen),
+            2 => oversized_header_is_typed(addr, &mut seen),
+            3 => corrupt_profile_keeps_connection(addr, &prof_bytes, &config, &mut seen),
+            4 => valid_plan_request(addr, &plan_req, &expected_fp, &mut seen),
+            _ => valid_profile_bin(addr, &prof_bytes, &config, &expected_fp, &mut seen),
+        };
+        if let Err(v) = result {
+            violations.push(format!("iter {i} scenario {scenario}: {v}"));
+            if violations.len() >= 8 {
+                break;
+            }
+        }
+    }
+
+    handle.shutdown();
+    let missing = REQUIRED_RESPONSES
+        .iter()
+        .filter(|r| !seen.contains(**r))
+        .map(|r| r.to_string())
+        .collect();
+    ServerFuzzOutcome {
+        executed: n,
+        violations,
+        missing,
+    }
+}
+
+fn connect(addr: SocketAddr) -> Result<TcpStream, String> {
+    let s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    s.set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    Ok(s)
+}
+
+fn read_response(s: &mut TcpStream) -> Result<Option<PlanResponse>, String> {
+    match read_frame(s, HARNESS_MAX_FRAME) {
+        Ok(Some(payload)) => {
+            let text = std::str::from_utf8(&payload).map_err(|e| e.to_string())?;
+            let resp: PlanResponse =
+                serde_json::from_str(text).map_err(|e| format!("unparseable response: {e}"))?;
+            Ok(Some(resp))
+        }
+        Ok(None) => Ok(None),
+        Err(e) => Err(format!("reading response: {e}")),
+    }
+}
+
+fn record(seen: &mut BTreeSet<String>, resp: &PlanResponse) {
+    let label = match resp {
+        PlanResponse::Pong => "Pong".to_string(),
+        PlanResponse::Plan { .. } => "Plan".to_string(),
+        PlanResponse::PlanBin { .. } => "PlanBin".to_string(),
+        PlanResponse::NotFound { .. } => "NotFound".to_string(),
+        PlanResponse::Stats { .. } => "Stats".to_string(),
+        PlanResponse::Error { kind, .. } => format!("Error:{kind:?}"),
+    };
+    seen.insert(label);
+}
+
+fn ping(s: &mut TcpStream, seen: &mut BTreeSet<String>) -> Result<(), String> {
+    let payload = serde_json::to_string(&PlanRequest::Ping)
+        .expect("ping serializes")
+        .into_bytes();
+    write_frame(s, &payload).map_err(|e| format!("sending ping: {e}"))?;
+    match read_response(s)? {
+        Some(PlanResponse::Pong) => {
+            seen.insert("Pong".into());
+            Ok(())
+        }
+        Some(other) => Err(format!("ping answered with {other:?}")),
+        None => Err("connection closed instead of Pong".into()),
+    }
+}
+
+/// Scenario: a mutated request stream. Any typed error, valid response,
+/// or connection drop is acceptable *for this connection* — the oracle
+/// is that a fresh connection immediately after must serve Ping.
+fn garbage_then_recover(
+    addr: SocketAddr,
+    mutator: &mut Mutator,
+    framed_req: &[u8],
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let garbage = mutator.mutate(framed_req);
+    if let Ok(mut s) = connect(addr) {
+        let _ = s.write_all(&garbage);
+        let _ = s.shutdown(Shutdown::Write);
+        // Best-effort read: the server may answer typed, or the close
+        // may race the response away (RST after unread input). Either
+        // way the stream is done; what matters is recovery below.
+        if let Ok(Some(resp)) = read_response(&mut s) {
+            record(seen, &resp);
+        }
+    }
+    let mut fresh = connect(addr)?;
+    ping(&mut fresh, seen)
+        .map_err(|e| format!("worker did not recover after a malformed stream: {e}"))
+}
+
+/// Scenario: a well-formed frame whose payload is not a request. The
+/// server consumes the whole frame, so the typed `BadFrame` answer is
+/// deterministic; the connection then closes (stream unsynchronized).
+fn bad_payload_is_typed(addr: SocketAddr, seen: &mut BTreeSet<String>) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    write_frame(&mut s, b"this is not a request").map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(
+            resp @ PlanResponse::Error {
+                kind: WireErrorKind::BadFrame,
+                ..
+            },
+        ) => {
+            record(seen, &resp);
+        }
+        other => return Err(format!("expected BadFrame error, got {other:?}")),
+    }
+    // The stream must be closed now.
+    match read_response(&mut s) {
+        Ok(None) | Err(_) => {}
+        Ok(Some(r)) => return Err(format!("connection stayed open after BadFrame: {r:?}")),
+    }
+    let mut fresh = connect(addr)?;
+    ping(&mut fresh, seen)
+}
+
+/// Scenario: a header declaring more than the server's frame cap. The
+/// server rejects before reading the payload — sending *only* the header
+/// keeps the socket drained, so the typed answer is deterministic.
+fn oversized_header_is_typed(addr: SocketAddr, seen: &mut BTreeSet<String>) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    s.write_all(format!("{}\n", HARNESS_MAX_FRAME + 1).as_bytes())
+        .map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(
+            resp @ PlanResponse::Error {
+                kind: WireErrorKind::Oversized,
+                ..
+            },
+        ) => {
+            record(seen, &resp);
+        }
+        other => return Err(format!("expected Oversized error, got {other:?}")),
+    }
+    let mut fresh = connect(addr)?;
+    ping(&mut fresh, seen)
+}
+
+/// Scenario: a `ProfileBin` header whose follow-up frame is a corrupt
+/// `PROF` stream. This is *request*-level corruption — framing stayed
+/// intact — so the typed answer is `BadRequest` and the **same**
+/// connection must serve the next request.
+fn corrupt_profile_keeps_connection(
+    addr: SocketAddr,
+    prof_bytes: &[u8],
+    config: &SynthConfig,
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let mut corrupt = prof_bytes.to_vec();
+    corrupt[4] = 0xff; // version 0xff__: UnsupportedVersion, guaranteed
+    let header = serde_json::to_string(&PlanRequest::ProfileBin {
+        config: *config,
+        encoding: Some(PlanEncoding::Json),
+        bytes: corrupt.len() as u64,
+    })
+    .expect("header serializes")
+    .into_bytes();
+
+    let mut s = connect(addr)?;
+    write_frame(&mut s, &header).map_err(|e| e.to_string())?;
+    write_frame(&mut s, &corrupt).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(
+            resp @ PlanResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                ..
+            },
+        ) => {
+            record(seen, &resp);
+        }
+        other => return Err(format!("expected BadRequest error, got {other:?}")),
+    }
+    // In-connection recovery: same socket, next request answers.
+    ping(&mut s, seen).map_err(|e| format!("connection did not survive a BadRequest: {e}"))
+}
+
+/// Scenario: a valid JSON `Plan` request; the response fingerprint must
+/// match the locally computed one (the client-side trust check).
+fn valid_plan_request(
+    addr: SocketAddr,
+    plan_req: &[u8],
+    expected_fp: &str,
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    write_frame(&mut s, plan_req).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Plan { .. }) => {
+            if let PlanResponse::Plan { fingerprint, .. } = &resp {
+                if fingerprint != expected_fp {
+                    return Err(format!(
+                        "fingerprint mismatch: server {fingerprint}, local {expected_fp}"
+                    ));
+                }
+            }
+            record(seen, &resp);
+            Ok(())
+        }
+        other => Err(format!("expected Plan response, got {other:?}")),
+    }
+}
+
+/// Scenario: the same job over the binary profile path.
+fn valid_profile_bin(
+    addr: SocketAddr,
+    prof_bytes: &[u8],
+    config: &SynthConfig,
+    expected_fp: &str,
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let header = serde_json::to_string(&PlanRequest::ProfileBin {
+        config: *config,
+        encoding: Some(PlanEncoding::Json),
+        bytes: prof_bytes.len() as u64,
+    })
+    .expect("header serializes")
+    .into_bytes();
+    let mut s = connect(addr)?;
+    write_frame(&mut s, &header).map_err(|e| e.to_string())?;
+    write_frame(&mut s, prof_bytes).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Plan { .. }) => {
+            if let PlanResponse::Plan { fingerprint, .. } = &resp {
+                if fingerprint != expected_fp {
+                    return Err(format!(
+                        "fingerprint mismatch over binary path: server {fingerprint}, local {expected_fp}"
+                    ));
+                }
+            }
+            record(seen, &resp);
+            Ok(())
+        }
+        other => Err(format!("expected Plan response, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_harness_passes_with_full_coverage() {
+        let outcome = fuzz_server(48, 7);
+        assert_eq!(outcome.violations, Vec::<String>::new());
+        assert_eq!(outcome.missing, Vec::<String>::new());
+        assert_eq!(outcome.executed, 48);
+    }
+}

@@ -52,6 +52,30 @@ pub enum FrameError {
     MissingTerminator,
 }
 
+impl FrameError {
+    /// Every variant name, in declaration order. The fuzz harness uses
+    /// this as the coverage checklist for the frame decoder (`Io` is
+    /// excluded from required coverage — a `Cursor` never errors).
+    pub const VARIANT_NAMES: &'static [&'static str] = &[
+        "Io",
+        "BadHeader",
+        "Oversized",
+        "Truncated",
+        "MissingTerminator",
+    ];
+
+    /// This error's variant name (an element of [`Self::VARIANT_NAMES`]).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            FrameError::Io(_) => "Io",
+            FrameError::BadHeader(_) => "BadHeader",
+            FrameError::Oversized { .. } => "Oversized",
+            FrameError::Truncated { .. } => "Truncated",
+            FrameError::MissingTerminator => "MissingTerminator",
+        }
+    }
+}
+
 impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -131,6 +155,14 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, Fra
     if header.is_empty() {
         return Err(FrameError::BadHeader("empty length header".into()));
     }
+    // Canonical headers only: `write_frame` never emits leading zeros, and
+    // accepting them would make two distinct byte streams decode to the
+    // same frame (breaking the decode→re-encode fixpoint the fuzzer checks).
+    if header.len() > 1 && header[0] == b'0' {
+        return Err(FrameError::BadHeader(
+            "leading zero in length header".into(),
+        ));
+    }
     let declared: usize = std::str::from_utf8(&header)
         .ok()
         .and_then(|s| s.parse().ok())
@@ -208,6 +240,29 @@ mod tests {
         assert!(matches!(e, FrameError::BadHeader(_)), "eof in header: {e}");
         let e = read_frame(&mut Cursor::new(b"999999999999999999999\n".to_vec()), 64).unwrap_err();
         assert!(matches!(e, FrameError::BadHeader(_)), "{e}");
+    }
+
+    #[test]
+    fn leading_zero_headers_are_rejected() {
+        let e = read_frame(&mut Cursor::new(b"01\nX\n".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::BadHeader(_)), "{e}");
+        let e = read_frame(&mut Cursor::new(b"007\npayload\n".to_vec()), 64).unwrap_err();
+        assert!(matches!(e, FrameError::BadHeader(_)), "{e}");
+        // A bare "0" is the canonical empty frame and stays valid.
+        assert_eq!(
+            read_frame(&mut Cursor::new(b"0\n\n".to_vec()), 64)
+                .unwrap()
+                .unwrap(),
+            b""
+        );
+    }
+
+    #[test]
+    fn variant_names_cover_all_errors() {
+        let e = read_frame(&mut Cursor::new(b"x\n".to_vec()), 64).unwrap_err();
+        assert_eq!(e.variant_name(), "BadHeader");
+        assert!(FrameError::VARIANT_NAMES.contains(&e.variant_name()));
+        assert_eq!(FrameError::VARIANT_NAMES.len(), 5);
     }
 
     #[test]

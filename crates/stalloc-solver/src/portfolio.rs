@@ -117,10 +117,75 @@ impl Portfolio {
     /// name)` triple wins. Fragmentation is `pool − peak static demand`;
     /// since every candidate plans the same profile, the peak is shared
     /// and the name is the only true tiebreaker for equal pools.
+    ///
+    /// Without a budget the race runs on **scoped** threads that borrow
+    /// the caller's profile directly — no clone, however large the job.
+    /// Only a budgeted run clones (once, behind an `Arc`): abandoned
+    /// stragglers may outlive this call, so they cannot borrow from it.
     pub fn run(&self, profile: &ProfiledRequests, config: &SynthConfig) -> PortfolioOutcome {
+        let results = match self.time_budget {
+            None => self.race_borrowed(profile, config),
+            Some(budget) => self.race_budgeted(profile, config, budget),
+        };
+        self.select(profile, config, results)
+    }
+
+    /// The unbudgeted race: every worker borrows `profile` from the
+    /// caller's stack frame; the scope joins them all before returning,
+    /// which is exactly the "wait for every candidate" semantics.
+    fn race_borrowed(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Vec<RaceResult> {
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<RaceResult>();
+            for (slot, strategy) in self.strategies.iter().enumerate() {
+                let worker_tx = tx.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("stalloc-solve-{}", strategy.name()))
+                    .spawn_scoped(scope, move || {
+                        let started = Instant::now();
+                        // A panicking strategy must neither poison the
+                        // race nor leave the collector waiting.
+                        let plan =
+                            catch_unwind(AssertUnwindSafe(|| strategy.plan(profile, config))).ok();
+                        let _ = worker_tx.send(RaceResult {
+                            slot,
+                            plan,
+                            elapsed: started.elapsed(),
+                        });
+                    });
+                if spawned.is_err() {
+                    // Spawn failure (thread exhaustion): run inline so
+                    // the race still sees this candidate.
+                    let started = Instant::now();
+                    let plan =
+                        catch_unwind(AssertUnwindSafe(|| strategy.plan(profile, config))).ok();
+                    let _ = tx.send(RaceResult {
+                        slot,
+                        plan,
+                        elapsed: started.elapsed(),
+                    });
+                }
+            }
+            drop(tx);
+            let mut out = Vec::with_capacity(self.strategies.len());
+            while let Ok(r) = rx.recv() {
+                out.push(r);
+            }
+            out
+        })
+    }
+
+    /// The budgeted race: workers get an `Arc` of a one-time clone so
+    /// stragglers abandoned at the deadline stay memory-safe; their
+    /// sends land in a closed channel and the clone dies with the last
+    /// straggler.
+    fn race_budgeted(
+        &self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+        budget: Duration,
+    ) -> Vec<RaceResult> {
         let profile = Arc::new(profile.clone());
         let (tx, rx) = mpsc::channel::<RaceResult>();
-        let mut workers = Vec::with_capacity(self.strategies.len());
         for (slot, strategy) in self.strategies.iter().enumerate() {
             let worker = Arc::clone(strategy);
             let worker_profile = Arc::clone(&profile);
@@ -130,8 +195,6 @@ impl Portfolio {
                 .name(format!("stalloc-solve-{}", worker.name()))
                 .spawn(move || {
                     let started = Instant::now();
-                    // A panicking strategy must neither poison the race
-                    // nor leave the collector waiting for a result.
                     let plan = catch_unwind(AssertUnwindSafe(|| {
                         worker.plan(&worker_profile, &worker_config)
                     }))
@@ -142,35 +205,27 @@ impl Portfolio {
                         elapsed: started.elapsed(),
                     });
                 });
-            match spawned {
-                Ok(h) => workers.push(h),
-                Err(_) => {
-                    // Spawn failure (thread exhaustion): run inline so
-                    // the race still sees this candidate.
-                    let started = Instant::now();
-                    let plan =
-                        catch_unwind(AssertUnwindSafe(|| strategy.plan(&profile, config))).ok();
-                    let _ = tx.send(RaceResult {
-                        slot,
-                        plan,
-                        elapsed: started.elapsed(),
-                    });
-                }
+            if spawned.is_err() {
+                let started = Instant::now();
+                let plan = catch_unwind(AssertUnwindSafe(|| strategy.plan(&profile, config))).ok();
+                let _ = tx.send(RaceResult {
+                    slot,
+                    plan,
+                    elapsed: started.elapsed(),
+                });
             }
         }
         drop(tx);
+        self.collect(rx, budget)
+    }
 
-        let mut results = self.collect(rx);
-        // Stragglers past the deadline are abandoned, not joined: their
-        // send lands in a closed channel. Without a budget every worker
-        // has already sent, so joining is instant and keeps thread
-        // accounting tidy.
-        if self.time_budget.is_none() {
-            for w in workers {
-                let _ = w.join();
-            }
-        }
-
+    /// Validates candidates and picks the winner.
+    fn select(
+        &self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+        mut results: Vec<RaceResult>,
+    ) -> PortfolioOutcome {
         // Deterministic selection, independent of arrival order. The
         // winner is remembered by candidate index, so two strategies
         // reporting the same `StrategyChoice` can never both be flagged.
@@ -218,7 +273,7 @@ impl Portfolio {
             // implementation and must not be racy. Normalized to the
             // baseline strategy: synthesize() asserts the pairing.
             None => stalloc_core::synthesize(
-                &profile,
+                profile,
                 &SynthConfig {
                     strategy: StrategyChoice::Baseline,
                     ..*config
@@ -228,40 +283,28 @@ impl Portfolio {
         PortfolioOutcome { winner, candidates }
     }
 
-    /// Collects race results: all of them without a budget; with one,
-    /// whatever arrives before the deadline (but always ≥ 1 result).
-    fn collect(&self, rx: mpsc::Receiver<RaceResult>) -> Vec<RaceResult> {
+    /// Collects whatever arrives before the deadline (but always ≥ 1
+    /// result, so a budget can degrade quality, never soundness).
+    fn collect(&self, rx: mpsc::Receiver<RaceResult>, budget: Duration) -> Vec<RaceResult> {
         let expected = self.strategies.len();
         let mut out = Vec::with_capacity(expected);
-        match self.time_budget {
-            None => {
-                while out.len() < expected {
-                    match rx.recv() {
-                        Ok(r) => out.push(r),
-                        Err(_) => break, // all senders gone
-                    }
-                }
+        let deadline = Instant::now() + budget;
+        while out.len() < expected {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
             }
-            Some(budget) => {
-                let deadline = Instant::now() + budget;
-                while out.len() < expected {
-                    let left = deadline.saturating_duration_since(Instant::now());
-                    if left.is_zero() {
-                        break;
-                    }
-                    match rx.recv_timeout(left) {
-                        Ok(r) => out.push(r),
-                        Err(mpsc::RecvTimeoutError::Timeout) => break,
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-                if out.is_empty() {
-                    // Never return empty-handed while a worker is still
-                    // coming: one synthesis is the price of soundness.
-                    if let Ok(r) = rx.recv() {
-                        out.push(r);
-                    }
-                }
+            match rx.recv_timeout(left) {
+                Ok(r) => out.push(r),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if out.is_empty() {
+            // Never return empty-handed while a worker is still
+            // coming: one synthesis is the price of soundness.
+            if let Ok(r) = rx.recv() {
+                out.push(r);
             }
         }
         out
@@ -368,6 +411,61 @@ mod tests {
         assert!(outcome.candidates[1].winner);
         assert_eq!(outcome.winner.stats.strategy, StrategyChoice::BestFit);
         outcome.winner.validate().unwrap();
+    }
+
+    /// Remembers the address of the profile it was handed.
+    struct PointerProbe {
+        seen: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Strategy for PointerProbe {
+        fn choice(&self) -> StrategyChoice {
+            StrategyChoice::BestFit
+        }
+
+        fn description(&self) -> &'static str {
+            "records its profile's address (test double)"
+        }
+
+        fn plan(&self, p: &ProfiledRequests, c: &SynthConfig) -> Plan {
+            self.seen
+                .store(p as *const _ as usize, std::sync::atomic::Ordering::SeqCst);
+            strategy_for(StrategyChoice::BestFit).unwrap().plan(p, c)
+        }
+    }
+
+    #[test]
+    fn unbudgeted_run_borrows_the_callers_profile() {
+        let p = profile();
+        let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let probe = Portfolio::new(vec![Box::new(PointerProbe {
+            seen: Arc::clone(&seen),
+        })]);
+        let outcome = probe.run(&p, &SynthConfig::default());
+        outcome.winner.validate().unwrap();
+        assert_eq!(
+            seen.load(std::sync::atomic::Ordering::SeqCst),
+            &p as *const _ as usize,
+            "unbudgeted race must borrow the caller's profile, not plan a clone"
+        );
+    }
+
+    #[test]
+    fn budgeted_run_plans_a_clone_so_stragglers_stay_safe() {
+        let p = profile();
+        let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let probe = Portfolio::new(vec![Box::new(PointerProbe {
+            seen: Arc::clone(&seen),
+        })])
+        .with_time_budget(Duration::from_secs(120));
+        let outcome = probe.run(&p, &SynthConfig::default());
+        outcome.winner.validate().unwrap();
+        let addr = seen.load(std::sync::atomic::Ordering::SeqCst);
+        assert_ne!(addr, 0, "the probe must have run");
+        assert_ne!(
+            addr, &p as *const _ as usize,
+            "budgeted race must hand workers an owned clone, never a stack borrow"
+        );
     }
 
     #[test]

@@ -202,6 +202,49 @@ pub enum CodecError {
     },
 }
 
+impl CodecError {
+    /// Every variant name, in declaration order. Fuzzing harnesses use
+    /// this as the coverage checklist: a corpus that never produces one
+    /// of these rejections has a blind spot.
+    pub const VARIANT_NAMES: &'static [&'static str] = &[
+        "BadMagic",
+        "UnsupportedVersion",
+        "Truncated",
+        "VarintOverflow",
+        "NonCanonicalVarint",
+        "IntOutOfRange",
+        "LengthOverflow",
+        "TrailingBytes",
+    ];
+
+    /// This error's variant name (an element of [`Self::VARIANT_NAMES`]).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            CodecError::BadMagic => "BadMagic",
+            CodecError::UnsupportedVersion(_) => "UnsupportedVersion",
+            CodecError::Truncated { .. } => "Truncated",
+            CodecError::VarintOverflow { .. } => "VarintOverflow",
+            CodecError::NonCanonicalVarint { .. } => "NonCanonicalVarint",
+            CodecError::IntOutOfRange { .. } => "IntOutOfRange",
+            CodecError::LengthOverflow { .. } => "LengthOverflow",
+            CodecError::TrailingBytes { .. } => "TrailingBytes",
+        }
+    }
+
+    /// The decoder-context label carried by the variant, if any. Each
+    /// label names the field whose parse rejected the stream, so the set
+    /// of labels a corpus has produced doubles as a branch-level
+    /// coverage proxy over the decoders.
+    pub fn context(&self) -> Option<&'static str> {
+        match self {
+            CodecError::Truncated { context, .. }
+            | CodecError::IntOutOfRange { context }
+            | CodecError::LengthOverflow { context, .. } => Some(context),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

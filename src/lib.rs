@@ -3,6 +3,7 @@ pub use allocators;
 pub use gpu_sim;
 pub use harness;
 pub use stalloc_core;
+pub use stalloc_fuzz;
 pub use stalloc_served;
 pub use stalloc_solver;
 pub use stalloc_store;

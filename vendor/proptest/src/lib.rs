@@ -3,12 +3,15 @@
 //! strategies, `prop::collection::vec`, `prop::bool::ANY`, and the
 //! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
 //!
-//! Semantics differ from real proptest in two deliberate ways:
+//! Semantics differ from real proptest in one deliberate way: the case
+//! stream is **deterministic** — each test's seeds derive from the test
+//! name, so any failure reproduces bit-for-bit on the next run.
 //!
-//! * **Deterministic**: each test's case stream is seeded from the test
-//!   name, so failures reproduce without a persistence file.
-//! * **No shrinking**: a failing case reports its inputs (via the
-//!   assertion message) but is not minimized.
+//! Like real proptest, the stub **shrinks** failing inputs (binary-search
+//! style, toward each strategy's minimal value — see
+//! [`Strategy::shrink`]) and **persists** failing seeds to a regression
+//! file that is replayed before fresh cases on the next run (see
+//! [`run_property`]).
 //!
 //! The number of cases per test defaults to [`DEFAULT_CASES`] and can be
 //! overridden with the `PROPTEST_CASES` environment variable — keep it
@@ -16,9 +19,13 @@
 
 use rand::{Rng, RngCore, SeedableRng, StdRng};
 use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
 
 /// Default number of cases per property (override with `PROPTEST_CASES`).
 pub const DEFAULT_CASES: u32 = 24;
+
+/// Upper bound on predicate evaluations spent minimizing one failure.
+const MAX_SHRINK_ATTEMPTS: u32 = 4096;
 
 /// Per-test deterministic RNG handed to strategies.
 pub struct TestRng(StdRng);
@@ -42,6 +49,15 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Candidate *simpler* values derived from a failing `value`,
+        /// ordered most-aggressive first (the driver keeps the first
+        /// candidate that still fails and iterates — a binary search
+        /// toward the strategy's minimal value). The default is no
+        /// candidates, i.e. the value is already minimal.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -51,6 +67,10 @@ pub mod strategy {
     }
 
     /// Strategy adapter produced by [`Strategy::prop_map`].
+    ///
+    /// `Map` does not shrink: the mapping closure cannot be inverted, so
+    /// there is no way to turn a failing output back into an input to
+    /// minimize. Shrinking resumes at the surrounding tuple/vec level.
     pub struct Map<S, F> {
         pub(crate) inner: S,
         pub(crate) f: F,
@@ -82,10 +102,40 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> S::Value {
             (**self).generate(rng)
         }
+
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            (**self).shrink(value)
+        }
+    }
+
+    /// Zero-argument properties get the unit strategy.
+    impl Strategy for () {
+        type Value = ();
+
+        fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
     }
 }
 
 use strategy::Strategy;
+
+/// Shrink candidates for an integer known to fail at `v`, expressed in
+/// `i128` so one routine serves every integer width: the range start
+/// (minimal), the midpoint (binary search), and `v - 1` (last resort).
+fn shrink_int(start: i128, v: i128) -> Vec<i128> {
+    if v <= start {
+        return Vec::new();
+    }
+    let mut out = vec![start];
+    let mid = start + (v - start) / 2;
+    if mid != start && mid != v {
+        out.push(mid);
+    }
+    let prev = v - 1;
+    if prev != start && prev != mid {
+        out.push(prev);
+    }
+    out
+}
 
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
@@ -94,11 +144,23 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.0.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.0.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
             }
         }
     )*};
@@ -106,24 +168,38 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
-    ($(($($s:ident),+))*) => {$(
-        #[allow(non_snake_case)]
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($s,)+) = self;
-                ($($s.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out: Vec<Self::Value> = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink(&value.$idx) {
+                        let mut cand = value.clone();
+                        cand.$idx = smaller;
+                        out.push(cand);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 impl_tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
 }
 
 pub mod collection {
@@ -142,13 +218,47 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = self.size.end - self.size.start;
             let len = self.size.start + rng.gen_index(span);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.size.start;
+            let len = value.len();
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Structural shrinks first (largest reduction): keep one half,
+            // respecting the minimum length.
+            if len > min {
+                let keep = len.div_ceil(2).max(min);
+                if keep < len {
+                    out.push(value[..keep].to_vec());
+                    out.push(value[len - keep..].to_vec());
+                }
+                // Then remove single elements (len > min already
+                // guarantees len - 1 stays within bounds).
+                for i in 0..len {
+                    let mut c = value.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+            // Finally shrink elements in place.
+            for i in 0..len {
+                for smaller in self.element.shrink(&value[i]) {
+                    let mut c = value.clone();
+                    c[i] = smaller;
+                    out.push(c);
+                }
+            }
+            out
         }
     }
 }
@@ -168,6 +278,14 @@ pub mod bool {
 
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -196,8 +314,168 @@ pub fn cases() -> u32 {
         .unwrap_or(DEFAULT_CASES)
 }
 
+/// Where regression seeds are persisted: `PROPTEST_REGRESSIONS_DIR` if
+/// set, else `<CARGO_MANIFEST_DIR>/proptest-regressions` (cargo sets the
+/// manifest dir for test binaries), else `./proptest-regressions`.
+fn regression_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("PROPTEST_REGRESSIONS_DIR") {
+        return d.into();
+    }
+    if let Ok(m) = std::env::var("CARGO_MANIFEST_DIR") {
+        return Path::new(&m).join("proptest-regressions");
+    }
+    PathBuf::from("proptest-regressions")
+}
+
+/// Parses a regression file: one hex seed per line (`0x` prefix
+/// optional), `#` comment lines and blanks ignored.
+fn parse_seeds(text: &str) -> Vec<u64> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| u64::from_str_radix(l.trim_start_matches("0x"), 16).ok())
+        .collect()
+}
+
+/// Appends `seed` to `<dir>/<name>.txt` (best-effort, deduplicated).
+/// Returns the file path when the seed is recorded (or already present).
+fn persist_seed(dir: &Path, name: &str, seed: u64) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{name}.txt"));
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let line = format!("0x{seed:016x}");
+    if existing.lines().any(|l| l.trim() == line) {
+        return Some(path);
+    }
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .ok()?;
+    if existing.is_empty() {
+        writeln!(
+            f,
+            "# Regression seeds for `{name}`, replayed before fresh cases.\n\
+             # Values are regenerated from the strategy, so edits to the\n\
+             # strategy may change what a seed produces."
+        )
+        .ok()?;
+    }
+    writeln!(f, "{line}").ok()?;
+    Some(path)
+}
+
+/// Greedy binary-search minimization: repeatedly replace the failing
+/// value with its first shrink candidate that still fails, until no
+/// candidate fails or the attempt budget runs out. Returns the minimized
+/// value, its failure message, and the number of accepted shrink steps.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    f: &mut F,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), String>,
+{
+    let mut steps = 0u32;
+    let mut attempts = 0u32;
+    'outer: loop {
+        for cand in strategy.shrink(&value) {
+            if attempts >= MAX_SHRINK_ATTEMPTS {
+                break 'outer;
+            }
+            attempts += 1;
+            if let Err(m) = f(cand.clone()) {
+                value = cand;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+/// Drives one property with shrinking and failure persistence:
+///
+/// 1. seeds in the regression file (if any) are replayed first;
+/// 2. [`cases`] fresh deterministic seeds follow, derived from `name`;
+/// 3. on failure the seed is appended to the regression file and the
+///    input is minimized via [`Strategy::shrink`] before panicking.
+pub fn run_property<S, F>(name: &str, strategy: S, f: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug + Clone,
+    F: FnMut(S::Value) -> Result<(), String>,
+{
+    run_property_in(Some(&regression_dir()), name, strategy, f)
+}
+
+/// [`run_property`] with an explicit regression directory (`None`
+/// disables both replay and persistence). Exposed so tests can point
+/// persistence at a scratch directory without touching process env.
+pub fn run_property_in<S, F>(dir: Option<&Path>, name: &str, strategy: S, mut f: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug + Clone,
+    F: FnMut(S::Value) -> Result<(), String>,
+{
+    let base = fnv1a(name.as_bytes());
+
+    // Replay persisted regression seeds before anything else.
+    if let Some(dir) = dir {
+        let file = dir.join(format!("{name}.txt"));
+        if let Ok(text) = std::fs::read_to_string(&file) {
+            for seed in parse_seeds(&text) {
+                let mut rng = TestRng(StdRng::seed_from_u64(seed));
+                let value = strategy.generate(&mut rng);
+                let original = value.clone();
+                if let Err(msg) = f(value) {
+                    let (min, min_msg, steps) =
+                        shrink_failure(&strategy, original.clone(), msg, &mut f);
+                    panic!(
+                        "property {name} failed on regression seed 0x{seed:016x} \
+                         (from {}): {min_msg}\n original input: {original:?}\n\
+                         minimized input: {min:?} (after {steps} shrink steps)",
+                        file.display()
+                    );
+                }
+            }
+        }
+    }
+
+    // Fresh deterministic cases, same seed schedule as `run_cases`.
+    let n = cases();
+    for case in 0..n {
+        let seed = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng(StdRng::seed_from_u64(seed));
+        let value = strategy.generate(&mut rng);
+        let original = value.clone();
+        if let Err(msg) = f(value) {
+            let persisted = dir.and_then(|d| persist_seed(d, name, seed));
+            let (min, min_msg, steps) = shrink_failure(&strategy, original.clone(), msg, &mut f);
+            let where_saved = match &persisted {
+                Some(p) => format!("seed persisted to {}", p.display()),
+                None => "seed not persisted".to_string(),
+            };
+            panic!(
+                "property {name} failed at case {case}/{n} (seed 0x{seed:016x}): {min_msg}\n\
+                 original input: {original:?}\n\
+                 minimized input: {min:?} (after {steps} shrink steps)\n{where_saved}"
+            );
+        }
+    }
+}
+
 /// Drives one property: runs `f` for each deterministic case seed and
-/// panics with the case number on failure.
+/// panics with the case number on failure. This is the legacy driver —
+/// no shrinking, no persistence; the `proptest!` macro now uses
+/// [`run_property`] instead.
 pub fn run_cases<F>(name: &str, mut f: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), String>,
@@ -224,21 +502,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// The `proptest!` block: each `fn name(arg in strategy, ...)` becomes a
-/// test running [`run_cases`] over freshly sampled inputs.
+/// test running [`run_property`] over freshly sampled inputs — with
+/// regression-seed replay, failure persistence, and shrinking.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                $crate::run_cases(stringify!($name), |__rng| {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
-                    let mut __case = move || -> ::std::result::Result<(), ::std::string::String> {
+                let __strategy = ($($strat,)*);
+                $crate::run_property(stringify!($name), __strategy, |__case| {
+                    let ($($arg,)*) = __case;
+                    let mut __body = move || -> ::std::result::Result<(), ::std::string::String> {
                         $body
                         #[allow(unreachable_code)]
                         ::std::result::Result::Ok(())
                     };
-                    __case()
+                    __body()
                 });
             }
         )*
@@ -301,6 +581,7 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::strategy::Strategy;
 
     proptest! {
         #[test]
@@ -342,5 +623,112 @@ mod tests {
     #[should_panic(expected = "failed at case")]
     fn failures_report_case_number() {
         crate::run_cases("always_fails", |_| Err("boom".into()));
+    }
+
+    #[test]
+    fn range_shrink_moves_toward_start() {
+        let s = 10u64..100;
+        let c = s.shrink(&50);
+        assert_eq!(c[0], 10, "first candidate is the minimum");
+        assert!(c.contains(&30), "midpoint candidate: {c:?}");
+        assert!(c.contains(&49), "decrement candidate: {c:?}");
+        assert!(s.shrink(&10).is_empty(), "minimum is already minimal");
+        let signed = -5i64..=5;
+        assert_eq!(signed.shrink(&5)[0], -5);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let s = prop::collection::vec(0u32..10, 2..6);
+        let v = vec![5u32, 6, 7, 8];
+        let cands = s.shrink(&v);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.len() >= 2, "below min length: {c:?}");
+            assert!(c.len() <= v.len());
+        }
+        assert!(
+            cands.iter().any(|c| c.len() < v.len()),
+            "no structural shrink"
+        );
+        assert!(
+            cands
+                .iter()
+                .any(|c| c.len() == v.len() && c.iter().sum::<u32>() < 26),
+            "no element shrink"
+        );
+    }
+
+    #[test]
+    fn bool_and_tuple_shrinks() {
+        assert_eq!(prop::bool::ANY.shrink(&true), vec![false]);
+        assert!(prop::bool::ANY.shrink(&false).is_empty());
+        let s = (0u8..10, 0u8..10);
+        let cands = s.shrink(&(3, 4));
+        assert!(cands.contains(&(0, 4)), "{cands:?}");
+        assert!(cands.contains(&(3, 0)), "{cands:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "minimized input: (17,)")]
+    fn shrinking_finds_minimal_failure() {
+        // Fails for any x >= 17; the shrinker must land exactly on 17.
+        crate::run_property_in(None, "shrink_probe", (0u64..1000,), |(x,)| {
+            if x >= 17 {
+                Err(format!("{x} too big"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn failing_seed_is_persisted_and_replayed() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-stub-{}-{:x}",
+            std::process::id(),
+            crate::fnv1a(b"persist_probe")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = |dir: &std::path::Path| {
+            let dir = dir.to_path_buf();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                crate::run_property_in(Some(&dir), "persist_probe", 0u64..100, |x| {
+                    if x >= 10 {
+                        Err("boom".into())
+                    } else {
+                        Ok(())
+                    }
+                })
+            }))
+        };
+
+        let first = run(&dir).expect_err("property must fail");
+        let msg = first.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("seed persisted to"), "{msg}");
+        assert!(msg.contains("minimized input: 10"), "{msg}");
+
+        let file = dir.join("persist_probe.txt");
+        let text = std::fs::read_to_string(&file).expect("regression file written");
+        assert_eq!(crate::parse_seeds(&text).len(), 1, "{text}");
+
+        // Second run fails during replay, and does not duplicate the seed.
+        let second = run(&dir).expect_err("replay must fail");
+        let msg = second.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("regression seed"), "{msg}");
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert_eq!(
+            crate::parse_seeds(&text).len(),
+            1,
+            "seed duplicated: {text}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_seeds_skips_comments_and_blanks() {
+        let text = "# header\n\n0x00000000000000ff\nff\nnot-hex\n";
+        assert_eq!(crate::parse_seeds(text), vec![0xff, 0xff]);
     }
 }
