@@ -117,6 +117,20 @@ fn bench_serve_throughput(c: &mut Criterion) {
                         drive_batch(addr, &base, miss_per_batch, salt, wire);
                     })
                 });
+                // Server-side, tier-resolved latency for the scenario just
+                // measured: the batch mean above hides the hit/miss split,
+                // the per-tier histograms do not.
+                for tier in &server.metrics().tiers {
+                    let n = tier.hist.total();
+                    if n == 0 {
+                        continue;
+                    }
+                    let (p50, _, p99) = tier.hist.percentiles();
+                    println!(
+                        "    {name} · tier {:<9} n {n:>6}  p50 {p50:>8} µs  p99 {p99:>8} µs",
+                        tier.name
+                    );
+                }
                 server.shutdown();
             }
         }

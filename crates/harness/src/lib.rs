@@ -23,7 +23,9 @@ pub mod runner;
 pub mod table;
 pub mod throughput;
 
-pub use plan_cache::{remote_planned, PlanCacheStats, PLAN_CACHE_ENV, PLAN_SERVER_ENV};
+pub use plan_cache::{
+    latency_summary, remote_planned, PlanCacheStats, PLAN_CACHE_ENV, PLAN_SERVER_ENV,
+};
 pub use replay::{replay, ReplayOptions, ReplayReport};
 pub use runner::{build_allocator, run, run_lineup, AllocatorKind, RunResult};
 pub use table::{gib, pct, Table};

@@ -22,8 +22,10 @@
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 use stalloc_core::{fingerprint_job, Fingerprint, Plan, ProfiledRequests, SynthConfig};
+use stalloc_obs::{HistogramSnapshot, LatencyHistogram};
 use stalloc_served::PlanClient;
 use stalloc_solver::synthesize_strategy;
 use stalloc_store::PlanStore;
@@ -61,6 +63,16 @@ fn state() -> &'static Mutex<CacheState> {
             stats: PlanCacheStats::default(),
         })
     })
+}
+
+/// Tier names for [`latency`], in its output order.
+const LATENCY_TIERS: [&str; 4] = ["memo", "remote", "store", "synthesized"];
+
+/// Per-tier `planned` latency histograms (microseconds), indexed to
+/// match [`LATENCY_TIERS`].
+fn latency_hists() -> &'static [LatencyHistogram; 4] {
+    static HISTS: OnceLock<[LatencyHistogram; 4]> = OnceLock::new();
+    HISTS.get_or_init(|| std::array::from_fn(|_| LatencyHistogram::new()))
 }
 
 fn disk_store() -> Option<&'static PlanStore> {
@@ -106,12 +118,14 @@ pub fn remote_planned(
 /// optional remote plan server, and the optional disk store — in that
 /// order — before synthesizing.
 pub fn planned(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+    let started = Instant::now();
     let fp = fingerprint_job(profile, config);
     {
         let mut s = state().lock().expect("plan cache lock");
         if let Some(plan) = s.memo.get(&fp) {
             let plan = plan.clone();
             s.stats.memo_hits += 1;
+            latency_hists()[0].record(started.elapsed().as_micros() as u64);
             return plan;
         }
     }
@@ -161,6 +175,12 @@ pub fn planned(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
         Tier::Store => s.stats.store_hits += 1,
         Tier::Synthesized => s.stats.synthesized += 1,
     }
+    let hist_index = match tier {
+        Tier::Remote => 1,
+        Tier::Store => 2,
+        Tier::Synthesized => 3,
+    };
+    latency_hists()[hist_index].record(started.elapsed().as_micros() as u64);
     s.memo.insert(fp, plan.clone());
     plan
 }
@@ -168,6 +188,36 @@ pub fn planned(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
 /// This process's cumulative cache counters.
 pub fn stats() -> PlanCacheStats {
     state().lock().expect("plan cache lock").stats
+}
+
+/// Per-tier `planned` latency distributions (microseconds), in
+/// memo/remote/store/synthesized order. Tiers never exercised report an
+/// empty histogram.
+pub fn latency() -> Vec<(&'static str, HistogramSnapshot)> {
+    LATENCY_TIERS
+        .iter()
+        .zip(latency_hists().iter())
+        .map(|(name, h)| (*name, h.snapshot()))
+        .collect()
+}
+
+/// One `tier n p50/p90/p99` line per exercised tier — for experiment
+/// binaries that report cache effectiveness.
+pub fn latency_summary() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (name, h) in latency() {
+        let n = h.total();
+        if n == 0 {
+            continue;
+        }
+        let (p50, p90, p99) = h.percentiles();
+        let _ = writeln!(
+            out,
+            "plan cache tier {name:<11} n {n:>6}  p50 {p50:>9} µs  p90 {p90:>9} µs  p99 {p99:>9} µs"
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -208,6 +258,26 @@ mod tests {
         // process share the global counters and may interleave their own
         // memo hits between the two reads.
         assert!(after.memo_hits > mid.memo_hits);
+
+        // Every planned() call landed in exactly one latency histogram,
+        // so the per-tier sample counts mirror the counters.
+        let lat = latency();
+        assert_eq!(
+            lat.iter().map(|(name, _)| *name).collect::<Vec<_>>(),
+            vec!["memo", "remote", "store", "synthesized"]
+        );
+        let samples: u64 = lat.iter().map(|(_, h)| h.total()).sum();
+        let calls = after.memo_hits + after.remote + after.store_hits + after.synthesized;
+        // ≥, not ==: tests in this binary run concurrently, and another
+        // planned() call may land between the two global reads above.
+        assert!(
+            samples >= calls,
+            "one latency sample per planned() call ({samples} < {calls})"
+        );
+        // The summary renders a line per exercised tier, µs-scaled.
+        let summary = latency_summary();
+        assert!(summary.contains("memo"), "{summary}");
+        assert!(summary.contains("µs"), "{summary}");
     }
 
     #[test]

@@ -4,11 +4,13 @@ use std::fs;
 
 use gpu_sim::DeviceSpec;
 use harness::{run, AllocatorKind};
+use stalloc_core::wire::NamedHistogram;
 use stalloc_core::{
-    profile_trace, Plan, ProfileEncoding, ProfiledRequests, StrategyChoice, SynthConfig,
-    FINGERPRINT_VERSION, SYNTH_ALGO_VERSION,
+    profile_trace, Plan, ProfileEncoding, ProfiledRequests, ServeMetrics, StrategyChoice,
+    SynthConfig, FINGERPRINT_VERSION, SYNTH_ALGO_VERSION,
 };
-use stalloc_served::{PlanClient, PlanServer, ServeConfig};
+use stalloc_obs::Phase;
+use stalloc_served::{ClientError, PlanClient, PlanServer, ServeConfig};
 use stalloc_solver::{registry, synthesize_portfolio, synthesize_strategy};
 use stalloc_store::{decode_plan, encode_plan, is_binary_plan, synthesize_cached};
 use stalloc_store::{CacheOutcome, PlanStore};
@@ -29,6 +31,7 @@ commands:
   show        render a plan's occupancy as ASCII art
   replay      replay a trace through an allocator (paper section 9 metrics)
   serve       run the plan-synthesis daemon over a shared plan cache
+  stats       show a live server's counters and latency histograms
   cache       inspect a plan cache directory (ls | gc | clear)
   strategies  list the registered plan-synthesis strategies
   fuzz        fuzz the wire decoders and the plan server (deterministic)
@@ -175,11 +178,23 @@ usage: stalloc serve [flags]
   --queue N         accept-queue bound before Busy rejections (default 64)
   --lru N           in-process LRU capacity in plans (default 128; 0 off)
   --max-frame-mib N largest accepted request frame (default 64)
+  --trace-log FILE  append one JSON line per served request (seq, verb,
+                    cache tier, total and per-phase µs) — `tail -f`
+                    friendly; off by default
 
 serves the length-prefixed JSONL plan protocol until killed; identical
-concurrent jobs are deduplicated to one synthesis (single-flight)",
+concurrent jobs are deduplicated to one synthesis (single-flight);
+`stalloc stats ADDR` shows its live counters and latency histograms",
         spec: FlagSpec {
-            value_flags: &["addr", "workers", "cache", "queue", "lru", "max-frame-mib"],
+            value_flags: &[
+                "addr",
+                "workers",
+                "cache",
+                "queue",
+                "lru",
+                "max-frame-mib",
+                "trace-log",
+            ],
             bool_flags: &[],
         },
         run: cmd_serve,
@@ -223,6 +238,22 @@ usage: stalloc version
     },
 ];
 
+const STATS_HELP: &str = "\
+usage: stalloc stats ADDR [--slowest N]
+  queries the `stalloc serve` daemon at ADDR for its live counters and
+  latency histograms (the `Metrics` wire verb) and renders hit ratios
+  plus p50/p90/p99 per cache tier and per request phase
+  --slowest N       also show the N slowest retained requests
+                    (default 3; 0 hides the section)
+
+a server that predates the `Metrics` verb rejects it; this command then
+falls back to the counters-only `Stats` verb and says so";
+
+const STATS_SPEC: FlagSpec = FlagSpec {
+    value_flags: &["slowest"],
+    bool_flags: &[],
+};
+
 const CACHE_HELP: &str = "\
 usage: stalloc cache <ls|gc|clear> --dir DIR
   ls     list cached plans (fingerprint, size, pool, created)
@@ -250,9 +281,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "cache" => dispatch_cache(rest),
+        "stats" => dispatch_stats(rest),
         name => {
             let Some(command) = COMMANDS.iter().find(|c| c.name == name) else {
-                let candidates = COMMANDS.iter().map(|c| c.name).chain(["cache", "help"]);
+                let candidates = COMMANDS
+                    .iter()
+                    .map(|c| c.name)
+                    .chain(["cache", "stats", "help"]);
                 return Err(match nearest(name, candidates) {
                     Some(s) => format!("unknown command '{name}' (did you mean '{s}'?)"),
                     None => format!("unknown command '{name}'"),
@@ -271,6 +306,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 fn print_command_help(topic: &str) -> Result<(), String> {
     if topic == "cache" {
         println!("{CACHE_HELP}");
+        return Ok(());
+    }
+    if topic == "stats" {
+        println!("{STATS_HELP}");
         return Ok(());
     }
     match COMMANDS.iter().find(|c| c.name == topic) {
@@ -347,6 +386,153 @@ fn dispatch_cache(rest: &[String]) -> Result<(), String> {
             None => format!("unknown cache action '{other}'"),
         }),
     }
+}
+
+fn dispatch_stats(rest: &[String]) -> Result<(), String> {
+    // Like `cache`, the first token is positional: the server address.
+    let Some((addr, rest)) = rest.split_first() else {
+        return Err("stats: no server address given (try `stalloc stats 127.0.0.1:4547`)".into());
+    };
+    if addr == "--help" || addr == "-h" || addr == "help" {
+        println!("{STATS_HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(rest, &STATS_SPEC)?;
+    if args.wants_help() {
+        println!("{STATS_HELP}");
+        return Ok(());
+    }
+    cmd_stats(addr, args.num("slowest", 3usize)?)
+}
+
+fn cmd_stats(addr: &str, slowest: usize) -> Result<(), String> {
+    let mut client = PlanClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    match client.metrics() {
+        Ok(metrics) => {
+            print!("{}", render_metrics(addr, &metrics, slowest));
+            Ok(())
+        }
+        Err(ClientError::Server { .. }) => {
+            // A pre-`Metrics` server rejects the unknown verb (and drops
+            // the connection): fall back to the counters-only view.
+            let stats = PlanClient::connect(addr)
+                .and_then(|mut c| c.stats())
+                .map_err(|e| format!("{addr}: {e}"))?;
+            println!("note: server at {addr} predates the Metrics verb; counters only");
+            print!("{}", render_counters(&stats));
+            Ok(())
+        }
+        Err(e) => Err(format!("{addr}: {e}")),
+    }
+}
+
+/// Human latency: `42µs`, `1.2ms`, `3.10s`.
+fn fmt_micros(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// The counters block shared by the full and fallback views.
+fn render_counters(s: &stalloc_core::ServeStats) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "requests {} · plan {} · hits {} (lru {}, store {}, coalesced {}) · \
+         misses {} · hit ratio {:.1}%",
+        s.requests,
+        s.plan_requests,
+        s.hits(),
+        s.lru_hits,
+        s.store_hits,
+        s.coalesced,
+        s.misses,
+        s.hit_ratio() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "errors {} · rejected {} · metrics {} · in flight {} · queued {} · {} workers",
+        s.errors, s.rejected, s.metrics_requests, s.in_flight, s.queue_depth, s.workers
+    );
+    out
+}
+
+/// One aligned histogram table (`tier` or `phase` rows).
+fn render_histogram_table(title: &str, rows: &[NamedHistogram]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        title, "count", "p50", "p90", "p99", "mean"
+    );
+    for row in rows {
+        let h = &row.hist;
+        if h.total() == 0 {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                row.name, 0, "-", "-", "-", "-"
+            );
+            continue;
+        }
+        let (p50, p90, p99) = h.percentiles();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            row.name,
+            h.total(),
+            fmt_micros(p50),
+            fmt_micros(p90),
+            fmt_micros(p99),
+            fmt_micros(h.mean())
+        );
+    }
+    out
+}
+
+/// Renders a full `Metrics` response: counters, per-tier and per-phase
+/// latency tables, and the slowest retained requests.
+fn render_metrics(addr: &str, m: &ServeMetrics, slowest: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "stalloc serve at {addr}");
+    out.push_str(&render_counters(&m.stats));
+    out.push('\n');
+    out.push_str(&render_histogram_table("tier", &m.tiers));
+    out.push('\n');
+    out.push_str(&render_histogram_table("phase", &m.phases));
+    if slowest > 0 && !m.slowest.is_empty() {
+        let _ = writeln!(out, "\nslowest requests:");
+        for span in m.slowest.iter().take(slowest) {
+            let tier = if span.tier.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", span.tier)
+            };
+            // Phases the request never entered report 0 and are elided.
+            let phases = Phase::ALL
+                .iter()
+                .zip(span.phase_micros.iter())
+                .filter(|(_, &us)| us > 0)
+                .map(|(p, &us)| format!("{} {}", p.name(), fmt_micros(us)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "  #{} {}{tier} {} ({phases})",
+                span.seq,
+                span.verb,
+                fmt_micros(span.total_micros)
+            );
+        }
+    }
+    out
 }
 
 fn parse_model(name: &str) -> Result<ModelSpec, String> {
@@ -637,20 +823,26 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         lru_capacity: args.num("lru", 128usize)?,
         max_frame: args.num("max-frame-mib", 64usize)? << 20,
         store_dir: args.get("cache").map(std::path::PathBuf::from),
+        trace_log: args.get("trace-log").map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
     let cache_desc = match &config.store_dir {
         Some(d) => format!("store {}", d.display()),
         None => "in-memory only".to_string(),
     };
+    let trace_desc = match &config.trace_log {
+        Some(p) => format!(", trace log {}", p.display()),
+        None => String::new(),
+    };
     let handle = PlanServer::start(config.clone()).map_err(|e| e.to_string())?;
     println!(
-        "stalloc serve: listening on {} ({} workers, queue {}, lru {}, {})",
+        "stalloc serve: listening on {} ({} workers, queue {}, lru {}, {}{})",
         handle.addr(),
         config.workers,
         config.queue_depth,
         config.lru_capacity,
-        cache_desc
+        cache_desc,
+        trace_desc
     );
     handle.join();
     Ok(())
@@ -890,6 +1082,100 @@ mod tests {
     }
 
     #[test]
+    fn stats_help_and_errors() {
+        for line in ["help stats", "stats --help", "stats -h", "stats help"] {
+            dispatch(&argv(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let err = dispatch(&argv("stats")).unwrap_err();
+        assert!(err.contains("address"), "{err}");
+        // Flags after the positional address are validated like any
+        // other command's.
+        let err = dispatch(&argv("stats 127.0.0.1:1 --slowset 2")).unwrap_err();
+        assert!(err.contains("did you mean '--slowest'"), "{err}");
+        // A typo'd command still suggests it.
+        let err = dispatch(&argv("stts")).unwrap_err();
+        assert!(err.contains("did you mean 'stats'"), "{err}");
+    }
+
+    #[test]
+    fn fmt_micros_picks_units() {
+        assert_eq!(fmt_micros(0), "0µs");
+        assert_eq!(fmt_micros(999), "999µs");
+        assert_eq!(fmt_micros(1_500), "1.5ms");
+        assert_eq!(fmt_micros(999_949), "999.9ms");
+        assert_eq!(fmt_micros(2_345_678), "2.35s");
+    }
+
+    #[test]
+    fn render_metrics_formats_counters_tables_and_slowest() {
+        use stalloc_core::wire::NamedHistogram;
+        use stalloc_core::ServeStats;
+        use stalloc_obs::{LatencyHistogram, Phase, SpanSnapshot, PHASE_COUNT};
+
+        let lru = LatencyHistogram::new();
+        for _ in 0..9 {
+            lru.record(70);
+        }
+        let miss = LatencyHistogram::new();
+        miss.record(150_000);
+        let mut phase_micros = vec![0u64; PHASE_COUNT];
+        phase_micros[Phase::Synthesis.index()] = 149_000;
+        phase_micros[Phase::Encode.index()] = 400;
+        let m = ServeMetrics {
+            stats: ServeStats {
+                requests: 11,
+                plan_requests: 10,
+                lru_hits: 9,
+                misses: 1,
+                workers: 4,
+                metrics_requests: 1,
+                ..ServeStats::default()
+            },
+            tiers: vec![
+                NamedHistogram {
+                    name: "lru".into(),
+                    hist: lru.snapshot(),
+                },
+                NamedHistogram {
+                    name: "miss".into(),
+                    hist: miss.snapshot(),
+                },
+                NamedHistogram {
+                    name: "store".into(),
+                    hist: LatencyHistogram::new().snapshot(),
+                },
+            ],
+            phases: vec![NamedHistogram {
+                name: "synthesis".into(),
+                hist: miss.snapshot(),
+            }],
+            slowest: vec![SpanSnapshot {
+                seq: 7,
+                verb: "Plan".into(),
+                tier: "miss".into(),
+                total_micros: 150_000,
+                phase_micros,
+            }],
+        };
+        let text = render_metrics("127.0.0.1:4547", &m, 3);
+        assert!(text.contains("hit ratio 90.0%"), "{text}");
+        assert!(text.contains("lru"), "{text}");
+        // An empty histogram renders dashes, not zeros-as-latency.
+        let store_row = text.lines().find(|l| l.starts_with("store")).unwrap();
+        assert!(store_row.contains('-'), "{store_row}");
+        // µs and ms units both appear; the slow span lists only the
+        // phases it entered.
+        assert!(text.contains("µs"), "{text}");
+        assert!(text.contains("ms"), "{text}");
+        assert!(text.contains("#7 Plan miss 150.0ms"), "{text}");
+        assert!(text.contains("synthesis 149.0ms"), "{text}");
+        assert!(!text.contains("frame_read 0"), "{text}");
+        // slowest = 0 hides the section entirely.
+        let quiet = render_metrics("addr", &m, 0);
+        assert!(!quiet.contains("slowest"), "{quiet}");
+    }
+
+    #[test]
     fn remote_and_cache_are_mutually_exclusive() {
         let err = dispatch(&argv(
             "plan --input p.json --output x.json --cache c --remote 127.0.0.1:1",
@@ -968,8 +1254,15 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("--wire"), "{err}");
 
+        // `stalloc stats` renders the live server's counters and
+        // histograms end to end (one miss + two hits are on the books).
+        dispatch(&argv(&format!("stats {addr}"))).unwrap();
+        dispatch(&argv(&format!("stats {addr} --slowest 0"))).unwrap();
+
         // An unreachable server is a clean error, not a hang or panic.
         server.shutdown();
+        let err = dispatch(&argv(&format!("stats {addr}"))).unwrap_err();
+        assert!(err.contains(&addr.to_string()), "{err}");
         let err = dispatch(&argv(&format!(
             "plan --input {prof_p} --output {plan_p} --remote {addr}"
         )))

@@ -10,6 +10,8 @@
 //! stalloc show    --input plan.stplan [--rows 16] [--cols 72]
 //! stalloc replay  --input trace.json --allocator stalloc --device a800
 //! stalloc serve   [--addr 127.0.0.1:4547] [--workers 4] [--cache DIR]
+//!                 [--trace-log FILE]
+//! stalloc stats   ADDR [--slowest N]
 //! stalloc cache   {ls|gc|clear} --dir DIR
 //! stalloc version
 //! ```

@@ -61,7 +61,8 @@ pub use profiler::{profile_trace, InstanceKey, ProfileError, ProfiledRequests, R
 pub use runtime::{RuntimeConfig, RuntimeCounters, StallocAllocator};
 pub use visualize::render_plan;
 pub use wire::{
-    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding, ServeStats, WireErrorKind,
+    NamedHistogram, PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding,
+    ServeMetrics, ServeStats, WireErrorKind,
 };
 
 #[cfg(test)]

@@ -10,13 +10,15 @@
 //! follow-up `PROF` binary-codec frame (`ProfileBin`, see
 //! [`ProfileEncoding`]) — a lookup by job
 //! [`Fingerprint`](crate::Fingerprint), a
-//! [`ServeStats`] snapshot request, or a liveness ping. Responses carry
+//! [`ServeStats`] snapshot request, a [`ServeMetrics`] latency report
+//! request, or a liveness ping. Responses carry
 //! the plan plus provenance ([`PlanSource`]: which cache tier answered,
 //! or whether this request rode on another request's in-flight
 //! synthesis), per-request timing, and typed errors ([`WireErrorKind`])
 //! for protocol violations.
 
 use serde::{Deserialize, Serialize};
+use stalloc_obs::{HistogramSnapshot, SpanSnapshot};
 
 use crate::plan::{Plan, SynthConfig};
 use crate::profiler::ProfiledRequests;
@@ -105,6 +107,13 @@ pub enum PlanRequest {
     },
     /// Report the server's cumulative counters.
     Stats,
+    /// Report the server's latency distributions: per-phase and
+    /// per-cache-tier histograms plus the slowest retained request
+    /// spans, alongside the same counters `Stats` returns. Added after
+    /// `Stats`; servers that predate it answer with a typed `BadFrame`
+    /// error (an unknown verb), which clients surface as such — old
+    /// clients are unaffected because they never send it.
+    Metrics,
     /// Liveness check.
     Ping,
 }
@@ -190,12 +199,76 @@ pub struct ServeStats {
     pub queue_depth: u64,
     /// Size of the worker pool.
     pub workers: u64,
+    /// `Metrics` requests served. Added after the struct first shipped:
+    /// `default` keeps old-shape JSON documents (no such key) decoding,
+    /// so a new client can read an old server's `Stats` response.
+    #[serde(default)]
+    pub metrics_requests: u64,
 }
 
 impl ServeStats {
     /// All cache hits (LRU + store + coalesced followers).
     pub fn hits(&self) -> u64 {
         self.lru_hits + self.store_hits + self.coalesced
+    }
+
+    /// Fraction of plan-serving requests answered without running the
+    /// synthesizer for the caller (0.0 when none have been served).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// A latency histogram labelled with what it measures (a phase name or
+/// a cache-tier name).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NamedHistogram {
+    /// Stable label: a `stalloc_obs::Phase::name` or a tier name
+    /// (`"lru"`, `"store"`, `"miss"`, `"coalesced"`).
+    pub name: String,
+    /// The distribution (microseconds).
+    pub hist: HistogramSnapshot,
+}
+
+/// The `Metrics` verb's payload: everything `Stats` reports plus latency
+/// distributions and the slowest retained request spans.
+///
+/// Unknown-to-old-peers by construction (old clients never send
+/// `Metrics`); all vector fields carry `default` so a future server can
+/// add sections without breaking today's clients.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Counter snapshot, identical in shape to the `Stats` response.
+    pub stats: ServeStats,
+    /// Per-phase request-time distributions, one per
+    /// `stalloc_obs::Phase`, recorded only for requests that entered the
+    /// phase.
+    #[serde(default)]
+    pub phases: Vec<NamedHistogram>,
+    /// End-to-end latency distributions keyed by the cache tier that
+    /// answered (`"lru"`, `"store"`, `"miss"`, `"coalesced"`); each
+    /// tier's `count` matches the corresponding `ServeStats` counter.
+    #[serde(default)]
+    pub tiers: Vec<NamedHistogram>,
+    /// The slowest retained request spans, slowest first.
+    #[serde(default)]
+    pub slowest: Vec<SpanSnapshot>,
+}
+
+impl ServeMetrics {
+    /// The named phase histogram, if present.
+    pub fn phase(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.phases.iter().find(|h| h.name == name).map(|h| &h.hist)
+    }
+
+    /// The named tier histogram, if present.
+    pub fn tier(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.tiers.iter().find(|h| h.name == name).map(|h| &h.hist)
     }
 }
 
@@ -236,6 +309,11 @@ pub enum PlanResponse {
     Stats {
         /// The counters at response time.
         stats: ServeStats,
+    },
+    /// Latency distributions and slowest spans (the `Metrics` verb).
+    Metrics {
+        /// The metrics at response time.
+        metrics: ServeMetrics,
     },
     /// `Ping` reply.
     Pong,
@@ -405,6 +483,90 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_roundtrip_through_json() {
+        use stalloc_obs::{LatencyHistogram, Phase, RequestSpan, SpanSnapshot};
+
+        let hist = LatencyHistogram::new();
+        for v in [69, 70, 147_000] {
+            hist.record(v);
+        }
+        let mut span = RequestSpan::new("Plan");
+        span.seq = 3;
+        span.tier = "miss";
+        span.total_micros = 147_000;
+        span.record(Phase::Synthesis, 146_500);
+
+        let metrics = ServeMetrics {
+            stats: ServeStats {
+                requests: 3,
+                misses: 1,
+                lru_hits: 2,
+                metrics_requests: 1,
+                ..ServeStats::default()
+            },
+            phases: vec![NamedHistogram {
+                name: Phase::Synthesis.name().into(),
+                hist: hist.snapshot(),
+            }],
+            tiers: vec![NamedHistogram {
+                name: "lru".into(),
+                hist: hist.snapshot(),
+            }],
+            slowest: vec![SpanSnapshot::from(&span)],
+        };
+        let request = serde_json::to_string(&PlanRequest::Metrics).unwrap();
+        match serde_json::from_str::<PlanRequest>(&request).unwrap() {
+            PlanRequest::Metrics => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let json = serde_json::to_string(&PlanResponse::Metrics {
+            metrics: metrics.clone(),
+        })
+        .unwrap();
+        match serde_json::from_str::<PlanResponse>(&json).unwrap() {
+            PlanResponse::Metrics { metrics: back } => {
+                assert_eq!(back, metrics);
+                assert_eq!(back.phase("synthesis").unwrap().total(), 3);
+                assert_eq!(
+                    back.tier("lru").unwrap().quantile(0.5),
+                    hist.snapshot().quantile(0.5)
+                );
+                assert!(back.phase("nope").is_none());
+                assert_eq!(back.slowest[0].tier, "miss");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_shape_stats_json_still_decodes() {
+        // A `Stats` response as an old server writes it: no
+        // `metrics_requests` key. New clients must decode it with the
+        // field defaulted, not reject the document.
+        let old = r#"{"requests": 9, "plan_requests": 4, "lru_hits": 2,
+                      "store_hits": 1, "misses": 1, "coalesced": 0,
+                      "rejected": 0, "errors": 0, "in_flight": 0,
+                      "queue_depth": 0, "workers": 4}"#;
+        let stats: ServeStats = serde_json::from_str(old).unwrap();
+        assert_eq!(stats.requests, 9);
+        assert_eq!(stats.metrics_requests, 0, "absent field defaults");
+        assert_eq!(stats.hits(), 3);
+    }
+
+    #[test]
+    fn hit_ratio_is_total_over_plan_serving_requests() {
+        let s = ServeStats {
+            lru_hits: 2,
+            store_hits: 1,
+            coalesced: 1,
+            misses: 1,
+            ..ServeStats::default()
+        };
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-9);
+        assert_eq!(ServeStats::default().hit_ratio(), 0.0);
     }
 
     #[test]

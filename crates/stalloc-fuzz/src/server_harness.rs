@@ -22,6 +22,7 @@ use std::time::Duration;
 pub const REQUIRED_RESPONSES: &[&str] = &[
     "Pong",
     "Plan",
+    "Metrics",
     "Error:BadFrame",
     "Error:Oversized",
     "Error:BadRequest",
@@ -51,6 +52,7 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
         lru_capacity: 16,
         poll_tick: Duration::from_millis(10),
         idle_timeout: Duration::from_secs(10),
+        trace_log: None,
     }) {
         Ok(h) => h,
         Err(e) => {
@@ -77,6 +79,16 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
     .into_bytes();
     let mut framed_plan_req = Vec::new();
     write_frame(&mut framed_plan_req, &plan_req).expect("vec write");
+    // Every verb the protocol knows is a mutation seed: corruption near a
+    // short `Metrics`/`Stats`/`Ping` frame probes different decoder
+    // branches than the big `Plan` payload does.
+    let mut seeds: Vec<Vec<u8>> = vec![framed_plan_req];
+    for verb in [PlanRequest::Metrics, PlanRequest::Stats, PlanRequest::Ping] {
+        let mut framed = Vec::new();
+        let payload = serde_json::to_string(&verb).expect("verb serializes");
+        write_frame(&mut framed, payload.as_bytes()).expect("vec write");
+        seeds.push(framed);
+    }
 
     let n = iters.clamp(1, 256);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5e4e_5e4e);
@@ -85,13 +97,14 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
     let mut violations = Vec::new();
 
     for i in 0..n {
-        let scenario = rng.gen_range(0u32..6);
+        let scenario = rng.gen_range(0u32..7);
         let result = match scenario {
-            0 => garbage_then_recover(addr, &mut mutator, &framed_plan_req, &mut seen),
+            0 => garbage_then_recover(addr, &mut mutator, &seeds, &mut seen),
             1 => bad_payload_is_typed(addr, &mut seen),
             2 => oversized_header_is_typed(addr, &mut seen),
             3 => corrupt_profile_keeps_connection(addr, &prof_bytes, &config, &mut seen),
             4 => valid_plan_request(addr, &plan_req, &expected_fp, &mut seen),
+            5 => metrics_is_consistent(addr, &plan_req, &mut seen),
             _ => valid_profile_bin(addr, &prof_bytes, &config, &expected_fp, &mut seen),
         };
         if let Err(v) = result {
@@ -144,6 +157,7 @@ fn record(seen: &mut BTreeSet<String>, resp: &PlanResponse) {
         PlanResponse::PlanBin { .. } => "PlanBin".to_string(),
         PlanResponse::NotFound { .. } => "NotFound".to_string(),
         PlanResponse::Stats { .. } => "Stats".to_string(),
+        PlanResponse::Metrics { .. } => "Metrics".to_string(),
         PlanResponse::Error { kind, .. } => format!("Error:{kind:?}"),
     };
     seen.insert(label);
@@ -170,10 +184,11 @@ fn ping(s: &mut TcpStream, seen: &mut BTreeSet<String>) -> Result<(), String> {
 fn garbage_then_recover(
     addr: SocketAddr,
     mutator: &mut Mutator,
-    framed_req: &[u8],
+    seeds: &[Vec<u8>],
     seen: &mut BTreeSet<String>,
 ) -> Result<(), String> {
-    let garbage = mutator.mutate(framed_req);
+    let seed = &seeds[mutator.pick_index(seeds.len())];
+    let garbage = mutator.mutate(seed);
     if let Ok(mut s) = connect(addr) {
         let _ = s.write_all(&garbage);
         let _ = s.shutdown(Shutdown::Write);
@@ -299,6 +314,66 @@ fn valid_plan_request(
         }
         other => Err(format!("expected Plan response, got {other:?}")),
     }
+}
+
+/// Scenario: a `Plan` then a `Metrics` on the *same* keep-alive
+/// connection. The worker records the plan's span before it reads the
+/// next frame, so the metrics snapshot must already include it — and the
+/// per-tier histogram counts can never run ahead of the counters they
+/// mirror (spans are recorded strictly after the counter bump).
+fn metrics_is_consistent(
+    addr: SocketAddr,
+    plan_req: &[u8],
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    write_frame(&mut s, plan_req).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Plan { .. }) => record(seen, &resp),
+        other => return Err(format!("expected Plan response, got {other:?}")),
+    }
+    let payload = serde_json::to_string(&PlanRequest::Metrics)
+        .expect("metrics serializes")
+        .into_bytes();
+    write_frame(&mut s, &payload).map_err(|e| e.to_string())?;
+    let metrics = match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Metrics { .. }) => {
+            record(seen, &resp);
+            match resp {
+                PlanResponse::Metrics { metrics } => metrics,
+                _ => unreachable!(),
+            }
+        }
+        other => return Err(format!("expected Metrics response, got {other:?}")),
+    };
+    let stats = metrics.stats;
+    let tier_sum: u64 = metrics.tiers.iter().map(|t| t.hist.total()).sum();
+    let counter_sum = stats.lru_hits + stats.store_hits + stats.misses + stats.coalesced;
+    if tier_sum == 0 {
+        return Err("tier histograms empty right after a served Plan".into());
+    }
+    if tier_sum > counter_sum {
+        return Err(format!(
+            "tier histogram counts ({tier_sum}) ran ahead of the \
+             hit/miss counters ({counter_sum})"
+        ));
+    }
+    // The span ring must have retained something, and every snapshot it
+    // hands out carries one slot per phase.
+    if metrics.slowest.is_empty() {
+        return Err("no slowest spans retained after a served Plan".into());
+    }
+    for span in &metrics.slowest {
+        if span.phase_micros.len() != stalloc_obs::PHASE_COUNT {
+            return Err(format!(
+                "span #{} carries {} phase slots, expected {}",
+                span.seq,
+                span.phase_micros.len(),
+                stalloc_obs::PHASE_COUNT
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Scenario: the same job over the binary profile path.

@@ -1,0 +1,152 @@
+//! Sharded atomic counters.
+//!
+//! A single `AtomicU64` is correct but makes every worker thread's
+//! `fetch_add` contend on one cache line. Sharding by thread spreads the
+//! writes; reads sum the shards (so a read is O(shards) and only
+//! eventually consistent — exactly what a stats counter needs).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shard count; power of two so the thread id folds in with a mask.
+const SHARDS: usize = 16;
+
+/// One shard on its own cache line, so neighbouring shards never share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Process-wide thread numbering for shard selection: each thread gets a
+/// small dense id on first use and keeps it for life.
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut id = s.get();
+        if id == usize::MAX {
+            id = NEXT.fetch_add(1, Ordering::Relaxed);
+            s.set(id);
+        }
+        id
+    })
+}
+
+/// A counter sharded across cache-line-padded atomics.
+///
+/// `add`/`inc` touch only the calling thread's shard. `dec` may
+/// underflow *its* shard below zero (the increment may have landed on a
+/// different shard), which is fine: shards wrap, and [`Self::get`] sums
+/// with wrapping addition, so the total is exact whenever increments and
+/// decrements are balanced per logical event.
+#[derive(Default)]
+pub struct ShardedCounter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl ShardedCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self) -> &AtomicU64 {
+        &self.shards[thread_shard() & (SHARDS - 1)].0
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    pub fn add(&self, n: u64) {
+        self.shard().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one (wrapping per shard; see the type docs).
+    pub fn dec(&self) {
+        self.shard().fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ShardedCounter").field(&self.get()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_single_threaded() {
+        let c = ShardedCounter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.dec();
+        assert_eq!(c.get(), 41);
+    }
+
+    #[test]
+    fn inc_dec_balance_across_threads() {
+        // Increments and decrements for the same logical event land on
+        // *different* threads' shards; the wrapping sum must still be
+        // exact.
+        let c = std::sync::Arc::new(ShardedCounter::new());
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let incr = {
+            let c = std::sync::Arc::clone(&c);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                    tx.send(()).unwrap();
+                }
+            })
+        };
+        let decr = {
+            let c = std::sync::Arc::clone(&c);
+            let rx = std::sync::Arc::clone(&rx);
+            std::thread::spawn(move || {
+                let rx = rx.lock().unwrap();
+                for _ in 0..10_000 {
+                    rx.recv().unwrap();
+                    c.dec();
+                }
+            })
+        };
+        incr.join().unwrap();
+        decr.join().unwrap();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_conserved() {
+        let c = std::sync::Arc::new(ShardedCounter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..25_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 200_000);
+    }
+}

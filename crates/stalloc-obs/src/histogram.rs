@@ -1,0 +1,306 @@
+//! Log2-bucketed latency histograms.
+//!
+//! Values (microseconds, in the serving path) fall into 65 buckets:
+//! bucket 0 holds exactly the value 0, bucket *i* (1 ≤ i ≤ 64) holds
+//! `[2^(i-1), 2^i - 1]` — so bucket 64 tops out at `u64::MAX`. Recording
+//! is two relaxed `fetch_add`s; no per-sample state exists, so the
+//! histogram's memory is constant no matter how long the server runs.
+//! Quantiles are derived at read time by walking the cumulative counts
+//! and interpolating linearly inside the winning bucket, which bounds
+//! the error of pN to the bucket's width (a factor of 2 — plenty for
+//! "is p99 a hit or a synthesis" questions).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: one zero bucket + one per bit position of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, else `64 - leading_zeros`
+/// (1 for 1, `k+1` for `2^k`, 64 for anything ≥ `2^63`).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket. Indexes past the
+/// last bucket clamp to it (defensive: snapshots can arrive off the wire
+/// with any vector length).
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    match index.min(NUM_BUCKETS - 1) {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A live histogram: atomic bucket counts plus a running sum.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Never allocates, never blocks.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy for serialization and quantile math. Under
+    /// concurrent recording the copy is racy per-bucket but each bucket
+    /// is exact-at-some-instant; totals converge as traffic quiesces.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A serializable point-in-time histogram (the wire/report form).
+///
+/// `buckets` is a plain vector parallel to the live bucket layout;
+/// `count`/`sum` are carried redundantly for convenience, but all
+/// derived statistics recompute from `buckets`, so a hand-crafted or
+/// hostile snapshot can skew nothing but itself.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_range`] for bucket *i*).
+    pub buckets: Vec<u64>,
+    /// Total samples at snapshot time.
+    pub count: u64,
+    /// Sum of all recorded values at snapshot time.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples, recomputed from the buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.total()).unwrap_or(0)
+    }
+
+    /// The q-quantile (`0.0 ≤ q ≤ 1.0`), interpolated linearly within
+    /// the winning log2 bucket. `quantile(0.5)` is the median estimate.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum: u64 = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum.saturating_add(c);
+            if next >= target {
+                let (lo, hi) = bucket_range(i);
+                let into = (target - cum) as f64 / c as f64;
+                return lo.saturating_add(((hi - lo) as f64 * into) as u64);
+            }
+            cum = next;
+        }
+        // Unreachable for consistent snapshots; a ragged one gets the top.
+        bucket_range(NUM_BUCKETS - 1).1
+    }
+
+    /// p50/p90/p99, the triple every report in this repo prints.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        // Zero is its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Each exact power of two opens a new bucket...
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1024), 11);
+        // ...and the value just below it still sits in the previous one.
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_ranges_partition_u64() {
+        assert_eq!(bucket_range(0), (0, 0));
+        let mut expected_lo = 1u64;
+        for i in 1..NUM_BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(lo, expected_lo, "bucket {i} lower bound");
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            if i < NUM_BUCKETS - 1 {
+                expected_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+        // Out-of-range indexes clamp instead of shifting past the word.
+        assert_eq!(bucket_range(1000), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn extreme_values_record_without_panic() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum wraps; counts must not care
+        let s = h.snapshot();
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[64], 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = LatencyHistogram::new();
+        // 100 samples all in bucket [64, 127].
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = s.percentiles();
+        // All within the bucket, ordered, spanning its width.
+        for p in [p50, p90, p99] {
+            assert!((64..=127).contains(&p), "{p} outside bucket");
+        }
+        assert!(p50 <= p90 && p90 <= p99);
+        assert_eq!(s.quantile(1.0), 127);
+        assert_eq!(s.mean(), 100);
+    }
+
+    #[test]
+    fn quantiles_separate_bimodal_tiers() {
+        // The serving-path shape: many ~70µs hits, a few ~150ms misses.
+        let h = LatencyHistogram::new();
+        for _ in 0..95 {
+            h.record(70);
+        }
+        for _ in 0..5 {
+            h.record(147_000);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.50) < 200, "median is a hit");
+        assert!(s.quantile(0.99) > 100_000, "p99 is a synthesis");
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeros() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn multithreaded_counts_are_conserved() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..25_000u64 {
+                        h.record((t * 1_000 + i) % 4_096);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 200_000, "every sample lands in some bucket");
+        assert_eq!(h.snapshot().total(), 200_000);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let h = LatencyHistogram::new();
+        for v in [0, 1, 70, 147_000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.percentiles(), s.percentiles());
+    }
+
+    #[test]
+    fn hostile_snapshots_never_panic() {
+        // Off-the-wire snapshots can have any shape; quantile math must
+        // stay total.
+        let ragged = HistogramSnapshot {
+            buckets: vec![u64::MAX; 200],
+            count: 3,
+            sum: u64::MAX,
+        };
+        let _ = ragged.quantile(0.99);
+        let _ = ragged.mean();
+        let empty = HistogramSnapshot {
+            buckets: vec![],
+            count: 99,
+            sum: 7,
+        };
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Observability primitives for the serving path.
+//!
+//! Everything here is built for a hot request loop: recording must be
+//! wait-free-ish and allocation-free, while *reading* (snapshots,
+//! quantiles, rendering) may be as leisurely as it likes.
+//!
+//! * [`ShardedCounter`] — a monotonic (or up/down) counter spread over
+//!   cache-line-padded shards, so uncontended worker threads do not
+//!   bounce one cache line around the socket.
+//! * [`LatencyHistogram`] — 65 log2 buckets of atomic counts. Recording
+//!   a sample is two relaxed `fetch_add`s; p50/p90/p99 are derived from
+//!   the buckets at read time, so no per-sample state is ever kept.
+//! * [`RequestSpan`] / [`SpanRing`] — a `Copy` per-request phase-timing
+//!   record and a pre-allocated ring that retains both the most recent
+//!   spans and the slowest-N ever seen.
+//! * [`TraceLog`] — an opt-in JSONL sink writing one structured record
+//!   per request, for offline replay of a loaded server.
+//!
+//! The crate is transport-free and server-free on purpose: `stalloc-core`
+//! embeds the serializable snapshots ([`HistogramSnapshot`],
+//! [`SpanSnapshot`]) in its wire types, and `stalloc-served` owns the
+//! live instances.
+
+mod counter;
+mod histogram;
+mod span;
+mod trace;
+
+pub use counter::ShardedCounter;
+pub use histogram::{bucket_index, bucket_range, HistogramSnapshot, LatencyHistogram, NUM_BUCKETS};
+pub use span::{Phase, RequestSpan, SpanRing, SpanSnapshot, PHASE_COUNT};
+pub use trace::TraceLog;

@@ -1,0 +1,323 @@
+//! Per-request phase spans and their retention ring.
+//!
+//! A [`RequestSpan`] is a `Copy` value with a fixed-size phase array —
+//! recording into it, and pushing it into the pre-allocated
+//! [`SpanRing`], allocates nothing. The serializable [`SpanSnapshot`]
+//! (heap-backed strings/vectors) exists only on the read side, when a
+//! `Metrics` response or trace line is being built.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The phases of one served request, in wall-clock order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// First byte of the request frame → complete frame (keep-alive idle
+    /// time between requests is *not* counted).
+    FrameRead,
+    /// JSON request payload → typed `PlanRequest`.
+    Decode,
+    /// Job fingerprint computation (profile walk or raw-byte hash).
+    Fingerprint,
+    /// Accept-queue residency before a worker picked the connection up
+    /// (first request on a connection only; later ones never queued).
+    QueueWait,
+    /// In-process LRU probe.
+    LruLookup,
+    /// On-disk plan-store probe (only on an LRU miss).
+    StoreLookup,
+    /// Plan synthesis — the leader's run, or a follower's coalesced wait
+    /// on it.
+    Synthesis,
+    /// Response serialization (JSON document, and the plan's binary
+    /// encoding when it is computed for this response).
+    Encode,
+    /// Response frame(s) → socket.
+    FrameWrite,
+}
+
+/// Number of [`Phase`] variants.
+pub const PHASE_COUNT: usize = 9;
+
+impl Phase {
+    /// Every phase, in declaration (= wall-clock) order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::FrameRead,
+        Phase::Decode,
+        Phase::Fingerprint,
+        Phase::QueueWait,
+        Phase::LruLookup,
+        Phase::StoreLookup,
+        Phase::Synthesis,
+        Phase::Encode,
+        Phase::FrameWrite,
+    ];
+
+    /// Stable wire/report name (snake_case).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::FrameRead => "frame_read",
+            Phase::Decode => "decode",
+            Phase::Fingerprint => "fingerprint",
+            Phase::QueueWait => "queue_wait",
+            Phase::LruLookup => "lru_lookup",
+            Phase::StoreLookup => "store_lookup",
+            Phase::Synthesis => "synthesis",
+            Phase::Encode => "encode",
+            Phase::FrameWrite => "frame_write",
+        }
+    }
+
+    /// Index into per-phase arrays (= position in [`Phase::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One request's phase timings, in microseconds. `Copy`, fixed-size,
+/// allocation-free — built on the worker's stack and copied into the
+/// ring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestSpan {
+    /// Server-assigned sequence number (order of completion).
+    pub seq: u64,
+    /// Request verb name (`"Plan"`, `"Get"`, ...).
+    pub verb: &'static str,
+    /// Cache tier that answered (`"lru"`, `"store"`, `"miss"`,
+    /// `"coalesced"`), or `""` for verbs that serve no plan.
+    pub tier: &'static str,
+    /// End-to-end latency: queue wait + frame read + handling + write.
+    pub total_micros: u64,
+    phase_micros: [u64; PHASE_COUNT],
+    touched: u16,
+}
+
+impl RequestSpan {
+    pub fn new(verb: &'static str) -> Self {
+        RequestSpan {
+            verb,
+            tier: "",
+            ..RequestSpan::default()
+        }
+    }
+
+    /// Adds `micros` to a phase (phases accumulate: a retried lookup or
+    /// a second frame read folds into the same slot).
+    pub fn record(&mut self, phase: Phase, micros: u64) {
+        self.phase_micros[phase.index()] += micros;
+        self.touched |= 1 << phase.index();
+    }
+
+    /// Records the elapsed time since `start` into a phase.
+    pub fn record_since(&mut self, phase: Phase, start: Instant) {
+        self.record(phase, start.elapsed().as_micros() as u64);
+    }
+
+    /// A phase's accumulated time; `None` if the request never entered
+    /// it (distinct from "entered and took 0µs").
+    pub fn phase_micros(&self, phase: Phase) -> Option<u64> {
+        if self.touched & (1 << phase.index()) != 0 {
+            Some(self.phase_micros[phase.index()])
+        } else {
+            None
+        }
+    }
+
+    /// The phases this request actually entered, with their timings.
+    pub fn entered(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL
+            .into_iter()
+            .filter_map(|p| self.phase_micros(p).map(|us| (p, us)))
+    }
+}
+
+/// The serializable form of a span, for `Metrics` responses and trace
+/// lines. `phase_micros` is parallel to [`Phase::ALL`] (a phase the
+/// request never entered reports 0).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Server-assigned completion sequence number.
+    pub seq: u64,
+    /// Request verb name.
+    pub verb: String,
+    /// Cache tier that answered, or `""`.
+    pub tier: String,
+    /// End-to-end latency, microseconds.
+    pub total_micros: u64,
+    /// Per-phase microseconds, parallel to [`Phase::ALL`].
+    pub phase_micros: Vec<u64>,
+}
+
+impl From<&RequestSpan> for SpanSnapshot {
+    fn from(s: &RequestSpan) -> Self {
+        SpanSnapshot {
+            seq: s.seq,
+            verb: s.verb.to_string(),
+            tier: s.tier.to_string(),
+            total_micros: s.total_micros,
+            phase_micros: s.phase_micros.to_vec(),
+        }
+    }
+}
+
+/// Bounded span retention: the most recent `capacity` spans (a circular
+/// overwrite) plus the slowest `slowest_capacity` spans ever seen (by
+/// `total_micros`). Both vectors are allocated once, up front; a push
+/// copies one `RequestSpan` and never allocates.
+pub struct SpanRing {
+    inner: Mutex<RingInner>,
+}
+
+struct RingInner {
+    recent: Vec<RequestSpan>,
+    capacity: usize,
+    next: usize,
+    slowest: Vec<RequestSpan>,
+    slowest_capacity: usize,
+}
+
+impl SpanRing {
+    pub fn new(capacity: usize, slowest_capacity: usize) -> Self {
+        SpanRing {
+            inner: Mutex::new(RingInner {
+                recent: Vec::with_capacity(capacity),
+                capacity,
+                next: 0,
+                slowest: Vec::with_capacity(slowest_capacity),
+                slowest_capacity,
+            }),
+        }
+    }
+
+    pub fn push(&self, span: RequestSpan) {
+        let mut inner = self.inner.lock().expect("span ring lock");
+        if inner.capacity > 0 {
+            if inner.recent.len() < inner.capacity {
+                inner.recent.push(span);
+            } else {
+                let at = inner.next;
+                inner.recent[at] = span;
+            }
+            inner.next = (inner.next + 1) % inner.capacity;
+        }
+        if inner.slowest_capacity > 0 {
+            if inner.slowest.len() < inner.slowest_capacity {
+                inner.slowest.push(span);
+            } else {
+                // Tiny N: a linear min-scan beats heap bookkeeping.
+                let (mi, fastest) = inner
+                    .slowest
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.total_micros)
+                    .map(|(i, s)| (i, s.total_micros))
+                    .expect("slowest non-empty at capacity");
+                if span.total_micros > fastest {
+                    inner.slowest[mi] = span;
+                }
+            }
+        }
+    }
+
+    /// The retained recent spans, oldest first.
+    pub fn recent(&self) -> Vec<RequestSpan> {
+        let inner = self.inner.lock().expect("span ring lock");
+        if inner.recent.len() < inner.capacity {
+            inner.recent.clone()
+        } else {
+            let mut out = Vec::with_capacity(inner.recent.len());
+            out.extend_from_slice(&inner.recent[inner.next..]);
+            out.extend_from_slice(&inner.recent[..inner.next]);
+            out
+        }
+    }
+
+    /// The slowest retained spans, slowest first.
+    pub fn slowest(&self) -> Vec<RequestSpan> {
+        let inner = self.inner.lock().expect("span ring lock");
+        let mut out = inner.slowest.clone();
+        out.sort_by_key(|s| std::cmp::Reverse(s.total_micros));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_all_matches_indices_and_names_are_unique() {
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        let names: std::collections::BTreeSet<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), PHASE_COUNT);
+    }
+
+    #[test]
+    fn spans_distinguish_untouched_from_zero() {
+        let mut s = RequestSpan::new("Plan");
+        s.record(Phase::Decode, 0);
+        assert_eq!(s.phase_micros(Phase::Decode), Some(0));
+        assert_eq!(s.phase_micros(Phase::Synthesis), None);
+        s.record(Phase::Decode, 7);
+        assert_eq!(s.phase_micros(Phase::Decode), Some(7), "accumulates");
+        let entered: Vec<_> = s.entered().collect();
+        assert_eq!(entered, vec![(Phase::Decode, 7)]);
+    }
+
+    #[test]
+    fn ring_retains_recent_in_order() {
+        let ring = SpanRing::new(4, 2);
+        for i in 0..10u64 {
+            let mut s = RequestSpan::new("Ping");
+            s.seq = i;
+            s.total_micros = i;
+            ring.push(s);
+        }
+        let seqs: Vec<u64> = ring.recent().iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_retains_slowest_by_total() {
+        let ring = SpanRing::new(2, 3);
+        for (seq, total) in [(0, 5), (1, 900), (2, 10), (3, 800), (4, 1), (5, 850)] {
+            let mut s = RequestSpan::new("Plan");
+            s.seq = seq;
+            s.total_micros = total;
+            ring.push(s);
+        }
+        let slow: Vec<(u64, u64)> = ring
+            .slowest()
+            .iter()
+            .map(|s| (s.seq, s.total_micros))
+            .collect();
+        assert_eq!(slow, vec![(1, 900), (5, 850), (3, 800)]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_a_sink() {
+        let ring = SpanRing::new(0, 0);
+        ring.push(RequestSpan::new("Ping"));
+        assert!(ring.recent().is_empty());
+        assert!(ring.slowest().is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut s = RequestSpan::new("Plan");
+        s.seq = 42;
+        s.tier = "lru";
+        s.total_micros = 123;
+        s.record(Phase::FrameRead, 5);
+        s.record(Phase::LruLookup, 2);
+        let snap = SpanSnapshot::from(&s);
+        assert_eq!(snap.phase_micros.len(), PHASE_COUNT);
+        assert_eq!(snap.phase_micros[Phase::FrameRead.index()], 5);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SpanSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

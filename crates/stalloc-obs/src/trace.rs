@@ -1,0 +1,88 @@
+//! Opt-in JSONL trace sink: one structured record per request.
+//!
+//! The format is one JSON object per line — greppable, `tail -f`-able,
+//! and replayable offline. Only phases the request actually entered are
+//! emitted, so a `Ping` line stays tiny. Writing allocates (a line
+//! buffer) and takes a mutex; this sink is for `--trace-log` runs, not
+//! part of the allocation-free default path.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::span::RequestSpan;
+
+/// A shared JSONL trace file.
+pub struct TraceLog {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl TraceLog {
+    /// Creates (truncates) the trace file.
+    pub fn create(path: &Path) -> std::io::Result<TraceLog> {
+        Ok(TraceLog {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends one span as a JSON line and flushes it (so `tail -f` on a
+    /// live server sees every request).
+    pub fn record(&self, span: &RequestSpan) -> std::io::Result<()> {
+        let mut line = String::with_capacity(160);
+        let _ = write!(
+            line,
+            r#"{{"seq":{},"verb":"{}","tier":"{}","total_micros":{}"#,
+            span.seq, span.verb, span.tier, span.total_micros
+        );
+        for (phase, micros) in span.entered() {
+            let _ = write!(line, r#","{}":{}"#, phase.name(), micros);
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().expect("trace log lock");
+        out.write_all(line.as_bytes())?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    #[test]
+    fn lines_are_valid_json_with_entered_phases_only() {
+        let dir = std::env::temp_dir().join(format!("stalloc-obs-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let log = TraceLog::create(&path).unwrap();
+
+        let mut a = RequestSpan::new("Plan");
+        a.seq = 1;
+        a.tier = "miss";
+        a.total_micros = 147_000;
+        a.record(Phase::FrameRead, 12);
+        a.record(Phase::Synthesis, 146_000);
+        log.record(&a).unwrap();
+
+        let b = RequestSpan::new("Ping");
+        log.record(&b).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: serde::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("verb"), Some(&serde::Value::Str("Plan".into())));
+        assert_eq!(first.get("tier"), Some(&serde::Value::Str("miss".into())));
+        assert_eq!(
+            first.get("synthesis").and_then(|v| v.as_u64()),
+            Some(146_000)
+        );
+        assert!(first.get("decode").is_none(), "untouched phases stay out");
+        let second: serde::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second.get("verb"), Some(&serde::Value::Str("Ping".into())));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,7 +20,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use stalloc_core::wire::{
-    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding, ServeStats, WireErrorKind,
+    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding, ServeMetrics, ServeStats,
+    WireErrorKind,
 };
 use stalloc_core::{Fingerprint, Plan, ProfiledRequests, SynthConfig};
 use stalloc_store::{decode_plan, encode_profile, profile_body};
@@ -318,6 +319,22 @@ impl PlanClient {
             PlanResponse::Stats { stats } => Ok(stats),
             other => Err(ClientError::Protocol(format!(
                 "expected Stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's latency metrics (per-phase and per-tier
+    /// histograms, slowest spans, plus the `Stats` counters).
+    ///
+    /// Servers that predate the `Metrics` verb reject the unknown
+    /// request as a typed `BadFrame` error, surfaced here as
+    /// [`ClientError::Server`] — and close the connection, so this
+    /// client is not reusable after that.
+    pub fn metrics(&mut self) -> Result<ServeMetrics, ClientError> {
+        match self.roundtrip(&PlanRequest::Metrics)? {
+            PlanResponse::Metrics { metrics } => Ok(metrics),
+            other => Err(ClientError::Protocol(format!(
+                "expected Metrics response, got {other:?}"
             ))),
         }
     }

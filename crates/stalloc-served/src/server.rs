@@ -32,9 +32,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use stalloc_core::wire::{
-    PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeStats, WireErrorKind,
+    NamedHistogram, PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeMetrics, ServeStats,
+    WireErrorKind,
 };
 use stalloc_core::{fingerprint_job, fingerprint_job_body, Fingerprint, Plan};
+use stalloc_obs::{
+    LatencyHistogram, Phase, RequestSpan, ShardedCounter, SpanRing, SpanSnapshot, TraceLog,
+    PHASE_COUNT,
+};
 use stalloc_solver::synthesize_strategy;
 use stalloc_store::{decode_profile, encode_plan, profile_body, PlanStore, ShardedLru};
 
@@ -60,6 +65,9 @@ pub struct ServeConfig {
     pub poll_tick: Duration,
     /// Connections idle longer than this are closed.
     pub idle_timeout: Duration,
+    /// When set, every served request appends one JSONL trace record
+    /// (phase timings, tier, verb) to this file.
+    pub trace_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +81,7 @@ impl Default for ServeConfig {
             lru_capacity: 128,
             poll_tick: Duration::from_millis(50),
             idle_timeout: Duration::from_secs(30),
+            trace_log: None,
         }
     }
 }
@@ -97,17 +106,75 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Flat request counters, each sharded so eight workers bumping
+/// `requests` don't serialize on one cache line.
 #[derive(Debug, Default)]
 struct Counters {
-    requests: AtomicU64,
-    plan_requests: AtomicU64,
-    lru_hits: AtomicU64,
-    store_hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    rejected: AtomicU64,
-    errors: AtomicU64,
-    in_flight: AtomicU64,
+    requests: ShardedCounter,
+    plan_requests: ShardedCounter,
+    lru_hits: ShardedCounter,
+    store_hits: ShardedCounter,
+    misses: ShardedCounter,
+    coalesced: ShardedCounter,
+    rejected: ShardedCounter,
+    errors: ShardedCounter,
+    in_flight: ShardedCounter,
+    metrics_requests: ShardedCounter,
+}
+
+/// Tier labels, indexed by [`tier_index`]; "miss" is a synthesis run.
+const TIER_NAMES: [&str; 4] = ["lru", "store", "miss", "coalesced"];
+
+fn tier_index(source: PlanSource) -> usize {
+    match source {
+        PlanSource::Lru => 0,
+        PlanSource::Store => 1,
+        PlanSource::Synthesized => 2,
+        PlanSource::Coalesced => 3,
+    }
+}
+
+/// Live observability state: per-phase and per-tier latency histograms,
+/// the span retention ring, and the optional JSONL trace sink. Shared by
+/// all workers; recording is allocation-free (see `stalloc-obs`'s
+/// counting-allocator test) except for the opt-in trace log.
+struct ServeObs {
+    phases: [LatencyHistogram; PHASE_COUNT],
+    tiers: [LatencyHistogram; TIER_NAMES.len()],
+    spans: SpanRing,
+    seq: AtomicU64,
+    trace: Option<TraceLog>,
+}
+
+impl ServeObs {
+    fn new(trace: Option<TraceLog>) -> Self {
+        ServeObs {
+            phases: std::array::from_fn(|_| LatencyHistogram::new()),
+            tiers: std::array::from_fn(|_| LatencyHistogram::new()),
+            spans: SpanRing::new(256, 16),
+            seq: AtomicU64::new(0),
+            trace,
+        }
+    }
+
+    /// Folds one finished request in: phase histograms get the phases the
+    /// request entered, the answering tier's histogram gets the
+    /// end-to-end latency (so each tier's count matches the matching
+    /// `ServeStats` counter), and the span lands in the retention ring.
+    fn observe(&self, mut span: RequestSpan, tier: Option<PlanSource>) {
+        span.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(source) = tier {
+            span.tier = TIER_NAMES[tier_index(source)];
+            self.tiers[tier_index(source)].record(span.total_micros);
+        }
+        for (phase, micros) in span.entered() {
+            self.phases[phase.index()].record(micros);
+        }
+        self.spans.push(span);
+        if let Some(trace) = &self.trace {
+            let _ = trace.record(&span);
+        }
+    }
 }
 
 /// A served plan plus its memoized binary (`STPL`) encoding.
@@ -156,29 +223,60 @@ struct Flight {
 struct Shared {
     config: ServeConfig,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Waiting connections with their enqueue instant (queue-wait phase).
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     lru: ShardedLru<Arc<CachedPlan>>,
     store: Option<PlanStore>,
     inflight: Mutex<HashMap<Fingerprint, Arc<Flight>>>,
     counters: Counters,
+    obs: ServeObs,
 }
 
 impl Shared {
     fn snapshot(&self) -> ServeStats {
         let c = &self.counters;
         ServeStats {
-            requests: c.requests.load(Ordering::Relaxed),
-            plan_requests: c.plan_requests.load(Ordering::Relaxed),
-            lru_hits: c.lru_hits.load(Ordering::Relaxed),
-            store_hits: c.store_hits.load(Ordering::Relaxed),
-            misses: c.misses.load(Ordering::Relaxed),
-            coalesced: c.coalesced.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            errors: c.errors.load(Ordering::Relaxed),
-            in_flight: c.in_flight.load(Ordering::Relaxed),
+            requests: c.requests.get(),
+            plan_requests: c.plan_requests.get(),
+            lru_hits: c.lru_hits.get(),
+            store_hits: c.store_hits.get(),
+            misses: c.misses.get(),
+            coalesced: c.coalesced.get(),
+            rejected: c.rejected.get(),
+            errors: c.errors.get(),
+            in_flight: c.in_flight.get(),
             queue_depth: self.queue.lock().expect("queue lock").len() as u64,
             workers: self.config.workers as u64,
+            metrics_requests: c.metrics_requests.get(),
+        }
+    }
+
+    fn metrics(&self) -> ServeMetrics {
+        ServeMetrics {
+            stats: self.snapshot(),
+            phases: Phase::ALL
+                .iter()
+                .map(|p| NamedHistogram {
+                    name: p.name().to_string(),
+                    hist: self.obs.phases[p.index()].snapshot(),
+                })
+                .collect(),
+            tiers: TIER_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| NamedHistogram {
+                    name: name.to_string(),
+                    hist: self.obs.tiers[i].snapshot(),
+                })
+                .collect(),
+            slowest: self
+                .obs
+                .spans
+                .slowest()
+                .iter()
+                .map(SpanSnapshot::from)
+                .collect(),
         }
     }
 }
@@ -198,6 +296,10 @@ impl PlanServer {
             Some(dir) => Some(PlanStore::open(dir).map_err(ServeError::Store)?),
             None => None,
         };
+        let trace = match &config.trace_log {
+            Some(path) => Some(TraceLog::create(path).map_err(ServeError::Io)?),
+            None => None,
+        };
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             lru: ShardedLru::new(config.lru_capacity),
@@ -207,6 +309,7 @@ impl PlanServer {
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            obs: ServeObs::new(trace),
             config,
         });
 
@@ -254,6 +357,12 @@ impl ServerHandle {
     /// Live counter snapshot, without a network roundtrip.
     pub fn stats(&self) -> ServeStats {
         self.shared.snapshot()
+    }
+
+    /// Live latency metrics (what the `Metrics` verb reports), without a
+    /// network roundtrip.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.metrics()
     }
 
     /// Graceful shutdown: stop accepting, let workers finish the request
@@ -318,11 +427,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         let mut q = shared.queue.lock().expect("queue lock");
         if q.len() >= shared.config.queue_depth {
             drop(q);
-            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.counters.rejected.inc();
             let _ = respond_and_drop(stream, WireErrorKind::Busy, "accept queue full; retry");
             continue;
         }
-        q.push_back(stream);
+        q.push_back((stream, Instant::now()));
         drop(q);
         shared.queue_cv.notify_one();
     }
@@ -381,7 +490,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match conn {
-            Some(stream) => handle_connection(stream, shared),
+            Some((stream, queued_at)) => handle_connection(stream, queued_at, shared),
             None => return,
         }
     }
@@ -394,6 +503,11 @@ fn worker_loop(shared: &Shared) {
 struct PatientReader<'a> {
     stream: &'a TcpStream,
     shared: &'a Shared,
+    /// When the first byte of the frame being read arrived. Lets the
+    /// frame-read phase measure transfer time only — the idle wait
+    /// between keep-alive requests (up to `idle_timeout`) would drown
+    /// every other phase if it were counted.
+    first_byte: Option<Instant>,
 }
 
 impl std::io::Read for PatientReader<'_> {
@@ -401,6 +515,10 @@ impl std::io::Read for PatientReader<'_> {
         let mut waited = Duration::ZERO;
         loop {
             match self.stream.read(buf) {
+                Ok(n) if n > 0 => {
+                    self.first_byte.get_or_insert_with(Instant::now);
+                    return Ok(n);
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -427,7 +545,7 @@ impl std::io::Read for PatientReader<'_> {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, queued_at: Instant, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.poll_tick));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -438,7 +556,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = PatientReader {
         stream: &stream,
         shared,
+        first_byte: None,
     };
+    // Accept-queue residency belongs to the *first* request's span;
+    // later requests on this keep-alive connection never queued.
+    let mut queue_wait = Some(queued_at.elapsed());
 
     loop {
         let payload = match read_frame(&mut reader, shared.config.max_frame) {
@@ -450,7 +572,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 // Malformed traffic gets a typed error, then the stream is
                 // unsynchronized, so close. The worker itself moves on to
                 // the next connection unharmed.
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.inc();
                 let kind = match e {
                     FrameError::Oversized { .. } => WireErrorKind::Oversized,
                     _ => WireErrorKind::BadFrame,
@@ -467,15 +589,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         };
 
         let started = Instant::now();
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        shared.counters.requests.inc();
+        let header_read_micros = reader
+            .first_byte
+            .take()
+            .map(|t0| started.duration_since(t0).as_micros() as u64)
+            .unwrap_or(0);
+        let mut span = RequestSpan::new("?");
+        span.record(Phase::FrameRead, header_read_micros);
+        if let Some(wait) = queue_wait.take() {
+            span.record(Phase::QueueWait, wait.as_micros() as u64);
+        }
 
+        let decode_start = Instant::now();
         let request: PlanRequest = match std::str::from_utf8(&payload)
             .map_err(|e| e.to_string())
             .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
         {
             Ok(r) => r,
             Err(e) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.inc();
                 let _ = write_response(
                     &mut writer,
                     &PlanResponse::Error {
@@ -486,6 +619,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        span.record_since(Phase::Decode, decode_start);
+        span.verb = verb_name(&request);
 
         // A `ProfileBin` header announces one raw profile frame; pull it
         // off the connection before dispatch. Any irregularity here
@@ -496,7 +631,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     Ok(Some(r)) => r,
                     Ok(None) | Err(FrameError::Io(_)) => return,
                     Err(e) => {
-                        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.errors.inc();
                         let kind = match e {
                             FrameError::Oversized { .. } => WireErrorKind::Oversized,
                             _ => WireErrorKind::BadFrame,
@@ -511,8 +646,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                         return;
                     }
                 };
+                // The raw frame is frame reading too (transfer time only,
+                // same first-byte rule as the header frame).
+                span.record(
+                    Phase::FrameRead,
+                    reader
+                        .first_byte
+                        .take()
+                        .map(|t0| t0.elapsed().as_micros() as u64)
+                        .unwrap_or(0),
+                );
                 if raw.len() as u64 != *bytes {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     let _ = write_response(
                         &mut writer,
                         &PlanResponse::Error {
@@ -530,8 +675,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             _ => None,
         };
 
-        shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
-        let (response, raw) = handle_request(request, raw_profile, started, shared);
+        shared.counters.in_flight.inc();
+        let (response, raw) = handle_request(request, raw_profile, started, shared, &mut span);
         let keep_alive = !matches!(
             response,
             PlanResponse::Error {
@@ -541,17 +686,56 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         );
         // Decrement before the response write: a client that has read its
         // response must never still observe itself as in-flight.
-        shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-        let write_ok = write_response(&mut writer, &response).is_ok()
+        shared.counters.in_flight.dec();
+        let tier = match &response {
+            PlanResponse::Plan { source, .. } | PlanResponse::PlanBin { source, .. } => {
+                Some(*source)
+            }
+            _ => None,
+        };
+
+        let encode_start = Instant::now();
+        let payload = match serde_json::to_string(&response) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        span.record_since(Phase::Encode, encode_start);
+
+        let write_start = Instant::now();
+        let write_ok = write_frame(&mut writer, payload.as_bytes()).is_ok()
             && match &raw {
                 // Binary-encoded plans ride in a raw follow-up frame,
-                // skipping the JSON value-tree round trip.
+                // skipping the JSON value-tree round trip. The encoding
+                // memo was populated when the `PlanBin` header was built,
+                // so this is a pure write.
                 Some(entry) => write_frame(&mut writer, entry.encoded()).is_ok(),
                 None => true,
             };
+        span.record_since(Phase::FrameWrite, write_start);
+
+        // End-to-end latency: everything since the header frame's first
+        // byte (`started.elapsed()` already covers any raw profile frame),
+        // plus the accept-queue wait that preceded it.
+        span.total_micros = span.phase_micros(Phase::QueueWait).unwrap_or(0)
+            + header_read_micros
+            + started.elapsed().as_micros() as u64;
+        shared.obs.observe(span, tier);
+
         if !write_ok || !keep_alive {
             return;
         }
+    }
+}
+
+/// The request's verb name, as spans and trace lines report it.
+fn verb_name(request: &PlanRequest) -> &'static str {
+    match request {
+        PlanRequest::Plan { .. } => "Plan",
+        PlanRequest::ProfileBin { .. } => "ProfileBin",
+        PlanRequest::Get { .. } => "Get",
+        PlanRequest::Stats => "Stats",
+        PlanRequest::Metrics => "Metrics",
+        PlanRequest::Ping => "Ping",
     }
 }
 
@@ -571,26 +755,38 @@ fn plan_response(
     started: Instant,
     entry: Arc<CachedPlan>,
     encoding: PlanEncoding,
+    span: &mut RequestSpan,
 ) -> (PlanResponse, Option<Arc<CachedPlan>>) {
+    let encode_start = Instant::now();
     match encoding {
-        PlanEncoding::Json => (
-            PlanResponse::Plan {
-                fingerprint,
-                source,
-                micros: started.elapsed().as_micros() as u64,
-                plan: entry.plan.clone(),
-            },
-            None,
-        ),
-        PlanEncoding::Binary => (
-            PlanResponse::PlanBin {
-                fingerprint,
-                source,
-                micros: started.elapsed().as_micros() as u64,
-                bytes: entry.encoded().len() as u64,
-            },
-            Some(entry),
-        ),
+        PlanEncoding::Json => {
+            let plan = entry.plan.clone();
+            span.record_since(Phase::Encode, encode_start);
+            (
+                PlanResponse::Plan {
+                    fingerprint,
+                    source,
+                    micros: started.elapsed().as_micros() as u64,
+                    plan,
+                },
+                None,
+            )
+        }
+        PlanEncoding::Binary => {
+            // May run `encode_plan` (first binary response for an entry
+            // whose bytes weren't already in hand) — encode-phase work.
+            let bytes = entry.encoded().len() as u64;
+            span.record_since(Phase::Encode, encode_start);
+            (
+                PlanResponse::PlanBin {
+                    fingerprint,
+                    source,
+                    micros: started.elapsed().as_micros() as u64,
+                    bytes,
+                },
+                Some(entry),
+            )
+        }
     }
 }
 
@@ -603,6 +799,7 @@ fn handle_request(
     raw_profile: Option<Vec<u8>>,
     started: Instant,
     shared: &Shared,
+    span: &mut RequestSpan,
 ) -> (PlanResponse, Option<Arc<CachedPlan>>) {
     match request {
         PlanRequest::Ping => (PlanResponse::Pong, None),
@@ -612,6 +809,15 @@ fn handle_request(
             },
             None,
         ),
+        PlanRequest::Metrics => {
+            shared.counters.metrics_requests.inc();
+            (
+                PlanResponse::Metrics {
+                    metrics: shared.metrics(),
+                },
+                None,
+            )
+        }
         PlanRequest::Get {
             fingerprint,
             encoding,
@@ -620,7 +826,7 @@ fn handle_request(
             // plan inline in JSON, as such clients expect.
             let encoding = encoding.unwrap_or(PlanEncoding::Json);
             let Some(fp) = Fingerprint::from_hex(&fingerprint) else {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.inc();
                 return (
                     PlanResponse::Error {
                         kind: WireErrorKind::BadRequest,
@@ -629,9 +835,9 @@ fn handle_request(
                     None,
                 );
             };
-            match lookup_cached(fp, shared) {
+            match lookup_cached(fp, shared, span) {
                 Some((entry, source)) => {
-                    plan_response(fingerprint, source, started, entry, encoding)
+                    plan_response(fingerprint, source, started, entry, encoding, span)
                 }
                 None => (PlanResponse::NotFound { fingerprint }, None),
             }
@@ -642,18 +848,19 @@ fn handle_request(
             encoding,
         } => {
             let encoding = encoding.unwrap_or(PlanEncoding::Json);
-            shared
-                .counters
-                .plan_requests
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.plan_requests.inc();
+            let fp_start = Instant::now();
             let fp = fingerprint_job(&profile, &config);
-            if let Some((entry, source)) = lookup_cached(fp, shared) {
-                return plan_response(fp.to_hex(), source, started, entry, encoding);
+            span.record_since(Phase::Fingerprint, fp_start);
+            if let Some((entry, source)) = lookup_cached(fp, shared, span) {
+                return plan_response(fp.to_hex(), source, started, entry, encoding, span);
             }
-            match plan_single_flight(fp, &profile, &config, shared) {
-                Ok((entry, source)) => plan_response(fp.to_hex(), source, started, entry, encoding),
+            match plan_single_flight(fp, &profile, &config, shared, span) {
+                Ok((entry, source)) => {
+                    plan_response(fp.to_hex(), source, started, entry, encoding, span)
+                }
                 Err(message) => {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     (
                         PlanResponse::Error {
                             kind: WireErrorKind::Internal,
@@ -668,18 +875,16 @@ fn handle_request(
             config, encoding, ..
         } => {
             let encoding = encoding.unwrap_or(PlanEncoding::Json);
-            shared
-                .counters
-                .plan_requests
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.plan_requests.inc();
             let raw = raw_profile.expect("connection handler reads the profile frame");
             // Fingerprint the canonical bytes directly: a cache hit never
             // pays the profile decode (nor, with the encoding memo, a
             // plan encode) — the whole point of the binary request path.
+            let fp_start = Instant::now();
             let body = match profile_body(&raw) {
                 Ok(b) => b,
                 Err(e) => {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     return (
                         PlanResponse::Error {
                             kind: WireErrorKind::BadRequest,
@@ -690,14 +895,17 @@ fn handle_request(
                 }
             };
             let fp = fingerprint_job_body(body, &config);
-            if let Some((entry, source)) = lookup_cached(fp, shared) {
-                return plan_response(fp.to_hex(), source, started, entry, encoding);
+            span.record_since(Phase::Fingerprint, fp_start);
+            if let Some((entry, source)) = lookup_cached(fp, shared, span) {
+                return plan_response(fp.to_hex(), source, started, entry, encoding, span);
             }
-            // Miss: now the profile is actually needed.
+            // Miss: now the profile is actually needed (decode-phase
+            // work, deferred off the hit path).
+            let decode_start = Instant::now();
             let profile = match decode_profile(&raw) {
                 Ok(p) => p,
                 Err(e) => {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     return (
                         PlanResponse::Error {
                             kind: WireErrorKind::BadRequest,
@@ -707,10 +915,13 @@ fn handle_request(
                     );
                 }
             };
-            match plan_single_flight(fp, &profile, &config, shared) {
-                Ok((entry, source)) => plan_response(fp.to_hex(), source, started, entry, encoding),
+            span.record_since(Phase::Decode, decode_start);
+            match plan_single_flight(fp, &profile, &config, shared, span) {
+                Ok((entry, source)) => {
+                    plan_response(fp.to_hex(), source, started, entry, encoding, span)
+                }
                 Err(message) => {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     (
                         PlanResponse::Error {
                             kind: WireErrorKind::Internal,
@@ -730,17 +941,28 @@ fn handle_request(
 /// seeds the entry's encoding memo with the artifact's own bytes — they
 /// are exactly `encode_plan` output, so binary responses for that entry
 /// never encode at all.
-fn lookup_cached(fp: Fingerprint, shared: &Shared) -> Option<(Arc<CachedPlan>, PlanSource)> {
-    if let Some(entry) = shared.lru.get(fp) {
-        shared.counters.lru_hits.fetch_add(1, Ordering::Relaxed);
+fn lookup_cached(
+    fp: Fingerprint,
+    shared: &Shared,
+    span: &mut RequestSpan,
+) -> Option<(Arc<CachedPlan>, PlanSource)> {
+    let lru_start = Instant::now();
+    let lru_hit = shared.lru.get(fp);
+    span.record_since(Phase::LruLookup, lru_start);
+    if let Some(entry) = lru_hit {
+        shared.counters.lru_hits.inc();
         return Some((entry, PlanSource::Lru));
     }
-    let (plan, bytes) = shared
-        .store
-        .as_ref()
-        .and_then(|s| s.get_with_bytes(fp).ok().flatten())
-        .filter(|(p, _)| p.validate().is_ok())?;
-    shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+    let store = shared.store.as_ref()?;
+    let store_start = Instant::now();
+    let found = store
+        .get_with_bytes(fp)
+        .ok()
+        .flatten()
+        .filter(|(p, _)| p.validate().is_ok());
+    span.record_since(Phase::StoreLookup, store_start);
+    let (plan, bytes) = found?;
+    shared.counters.store_hits.inc();
     let entry = CachedPlan::with_bytes(plan, bytes);
     shared.lru.insert(fp, Arc::clone(&entry));
     Some((entry, PlanSource::Store))
@@ -754,6 +976,7 @@ fn plan_single_flight(
     profile: &stalloc_core::ProfiledRequests,
     config: &stalloc_core::SynthConfig,
     shared: &Shared,
+    span: &mut RequestSpan,
 ) -> Result<(Arc<CachedPlan>, PlanSource), String> {
     let (flight, leader) = {
         let mut map = shared.inflight.lock().expect("inflight lock");
@@ -771,14 +994,18 @@ fn plan_single_flight(
     };
 
     if !leader {
+        // A follower's synthesis phase is its wait on the leader's run —
+        // the time this request spent on (someone's) synthesis.
+        let wait_start = Instant::now();
         let mut done = flight.done.lock().expect("flight lock");
         while done.is_none() {
             done = flight.cv.wait(done).expect("flight lock");
         }
         let result = done.clone().expect("checked some");
+        span.record_since(Phase::Synthesis, wait_start);
         return match result {
             Ok(entry) => {
-                shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                shared.counters.coalesced.inc();
                 Ok((entry, PlanSource::Coalesced))
             }
             Err(e) => Err(format!("coalesced synthesis failed: {e}")),
@@ -790,7 +1017,7 @@ fn plan_single_flight(
     // flight entry. Without this, two "one" syntheses could both run —
     // the map insert happens-after the previous leader's cache insert, so
     // a second look is conclusive.
-    if let Some((entry, source)) = lookup_cached(fp, shared) {
+    if let Some((entry, source)) = lookup_cached(fp, shared, span) {
         {
             let mut done = flight.done.lock().expect("flight lock");
             *done = Some(Ok(Arc::clone(&entry)));
@@ -804,11 +1031,13 @@ fn plan_single_flight(
     // pathological profile, and followers must never wait forever.
     // `synthesize_strategy` honours the request's strategy choice,
     // including the portfolio race.
+    let synth_start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| synthesize_strategy(profile, config)))
         .map(CachedPlan::new)
         .map_err(|_| "synthesis panicked".to_string());
+    span.record_since(Phase::Synthesis, synth_start);
     if let Ok(entry) = &outcome {
-        shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+        shared.counters.misses.inc();
         shared.lru.insert(fp, Arc::clone(entry));
         if let Some(store) = &shared.store {
             // Best effort: a store write failure must not fail the

@@ -4,6 +4,7 @@ pub use gpu_sim;
 pub use harness;
 pub use stalloc_core;
 pub use stalloc_fuzz;
+pub use stalloc_obs;
 pub use stalloc_served;
 pub use stalloc_solver;
 pub use stalloc_store;

@@ -15,7 +15,10 @@
 //! rebuilding the served plan as a v1 stream and decoding it back to an
 //! identical value.
 
-use stalloc_core::wire::{PlanEncoding, PlanRequest, PlanResponse, ProfileEncoding, WireErrorKind};
+use stalloc_core::wire::{
+    PlanEncoding, PlanRequest, PlanResponse, ProfileEncoding, ServeMetrics, ServeStats,
+    WireErrorKind,
+};
 use stalloc_core::{
     fingerprint_job, profile_trace, StrategyChoice, SynthConfig, FINGERPRINT_VERSION,
 };
@@ -176,6 +179,88 @@ fn foreign_version_artifacts_fail_typed_not_silent() {
     // The fingerprint version axis: v3 is pinned into every digest, so a
     // cache produced by an older walk can never alias today's entries.
     assert_eq!(FINGERPRINT_VERSION, 3);
+}
+
+/// The `Stats`/`Metrics` compatibility matrix, both directions:
+///
+/// * an old client against a new server — the `Stats` verb still works,
+///   and the old client's decoder simply ignores the new
+///   `metrics_requests` key on the wire;
+/// * a new client against an old server — an old-shape `ServeStats`
+///   document (no `metrics_requests` key) must keep decoding via
+///   `#[serde(default)]`, and a `Metrics`-rejecting peer must surface as
+///   a typed `BadFrame`, the same rejection today's server gives verbs
+///   from *its* future.
+#[test]
+fn stats_and_metrics_are_compatible_across_versions() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let profile = sample_profile();
+    let config = SynthConfig::default();
+
+    let mut client = PlanClient::connect(addr).unwrap();
+    client.plan(&profile, &config).unwrap();
+    client.plan(&profile, &config).unwrap();
+
+    // Old verb, new server: `Stats` answers as ever, now with the new
+    // counter riding along.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits(), 1);
+
+    // The wire document carries the new key; strip it to produce exactly
+    // what an old server would send (or what an old client would keep
+    // after ignoring unknown keys) and decode — the default must kick in
+    // while every old field survives.
+    let doc = serde_json::to_value(&stats).unwrap();
+    let serde::Value::Map(mut fields) = doc else {
+        panic!("ServeStats serializes as a map");
+    };
+    let before = fields.len();
+    fields.retain(|(k, _)| k != "metrics_requests");
+    assert_eq!(fields.len(), before - 1, "metrics_requests is on the wire");
+    let old_doc = serde_json::to_string(&serde::Value::Map(fields)).unwrap();
+    let old_shape: ServeStats = serde_json::from_str(&old_doc).unwrap();
+    assert_eq!(old_shape.metrics_requests, 0, "absent key defaults to 0");
+    assert_eq!(old_shape.hits(), stats.hits());
+    assert_eq!(old_shape.misses, stats.misses);
+
+    // A future server could likewise add sections to `ServeMetrics`: its
+    // vector fields all default, so a stats-only document decodes.
+    let skeleton: ServeMetrics = serde_json::from_str(&format!("{{\"stats\":{old_doc}}}")).unwrap();
+    assert!(skeleton.phases.is_empty() && skeleton.tiers.is_empty());
+
+    // New verb, new server: the same connection serves `Metrics`.
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.stats.misses, 1);
+    assert!(metrics.phase("synthesis").is_some());
+    assert!(metrics.tier("miss").is_some());
+
+    // The old-server direction of the verb itself: an unknown verb is a
+    // typed `BadFrame`, never a silent drop. Today's server demonstrates
+    // the exact mechanism an old one applies to `Metrics`. (Close the
+    // keep-alive client first: the single worker is still parked on it.)
+    drop(client);
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    write_frame(&mut stream, br#""VerbFromTheFuture""#).unwrap();
+    let payload = read_frame(&mut stream, DEFAULT_MAX_FRAME)
+        .expect("a typed error, not a dropped connection")
+        .expect("a response frame, not EOF");
+    let response: PlanResponse =
+        serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    match response {
+        PlanResponse::Error { kind, .. } => assert_eq!(kind, WireErrorKind::BadFrame),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    server.shutdown();
 }
 
 /// A `ProfileBin` header whose declared length disagrees with the actual

@@ -1,8 +1,8 @@
 //! Offline stand-in for `criterion`, compiling the same bench surface
 //! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
-//! benchmark groups with `bench_with_input`) and reporting simple
-//! mean-of-samples wall-clock timings instead of criterion's statistical
-//! analysis.
+//! benchmark groups with `bench_with_input`) and reporting mean, median,
+//! and p50/p90/p99 over the per-sample timings instead of criterion's
+//! full statistical analysis.
 //!
 //! Benches using this must set `harness = false`, exactly as with real
 //! criterion.
@@ -172,11 +172,21 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
     let mean: Duration = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
     let median = sorted[sorted.len() / 2];
     println!(
-        "{name:<50} mean {:>12} median {:>12} ({} samples)",
+        "{name:<50} mean {:>12} median {:>12} p90 {:>12} p99 {:>12} ({} samples)",
         fmt_duration(mean),
         fmt_duration(median),
+        fmt_duration(percentile(&sorted, 0.90)),
+        fmt_duration(percentile(&sorted, 0.99)),
         b.samples.len()
     );
+}
+
+/// Nearest-rank percentile over sorted samples (the median printed above
+/// is `percentile(sorted, 0.50)`; with the small sample counts this stub
+/// runs, p99 is effectively the worst sample).
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn fmt_duration(d: Duration) -> String {
