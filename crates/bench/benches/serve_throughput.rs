@@ -122,10 +122,9 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 // the per-tier histograms do not.
                 for tier in &server.metrics().tiers {
                     let n = tier.hist.total();
-                    if n == 0 {
+                    let Some((p50, _, p99)) = tier.hist.percentiles() else {
                         continue;
-                    }
-                    let (p50, _, p99) = tier.hist.percentiles();
+                    };
                     println!(
                         "    {name} · tier {:<9} n {n:>6}  p50 {p50:>8} µs  p99 {p99:>8} µs",
                         tier.name

@@ -208,10 +208,9 @@ pub fn latency_summary() -> String {
     let mut out = String::new();
     for (name, h) in latency() {
         let n = h.total();
-        if n == 0 {
-            continue;
-        }
-        let (p50, p90, p99) = h.percentiles();
+        let Some((p50, p90, p99)) = h.percentiles() else {
+            continue; // tier never exercised
+        };
         let _ = writeln!(
             out,
             "plan cache tier {name:<11} n {n:>6}  p50 {p50:>9} µs  p90 {p90:>9} µs  p99 {p99:>9} µs"

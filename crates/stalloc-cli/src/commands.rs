@@ -29,9 +29,12 @@ commands:
   plan        synthesize the allocation plan (paper section 5),
               locally or against a plan server (--remote)
   show        render a plan's occupancy as ASCII art
+  explain     replay a plan into a fragmentation/occupancy timeline
+              (table, JSON, or SVG memory map)
   replay      replay a trace through an allocator (paper section 9 metrics)
   serve       run the plan-synthesis daemon over a shared plan cache
   stats       show a live server's counters and latency histograms
+  top         refreshing live dashboard for a plan server
   cache       inspect a plan cache directory (ls | gc | clear)
   strategies  list the registered plan-synthesis strategies
   fuzz        fuzz the wire decoders and the plan server (deterministic)
@@ -181,10 +184,18 @@ usage: stalloc serve [flags]
   --trace-log FILE  append one JSON line per served request (seq, verb,
                     cache tier, total and per-phase µs) — `tail -f`
                     friendly; off by default
+  --trace-log-max-bytes N
+                    rotate the trace log when it would exceed N bytes
+                    (FILE → FILE.1, one rotated file kept; default:
+                    unbounded)
+  --metrics-addr A  also serve Prometheus text-format metrics over HTTP
+                    at A (`GET /metrics`; port 0 picks a free port,
+                    printed on startup); off by default
 
 serves the length-prefixed JSONL plan protocol until killed; identical
 concurrent jobs are deduplicated to one synthesis (single-flight);
-`stalloc stats ADDR` shows its live counters and latency histograms",
+`stalloc stats ADDR` shows its live counters and latency histograms,
+`stalloc top ADDR` keeps a refreshing dashboard on them",
         spec: FlagSpec {
             value_flags: &[
                 "addr",
@@ -194,6 +205,8 @@ concurrent jobs are deduplicated to one synthesis (single-flight);
                 "lru",
                 "max-frame-mib",
                 "trace-log",
+                "trace-log-max-bytes",
+                "metrics-addr",
             ],
             bool_flags: &[],
         },
@@ -257,11 +270,45 @@ const STATS_SPEC: FlagSpec = FlagSpec {
 const CACHE_HELP: &str = "\
 usage: stalloc cache <ls|gc|clear> --dir DIR
   ls     list cached plans (fingerprint, size, pool, created)
+         --long  also decode each artifact: strategy, codec version,
+                 encoded plan size
   gc     drop dangling index rows, orphan artifacts, stale temp files
   clear  remove every cached plan and the index";
 
 const CACHE_SPEC: FlagSpec = FlagSpec {
     value_flags: &["dir"],
+    bool_flags: &["long"],
+};
+
+const EXPLAIN_HELP: &str = "\
+usage: stalloc explain PLAN [--format table|json|svg] [flags]
+  replays the plan's allocations into a fragmentation/occupancy
+  timeline: per-tick live bytes, free-gap histogram, and stranded
+  memory attributed to the tensors roofing each gap; the reported peak
+  and fragmentation agree exactly with the plan's own stats
+  --format F        table (default): occupancy sparkline + gap
+                    histogram + stranded top-K; json: the full
+                    timeline; svg: a memory-map rendering (offset x
+                    time, colored by lifetime class)
+  --top N           stranded tensors to attribute (default 5)
+  --output FILE     write to FILE instead of stdout";
+
+const EXPLAIN_SPEC: FlagSpec = FlagSpec {
+    value_flags: &["format", "top", "output"],
+    bool_flags: &[],
+};
+
+const TOP_HELP: &str = "\
+usage: stalloc top ADDR [--interval SECS] [--count N]
+  polls the `stalloc serve` daemon at ADDR (the `Metrics` wire verb)
+  and keeps a refreshing dashboard: request counters, per-tier and
+  per-phase latency, and per-strategy solver-phase profiles
+  --interval SECS   seconds between refreshes (default 2)
+  --count N         stop after N frames (default: refresh until
+                    interrupted; 1 prints a single frame and exits)";
+
+const TOP_SPEC: FlagSpec = FlagSpec {
+    value_flags: &["interval", "count"],
     bool_flags: &[],
 };
 
@@ -282,12 +329,14 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         }
         "cache" => dispatch_cache(rest),
         "stats" => dispatch_stats(rest),
+        "explain" => dispatch_explain(rest),
+        "top" => dispatch_top(rest),
         name => {
             let Some(command) = COMMANDS.iter().find(|c| c.name == name) else {
                 let candidates = COMMANDS
                     .iter()
                     .map(|c| c.name)
-                    .chain(["cache", "stats", "help"]);
+                    .chain(["cache", "stats", "explain", "top", "help"]);
                 return Err(match nearest(name, candidates) {
                     Some(s) => format!("unknown command '{name}' (did you mean '{s}'?)"),
                     None => format!("unknown command '{name}'"),
@@ -310,6 +359,14 @@ fn print_command_help(topic: &str) -> Result<(), String> {
     }
     if topic == "stats" {
         println!("{STATS_HELP}");
+        return Ok(());
+    }
+    if topic == "explain" {
+        println!("{EXPLAIN_HELP}");
+        return Ok(());
+    }
+    if topic == "top" {
+        println!("{TOP_HELP}");
         return Ok(());
     }
     match COMMANDS.iter().find(|c| c.name == topic) {
@@ -342,12 +399,27 @@ fn dispatch_cache(rest: &[String]) -> Result<(), String> {
                 println!("(empty cache at {})", store.dir().display());
                 return Ok(());
             }
-            println!(
-                "{:<32} {:>10} {:>12} {:>8} {:>12}",
-                "fingerprint", "bytes", "pool (GiB)", "statics", "created"
-            );
-            for e in &entries {
+            let long = args.flag("long");
+            if long {
                 println!(
+                    "{:<32} {:>10} {:>12} {:>8} {:>12} {:>10} {:>5} {:>10}",
+                    "fingerprint",
+                    "bytes",
+                    "pool (GiB)",
+                    "statics",
+                    "created",
+                    "strategy",
+                    "codec",
+                    "plan bytes"
+                );
+            } else {
+                println!(
+                    "{:<32} {:>10} {:>12} {:>8} {:>12}",
+                    "fingerprint", "bytes", "pool (GiB)", "statics", "created"
+                );
+            }
+            for e in &entries {
+                print!(
                     "{:<32} {:>10} {:>12.3} {:>8} {:>12}",
                     e.fingerprint,
                     e.bytes,
@@ -355,6 +427,28 @@ fn dispatch_cache(rest: &[String]) -> Result<(), String> {
                     e.static_requests,
                     e.created_unix
                 );
+                if long {
+                    // Decode the artifact itself: the index row knows the
+                    // summary, the bytes know the strategy and codec.
+                    let detail = stalloc_core::Fingerprint::from_hex(&e.fingerprint)
+                        .map(|fp| store.plan_path(fp))
+                        .and_then(|p| fs::read(p).ok())
+                        .and_then(|bytes| {
+                            if !is_binary_plan(&bytes) || bytes.len() < 6 {
+                                return None;
+                            }
+                            let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+                            let plan = decode_plan(&bytes).ok()?;
+                            Some((plan.stats.strategy.name(), version, bytes.len()))
+                        });
+                    match detail {
+                        Some((strategy, version, len)) => {
+                            print!(" {strategy:>10} {version:>5} {len:>10}")
+                        }
+                        None => print!(" {:>10} {:>5} {:>10}", "?", "?", "?"),
+                    }
+                }
+                println!();
             }
             println!("{} plan(s)", entries.len());
             Ok(())
@@ -473,15 +567,14 @@ fn render_histogram_table(title: &str, rows: &[NamedHistogram]) -> String {
     );
     for row in rows {
         let h = &row.hist;
-        if h.total() == 0 {
+        let Some((p50, p90, p99)) = h.percentiles() else {
             let _ = writeln!(
                 out,
                 "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}",
                 row.name, 0, "-", "-", "-", "-"
             );
             continue;
-        }
-        let (p50, p90, p99) = h.percentiles();
+        };
         let _ = writeln!(
             out,
             "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}",
@@ -507,6 +600,10 @@ fn render_metrics(addr: &str, m: &ServeMetrics, slowest: usize) -> String {
     out.push_str(&render_histogram_table("tier", &m.tiers));
     out.push('\n');
     out.push_str(&render_histogram_table("phase", &m.phases));
+    if !m.solver.is_empty() {
+        out.push('\n');
+        out.push_str(&render_solver_table(&m.solver));
+    }
     if slowest > 0 && !m.slowest.is_empty() {
         let _ = writeln!(out, "\nslowest requests:");
         for span in m.slowest.iter().take(slowest) {
@@ -533,6 +630,244 @@ fn render_metrics(addr: &str, m: &ServeMetrics, slowest: usize) -> String {
         }
     }
     out
+}
+
+/// Human bytes: `512 B`, `1.5 KiB`, `2.3 MiB`, `1.20 GiB`.
+fn fmt_bytes(b: u64) -> String {
+    if b < 1 << 10 {
+        format!("{b} B")
+    } else if b < 1 << 20 {
+        format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64)
+    } else if b < 1 << 30 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    }
+}
+
+/// Per-strategy solver table (the `solver` section of a `Metrics`
+/// payload): run counts, phase-time split, and placement work.
+fn render_solver_table(rows: &[stalloc_core::SolverStrategyMetrics]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>5} {:>7} {:>9} {:>9} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "solver",
+        "runs",
+        "wins",
+        "invalid",
+        "layout",
+        "pack",
+        "finish",
+        "candidates",
+        "tried",
+        "rejected",
+        "p50",
+        "p99"
+    );
+    for r in rows {
+        let (p50, p99) = match (r.elapsed.quantile(0.50), r.elapsed.quantile(0.99)) {
+            (Some(a), Some(b)) => (fmt_micros(a), fmt_micros(b)),
+            _ => ("-".into(), "-".into()),
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>5} {:>7} {:>9} {:>9} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9}",
+            r.strategy,
+            r.runs,
+            r.wins,
+            r.invalid,
+            fmt_micros(r.layout_micros),
+            fmt_micros(r.pack_micros),
+            fmt_micros(r.finish_micros),
+            r.candidates_evaluated,
+            r.placements_tried,
+            r.placements_rejected,
+            p50,
+            p99
+        );
+    }
+    out
+}
+
+fn dispatch_explain(rest: &[String]) -> Result<(), String> {
+    // Like `stats`, the first token is positional: the plan file.
+    let Some((path, rest)) = rest.split_first() else {
+        return Err("explain: no plan file given (try `stalloc explain plan.stplan`)".into());
+    };
+    if path == "--help" || path == "-h" || path == "help" {
+        println!("{EXPLAIN_HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(rest, &EXPLAIN_SPEC)?;
+    if args.wants_help() {
+        println!("{EXPLAIN_HELP}");
+        return Ok(());
+    }
+    cmd_explain(path, &args)
+}
+
+fn cmd_explain(path: &str, args: &Args) -> Result<(), String> {
+    let plan = read_plan(path)?;
+    let top = args.num("top", 5usize)?;
+    let timeline = stalloc_core::analyze_plan(&plan, top);
+    let mut body = match args.get("format").unwrap_or("table") {
+        "table" => render_timeline_table(path, &plan, &timeline),
+        "json" => serde_json::to_string(&timeline).map_err(|e| e.to_string())?,
+        "svg" => stalloc_core::render_svg(&plan, &timeline),
+        other => return Err(format!("--format: expected table|json|svg, got '{other}'")),
+    };
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    match args.get("output") {
+        Some(file) => {
+            fs::write(file, &body).map_err(|e| format!("{file}: {e}"))?;
+            eprintln!("wrote {file} ({} bytes)", body.len());
+        }
+        None => print!("{body}"),
+    }
+    Ok(())
+}
+
+/// The `--format table` view: header, occupancy sparkline, free-gap
+/// histogram, stranded-memory attribution.
+fn render_timeline_table(path: &str, plan: &Plan, t: &stalloc_core::PlanTimeline) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let frag_pct = if t.pool_size > 0 {
+        t.fragmentation as f64 * 100.0 / t.pool_size as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "{path}: strategy {} · pool {} · peak {} @ tick {} · fragmentation {} ({frag_pct:.1}%)",
+        plan.stats.strategy.name(),
+        fmt_bytes(t.pool_size),
+        fmt_bytes(t.peak_live_bytes),
+        t.peak_tick,
+        fmt_bytes(t.fragmentation)
+    );
+    if t.samples.is_empty() {
+        let _ = writeln!(out, "(empty plan: no allocations to replay)");
+        return out;
+    }
+
+    // Occupancy over time, live bytes as a fraction of the pool.
+    const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    const COLS: usize = 64;
+    let horizon = t.samples.last().map(|s| s.tick).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "occupancy ({} samples over {} ticks, one column ≈ {} ticks):",
+        t.samples.len(),
+        horizon + 1,
+        (horizon / COLS as u64).max(1)
+    );
+    let cols = COLS.min(t.samples.len());
+    let mut line = String::with_capacity(cols + 2);
+    for col in 0..cols {
+        let s = &t.samples[col * t.samples.len() / cols];
+        let level = if t.pool_size == 0 {
+            0
+        } else {
+            ((s.live_bytes as u128 * 8).div_ceil(t.pool_size as u128) as usize).min(8)
+        };
+        line.push(BLOCKS[level]);
+    }
+    let _ = writeln!(out, "  [{line}]");
+
+    // Interior free gaps seen at the sampled ticks.
+    match (
+        t.gap_sizes.quantile(0.50),
+        t.gap_sizes.quantile(0.90),
+        t.gap_sizes.quantile(0.99),
+    ) {
+        (Some(p50), Some(p90), Some(p99)) => {
+            let _ = writeln!(
+                out,
+                "free gaps: {} observed · p50 {} · p90 {} · p99 {}",
+                t.gap_sizes.total(),
+                fmt_bytes(p50),
+                fmt_bytes(p90),
+                fmt_bytes(p99)
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "free gaps: none observed (contiguous occupancy)");
+        }
+    }
+
+    // Stranded-memory attribution: the tensors roofing the gaps.
+    if !t.stranded.is_empty() {
+        let _ = writeln!(
+            out,
+            "stranded memory, top {} by byte·ticks stranded beneath the tensor:",
+            t.stranded.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>6} {:>10} {:>12} {:>18} {:>16}",
+            "kind", "index", "size", "offset", "live [ts, te)", "byte·ticks"
+        );
+        for s in &t.stranded {
+            let _ = writeln!(
+                out,
+                "  {:<6} {:>6} {:>10} {:>12} {:>18} {:>16}",
+                s.kind,
+                s.index,
+                fmt_bytes(s.size),
+                s.offset,
+                format!("[{}, {})", s.ts, s.te),
+                s.stranded_byte_ticks
+            );
+        }
+    }
+    out
+}
+
+fn dispatch_top(rest: &[String]) -> Result<(), String> {
+    // Like `stats`, the first token is positional: the server address.
+    let Some((addr, rest)) = rest.split_first() else {
+        return Err("top: no server address given (try `stalloc top 127.0.0.1:4547`)".into());
+    };
+    if addr == "--help" || addr == "-h" || addr == "help" {
+        println!("{TOP_HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(rest, &TOP_SPEC)?;
+    if args.wants_help() {
+        println!("{TOP_HELP}");
+        return Ok(());
+    }
+    cmd_top(addr, args.num("interval", 2u64)?, args.num("count", 0u64)?)
+}
+
+fn cmd_top(addr: &str, interval_s: u64, count: u64) -> Result<(), String> {
+    let mut frame = 0u64;
+    loop {
+        // A fresh connection per frame: the dashboard must not pin a
+        // worker slot between refreshes.
+        let metrics = PlanClient::connect(addr)
+            .and_then(|mut c| c.metrics())
+            .map_err(|e| format!("{addr}: {e}"))?;
+        frame += 1;
+        if count != 1 {
+            // Clear + home between frames (single-frame runs stay pipeable).
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "stalloc top — {addr} · frame {frame} · every {interval_s}s{}",
+            if count == 0 { " · Ctrl-C to quit" } else { "" }
+        );
+        print!("{}", render_metrics(addr, &metrics, 3));
+        if count > 0 && frame >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval_s));
+    }
 }
 
 fn parse_model(name: &str) -> Result<ModelSpec, String> {
@@ -773,11 +1108,23 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
                     c.pool_size as f64 / (1u64 << 30) as f64
                 )
             };
+            let p = &c.profile;
             eprintln!(
                 "  {:<10} {verdict} ({} ms){}",
                 c.strategy.name(),
                 c.elapsed.as_millis(),
                 if c.winner { "  ← winner" } else { "" }
+            );
+            eprintln!(
+                "  {:<10} layout {} · pack {} · finish {} · {} candidates, \
+                 {} placed, {} rejected",
+                "",
+                fmt_micros(p.layout_micros),
+                fmt_micros(p.pack_micros),
+                fmt_micros(p.finish_micros),
+                p.candidates_evaluated,
+                p.placements_tried,
+                p.placements_rejected
             );
         }
         outcome.winner
@@ -824,8 +1171,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_frame: args.num("max-frame-mib", 64usize)? << 20,
         store_dir: args.get("cache").map(std::path::PathBuf::from),
         trace_log: args.get("trace-log").map(std::path::PathBuf::from),
+        trace_log_max_bytes: match args.get("trace-log-max-bytes") {
+            Some(_) => Some(args.num("trace-log-max-bytes", 0u64)?),
+            None => None,
+        },
+        metrics_addr: args.get("metrics-addr").map(String::from),
         ..ServeConfig::default()
     };
+    if config.trace_log_max_bytes.is_some() && config.trace_log.is_none() {
+        return Err("--trace-log-max-bytes requires --trace-log".into());
+    }
     let cache_desc = match &config.store_dir {
         Some(d) => format!("store {}", d.display()),
         None => "in-memory only".to_string(),
@@ -835,14 +1190,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         None => String::new(),
     };
     let handle = PlanServer::start(config.clone()).map_err(|e| e.to_string())?;
+    let metrics_desc = match handle.metrics_http_addr() {
+        Some(a) => format!(", metrics http://{a}/metrics"),
+        None => String::new(),
+    };
     println!(
-        "stalloc serve: listening on {} ({} workers, queue {}, lru {}, {}{})",
+        "stalloc serve: listening on {} ({} workers, queue {}, lru {}, {}{}{})",
         handle.addr(),
         config.workers,
         config.queue_depth,
         config.lru_capacity,
         cache_desc,
-        trace_desc
+        trace_desc,
+        metrics_desc
     );
     handle.join();
     Ok(())
@@ -998,6 +1358,12 @@ mod tests {
             "serve --help",
             "cache --help",
             "cache ls --help",
+            "help explain",
+            "help top",
+            "explain --help",
+            "explain -h",
+            "top --help",
+            "top help",
         ] {
             dispatch(&argv(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
@@ -1098,6 +1464,93 @@ mod tests {
     }
 
     #[test]
+    fn explain_renders_timeline_from_plan_files() {
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-explain-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let trace_p = dir.join("t.json").to_string_lossy().to_string();
+        let prof_p = dir.join("p.json").to_string_lossy().to_string();
+        let plan_p = dir.join("pl.stplan").to_string_lossy().to_string();
+        let table_p = dir.join("explain.txt").to_string_lossy().to_string();
+        let json_p = dir.join("explain.json").to_string_lossy().to_string();
+        let svg_p = dir.join("explain.svg").to_string_lossy().to_string();
+
+        dispatch(&argv(&format!(
+            "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
+             --iterations 2 --output {trace_p}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "profile --input {trace_p} --output {prof_p}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --strategy bestfit"
+        )))
+        .unwrap();
+
+        // Table view names the headline numbers (what CI greps for).
+        dispatch(&argv(&format!("explain {plan_p} --output {table_p}"))).unwrap();
+        let table = fs::read_to_string(&table_p).unwrap();
+        assert!(table.contains("fragmentation"), "{table}");
+        assert!(table.contains("occupancy"), "{table}");
+        assert!(table.contains("strategy bestfit"), "{table}");
+
+        // The JSON view is the full timeline, and its peak agrees
+        // exactly with the plan's own stats.
+        dispatch(&argv(&format!(
+            "explain {plan_p} --format json --top 3 --output {json_p}"
+        )))
+        .unwrap();
+        let timeline: stalloc_core::PlanTimeline =
+            serde_json::from_str(&fs::read_to_string(&json_p).unwrap()).unwrap();
+        let plan = read_plan(&plan_p).unwrap();
+        assert_eq!(timeline.peak_live_bytes, plan.stats.peak_static_demand);
+        assert_eq!(
+            timeline.fragmentation,
+            plan.pool_size - plan.stats.peak_static_demand
+        );
+        assert!(timeline.stranded.len() <= 3);
+
+        // The SVG view is a standalone document.
+        dispatch(&argv(&format!(
+            "explain {plan_p} --format svg --output {svg_p}"
+        )))
+        .unwrap();
+        let svg = fs::read_to_string(&svg_p).unwrap();
+        assert!(svg.starts_with("<svg"), "{}", &svg[..svg.len().min(80)]);
+        assert!(svg.trim_end().ends_with("</svg>"));
+
+        // Errors: bad format, missing positional, unreadable file.
+        let err = dispatch(&argv(&format!("explain {plan_p} --format png"))).unwrap_err();
+        assert!(err.contains("--format"), "{err}");
+        let err = dispatch(&argv("explain")).unwrap_err();
+        assert!(err.contains("plan file"), "{err}");
+        assert!(dispatch(&argv("explain /nonexistent.stplan")).is_err());
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_and_serve_flag_errors() {
+        let err = dispatch(&argv("top")).unwrap_err();
+        assert!(err.contains("address"), "{err}");
+        // The rotation cap is meaningless without a trace log.
+        let err = dispatch(&argv("serve --trace-log-max-bytes 4096")).unwrap_err();
+        assert!(err.contains("--trace-log"), "{err}");
+        // A typo'd new command still suggests it.
+        let err = dispatch(&argv("explian")).unwrap_err();
+        assert!(err.contains("did you mean 'explain'"), "{err}");
+    }
+
+    #[test]
+    fn fmt_bytes_picks_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+        assert_eq!(fmt_bytes(1288490189), "1.20 GiB");
+    }
+
+    #[test]
     fn fmt_micros_picks_units() {
         assert_eq!(fmt_micros(0), "0µs");
         assert_eq!(fmt_micros(999), "999µs");
@@ -1156,6 +1609,7 @@ mod tests {
                 total_micros: 150_000,
                 phase_micros,
             }],
+            solver: vec![],
         };
         let text = render_metrics("127.0.0.1:4547", &m, 3);
         assert!(text.contains("hit ratio 90.0%"), "{text}");
@@ -1255,9 +1709,22 @@ mod tests {
         assert!(err.contains("--wire"), "{err}");
 
         // `stalloc stats` renders the live server's counters and
-        // histograms end to end (one miss + two hits are on the books).
+        // histograms end to end (one miss + two hits are on the books),
+        // and `stalloc top --count 1` prints a single dashboard frame.
         dispatch(&argv(&format!("stats {addr}"))).unwrap();
         dispatch(&argv(&format!("stats {addr} --slowest 0"))).unwrap();
+        dispatch(&argv(&format!("top {addr} --count 1"))).unwrap();
+
+        // The one miss ran the solver: its per-strategy profile is on
+        // the Metrics wire and renders as the solver table.
+        let metrics = PlanClient::connect(addr)
+            .and_then(|mut c| c.metrics())
+            .unwrap();
+        assert!(!metrics.solver.is_empty(), "solver section populated");
+        let table = render_solver_table(&metrics.solver);
+        assert!(table.contains("baseline"), "{table}");
+        let text = render_metrics(&addr.to_string(), &metrics, 0);
+        assert!(text.contains("solver"), "{text}");
 
         // An unreachable server is a clean error, not a hang or panic.
         server.shutdown();
@@ -1354,8 +1821,9 @@ mod tests {
         assert_eq!(read_plan(&bin_p).unwrap(), read_plan(&json_p).unwrap());
         dispatch(&argv(&format!("show --input {bin_p} --rows 4 --cols 20"))).unwrap();
 
-        // cache ls / gc / clear run end to end.
+        // cache ls / ls --long / gc / clear run end to end.
         dispatch(&argv(&format!("cache ls --dir {cache_d}"))).unwrap();
+        dispatch(&argv(&format!("cache ls --long --dir {cache_d}"))).unwrap();
         dispatch(&argv(&format!("cache gc --dir {cache_d}"))).unwrap();
         assert_eq!(store.entries().unwrap().len(), 1, "gc keeps live entries");
         dispatch(&argv(&format!("cache clear --dir {cache_d}"))).unwrap();

@@ -45,6 +45,7 @@ pub mod geometry;
 pub mod plan;
 pub mod profiler;
 pub mod runtime;
+pub mod timeline;
 pub mod visualize;
 pub mod wire;
 
@@ -59,10 +60,11 @@ pub use plan::{
 };
 pub use profiler::{profile_trace, InstanceKey, ProfileError, ProfiledRequests, RequestEvent};
 pub use runtime::{RuntimeConfig, RuntimeCounters, StallocAllocator};
+pub use timeline::{analyze_plan, render_svg, PlanTimeline, StrandedTensor, TimelineSample};
 pub use visualize::render_plan;
 pub use wire::{
     NamedHistogram, PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding,
-    ServeMetrics, ServeStats, WireErrorKind,
+    ServeMetrics, ServeStats, SolverStrategyMetrics, WireErrorKind,
 };
 
 #[cfg(test)]

@@ -235,6 +235,46 @@ pub struct NamedHistogram {
     pub hist: HistogramSnapshot,
 }
 
+/// One strategy's aggregated synthesis accounting in the `Metrics`
+/// verb's `solver` section: counters summed over every synthesis run the
+/// server performed with that strategy (including losing portfolio
+/// racers), plus the distribution of its wall-clock times.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverStrategyMetrics {
+    /// Stable strategy name (`"baseline"`, `"bestfit"`, ...).
+    pub strategy: String,
+    /// Synthesis runs (portfolio races count each racer once).
+    #[serde(default)]
+    pub runs: u64,
+    /// Runs whose plan was selected (the winning candidate).
+    #[serde(default)]
+    pub wins: u64,
+    /// Runs whose candidate failed validation or panicked.
+    #[serde(default)]
+    pub invalid: u64,
+    /// Total request ordering / grouping time, µs.
+    #[serde(default)]
+    pub layout_micros: u64,
+    /// Total packer (gap scan + placement) time, µs.
+    #[serde(default)]
+    pub pack_micros: u64,
+    /// Total plan assembly time, µs.
+    #[serde(default)]
+    pub finish_micros: u64,
+    /// Placement candidates examined.
+    #[serde(default)]
+    pub candidates_evaluated: u64,
+    /// Placements committed.
+    #[serde(default)]
+    pub placements_tried: u64,
+    /// Candidates examined but passed over.
+    #[serde(default)]
+    pub placements_rejected: u64,
+    /// Distribution of end-to-end per-run wall time, microseconds.
+    #[serde(default)]
+    pub elapsed: HistogramSnapshot,
+}
+
 /// The `Metrics` verb's payload: everything `Stats` reports plus latency
 /// distributions and the slowest retained request spans.
 ///
@@ -258,6 +298,11 @@ pub struct ServeMetrics {
     /// The slowest retained request spans, slowest first.
     #[serde(default)]
     pub slowest: Vec<SpanSnapshot>,
+    /// Per-strategy synthesis accounting, in `StrategyChoice::CONCRETE`
+    /// order; strategies the server never ran are absent. Empty on
+    /// pre-solver-profiling servers (`default`).
+    #[serde(default)]
+    pub solver: Vec<SolverStrategyMetrics>,
 }
 
 impl ServeMetrics {
@@ -269,6 +314,11 @@ impl ServeMetrics {
     /// The named tier histogram, if present.
     pub fn tier(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.tiers.iter().find(|h| h.name == name).map(|h| &h.hist)
+    }
+
+    /// The named strategy's solver accounting, if present.
+    pub fn solver_strategy(&self, name: &str) -> Option<&SolverStrategyMetrics> {
+        self.solver.iter().find(|s| s.strategy == name)
     }
 }
 
@@ -516,6 +566,19 @@ mod tests {
                 hist: hist.snapshot(),
             }],
             slowest: vec![SpanSnapshot::from(&span)],
+            solver: vec![SolverStrategyMetrics {
+                strategy: "bestfit".into(),
+                runs: 1,
+                wins: 1,
+                layout_micros: 120,
+                pack_micros: 4_400,
+                finish_micros: 300,
+                candidates_evaluated: 900,
+                placements_tried: 450,
+                placements_rejected: 450,
+                elapsed: hist.snapshot(),
+                ..SolverStrategyMetrics::default()
+            }],
         };
         let request = serde_json::to_string(&PlanRequest::Metrics).unwrap();
         match serde_json::from_str::<PlanRequest>(&request).unwrap() {
@@ -536,9 +599,30 @@ mod tests {
                 );
                 assert!(back.phase("nope").is_none());
                 assert_eq!(back.slowest[0].tier, "miss");
+                let solver = back.solver_strategy("bestfit").unwrap();
+                assert_eq!((solver.runs, solver.wins), (1, 1));
+                assert_eq!(solver.candidates_evaluated, 900);
+                assert_eq!(solver.elapsed.total(), 3);
+                assert!(back.solver_strategy("lookahead").is_none());
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn old_shape_metrics_json_still_decodes_without_solver() {
+        // A `Metrics` payload as a pre-solver-profiling server writes
+        // it: no `solver` key. New clients must decode it with the
+        // section defaulted to empty, not reject the document.
+        let old = r#"{"stats": {"requests": 2, "plan_requests": 1,
+                      "lru_hits": 1, "store_hits": 0, "misses": 0,
+                      "coalesced": 0, "rejected": 0, "errors": 0,
+                      "in_flight": 0, "queue_depth": 0, "workers": 2},
+                      "phases": [], "tiers": [], "slowest": []}"#;
+        let m: ServeMetrics = serde_json::from_str(old).unwrap();
+        assert_eq!(m.stats.requests, 2);
+        assert!(m.solver.is_empty(), "absent section defaults to empty");
+        assert!(m.solver_strategy("baseline").is_none());
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
         poll_tick: Duration::from_millis(10),
         idle_timeout: Duration::from_secs(10),
         trace_log: None,
+        trace_log_max_bytes: None,
+        metrics_addr: None,
     }) {
         Ok(h) => h,
         Err(e) => {

@@ -123,10 +123,12 @@ impl HistogramSnapshot {
 
     /// The q-quantile (`0.0 ≤ q ≤ 1.0`), interpolated linearly within
     /// the winning log2 bucket. `quantile(0.5)` is the median estimate.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// `None` when the histogram holds no samples — an empty tier has no
+    /// quantiles, and reporting 0 would masquerade as a real latency.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.total();
         if total == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * total as f64).ceil() as u64).clamp(1, total);
@@ -139,21 +141,23 @@ impl HistogramSnapshot {
             if next >= target {
                 let (lo, hi) = bucket_range(i);
                 let into = (target - cum) as f64 / c as f64;
-                return lo.saturating_add(((hi - lo) as f64 * into) as u64);
+                return Some(lo.saturating_add(((hi - lo) as f64 * into) as u64));
             }
             cum = next;
         }
         // Unreachable for consistent snapshots; a ragged one gets the top.
-        bucket_range(NUM_BUCKETS - 1).1
+        Some(bucket_range(NUM_BUCKETS - 1).1)
     }
 
-    /// p50/p90/p99, the triple every report in this repo prints.
-    pub fn percentiles(&self) -> (u64, u64, u64) {
-        (
-            self.quantile(0.50),
-            self.quantile(0.90),
-            self.quantile(0.99),
-        )
+    /// p50/p90/p99, the triple every report in this repo prints. `None`
+    /// when empty, so callers must decide how to mark a quiet tier
+    /// instead of printing all-zero rows.
+    pub fn percentiles(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.90)?,
+            self.quantile(0.99)?,
+        ))
     }
 }
 
@@ -219,13 +223,13 @@ mod tests {
             h.record(100);
         }
         let s = h.snapshot();
-        let (p50, p90, p99) = s.percentiles();
+        let (p50, p90, p99) = s.percentiles().unwrap();
         // All within the bucket, ordered, spanning its width.
         for p in [p50, p90, p99] {
             assert!((64..=127).contains(&p), "{p} outside bucket");
         }
         assert!(p50 <= p90 && p90 <= p99);
-        assert_eq!(s.quantile(1.0), 127);
+        assert_eq!(s.quantile(1.0), Some(127));
         assert_eq!(s.mean(), 100);
     }
 
@@ -240,15 +244,16 @@ mod tests {
             h.record(147_000);
         }
         let s = h.snapshot();
-        assert!(s.quantile(0.50) < 200, "median is a hit");
-        assert!(s.quantile(0.99) > 100_000, "p99 is a synthesis");
+        assert!(s.quantile(0.50).unwrap() < 200, "median is a hit");
+        assert!(s.quantile(0.99).unwrap() > 100_000, "p99 is a synthesis");
     }
 
     #[test]
-    fn empty_snapshot_is_all_zeros() {
+    fn empty_snapshot_has_no_quantiles() {
         let s = LatencyHistogram::new().snapshot();
         assert_eq!(s.total(), 0);
-        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.quantile(0.99), None, "no samples, no quantile");
+        assert_eq!(s.percentiles(), None);
         assert_eq!(s.mean(), 0);
     }
 
@@ -301,6 +306,7 @@ mod tests {
             count: 99,
             sum: 7,
         };
-        assert_eq!(empty.quantile(0.5), 0);
+        // `count` lies but `buckets` is the truth: no samples, no quantile.
+        assert_eq!(empty.quantile(0.5), None);
     }
 }

@@ -29,4 +29,4 @@ mod trace;
 pub use counter::ShardedCounter;
 pub use histogram::{bucket_index, bucket_range, HistogramSnapshot, LatencyHistogram, NUM_BUCKETS};
 pub use span::{Phase, RequestSpan, SpanRing, SpanSnapshot, PHASE_COUNT};
-pub use trace::TraceLog;
+pub use trace::{rotated_path, TraceLog};

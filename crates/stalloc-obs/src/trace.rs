@@ -5,30 +5,72 @@
 //! emitted, so a `Ping` line stays tiny. Writing allocates (a line
 //! buffer) and takes a mutex; this sink is for `--trace-log` runs, not
 //! part of the allocation-free default path.
+//!
+//! A size cap ([`TraceLog::with_max_bytes`]) bounds disk usage for
+//! long-lived servers: when appending a line would push the live file
+//! past the cap, the file rotates to `<name>.1` (replacing any previous
+//! rotated file) and a fresh live file starts. Rotation happens at line
+//! boundaries under the same mutex as writes, so both files always hold
+//! whole, valid JSON lines.
 
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use crate::span::RequestSpan;
 
-/// A shared JSONL trace file.
+/// A shared JSONL trace file, optionally size-capped with one rotated
+/// generation.
 pub struct TraceLog {
-    out: Mutex<BufWriter<File>>,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    out: BufWriter<File>,
+    path: PathBuf,
+    /// Rotate before a write would push the live file past this size.
+    max_bytes: Option<u64>,
+    /// Bytes written to the live file since it was (re)created.
+    written: u64,
+}
+
+/// The path a capped trace file rotates to: `trace.jsonl` →
+/// `trace.jsonl.1`.
+pub fn rotated_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".1");
+    path.with_file_name(name)
 }
 
 impl TraceLog {
-    /// Creates (truncates) the trace file.
+    /// Creates (truncates) the trace file, uncapped.
     pub fn create(path: &Path) -> std::io::Result<TraceLog> {
+        Self::open(path, None)
+    }
+
+    /// Creates (truncates) the trace file with a size cap: once the live
+    /// file would exceed `max_bytes`, it rotates to `<name>.1` (keeping
+    /// exactly one rotated generation) and starts fresh.
+    pub fn with_max_bytes(path: &Path, max_bytes: u64) -> std::io::Result<TraceLog> {
+        Self::open(path, Some(max_bytes))
+    }
+
+    fn open(path: &Path, max_bytes: Option<u64>) -> std::io::Result<TraceLog> {
         Ok(TraceLog {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            inner: Mutex::new(Inner {
+                out: BufWriter::new(File::create(path)?),
+                path: path.to_path_buf(),
+                max_bytes,
+                written: 0,
+            }),
         })
     }
 
     /// Appends one span as a JSON line and flushes it (so `tail -f` on a
-    /// live server sees every request).
+    /// live server sees every request), rotating first if the line would
+    /// push a capped file over its limit.
     pub fn record(&self, span: &RequestSpan) -> std::io::Result<()> {
         let mut line = String::with_capacity(160);
         let _ = write!(
@@ -40,9 +82,21 @@ impl TraceLog {
             let _ = write!(line, r#","{}":{}"#, phase.name(), micros);
         }
         line.push_str("}\n");
-        let mut out = self.out.lock().expect("trace log lock");
-        out.write_all(line.as_bytes())?;
-        out.flush()
+
+        let mut inner = self.inner.lock().expect("trace log lock");
+        if let Some(max) = inner.max_bytes {
+            // `written > 0` lets a single line larger than the cap still
+            // land (in a file of its own) instead of rotating forever.
+            if inner.written > 0 && inner.written.saturating_add(line.len() as u64) > max {
+                inner.out.flush()?;
+                std::fs::rename(&inner.path, rotated_path(&inner.path))?;
+                inner.out = BufWriter::new(File::create(&inner.path)?);
+                inner.written = 0;
+            }
+        }
+        inner.out.write_all(line.as_bytes())?;
+        inner.written += line.len() as u64;
+        inner.out.flush()
     }
 }
 
@@ -51,10 +105,15 @@ mod tests {
     use super::*;
     use crate::span::Phase;
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stalloc-obs-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn lines_are_valid_json_with_entered_phases_only() {
-        let dir = std::env::temp_dir().join(format!("stalloc-obs-trace-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("trace");
         let path = dir.join("trace.jsonl");
         let log = TraceLog::create(&path).unwrap();
 
@@ -82,6 +141,110 @@ mod tests {
         assert!(first.get("decode").is_none(), "untouched phases stay out");
         let second: serde::Value = serde_json::from_str(lines[1]).unwrap();
         assert_eq!(second.get("verb"), Some(&serde::Value::Str("Ping".into())));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_preserves_valid_jsonl_on_both_files() {
+        let dir = temp_dir("trace-rotate");
+        let path = dir.join("trace.jsonl");
+        // Cap small enough that 40 spans force several rotations.
+        let log = TraceLog::with_max_bytes(&path, 512).unwrap();
+
+        for seq in 0..40u64 {
+            let mut s = RequestSpan::new("Plan");
+            s.seq = seq;
+            s.tier = "lru";
+            s.total_micros = seq * 3;
+            s.record(Phase::FrameRead, seq);
+            log.record(&s).unwrap();
+        }
+
+        let live = std::fs::read_to_string(&path).unwrap();
+        let rotated = std::fs::read_to_string(rotated_path(&path)).unwrap();
+        assert!(live.len() as u64 <= 512, "live file respects the cap");
+        assert!(rotated.len() as u64 <= 512, "rotated file respects the cap");
+
+        // Every line in both generations parses; together they hold the
+        // tail of the sequence with no torn or duplicated records.
+        let mut seqs = Vec::new();
+        for text in [&rotated, &live] {
+            for line in text.lines() {
+                let v: serde::Value = serde_json::from_str(line).unwrap();
+                assert_eq!(v.get("verb"), Some(&serde::Value::Str("Plan".into())));
+                seqs.push(v.get("seq").and_then(|s| s.as_u64()).unwrap());
+            }
+        }
+        assert!(!seqs.is_empty());
+        let windows_ok = seqs.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(windows_ok, "rotation kept a contiguous tail: {seqs:?}");
+        assert_eq!(
+            *seqs.last().unwrap(),
+            39,
+            "newest record is in the live file"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_single_line_still_lands() {
+        let dir = temp_dir("trace-oversize");
+        let path = dir.join("trace.jsonl");
+        // Cap far below one line's size: the record must still be written
+        // rather than looping on rotation.
+        let log = TraceLog::with_max_bytes(&path, 4).unwrap();
+        let mut s = RequestSpan::new("Plan");
+        s.seq = 7;
+        log.record(&s).unwrap();
+        log.record(&s).unwrap();
+        let live = std::fs::read_to_string(&path).unwrap();
+        let rotated = std::fs::read_to_string(rotated_path(&path)).unwrap();
+        assert_eq!(live.lines().count(), 1);
+        assert_eq!(rotated.lines().count(), 1);
+        for line in live.lines().chain(rotated.lines()) {
+            let _: serde::Value = serde_json::from_str(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_lines() {
+        let dir = temp_dir("trace-threads");
+        let path = dir.join("trace.jsonl");
+        let log = std::sync::Arc::new(TraceLog::create(&path).unwrap());
+
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let mut s = RequestSpan::new("Plan");
+                        s.seq = t * 100 + i;
+                        s.tier = "store";
+                        s.total_micros = i;
+                        s.record(Phase::FrameRead, t);
+                        s.record(Phase::StoreLookup, i);
+                        log.record(&s).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 800, "8 threads × 100 spans, none lost");
+        let mut seqs = std::collections::BTreeSet::new();
+        for line in lines {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v.get("verb"), Some(&serde::Value::Str("Plan".into())));
+            seqs.insert(v.get("seq").and_then(|s| s.as_u64()).unwrap());
+        }
+        assert_eq!(seqs.len(), 800, "every span's line is whole and distinct");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -65,8 +65,10 @@
 
 pub mod client;
 pub mod frame;
+pub mod prometheus;
 pub mod server;
 
 pub use client::{ClientError, PlanClient, RemotePlan};
 pub use frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+pub use prometheus::render_prometheus;
 pub use server::{PlanServer, ServeConfig, ServeError, ServerHandle};

@@ -33,14 +33,14 @@ use std::time::{Duration, Instant};
 
 use stalloc_core::wire::{
     NamedHistogram, PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeMetrics, ServeStats,
-    WireErrorKind,
+    SolverStrategyMetrics, WireErrorKind,
 };
-use stalloc_core::{fingerprint_job, fingerprint_job_body, Fingerprint, Plan};
+use stalloc_core::{fingerprint_job, fingerprint_job_body, Fingerprint, Plan, StrategyChoice};
 use stalloc_obs::{
     LatencyHistogram, Phase, RequestSpan, ShardedCounter, SpanRing, SpanSnapshot, TraceLog,
     PHASE_COUNT,
 };
-use stalloc_solver::synthesize_strategy;
+use stalloc_solver::{synthesize_strategy_reported, CandidateReport};
 use stalloc_store::{decode_profile, encode_plan, profile_body, PlanStore, ShardedLru};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
@@ -68,6 +68,13 @@ pub struct ServeConfig {
     /// When set, every served request appends one JSONL trace record
     /// (phase timings, tier, verb) to this file.
     pub trace_log: Option<PathBuf>,
+    /// When set, the trace log rotates to `<name>.1` rather than growing
+    /// past this many bytes (one rotated generation is kept).
+    pub trace_log_max_bytes: Option<u64>,
+    /// When set, bind this address and serve the `Metrics` payload in
+    /// Prometheus text format over HTTP at `GET /metrics` (port 0 picks
+    /// a free port; see [`ServerHandle::metrics_http_addr`]).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +89,8 @@ impl Default for ServeConfig {
             poll_tick: Duration::from_millis(50),
             idle_timeout: Duration::from_secs(30),
             trace_log: None,
+            trace_log_max_bytes: None,
+            metrics_addr: None,
         }
     }
 }
@@ -134,16 +143,73 @@ fn tier_index(source: PlanSource) -> usize {
     }
 }
 
+/// One strategy's long-running synthesis aggregates: every counter is a
+/// [`ShardedCounter`] and the per-run wall time lands in a histogram, so
+/// recording on the synthesis path reuses the same allocation-free
+/// primitives as the request path.
+#[derive(Default)]
+struct SolverSlot {
+    runs: ShardedCounter,
+    wins: ShardedCounter,
+    invalid: ShardedCounter,
+    layout_micros: ShardedCounter,
+    pack_micros: ShardedCounter,
+    finish_micros: ShardedCounter,
+    candidates_evaluated: ShardedCounter,
+    placements_tried: ShardedCounter,
+    placements_rejected: ShardedCounter,
+    elapsed: LatencyHistogram,
+}
+
+/// Per-strategy synthesis accounting, one slot per concrete strategy
+/// (indexed by [`StrategyChoice::index`]).
+struct SolverObs {
+    slots: [SolverSlot; StrategyChoice::CONCRETE.len()],
+}
+
+impl SolverObs {
+    fn new() -> Self {
+        SolverObs {
+            slots: std::array::from_fn(|_| SolverSlot::default()),
+        }
+    }
+
+    /// Folds one synthesis run's candidate reports in (a portfolio race
+    /// reports every racer; a concrete run reports itself).
+    fn record(&self, reports: &[CandidateReport]) {
+        for r in reports {
+            let slot = &self.slots[r.strategy.index() as usize];
+            slot.runs.inc();
+            if r.winner {
+                slot.wins.inc();
+            }
+            if !r.valid {
+                slot.invalid.inc();
+            }
+            slot.layout_micros.add(r.profile.layout_micros);
+            slot.pack_micros.add(r.profile.pack_micros);
+            slot.finish_micros.add(r.profile.finish_micros);
+            slot.candidates_evaluated
+                .add(r.profile.candidates_evaluated);
+            slot.placements_tried.add(r.profile.placements_tried);
+            slot.placements_rejected.add(r.profile.placements_rejected);
+            slot.elapsed.record(r.elapsed.as_micros() as u64);
+        }
+    }
+}
+
 /// Live observability state: per-phase and per-tier latency histograms,
-/// the span retention ring, and the optional JSONL trace sink. Shared by
-/// all workers; recording is allocation-free (see `stalloc-obs`'s
-/// counting-allocator test) except for the opt-in trace log.
+/// the span retention ring, per-strategy solver accounting, and the
+/// optional JSONL trace sink. Shared by all workers; recording is
+/// allocation-free (see `stalloc-obs`'s counting-allocator test) except
+/// for the opt-in trace log.
 struct ServeObs {
     phases: [LatencyHistogram; PHASE_COUNT],
     tiers: [LatencyHistogram; TIER_NAMES.len()],
     spans: SpanRing,
     seq: AtomicU64,
     trace: Option<TraceLog>,
+    solver: SolverObs,
 }
 
 impl ServeObs {
@@ -154,6 +220,7 @@ impl ServeObs {
             spans: SpanRing::new(256, 16),
             seq: AtomicU64::new(0),
             trace,
+            solver: SolverObs::new(),
         }
     }
 
@@ -277,6 +344,24 @@ impl Shared {
                 .iter()
                 .map(SpanSnapshot::from)
                 .collect(),
+            solver: StrategyChoice::CONCRETE
+                .iter()
+                .map(|c| (c, &self.obs.solver.slots[c.index() as usize]))
+                .filter(|(_, s)| s.runs.get() > 0)
+                .map(|(c, s)| SolverStrategyMetrics {
+                    strategy: c.name().to_string(),
+                    runs: s.runs.get(),
+                    wins: s.wins.get(),
+                    invalid: s.invalid.get(),
+                    layout_micros: s.layout_micros.get(),
+                    pack_micros: s.pack_micros.get(),
+                    finish_micros: s.finish_micros.get(),
+                    candidates_evaluated: s.candidates_evaluated.get(),
+                    placements_tried: s.placements_tried.get(),
+                    placements_rejected: s.placements_rejected.get(),
+                    elapsed: s.elapsed.snapshot(),
+                })
+                .collect(),
         }
     }
 }
@@ -297,7 +382,23 @@ impl PlanServer {
             None => None,
         };
         let trace = match &config.trace_log {
-            Some(path) => Some(TraceLog::create(path).map_err(ServeError::Io)?),
+            Some(path) => Some(
+                match config.trace_log_max_bytes {
+                    Some(max) => TraceLog::with_max_bytes(path, max),
+                    None => TraceLog::create(path),
+                }
+                .map_err(ServeError::Io)?,
+            ),
+            None => None,
+        };
+        // Bind the exposition socket before spawning anything, so a bad
+        // --metrics-addr fails startup instead of dying silently later.
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr).map_err(ServeError::Io)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr().map_err(ServeError::Io)?),
             None => None,
         };
         let workers = config.workers.max(1);
@@ -329,14 +430,93 @@ impl PlanServer {
                     .map_err(ServeError::Io)
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let metrics_thread = match metrics_listener {
+            Some(listener) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("stalloc-metrics-http".into())
+                        .spawn(move || metrics_http_loop(&listener, &shared))
+                        .map_err(ServeError::Io)?,
+                )
+            }
+            None => None,
+        };
 
         Ok(ServerHandle {
             shared,
             addr,
+            metrics_addr,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            metrics_thread,
         })
     }
+}
+
+/// The `/metrics` exposition loop: accept, answer one request, close.
+///
+/// Deliberately minimal HTTP/1.1 — a scrape is one short-lived GET, so
+/// there is no keep-alive, no routing beyond `/metrics`, and the request
+/// head read is bounded. Runs on its own thread; a scrape renders a
+/// fresh `ServeMetrics` snapshot, so it costs the serving path nothing.
+fn metrics_http_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(shared.config.poll_tick);
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = serve_metrics_http(stream, shared);
+    }
+}
+
+/// Reads one bounded HTTP request head and answers it.
+fn serve_metrics_http(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    use std::io::{Read, Write};
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the blank line ending the head, or a 4 KiB bound — a
+    // scrape's head is one request line and a few short headers.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 4096 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or_default();
+    let mut parts = request_line.split(|&b| b == b' ');
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let (status, body) = if method == b"GET" && (path == b"/metrics" || path == b"/") {
+        (
+            "200 OK",
+            crate::prometheus::render_prometheus(&shared.metrics()),
+        )
+    } else {
+        ("404 Not Found", "not found: scrape GET /metrics\n".into())
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
 }
 
 /// Running-server handle: address, live stats, graceful shutdown.
@@ -344,14 +524,23 @@ impl PlanServer {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (with the real port when `addr` asked for :0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound `/metrics` exposition address, when
+    /// [`ServeConfig::metrics_addr`] was set (with the real port when it
+    /// asked for :0).
+    pub fn metrics_http_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Live counter snapshot, without a network roundtrip.
@@ -385,9 +574,12 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a wake-up connection; it re-checks
+        // Unblock the acceptors with wake-up connections; each re-checks
         // the flag after every accept.
         let _ = TcpStream::connect(self.addr);
+        if let Some(maddr) = self.metrics_addr {
+            let _ = TcpStream::connect(maddr);
+        }
         self.shared.queue_cv.notify_all();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
@@ -395,12 +587,15 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(m) = self.metrics_thread.take() {
+            let _ = m.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || !self.workers.is_empty() || self.metrics_thread.is_some() {
             self.stop();
         }
     }
@@ -1029,12 +1224,18 @@ fn plan_single_flight(
 
     // Leader: synthesize behind a panic guard — a worker must survive any
     // pathological profile, and followers must never wait forever.
-    // `synthesize_strategy` honours the request's strategy choice,
-    // including the portfolio race.
+    // `synthesize_strategy_reported` honours the request's strategy
+    // choice, including the portfolio race, and its candidate reports
+    // feed the per-strategy solver aggregates.
     let synth_start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| synthesize_strategy(profile, config)))
-        .map(CachedPlan::new)
-        .map_err(|_| "synthesis panicked".to_string());
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        synthesize_strategy_reported(profile, config)
+    }))
+    .map(|(plan, reports)| {
+        shared.obs.solver.record(&reports);
+        CachedPlan::new(plan)
+    })
+    .map_err(|_| "synthesis panicked".to_string());
     span.record_since(Phase::Synthesis, synth_start);
     if let Ok(entry) = &outcome {
         shared.counters.misses.inc();

@@ -59,9 +59,11 @@
 //! ```
 
 pub mod portfolio;
+pub mod profile;
 pub mod strategy;
 
 pub use portfolio::{CandidateReport, Portfolio, PortfolioOutcome};
+pub use profile::SolverProfile;
 pub use strategy::{registry, strategy_for, Strategy};
 
 use stalloc_core::{Plan, ProfiledRequests, StrategyChoice, SynthConfig};
@@ -75,11 +77,40 @@ use stalloc_core::{Plan, ProfiledRequests, StrategyChoice, SynthConfig};
 /// `fingerprint_job` already incorporate the strategy, so plans produced
 /// here are safe to store content-addressed.
 pub fn synthesize_strategy(profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+    synthesize_strategy_reported(profile, config).0
+}
+
+/// Like [`synthesize_strategy`], but also returns the per-strategy
+/// [`CandidateReport`]s behind the plan: a portfolio run reports every
+/// racer; a concrete strategy reports itself as the sole (winning)
+/// candidate. The serving path aggregates these into the `Metrics`
+/// verb's `solver` section.
+pub fn synthesize_strategy_reported(
+    profile: &ProfiledRequests,
+    config: &SynthConfig,
+) -> (Plan, Vec<CandidateReport>) {
     match config.strategy {
-        StrategyChoice::Portfolio => Portfolio::standard().run(profile, config).winner,
-        choice => strategy_for(choice)
-            .expect("every concrete choice is registered")
-            .plan(profile, config),
+        StrategyChoice::Portfolio => {
+            let outcome = Portfolio::standard().run(profile, config);
+            (outcome.winner, outcome.candidates)
+        }
+        choice => {
+            let strategy = strategy_for(choice).expect("every concrete choice is registered");
+            let started = std::time::Instant::now();
+            let (plan, prof) = strategy.plan_profiled(profile, config);
+            let elapsed = started.elapsed();
+            let valid = plan.validate().is_ok() && plan.pool_size >= plan.stats.peak_static_demand;
+            let report = CandidateReport {
+                strategy: choice,
+                pool_size: plan.pool_size,
+                packing_efficiency: plan.stats.packing_efficiency(),
+                elapsed,
+                valid,
+                winner: true,
+                profile: prof,
+            };
+            (plan, vec![report])
+        }
     }
 }
 

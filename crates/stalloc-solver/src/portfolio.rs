@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use stalloc_core::{Plan, ProfiledRequests, StrategyChoice, SynthConfig};
 
+use crate::profile::SolverProfile;
 use crate::strategy::{registry, Strategy};
 
 /// One strategy's result in a portfolio race.
@@ -34,6 +35,9 @@ pub struct CandidateReport {
     pub valid: bool,
     /// Whether this candidate won the race.
     pub winner: bool,
+    /// Phase timing and packer-effort accounting for this run (all-zero
+    /// counters for a strategy that panicked before reporting).
+    pub profile: SolverProfile,
 }
 
 /// Result of a [`Portfolio::run`].
@@ -63,11 +67,26 @@ impl Default for Portfolio {
 }
 
 /// What one worker sends back: its registry slot, the (validated-later)
-/// plan if synthesis survived, and how long it took.
+/// plan if synthesis survived, how long it took, and the strategy's own
+/// phase accounting.
 struct RaceResult {
     slot: usize,
     plan: Option<Plan>,
     elapsed: Duration,
+    profile: SolverProfile,
+}
+
+/// Runs one strategy under a panic guard, splitting the result into the
+/// shape a [`RaceResult`] carries.
+fn run_guarded(
+    strategy: &dyn Strategy,
+    profile: &ProfiledRequests,
+    config: &SynthConfig,
+) -> (Option<Plan>, SolverProfile) {
+    match catch_unwind(AssertUnwindSafe(|| strategy.plan_profiled(profile, config))) {
+        Ok((plan, prof)) => (Some(plan), prof),
+        Err(_) => (None, SolverProfile::default()),
+    }
 }
 
 impl Portfolio {
@@ -144,24 +163,24 @@ impl Portfolio {
                         let started = Instant::now();
                         // A panicking strategy must neither poison the
                         // race nor leave the collector waiting.
-                        let plan =
-                            catch_unwind(AssertUnwindSafe(|| strategy.plan(profile, config))).ok();
+                        let (plan, prof) = run_guarded(&**strategy, profile, config);
                         let _ = worker_tx.send(RaceResult {
                             slot,
                             plan,
                             elapsed: started.elapsed(),
+                            profile: prof,
                         });
                     });
                 if spawned.is_err() {
                     // Spawn failure (thread exhaustion): run inline so
                     // the race still sees this candidate.
                     let started = Instant::now();
-                    let plan =
-                        catch_unwind(AssertUnwindSafe(|| strategy.plan(profile, config))).ok();
+                    let (plan, prof) = run_guarded(&**strategy, profile, config);
                     let _ = tx.send(RaceResult {
                         slot,
                         plan,
                         elapsed: started.elapsed(),
+                        profile: prof,
                     });
                 }
             }
@@ -195,23 +214,22 @@ impl Portfolio {
                 .name(format!("stalloc-solve-{}", worker.name()))
                 .spawn(move || {
                     let started = Instant::now();
-                    let plan = catch_unwind(AssertUnwindSafe(|| {
-                        worker.plan(&worker_profile, &worker_config)
-                    }))
-                    .ok();
+                    let (plan, prof) = run_guarded(&*worker, &worker_profile, &worker_config);
                     let _ = worker_tx.send(RaceResult {
                         slot,
                         plan,
                         elapsed: started.elapsed(),
+                        profile: prof,
                     });
                 });
             if spawned.is_err() {
                 let started = Instant::now();
-                let plan = catch_unwind(AssertUnwindSafe(|| strategy.plan(&profile, config))).ok();
+                let (plan, prof) = run_guarded(&**strategy, &profile, config);
                 let _ = tx.send(RaceResult {
                     slot,
                     plan,
                     elapsed: started.elapsed(),
+                    profile: prof,
                 });
             }
         }
@@ -249,6 +267,7 @@ impl Portfolio {
                 elapsed: r.elapsed,
                 valid,
                 winner: false,
+                profile: r.profile,
             });
             if valid {
                 let plan = r.plan.as_ref().expect("valid implies present");
@@ -349,6 +368,13 @@ mod tests {
             .expect("one winner");
         assert_eq!(w.strategy, outcome.winner.stats.strategy);
         assert_eq!(w.pool_size, outcome.winner.pool_size);
+        for c in &outcome.candidates {
+            assert!(
+                c.profile.placements_tried > 0,
+                "{}: a racing strategy reports its packer effort",
+                c.strategy.name()
+            );
+        }
     }
 
     #[test]

@@ -5,12 +5,25 @@
 //! a pool size). The shared tail (planned-allocation tables, §5.2
 //! dynamic planning, stats) is `stalloc_core::finish_plan`, so every
 //! strategy's output is a complete, comparable [`Plan`].
+//!
+//! Each built-in strategy also self-profiles: [`Strategy::plan_profiled`]
+//! returns the plan plus a [`SolverProfile`] splitting its wall time into
+//! layout (ordering/grouping), pack (gap scans and placements), and
+//! finish (plan assembly) phases, with candidate/placement counters.
+
+use std::time::Instant;
 
 use stalloc_core::plan::phase_group::{build_phase_groups, fuse_groups};
 use stalloc_core::{
     baseline_layout, finish_plan, Plan, ProfiledRequests, Rect, StaticLayout, StrategyChoice,
     SynthConfig, TimeSpacePacker,
 };
+
+use crate::profile::SolverProfile;
+
+fn micros_since(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
+}
 
 /// One pluggable packing strategy.
 ///
@@ -31,6 +44,26 @@ pub trait Strategy: Send + Sync {
 
     /// Synthesizes a full plan for the profile.
     fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan;
+
+    /// Synthesizes a plan and accounts for where the time and packer
+    /// effort went. The default wraps [`Strategy::plan`], billing the
+    /// whole run to the pack phase with zero work counters — honest for
+    /// external strategies that never instrumented themselves. The
+    /// built-in strategies override it with real phase splits; their
+    /// `plan` delegates here, so both entry points place identically.
+    fn plan_profiled(
+        &self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+    ) -> (Plan, SolverProfile) {
+        let started = Instant::now();
+        let plan = self.plan(profile, config);
+        let prof = SolverProfile {
+            pack_micros: micros_since(started),
+            ..SolverProfile::default()
+        };
+        (plan, prof)
+    }
 }
 
 /// All registered concrete strategies, in [`StrategyChoice::CONCRETE`]
@@ -65,11 +98,29 @@ impl Strategy for Baseline {
     }
 
     fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
-        finish_plan(
-            profile,
-            StrategyChoice::Baseline,
-            baseline_layout(profile, config),
-        )
+        self.plan_profiled(profile, config).0
+    }
+
+    fn plan_profiled(
+        &self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+    ) -> (Plan, SolverProfile) {
+        let mut prof = SolverProfile::default();
+        // The §5.1 pipeline computes the whole layout in one pass —
+        // grouping, layering, and refinement are inseparable, so the run
+        // is billed to the layout phase as a block.
+        let t = Instant::now();
+        let layout = baseline_layout(profile, config);
+        prof.layout_micros = micros_since(t);
+        let placed = layout.request_offsets.len() as u64;
+        prof.candidates_evaluated = placed;
+        prof.placements_tried = placed;
+
+        let t = Instant::now();
+        let plan = finish_plan(profile, StrategyChoice::Baseline, layout);
+        prof.finish_micros = micros_since(t);
+        (plan, prof)
     }
 }
 
@@ -89,27 +140,56 @@ impl Strategy for BestFitDecreasing {
     }
 
     fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+        self.plan_profiled(profile, config).0
+    }
+
+    fn plan_profiled(
+        &self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+    ) -> (Plan, SolverProfile) {
         let _ = config; // ablation switches steer the grouped pipelines only
+        let mut prof = SolverProfile::default();
         let reqs = &profile.statics;
+
+        let t = Instant::now();
         let mut order: Vec<usize> = (0..reqs.len()).collect();
         order.sort_unstable_by_key(|&i| (u64::MAX - reqs[i].size, reqs[i].ts, i));
+        prof.layout_micros = micros_since(t);
+
+        let t = Instant::now();
         let mut packer = TimeSpacePacker::new();
         let mut offsets = vec![0u64; reqs.len()];
         for i in order {
             let r = &reqs[i];
             let t1 = r.te.max(r.ts + 1);
-            let off = packer
-                .find_best_fit(r.ts, t1, r.size, u64::MAX)
-                .expect("unbounded fit always succeeds");
+            // The same selection `find_best_fit(.., u64::MAX)` makes, over
+            // an explicit gap list so the candidates can be counted:
+            // tightest interior gap (lowest offset on ties), else the
+            // always-feasible top of the occupied span.
+            let gaps = packer.free_gaps(r.ts, t1, r.size);
+            prof.candidates_evaluated += gaps.len() as u64;
+            prof.placements_rejected += gaps.len() as u64 - 1;
+            let off = gaps
+                .iter()
+                .filter(|&&(_, gap_len)| gap_len != u64::MAX)
+                .min_by_key(|&&(off, gap_len)| (gap_len - r.size, off))
+                .or(gaps.last())
+                .map(|&(off, _)| off)
+                .expect("top-of-stack candidate always exists");
             packer.place_at(Rect {
                 t0: r.ts,
                 t1,
                 off,
                 len: r.size,
             });
+            prof.placements_tried += 1;
             offsets[i] = off;
         }
-        finish_plan(
+        prof.pack_micros = micros_since(t);
+
+        let t = Instant::now();
+        let plan = finish_plan(
             profile,
             StrategyChoice::BestFit,
             StaticLayout {
@@ -120,7 +200,9 @@ impl Strategy for BestFitDecreasing {
                 layers: 0,
                 gap_inserted: 0,
             },
-        )
+        );
+        prof.finish_micros = micros_since(t);
+        (plan, prof)
     }
 }
 
@@ -143,7 +225,18 @@ impl Strategy for TmpOrdered {
     }
 
     fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+        self.plan_profiled(profile, config).0
+    }
+
+    fn plan_profiled(
+        &self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+    ) -> (Plan, SolverProfile) {
+        let mut prof = SolverProfile::default();
         let reqs = &profile.statics;
+
+        let t = Instant::now();
         let plans = build_phase_groups(reqs);
         let phase_groups = plans.len();
         let plans = if config.enable_fusion {
@@ -163,7 +256,9 @@ impl Strategy for TmpOrdered {
                 .then(plans[a].ts.cmp(&plans[b].ts))
                 .then(plans[a].members[0].0.cmp(&plans[b].members[0].0))
         });
+        prof.layout_micros = micros_since(t);
 
+        let t = Instant::now();
         let mut packer = TimeSpacePacker::new();
         let mut offsets = vec![0u64; reqs.len()];
         for pi in order {
@@ -173,10 +268,18 @@ impl Strategy for TmpOrdered {
                 let r = &reqs[ri];
                 let t1 = r.te.max(r.ts + 1);
                 let off = packer.pack(r.ts, t1, r.size);
+                // First-fit takes the first gap that fits: one candidate
+                // accepted per placement, nothing scanned and discarded
+                // that this accounting can see.
+                prof.candidates_evaluated += 1;
+                prof.placements_tried += 1;
                 offsets[ri] = off;
             }
         }
-        finish_plan(
+        prof.pack_micros = micros_since(t);
+
+        let t = Instant::now();
+        let plan = finish_plan(
             profile,
             StrategyChoice::TmpOrder,
             StaticLayout {
@@ -187,7 +290,9 @@ impl Strategy for TmpOrdered {
                 layers: 0,
                 gap_inserted: 0,
             },
-        )
+        );
+        prof.finish_micros = micros_since(t);
+        (plan, prof)
     }
 }
 
@@ -226,10 +331,24 @@ impl Strategy for TemporalLookahead {
     }
 
     fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+        self.plan_profiled(profile, config).0
+    }
+
+    fn plan_profiled(
+        &self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+    ) -> (Plan, SolverProfile) {
         let _ = config;
+        let mut prof = SolverProfile::default();
         let reqs = &profile.statics;
+
+        let t = Instant::now();
         let mut order: Vec<usize> = (0..reqs.len()).collect();
         order.sort_unstable_by_key(|&i| (reqs[i].ts, u64::MAX - reqs[i].te, i));
+        prof.layout_micros = micros_since(t);
+
+        let t = Instant::now();
         let mut packer = TimeSpacePacker::new();
         let mut offsets = vec![0u64; reqs.len()];
         for i in order {
@@ -238,8 +357,10 @@ impl Strategy for TemporalLookahead {
             // Candidates: the bottom of every free gap in the window
             // (the final free_gaps entry is the always-feasible top of
             // the occupied span).
-            let off = packer
-                .free_gaps(r.ts, t1, r.size)
+            let gaps = packer.free_gaps(r.ts, t1, r.size);
+            prof.candidates_evaluated += gaps.len() as u64;
+            prof.placements_rejected += gaps.len() as u64 - 1;
+            let off = gaps
                 .into_iter()
                 .min_by_key(|&(off, _)| (Self::idle_gap(&packer, off, r.size, r.ts), off))
                 .map(|(off, _)| off)
@@ -250,9 +371,13 @@ impl Strategy for TemporalLookahead {
                 off,
                 len: r.size,
             });
+            prof.placements_tried += 1;
             offsets[i] = off;
         }
-        finish_plan(
+        prof.pack_micros = micros_since(t);
+
+        let t = Instant::now();
+        let plan = finish_plan(
             profile,
             StrategyChoice::Lookahead,
             StaticLayout {
@@ -263,7 +388,9 @@ impl Strategy for TemporalLookahead {
                 layers: 0,
                 gap_inserted: 0,
             },
-        )
+        );
+        prof.finish_micros = micros_since(t);
+        (plan, prof)
     }
 }
 
@@ -335,5 +462,60 @@ mod tests {
             let b = s.plan(&p, &config).to_json();
             assert_eq!(a, b, "{} is nondeterministic", s.name());
         }
+    }
+
+    #[test]
+    fn profiled_runs_place_identically_and_count_work() {
+        let p = profile();
+        let config = SynthConfig::default();
+        let n = p.statics.len() as u64;
+        for s in registry() {
+            let (plan, prof) = s.plan_profiled(&p, &config);
+            assert_eq!(
+                plan,
+                s.plan(&p, &config),
+                "{}: profiled run diverged from plain run",
+                s.name()
+            );
+            assert_eq!(
+                prof.placements_tried,
+                n,
+                "{}: every static request is placed exactly once",
+                s.name()
+            );
+            assert!(
+                prof.candidates_evaluated >= prof.placements_tried,
+                "{}: at least one candidate per placement",
+                s.name()
+            );
+            assert_eq!(
+                prof.candidates_evaluated - prof.placements_tried,
+                prof.placements_rejected,
+                "{}: rejected = evaluated - tried",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn default_plan_profiled_wraps_uninstrumented_strategies() {
+        struct Opaque;
+        impl Strategy for Opaque {
+            fn choice(&self) -> StrategyChoice {
+                StrategyChoice::Baseline
+            }
+            fn description(&self) -> &'static str {
+                "plan-only impl"
+            }
+            fn plan(&self, profile: &ProfiledRequests, config: &SynthConfig) -> Plan {
+                Baseline.plan(profile, config)
+            }
+        }
+        let p = profile();
+        let config = SynthConfig::default();
+        let (plan, prof) = Opaque.plan_profiled(&p, &config);
+        assert_eq!(plan, Baseline.plan(&p, &config));
+        assert_eq!(prof.layout_micros, 0, "uninstrumented: all time in pack");
+        assert_eq!(prof.candidates_evaluated, 0, "no counters invented");
     }
 }
