@@ -96,6 +96,15 @@ enum Tier {
     Synthesized,
 }
 
+/// The trace id every remote plan request from this process carries —
+/// minted once per experiment process, so a whole lineup's requests
+/// (across connections) group under one trace in the server's span ring
+/// and trace log. `{:032x}` renders the wire form.
+pub fn experiment_trace_id() -> u128 {
+    static ID: OnceLock<u128> = OnceLock::new();
+    *ID.get_or_init(|| stalloc_obs::id_gen().next_trace_id())
+}
+
 /// Plans `(profile, config)` against a `stalloc serve` daemon at `addr`.
 /// The received plan is validated by the client; errors surface so the
 /// caller can decide between failing and falling back.
@@ -109,7 +118,9 @@ pub fn remote_planned(
     profile: &ProfiledRequests,
     config: &SynthConfig,
 ) -> Result<Plan, String> {
-    let mut client = PlanClient::connect(addr).map_err(|e| e.to_string())?;
+    let mut client = PlanClient::connect(addr)
+        .map_err(|e| e.to_string())?
+        .with_trace_id(experiment_trace_id());
     let remote = client.plan(profile, config).map_err(|e| e.to_string())?;
     Ok(remote.plan)
 }
@@ -302,6 +313,23 @@ mod tests {
         let remote = remote_planned(&addr, &profile, &config).unwrap();
         assert_eq!(remote, stalloc_core::synthesize(&profile, &config));
         assert_eq!(server.stats().plan_requests, 1);
+
+        // The request was tagged with this process's experiment trace
+        // id: the server's span ring must hold it under that id.
+        let hex = format!("{:032x}", experiment_trace_id());
+        let mut probe = PlanClient::connect(&addr).unwrap();
+        // The worker records its span just after writing the response;
+        // retry briefly rather than racing it.
+        let mut spans = Vec::new();
+        for _ in 0..50 {
+            spans = probe.trace_get(&hex).unwrap();
+            if !spans.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(!spans.is_empty(), "server retained no span for trace {hex}");
+        assert!(spans.iter().all(|s| s.trace_id == hex));
         server.shutdown();
 
         // With the server gone, the remote tier reports (not panics) and

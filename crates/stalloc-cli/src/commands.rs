@@ -9,7 +9,8 @@ use stalloc_core::{
     profile_trace, Plan, ProfileEncoding, ProfiledRequests, ServeMetrics, StrategyChoice,
     SynthConfig, FINGERPRINT_VERSION, SYNTH_ALGO_VERSION,
 };
-use stalloc_obs::Phase;
+use stalloc_obs::chrome::{lanes_timeline, merged_request_timeline, Lane, SpanView};
+use stalloc_obs::{ClientSpanSnapshot, Phase};
 use stalloc_served::{ClientError, PlanClient, PlanServer, ServeConfig};
 use stalloc_solver::{registry, synthesize_portfolio, synthesize_strategy};
 use stalloc_store::{decode_plan, encode_plan, is_binary_plan, synthesize_cached};
@@ -24,10 +25,12 @@ usage: stalloc <command> [--flags]
        stalloc <command> --help   for per-command details
 
 commands:
-  trace       generate a training memory trace
+  trace       generate a training memory trace, or convert trace-log
+              JSONL files to a Chrome timeline (trace merge|chrome)
   profile     characterize one iteration's requests (paper section 4)
   plan        synthesize the allocation plan (paper section 5),
-              locally or against a plan server (--remote)
+              locally or against a plan server (--remote; add --trace
+              FILE for a merged client+server Chrome timeline)
   show        render a plan's occupancy as ASCII art
   explain     replay a plan into a fragmentation/occupancy timeline
               (table, JSON, or SVG memory map)
@@ -62,7 +65,11 @@ usage: stalloc trace --model M --output FILE [flags]
   --microbatches N  microbatches per iteration (default 4*pp)
   --iterations N    iterations to emit (default 3)
   --seed N          workload RNG seed (default 42)
-  --optim C         N|R|V|VR|ZR|ZOR optimization combo (default N)",
+  --optim C         N|R|V|VR|ZR|ZOR optimization combo (default N)
+
+`stalloc trace merge|chrome FILE... [--output OUT.json]` instead
+converts `stalloc serve --trace-log` JSONL files into one Chrome
+trace-event timeline (see `stalloc trace merge --help`)",
         spec: FlagSpec {
             value_flags: &[
                 "model",
@@ -116,6 +123,11 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
                     (default: PROF binary codec in a raw frame) or
                     `json` (inline, for pre-binary servers / nc
                     debugging)
+  --trace FILE      with --remote: write the request as a merged
+                    client+server Chrome trace-event timeline to FILE
+                    (load in chrome://tracing or Perfetto; the server's
+                    phase spans nest inside the client's await slice,
+                    the unaccounted remainder is `net_queue_micros`)
   --no-fusion       disable HomoPhase fusion (ablation; steers the
                     grouped pipelines — baseline, tmp-order — only)
   --no-gaps         disable gap insertion (ablation; baseline only)
@@ -123,7 +135,7 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
                     baseline only)",
         spec: FlagSpec {
             value_flags: &[
-                "input", "output", "format", "strategy", "cache", "remote", "wire",
+                "input", "output", "format", "strategy", "cache", "remote", "wire", "trace",
             ],
             bool_flags: &["no-fusion", "no-gaps", "ascending"],
         },
@@ -191,6 +203,9 @@ usage: stalloc serve [flags]
   --metrics-addr A  also serve Prometheus text-format metrics over HTTP
                     at A (`GET /metrics`; port 0 picks a free port,
                     printed on startup); off by default
+  --slowest N       retain the N slowest-ever request spans for the
+                    `Metrics` verb / `stalloc stats --slowest`
+                    (default 16; 0 disables the list)
 
 serves the length-prefixed JSONL plan protocol until killed; identical
 concurrent jobs are deduplicated to one synthesis (single-flight);
@@ -207,6 +222,7 @@ concurrent jobs are deduplicated to one synthesis (single-flight);
                 "trace-log",
                 "trace-log-max-bytes",
                 "metrics-addr",
+                "slowest",
             ],
             bool_flags: &[],
         },
@@ -252,18 +268,38 @@ usage: stalloc version
 ];
 
 const STATS_HELP: &str = "\
-usage: stalloc stats ADDR [--slowest N]
+usage: stalloc stats ADDR [--slowest N] [--format text|json]
   queries the `stalloc serve` daemon at ADDR for its live counters and
   latency histograms (the `Metrics` wire verb) and renders hit ratios
   plus p50/p90/p99 per cache tier and per request phase
   --slowest N       also show the N slowest retained requests
                     (default 3; 0 hides the section)
+  --format F        text (default): the rendered tables; json: the raw
+                    `Metrics` document on stdout, one line, for scripts
 
 a server that predates the `Metrics` verb rejects it; this command then
-falls back to the counters-only `Stats` verb and says so";
+falls back to the counters-only `Stats` verb and says so (on stderr
+under --format json, whose stdout stays pure JSON)";
 
 const STATS_SPEC: FlagSpec = FlagSpec {
-    value_flags: &["slowest"],
+    value_flags: &["slowest", "format"],
+    bool_flags: &[],
+};
+
+const TRACE_CONVERT_HELP: &str = "\
+usage: stalloc trace <merge|chrome> FILE... [--output OUT.json]
+  converts `stalloc serve --trace-log` JSONL span logs into one Chrome
+  trace-event JSON timeline (load in chrome://tracing or Perfetto):
+  each FILE becomes its own pid lane named after the file, its spans
+  laid back-to-back with per-phase child slices; `merge` and `chrome`
+  are synonyms
+  --output OUT.json  write the timeline to OUT.json (default: stdout)
+
+to trace a single live request end to end — client and server lanes
+merged on one clock — use `stalloc plan --remote ADDR --trace OUT.json`";
+
+const TRACE_CONVERT_SPEC: FlagSpec = FlagSpec {
+    value_flags: &["output"],
     bool_flags: &[],
 };
 
@@ -326,6 +362,11 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             }
             println!("{USAGE}");
             Ok(())
+        }
+        // `trace` doubles as a command group: `trace merge|chrome` is
+        // the log-to-Chrome converter, anything else the generator.
+        "trace" if matches!(rest.first().map(String::as_str), Some("merge" | "chrome")) => {
+            dispatch_trace_convert(&rest[1..])
         }
         "cache" => dispatch_cache(rest),
         "stats" => dispatch_stats(rest),
@@ -482,6 +523,74 @@ fn dispatch_cache(rest: &[String]) -> Result<(), String> {
     }
 }
 
+/// `stalloc trace merge|chrome FILE... [--output OUT.json]`: convert
+/// trace-log JSONL files into one Chrome timeline, one pid lane each.
+fn dispatch_trace_convert(rest: &[String]) -> Result<(), String> {
+    if rest
+        .first()
+        .is_some_and(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{TRACE_CONVERT_HELP}");
+        return Ok(());
+    }
+    // Leading positional tokens are the files; flags follow.
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with('-'))
+        .unwrap_or(rest.len());
+    let (files, flags) = rest.split_at(split);
+    let args = Args::parse(flags, &TRACE_CONVERT_SPEC)?;
+    if args.wants_help() {
+        println!("{TRACE_CONVERT_HELP}");
+        return Ok(());
+    }
+    if files.is_empty() {
+        return Err("trace merge: no trace-log files given \
+             (try `stalloc trace merge server.jsonl --output out.json`)"
+            .into());
+    }
+    let mut lanes = Vec::with_capacity(files.len());
+    for file in files {
+        let text = fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let mut spans = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let value: serde::Value =
+                serde_json::from_str(line).map_err(|e| format!("{file}:{}: {e}", i + 1))?;
+            match SpanView::from_trace_line(&value) {
+                Some(v) => spans.push(v),
+                None => {
+                    return Err(format!(
+                        "{file}:{}: not a trace-log line (no `verb` key)",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        lanes.push(Lane {
+            name: file.clone(),
+            spans,
+        });
+    }
+    let trace = lanes_timeline(&lanes);
+    let json = trace.to_json();
+    match args.get("output") {
+        Some(out) => {
+            fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!(
+                "wrote {out} ({} events from {} lane(s))",
+                trace.len(),
+                lanes.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn dispatch_stats(rest: &[String]) -> Result<(), String> {
     // Like `cache`, the first token is positional: the server address.
     let Some((addr, rest)) = rest.split_first() else {
@@ -496,14 +605,28 @@ fn dispatch_stats(rest: &[String]) -> Result<(), String> {
         println!("{STATS_HELP}");
         return Ok(());
     }
-    cmd_stats(addr, args.num("slowest", 3usize)?)
+    cmd_stats(
+        addr,
+        args.num("slowest", 3usize)?,
+        args.get("format").unwrap_or("text"),
+    )
 }
 
-fn cmd_stats(addr: &str, slowest: usize) -> Result<(), String> {
+fn cmd_stats(addr: &str, slowest: usize, format: &str) -> Result<(), String> {
+    let json = match format {
+        "text" => false,
+        "json" => true,
+        other => return Err(format!("--format: expected text|json, got '{other}'")),
+    };
     let mut client = PlanClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     match client.metrics() {
         Ok(metrics) => {
-            print!("{}", render_metrics(addr, &metrics, slowest));
+            if json {
+                let doc = serde_json::to_string(&metrics).map_err(|e| e.to_string())?;
+                println!("{doc}");
+            } else {
+                print!("{}", render_metrics(addr, &metrics, slowest));
+            }
             Ok(())
         }
         Err(ClientError::Server { .. }) => {
@@ -512,8 +635,15 @@ fn cmd_stats(addr: &str, slowest: usize) -> Result<(), String> {
             let stats = PlanClient::connect(addr)
                 .and_then(|mut c| c.stats())
                 .map_err(|e| format!("{addr}: {e}"))?;
-            println!("note: server at {addr} predates the Metrics verb; counters only");
-            print!("{}", render_counters(&stats));
+            // The note goes to stderr so `--format json` stdout stays
+            // machine-readable.
+            eprintln!("note: server at {addr} predates the Metrics verb; counters only");
+            if json {
+                let doc = serde_json::to_string(&stats).map_err(|e| e.to_string())?;
+                println!("{doc}");
+            } else {
+                print!("{}", render_counters(&stats));
+            }
             Ok(())
         }
         Err(e) => Err(format!("{addr}: {e}")),
@@ -1032,6 +1162,13 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
             "--remote and --cache are mutually exclusive (the server owns its cache)".into(),
         );
     }
+    if args.get("trace").is_some() && args.get("remote").is_none() {
+        return Err(
+            "--trace only applies to --remote planning (the merged timeline \
+             pairs the client's span with a live server's)"
+                .into(),
+        );
+    }
     let profile: ProfiledRequests = read_json(args.require("input")?)?;
     let strategy = match args.get("strategy") {
         Some(name) => parse_strategy(name)?,
@@ -1083,6 +1220,9 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
             "plan server {addr}: {verdict} {} ({:?}, {} µs server-side, profile wire: {wire_name})",
             r.fingerprint, r.source, r.micros
         );
+        if let Some(trace_file) = args.get("trace") {
+            write_request_trace(&mut client, trace_file)?;
+        }
         r.plan
     } else if args.get("wire").is_some() {
         return Err("--wire only applies to --remote planning".into());
@@ -1154,6 +1294,45 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Exports the request that just ran on `client` as a merged
+/// client+server Chrome timeline at `path`: the client span on one pid
+/// lane, the server's matching span centered inside its `await` slice
+/// on another, `net_queue_micros` covering the difference.
+///
+/// Works on the same keep-alive connection as the plan on purpose: the
+/// server records a request's span before reading the next frame, so
+/// the follow-up `TraceGet` deterministically sees it.
+fn write_request_trace(client: &mut PlanClient, path: &str) -> Result<(), String> {
+    let span = client
+        .last_span()
+        .ok_or("--trace: no client span recorded for the request")?;
+    let client_view = SpanView::from(&ClientSpanSnapshot::from(&span));
+    let trace_hex = client.trace_context().trace_hex();
+    let server_spans = match client.trace_get(&trace_hex) {
+        Ok(spans) => spans,
+        Err(ClientError::Server { .. }) => {
+            // A pre-`TraceGet` server rejects the verb: still useful to
+            // keep the client's half of the story.
+            eprintln!("note: server predates the TraceGet verb; writing a client-only timeline");
+            Vec::new()
+        }
+        Err(e) => return Err(format!("--trace: {e}")),
+    };
+    // The wire context we sent was a child of the client span, so the
+    // matching server span names it as parent; fall back to the newest
+    // ring entry if an old peer dropped the ids.
+    let parent_hex = span.trace.span_hex();
+    let server_view = server_spans
+        .iter()
+        .find(|s| s.parent_span_id == parent_hex)
+        .or_else(|| server_spans.last())
+        .map(SpanView::from);
+    let trace = merged_request_timeline(&client_view, server_view.as_ref());
+    fs::write(path, trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote {path} ({} events, trace {trace_hex})", trace.len());
+    Ok(())
+}
+
 fn cmd_show(args: &Args) -> Result<(), String> {
     let plan = read_plan(args.require("input")?)?;
     let rows = args.num("rows", 16usize)?;
@@ -1176,6 +1355,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             None => None,
         },
         metrics_addr: args.get("metrics-addr").map(String::from),
+        slowest: args.num("slowest", 16usize)?,
         ..ServeConfig::default()
     };
     if config.trace_log_max_bytes.is_some() && config.trace_log.is_none() {
@@ -1364,6 +1544,9 @@ mod tests {
             "explain -h",
             "top --help",
             "top help",
+            "trace merge --help",
+            "trace chrome -h",
+            "trace merge help",
         ] {
             dispatch(&argv(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
@@ -1604,6 +1787,9 @@ mod tests {
             }],
             slowest: vec![SpanSnapshot {
                 seq: 7,
+                trace_id: String::new(),
+                span_id: String::new(),
+                parent_span_id: String::new(),
                 verb: "Plan".into(),
                 tier: "miss".into(),
                 total_micros: 150_000,
@@ -1713,6 +1899,7 @@ mod tests {
         // and `stalloc top --count 1` prints a single dashboard frame.
         dispatch(&argv(&format!("stats {addr}"))).unwrap();
         dispatch(&argv(&format!("stats {addr} --slowest 0"))).unwrap();
+        dispatch(&argv(&format!("stats {addr} --format json"))).unwrap();
         dispatch(&argv(&format!("top {addr} --count 1"))).unwrap();
 
         // The one miss ran the solver: its per-strategy profile is on
@@ -1736,6 +1923,248 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("--remote"), "{err}");
 
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_trace_flag_is_remote_only_and_values_are_checked() {
+        let err =
+            dispatch(&argv("plan --input p.json --output x.json --trace t.json")).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        let err = dispatch(&argv("serve --slowest nope")).unwrap_err();
+        assert!(err.contains("--slowest"), "{err}");
+        // The format check fires before any connection attempt.
+        let err = dispatch(&argv("stats 127.0.0.1:1 --format xml")).unwrap_err();
+        assert!(err.contains("--format"), "{err}");
+    }
+
+    #[test]
+    fn trace_convert_renders_jsonl_logs_as_chrome_lanes() {
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-tracecvt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let a_p = dir.join("a.jsonl").to_string_lossy().to_string();
+        let b_p = dir.join("b.jsonl").to_string_lossy().to_string();
+        let out_p = dir.join("out.json").to_string_lossy().to_string();
+
+        fs::write(
+            &a_p,
+            concat!(
+                r#"{"seq":1,"verb":"Plan","tier":"miss","total_micros":900,"#,
+                r#""trace_id":"00000000000000000000000000000001","synthesis":800,"encode":100}"#,
+                "\n",
+                r#"{"seq":2,"verb":"Ping","total_micros":5}"#,
+                "\n"
+            ),
+        )
+        .unwrap();
+        fs::write(
+            &b_p,
+            concat!(
+                r#"{"seq":1,"verb":"Get","tier":"lru","total_micros":40,"encode":40}"#,
+                "\n"
+            ),
+        )
+        .unwrap();
+
+        dispatch(&argv(&format!("trace merge {a_p} {b_p} --output {out_p}"))).unwrap();
+        let doc = fs::read_to_string(&out_p).unwrap();
+        let events = match serde_json::from_str::<serde::Value>(&doc).unwrap() {
+            serde::Value::Seq(events) => events,
+            other => panic!("expected array, got {other:?}"),
+        };
+        // One lane per file, named after it, in argument order.
+        let lane_names: Vec<String> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(serde::Value::Str(s)) if s == "M"))
+            .filter_map(|e| match e.get("args")?.get("name") {
+                Some(serde::Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lane_names, vec![a_p.clone(), b_p.clone()]);
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(serde::Value::Str(s)) if s == "X"))
+            .filter_map(|e| e.get("pid")?.as_u64())
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(doc.contains("00000000000000000000000000000001"), "{doc}");
+
+        // `chrome` is a synonym; stdout is the default sink.
+        dispatch(&argv(&format!("trace chrome {a_p}"))).unwrap();
+
+        // Error paths: no files, unparseable JSON, a line with no verb.
+        let err = dispatch(&argv("trace merge")).unwrap_err();
+        assert!(err.contains("no trace-log files"), "{err}");
+        let bad_p = dir.join("bad.jsonl").to_string_lossy().to_string();
+        fs::write(&bad_p, "not json\n").unwrap();
+        assert!(dispatch(&argv(&format!("trace merge {bad_p}"))).is_err());
+        fs::write(&bad_p, "{\"no_verb\":1}\n").unwrap();
+        let err = dispatch(&argv(&format!("trace merge {bad_p}"))).unwrap_err();
+        assert!(err.contains("verb"), "{err}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remote_plan_trace_writes_a_merged_chrome_timeline() {
+        use stalloc_served::{PlanServer, ServeConfig};
+
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-mtrace-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let trace_p = dir.join("t.json").to_string_lossy().to_string();
+        let prof_p = dir.join("p.json").to_string_lossy().to_string();
+        let plan_p = dir.join("pl.stplan").to_string_lossy().to_string();
+        let log_p = dir.join("server-trace.jsonl");
+        let merged_p = dir.join("merged.json").to_string_lossy().to_string();
+        let conv_p = dir.join("converted.json").to_string_lossy().to_string();
+
+        dispatch(&argv(&format!(
+            "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
+             --iterations 2 --output {trace_p}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "profile --input {trace_p} --output {prof_p}"
+        )))
+        .unwrap();
+
+        let server = PlanServer::start(ServeConfig {
+            workers: 2,
+            trace_log: Some(log_p.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+
+        dispatch(&argv(&format!(
+            "plan --input {prof_p} --output {plan_p} --remote {addr} --trace {merged_p}"
+        )))
+        .unwrap();
+
+        let events =
+            match serde_json::from_str::<serde::Value>(&fs::read_to_string(&merged_p).unwrap())
+                .unwrap()
+            {
+                serde::Value::Seq(events) => events,
+                other => panic!("expected array, got {other:?}"),
+            };
+        assert!(events.len() >= 8, "thin timeline: {} events", events.len());
+
+        let str_of = |e: &serde::Value, k: &str| match e.get(k) {
+            Some(serde::Value::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let u64_of =
+            |e: &serde::Value, k: &str| e.get(k).and_then(|v| v.as_u64()).unwrap_or(u64::MAX);
+        let slices: Vec<&serde::Value> = events.iter().filter(|e| str_of(e, "ph") == "X").collect();
+        let pids: std::collections::BTreeSet<u64> =
+            slices.iter().map(|e| u64_of(e, "pid")).collect();
+        assert_eq!(
+            pids.into_iter().collect::<Vec<_>>(),
+            vec![1, 2],
+            "client and server lanes"
+        );
+
+        // Root slices are the ones carrying a `verb` arg; phases carry
+        // none. The client planned over the binary profile wire, so the
+        // server side of the same request is the ProfileBin verb.
+        let root_of = |pid: u64| {
+            slices
+                .iter()
+                .find(|e| {
+                    u64_of(e, "pid") == pid && e.get("args").and_then(|a| a.get("verb")).is_some()
+                })
+                .copied()
+                .unwrap_or_else(|| panic!("no root slice on pid {pid}"))
+        };
+        let client_root = root_of(1);
+        let server_root = root_of(2);
+        assert_eq!(str_of(client_root, "name"), "Plan");
+        assert_eq!(str_of(server_root, "name"), "ProfileBin");
+
+        // One trace id end to end, client and server.
+        let args_of = |e: &serde::Value| e.get("args").unwrap().clone();
+        let trace_id = match args_of(client_root).get("trace_id") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            other => panic!("client trace_id arg: {other:?}"),
+        };
+        assert_eq!(trace_id.len(), 32, "{trace_id}");
+        match args_of(server_root).get("trace_id") {
+            Some(serde::Value::Str(s)) => assert_eq!(*s, trace_id),
+            other => panic!("server trace_id arg: {other:?}"),
+        }
+        // The server span descends from the client span: its parent is
+        // the wire context's parent, i.e. the client span itself.
+        match (
+            args_of(server_root).get("parent_span_id"),
+            args_of(client_root).get("span_id"),
+        ) {
+            (Some(serde::Value::Str(parent)), Some(serde::Value::Str(span))) => {
+                assert_eq!(parent, span, "server span parented on the client span")
+            }
+            other => panic!("id args missing: {other:?}"),
+        }
+
+        // The server span obeys the layout law: inside the client's
+        // await slice when it fits there, otherwise end-aligned with
+        // the await end (the head overlaps the client's write — the
+        // frames pipeline), otherwise pinned inside the client root,
+        // otherwise laid after it. The unaccounted remainder of the
+        // wait is reported as net_queue_micros.
+        let await_slice = slices
+            .iter()
+            .find(|e| u64_of(e, "pid") == 1 && str_of(e, "name") == "await")
+            .expect("client await slice");
+        let (a_ts, a_dur) = (u64_of(await_slice, "ts"), u64_of(await_slice, "dur"));
+        let (c_ts, c_dur) = (u64_of(client_root, "ts"), u64_of(client_root, "dur"));
+        assert!(c_ts + c_dur >= a_ts + a_dur, "await nests in the root");
+        let (s_ts, s_dur) = (u64_of(server_root, "ts"), u64_of(server_root, "dur"));
+        if s_dur <= a_dur {
+            assert!(
+                s_ts >= a_ts && s_ts + s_dur <= a_ts + a_dur,
+                "server span [{s_ts}, {}] escapes the await window [{a_ts}, {}]",
+                s_ts + s_dur,
+                a_ts + a_dur
+            );
+        } else if s_dur <= a_ts + a_dur {
+            assert_eq!(s_ts + s_dur, a_ts + a_dur, "end-aligned with the await end");
+        } else if s_dur <= c_ts + c_dur {
+            assert_eq!(s_ts, c_ts, "pinned to the client root start");
+        } else {
+            assert_eq!(s_ts, c_ts + c_dur + 1, "disjoint fallback");
+        }
+        // The server's phase slices always nest inside its own root.
+        for s in slices.iter().filter(|e| u64_of(e, "pid") == 2) {
+            let (ts, dur) = (u64_of(s, "ts"), u64_of(s, "dur"));
+            assert!(
+                ts >= s_ts && ts + dur <= s_ts + s_dur,
+                "server phase [{ts}, {}] escapes its root [{s_ts}, {}]",
+                ts + dur,
+                s_ts + s_dur
+            );
+        }
+        let net_queue: u64 = match args_of(client_root).get("net_queue_micros") {
+            Some(serde::Value::Str(s)) => s.parse().unwrap(),
+            other => panic!("net_queue_micros arg: {other:?}"),
+        };
+        assert_eq!(net_queue, a_dur.saturating_sub(s_dur));
+
+        // The same trace id is on the server's own JSONL trace log (the
+        // span was recorded before our TraceGet got its answer)...
+        let log = fs::read_to_string(&log_p).unwrap();
+        assert!(log.contains(&trace_id), "trace id in server log:\n{log}");
+        // ...and that log converts to a standalone Chrome timeline.
+        dispatch(&argv(&format!(
+            "trace chrome {} --output {conv_p}",
+            log_p.display()
+        )))
+        .unwrap();
+        let conv = fs::read_to_string(&conv_p).unwrap();
+        assert!(serde_json::from_str::<serde::Value>(&conv).is_ok());
+        assert!(conv.contains(&trace_id));
+
+        server.shutdown();
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -18,7 +18,7 @@
 //! for protocol violations.
 
 use serde::{Deserialize, Serialize};
-use stalloc_obs::{HistogramSnapshot, SpanSnapshot};
+use stalloc_obs::{HistogramSnapshot, SpanSnapshot, TraceContext};
 
 use crate::plan::{Plan, SynthConfig};
 use crate::profiler::ProfiledRequests;
@@ -81,6 +81,12 @@ pub enum PlanRequest {
         config: SynthConfig,
         /// Response encoding; absent (old clients) means `Json`.
         encoding: Option<PlanEncoding>,
+        /// Distributed-tracing context; absent (old clients) means the
+        /// server mints its own ids. Old servers ignore the key — the
+        /// decoder skips unknown fields — so the field is compatible in
+        /// both directions.
+        #[serde(default)]
+        trace: Option<TraceContext>,
     },
     /// Plan this job, profile in [`ProfileEncoding::Binary`]: this header
     /// frame is immediately followed by one raw frame whose payload is
@@ -96,6 +102,10 @@ pub enum PlanRequest {
         encoding: Option<PlanEncoding>,
         /// Payload length of the follow-up binary profile frame.
         bytes: u64,
+        /// Distributed-tracing context; absent means server-minted ids,
+        /// exactly as on `Plan`.
+        #[serde(default)]
+        trace: Option<TraceContext>,
     },
     /// Look up a previously planned job by fingerprint only. Never
     /// synthesizes: answers `NotFound` on a miss.
@@ -104,6 +114,20 @@ pub enum PlanRequest {
         fingerprint: String,
         /// Response encoding; absent (old clients) means `Json`.
         encoding: Option<PlanEncoding>,
+        /// Distributed-tracing context; absent means server-minted ids,
+        /// exactly as on `Plan`.
+        #[serde(default)]
+        trace: Option<TraceContext>,
+    },
+    /// Return the spans of one trace still in the server's recent-span
+    /// ring, oldest first (empty once they have been overwritten — the
+    /// ring is bounded, so callers query promptly after their request).
+    /// Added after `Metrics`; servers that predate it answer a typed
+    /// `BadFrame` error (an unknown verb) and close, which clients
+    /// surface as such — old clients never send it.
+    TraceGet {
+        /// 32-hex-digit trace id, as minted by `stalloc_obs::IdGen`.
+        trace_id: String,
     },
     /// Report the server's cumulative counters.
     Stats,
@@ -116,6 +140,25 @@ pub enum PlanRequest {
     Metrics,
     /// Liveness check.
     Ping,
+}
+
+impl PlanRequest {
+    /// The trace context this request carries, if any. `Stats`,
+    /// `Metrics`, `Ping`, and `TraceGet` serialize as bare strings or
+    /// id-only payloads (changing them would break old peers), so only
+    /// the plan-serving verbs propagate context; the server mints ids
+    /// for the rest.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        match self {
+            PlanRequest::Plan { trace, .. }
+            | PlanRequest::ProfileBin { trace, .. }
+            | PlanRequest::Get { trace, .. } => *trace,
+            PlanRequest::TraceGet { .. }
+            | PlanRequest::Stats
+            | PlanRequest::Metrics
+            | PlanRequest::Ping => None,
+        }
+    }
 }
 
 /// Which tier of the serving stack produced a plan.
@@ -204,6 +247,11 @@ pub struct ServeStats {
     /// so a new client can read an old server's `Stats` response.
     #[serde(default)]
     pub metrics_requests: u64,
+    /// Capacity of the slowest-span retention list (`serve --slowest`).
+    /// Added with tracing; `default` (0 = unreported) keeps old-server
+    /// `Stats` documents decoding.
+    #[serde(default)]
+    pub slowest_capacity: u64,
 }
 
 impl ServeStats {
@@ -365,6 +413,15 @@ pub enum PlanResponse {
         /// The metrics at response time.
         metrics: ServeMetrics,
     },
+    /// The `TraceGet` reply: every span of the requested trace still in
+    /// the recent-span ring, oldest first.
+    Trace {
+        /// The 32-hex-digit trace id that was asked for.
+        trace_id: String,
+        /// Matching spans, oldest first; empty if none survive in the
+        /// ring.
+        spans: Vec<SpanSnapshot>,
+    },
     /// `Ping` reply.
     Pong,
     /// Typed failure.
@@ -382,14 +439,20 @@ mod tests {
 
     #[test]
     fn requests_roundtrip_through_json() {
+        let ids = stalloc_obs::IdGen::seeded(41);
         let reqs = [
             PlanRequest::Get {
                 fingerprint: "a".repeat(32),
                 encoding: Some(PlanEncoding::Json),
+                trace: None,
             },
             PlanRequest::Get {
                 fingerprint: "b".repeat(32),
                 encoding: Some(PlanEncoding::Binary),
+                trace: Some(ids.root().child(&ids)),
+            },
+            PlanRequest::TraceGet {
+                trace_id: ids.root().trace_hex(),
             },
             PlanRequest::Stats,
             PlanRequest::Ping,
@@ -407,6 +470,7 @@ mod tests {
             profile: ProfiledRequests::default(),
             config: SynthConfig::default(),
             encoding: Some(PlanEncoding::Binary),
+            trace: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: PlanRequest = serde_json::from_str(&json).unwrap();
@@ -415,6 +479,7 @@ mod tests {
                 profile,
                 config,
                 encoding,
+                ..
             } => {
                 assert_eq!(profile.statics.len(), 0);
                 assert_eq!(config, SynthConfig::default());
@@ -431,7 +496,12 @@ mod tests {
         // server-side).
         let old = r#"{"Get": {"fingerprint": "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}}"#;
         match serde_json::from_str::<PlanRequest>(old).unwrap() {
-            PlanRequest::Get { encoding, .. } => assert_eq!(encoding, None),
+            PlanRequest::Get {
+                encoding, trace, ..
+            } => {
+                assert_eq!(encoding, None);
+                assert_eq!(trace, None, "old clients carry no trace context");
+            }
             other => panic!("wrong variant: {other:?}"),
         }
 
@@ -460,6 +530,7 @@ mod tests {
             config: SynthConfig::default(),
             encoding: Some(PlanEncoding::Binary),
             bytes: 12_345,
+            trace: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         match serde_json::from_str::<PlanRequest>(&json).unwrap() {
@@ -467,6 +538,7 @@ mod tests {
                 config,
                 encoding,
                 bytes,
+                ..
             } => {
                 assert_eq!(config, SynthConfig::default());
                 assert_eq!(encoding, Some(PlanEncoding::Binary));
@@ -610,6 +682,96 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_rides_the_plan_serving_verbs() {
+        let ids = stalloc_obs::IdGen::seeded(43);
+        let ctx = ids.root().child(&ids);
+        let r = PlanRequest::Get {
+            fingerprint: "c".repeat(32),
+            encoding: None,
+            trace: Some(ctx),
+        };
+        assert_eq!(r.trace_context(), Some(ctx));
+        assert_eq!(PlanRequest::Stats.trace_context(), None);
+        assert_eq!(PlanRequest::Ping.trace_context(), None);
+
+        // The wire form is the fixed-width hex object, and it survives a
+        // round trip.
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains(&format!("\"trace_id\":\"{}\"", ctx.trace_hex())));
+        match serde_json::from_str::<PlanRequest>(&json).unwrap() {
+            PlanRequest::Get { trace, .. } => assert_eq!(trace, Some(ctx)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // Unit verbs stay bare strings: converting them to struct
+        // variants would break every old peer, so they deliberately
+        // carry no context.
+        assert_eq!(
+            serde_json::to_string(&PlanRequest::Ping).unwrap(),
+            "\"Ping\""
+        );
+    }
+
+    #[test]
+    fn unknown_request_fields_are_ignored_like_an_old_server_would() {
+        // An old server's decoder looks fields up by name and skips the
+        // rest — this document simulates a *newer* client (extra `trace`
+        // plus a field from the future) hitting today's decoder, which
+        // is exactly what a new client's frame looks like to an old
+        // server.
+        let futuristic = r#"{"Get": {"fingerprint": "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            "trace": {"trace_id": "000102030405060708090a0b0c0d0e0f",
+                      "span_id": "0001020304050607",
+                      "parent_span_id": "0000000000000000"},
+            "field_from_the_future": 7}}"#;
+        match serde_json::from_str::<PlanRequest>(futuristic).unwrap() {
+            PlanRequest::Get {
+                fingerprint, trace, ..
+            } => {
+                assert_eq!(fingerprint.len(), 32);
+                let ctx = trace.expect("trace decodes");
+                assert_eq!(ctx.trace_id, 0x000102030405060708090a0b0c0d0e0f);
+                assert_eq!(ctx.span_id, 0x0001020304050607);
+                assert_eq!(ctx.parent_span_id, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_get_roundtrips_and_trace_response_carries_spans() {
+        use stalloc_obs::{IdGen, RequestSpan, SpanSnapshot};
+        let ids = IdGen::seeded(44);
+        let ctx = ids.root();
+        let req = PlanRequest::TraceGet {
+            trace_id: ctx.trace_hex(),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        match serde_json::from_str::<PlanRequest>(&json).unwrap() {
+            PlanRequest::TraceGet { trace_id } => assert_eq!(trace_id, ctx.trace_hex()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let mut span = RequestSpan::new("Plan");
+        span.trace = ctx;
+        span.total_micros = 99;
+        let resp = PlanResponse::Trace {
+            trace_id: ctx.trace_hex(),
+            spans: vec![SpanSnapshot::from(&span)],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        match serde_json::from_str::<PlanResponse>(&json).unwrap() {
+            PlanResponse::Trace { trace_id, spans } => {
+                assert_eq!(trace_id, ctx.trace_hex());
+                assert_eq!(spans.len(), 1);
+                assert_eq!(spans[0].trace_id, ctx.trace_hex());
+                assert_eq!(spans[0].total_micros, 99);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
     fn old_shape_metrics_json_still_decodes_without_solver() {
         // A `Metrics` payload as a pre-solver-profiling server writes
         // it: no `solver` key. New clients must decode it with the
@@ -637,6 +799,7 @@ mod tests {
         let stats: ServeStats = serde_json::from_str(old).unwrap();
         assert_eq!(stats.requests, 9);
         assert_eq!(stats.metrics_requests, 0, "absent field defaults");
+        assert_eq!(stats.slowest_capacity, 0, "absent field defaults");
         assert_eq!(stats.hits(), 3);
     }
 

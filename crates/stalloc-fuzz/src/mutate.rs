@@ -17,6 +17,11 @@ pub const DICTIONARY: &[&[u8]] = &[
     &[0x00],
     &[0x01],
     &[0xff],
+    // Trace-context JSON fragments: splicing these into a request frame
+    // probes the wire trace-field decoder (malformed hex, wrong widths).
+    br#""trace":{"trace_id":""#,
+    br#""trace_id":"zz","#,
+    br#""span_id":"0","#,
 ];
 
 const INTERESTING_BYTES: &[u8] = &[0x00, 0x01, 0x7f, 0x80, 0xfe, 0xff];

@@ -23,6 +23,7 @@ pub const REQUIRED_RESPONSES: &[&str] = &[
     "Pong",
     "Plan",
     "Metrics",
+    "Trace",
     "Error:BadFrame",
     "Error:Oversized",
     "Error:BadRequest",
@@ -54,6 +55,7 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
         idle_timeout: Duration::from_secs(10),
         trace_log: None,
         trace_log_max_bytes: None,
+        slowest: 16,
         metrics_addr: None,
     }) {
         Ok(h) => h,
@@ -72,10 +74,14 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
     let config = SynthConfig::default();
     let expected_fp = fingerprint_job(&profile, &config).to_hex();
     let prof_bytes = encode_profile(&profile);
+    // Deterministic trace ids: the seed frames carry a wire trace
+    // context so mutation probes the trace-field decode path too.
+    let ids = stalloc_obs::IdGen::seeded(seed ^ 0x7ace_7ace);
     let plan_req = serde_json::to_string(&PlanRequest::Plan {
         profile: profile.clone(),
         config,
         encoding: Some(PlanEncoding::Json),
+        trace: Some(ids.root().child(&ids)),
     })
     .expect("request serializes")
     .into_bytes();
@@ -85,7 +91,14 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
     // short `Metrics`/`Stats`/`Ping` frame probes different decoder
     // branches than the big `Plan` payload does.
     let mut seeds: Vec<Vec<u8>> = vec![framed_plan_req];
-    for verb in [PlanRequest::Metrics, PlanRequest::Stats, PlanRequest::Ping] {
+    for verb in [
+        PlanRequest::Metrics,
+        PlanRequest::Stats,
+        PlanRequest::Ping,
+        PlanRequest::TraceGet {
+            trace_id: ids.root().trace_hex(),
+        },
+    ] {
         let mut framed = Vec::new();
         let payload = serde_json::to_string(&verb).expect("verb serializes");
         write_frame(&mut framed, payload.as_bytes()).expect("vec write");
@@ -99,7 +112,7 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
     let mut violations = Vec::new();
 
     for i in 0..n {
-        let scenario = rng.gen_range(0u32..7);
+        let scenario = rng.gen_range(0u32..8);
         let result = match scenario {
             0 => garbage_then_recover(addr, &mut mutator, &seeds, &mut seen),
             1 => bad_payload_is_typed(addr, &mut seen),
@@ -107,7 +120,8 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
             3 => corrupt_profile_keeps_connection(addr, &prof_bytes, &config, &mut seen),
             4 => valid_plan_request(addr, &plan_req, &expected_fp, &mut seen),
             5 => metrics_is_consistent(addr, &plan_req, &mut seen),
-            _ => valid_profile_bin(addr, &prof_bytes, &config, &expected_fp, &mut seen),
+            6 => valid_profile_bin(addr, &prof_bytes, &config, &expected_fp, &mut seen),
+            _ => trace_get_finds_the_span(addr, &profile, &config, &ids, &mut seen),
         };
         if let Err(v) = result {
             violations.push(format!("iter {i} scenario {scenario}: {v}"));
@@ -160,6 +174,7 @@ fn record(seen: &mut BTreeSet<String>, resp: &PlanResponse) {
         PlanResponse::NotFound { .. } => "NotFound".to_string(),
         PlanResponse::Stats { .. } => "Stats".to_string(),
         PlanResponse::Metrics { .. } => "Metrics".to_string(),
+        PlanResponse::Trace { .. } => "Trace".to_string(),
         PlanResponse::Error { kind, .. } => format!("Error:{kind:?}"),
     };
     seen.insert(label);
@@ -270,6 +285,7 @@ fn corrupt_profile_keeps_connection(
         config: *config,
         encoding: Some(PlanEncoding::Json),
         bytes: corrupt.len() as u64,
+        trace: None,
     })
     .expect("header serializes")
     .into_bytes();
@@ -390,6 +406,7 @@ fn valid_profile_bin(
         config: *config,
         encoding: Some(PlanEncoding::Json),
         bytes: prof_bytes.len() as u64,
+        trace: None,
     })
     .expect("header serializes")
     .into_bytes();
@@ -409,6 +426,70 @@ fn valid_profile_bin(
             Ok(())
         }
         other => Err(format!("expected Plan response, got {other:?}")),
+    }
+}
+
+/// Scenario: a `Plan` carrying a fresh wire trace context, then a
+/// `TraceGet` for that trace id on the *same* connection. The worker
+/// records the span — propagated ids intact, not server-minted — before
+/// reading the next frame, so the `Trace` response must already hold
+/// exactly that span.
+fn trace_get_finds_the_span(
+    addr: SocketAddr,
+    profile: &stalloc_core::ProfiledRequests,
+    config: &SynthConfig,
+    ids: &stalloc_obs::IdGen,
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let ctx = ids.root().child(ids);
+    let req = serde_json::to_string(&PlanRequest::Plan {
+        profile: profile.clone(),
+        config: *config,
+        encoding: Some(PlanEncoding::Json),
+        trace: Some(ctx),
+    })
+    .expect("request serializes")
+    .into_bytes();
+    let mut s = connect(addr)?;
+    write_frame(&mut s, &req).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Plan { .. }) => record(seen, &resp),
+        other => return Err(format!("expected Plan response, got {other:?}")),
+    }
+    let tg = serde_json::to_string(&PlanRequest::TraceGet {
+        trace_id: ctx.trace_hex(),
+    })
+    .expect("trace-get serializes")
+    .into_bytes();
+    write_frame(&mut s, &tg).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Trace { .. }) => {
+            if let PlanResponse::Trace { trace_id, spans } = &resp {
+                if *trace_id != ctx.trace_hex() {
+                    return Err(format!(
+                        "Trace echoed id {trace_id}, asked for {}",
+                        ctx.trace_hex()
+                    ));
+                }
+                if spans.is_empty() {
+                    return Err("TraceGet found no span for a just-served traced Plan".into());
+                }
+                for span in spans {
+                    if span.trace_id != ctx.trace_hex() || span.span_id != ctx.span_hex() {
+                        return Err(format!(
+                            "server recorded ids {}/{} instead of the propagated {}/{}",
+                            span.trace_id,
+                            span.span_id,
+                            ctx.trace_hex(),
+                            ctx.span_hex()
+                        ));
+                    }
+                }
+            }
+            record(seen, &resp);
+            Ok(())
+        }
+        other => Err(format!("expected Trace response, got {other:?}")),
     }
 }
 

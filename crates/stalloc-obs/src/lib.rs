@@ -15,17 +15,30 @@
 //!   spans and the slowest-N ever seen.
 //! * [`TraceLog`] — an opt-in JSONL sink writing one structured record
 //!   per request, for offline replay of a loaded server.
+//! * [`TraceContext`] / [`IdGen`] — wire-propagable trace identity
+//!   (128-bit trace id, 64-bit span ids) minted without ever reading a
+//!   clock.
+//! * [`ClientSpan`] — the client half of a request (connect, encode,
+//!   write, await, read, decode), same `Copy` design as
+//!   [`RequestSpan`].
+//! * [`chrome`] — an exporter laying client and/or server spans out as
+//!   Chrome trace-event JSON for `chrome://tracing` / Perfetto.
 //!
 //! The crate is transport-free and server-free on purpose: `stalloc-core`
 //! embeds the serializable snapshots ([`HistogramSnapshot`],
 //! [`SpanSnapshot`]) in its wire types, and `stalloc-served` owns the
 //! live instances.
 
+pub mod chrome;
+mod client;
+mod context;
 mod counter;
 mod histogram;
 mod span;
 mod trace;
 
+pub use client::{ClientPhase, ClientSpan, ClientSpanSnapshot, CLIENT_PHASE_COUNT};
+pub use context::{id_gen, parse_span_id, parse_trace_id, IdGen, TraceContext};
 pub use counter::ShardedCounter;
 pub use histogram::{bucket_index, bucket_range, HistogramSnapshot, LatencyHistogram, NUM_BUCKETS};
 pub use span::{Phase, RequestSpan, SpanRing, SpanSnapshot, PHASE_COUNT};

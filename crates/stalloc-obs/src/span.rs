@@ -6,6 +6,7 @@
 //! (heap-backed strings/vectors) exists only on the read side, when a
 //! `Metrics` response or trace line is being built.
 
+use crate::context::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -82,6 +83,11 @@ impl Phase {
 pub struct RequestSpan {
     /// Server-assigned sequence number (order of completion).
     pub seq: u64,
+    /// The ids this request ran under: propagated from the client when
+    /// the request carried a context, minted by the server otherwise.
+    /// All-zero (`TraceContext::NONE`) only in unit tests that never
+    /// went through a server.
+    pub trace: TraceContext,
     /// Request verb name (`"Plan"`, `"Get"`, ...).
     pub verb: &'static str,
     /// Cache tier that answered (`"lru"`, `"store"`, `"miss"`,
@@ -139,6 +145,17 @@ impl RequestSpan {
 pub struct SpanSnapshot {
     /// Server-assigned completion sequence number.
     pub seq: u64,
+    /// 32-hex-digit trace id, `""` when untraced (or from a pre-tracing
+    /// server).
+    #[serde(default)]
+    pub trace_id: String,
+    /// 16-hex-digit span id, `""` when untraced.
+    #[serde(default)]
+    pub span_id: String,
+    /// 16-hex-digit parent span id (`0000…` for a root span), `""` when
+    /// untraced.
+    #[serde(default)]
+    pub parent_span_id: String,
     /// Request verb name.
     pub verb: String,
     /// Cache tier that answered, or `""`.
@@ -153,6 +170,21 @@ impl From<&RequestSpan> for SpanSnapshot {
     fn from(s: &RequestSpan) -> Self {
         SpanSnapshot {
             seq: s.seq,
+            trace_id: if s.trace.is_set() {
+                s.trace.trace_hex()
+            } else {
+                String::new()
+            },
+            span_id: if s.trace.is_set() {
+                s.trace.span_hex()
+            } else {
+                String::new()
+            },
+            parent_span_id: if s.trace.is_set() {
+                s.trace.parent_hex()
+            } else {
+                String::new()
+            },
             verb: s.verb.to_string(),
             tier: s.tier.to_string(),
             total_micros: s.total_micros,
@@ -233,6 +265,16 @@ impl SpanRing {
         }
     }
 
+    /// The retained recent spans belonging to one trace, oldest first.
+    /// Retention-bounded: a span that has been overwritten in the ring
+    /// is gone, which is why `TraceGet` callers query promptly.
+    pub fn by_trace(&self, trace_id: u128) -> Vec<RequestSpan> {
+        self.recent()
+            .into_iter()
+            .filter(|s| s.trace.trace_id == trace_id && trace_id != 0)
+            .collect()
+    }
+
     /// The slowest retained spans, slowest first.
     pub fn slowest(&self) -> Vec<RequestSpan> {
         let inner = self.inner.lock().expect("span ring lock");
@@ -303,6 +345,48 @@ mod tests {
         ring.push(RequestSpan::new("Ping"));
         assert!(ring.recent().is_empty());
         assert!(ring.slowest().is_empty());
+    }
+
+    #[test]
+    fn by_trace_finds_only_that_traces_spans() {
+        let ids = crate::context::IdGen::seeded(21);
+        let ring = SpanRing::new(8, 2);
+        let ctx_a = ids.root();
+        let ctx_b = ids.root();
+        for (i, ctx) in [(0, ctx_a), (1, ctx_b), (2, ctx_a)] {
+            let mut s = RequestSpan::new("Plan");
+            s.seq = i;
+            s.trace = ctx;
+            ring.push(s);
+        }
+        let found: Vec<u64> = ring
+            .by_trace(ctx_a.trace_id)
+            .iter()
+            .map(|s| s.seq)
+            .collect();
+        assert_eq!(found, vec![0, 2]);
+        assert!(ring.by_trace(0).is_empty(), "untraced spans never match");
+    }
+
+    #[test]
+    fn snapshot_carries_hex_trace_ids() {
+        let ids = crate::context::IdGen::seeded(22);
+        let mut s = RequestSpan::new("Plan");
+        s.trace = ids.root().child(&ids);
+        let snap = SpanSnapshot::from(&s);
+        assert_eq!(snap.trace_id, s.trace.trace_hex());
+        assert_eq!(snap.span_id, s.trace.span_hex());
+        assert_eq!(snap.parent_span_id, s.trace.parent_hex());
+
+        let untraced = SpanSnapshot::from(&RequestSpan::new("Ping"));
+        assert_eq!(untraced.trace_id, "");
+
+        // A pre-tracing peer's snapshot (no id fields) still decodes.
+        let old: SpanSnapshot = serde_json::from_str(
+            r#"{"seq":1,"verb":"Plan","tier":"lru","total_micros":9,"phase_micros":[0,0,0,0,0,0,0,0,0]}"#,
+        )
+        .unwrap();
+        assert_eq!(old.trace_id, "");
     }
 
     #[test]

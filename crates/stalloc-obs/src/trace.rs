@@ -72,12 +72,19 @@ impl TraceLog {
     /// live server sees every request), rotating first if the line would
     /// push a capped file over its limit.
     pub fn record(&self, span: &RequestSpan) -> std::io::Result<()> {
-        let mut line = String::with_capacity(160);
+        let mut line = String::with_capacity(256);
         let _ = write!(
             line,
             r#"{{"seq":{},"verb":"{}","tier":"{}","total_micros":{}"#,
             span.seq, span.verb, span.tier, span.total_micros
         );
+        if span.trace.is_set() {
+            let _ = write!(
+                line,
+                r#","trace_id":"{:032x}","span_id":"{:016x}","parent_span_id":"{:016x}""#,
+                span.trace.trace_id, span.trace.span_id, span.trace.parent_span_id
+            );
+        }
         for (phase, micros) in span.entered() {
             let _ = write!(line, r#","{}":{}"#, phase.name(), micros);
         }
@@ -141,6 +148,39 @@ mod tests {
         assert!(first.get("decode").is_none(), "untouched phases stay out");
         let second: serde::Value = serde_json::from_str(lines[1]).unwrap();
         assert_eq!(second.get("verb"), Some(&serde::Value::Str("Ping".into())));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_spans_emit_hex_ids_untraced_spans_stay_compact() {
+        let dir = temp_dir("trace-ids");
+        let path = dir.join("trace.jsonl");
+        let log = TraceLog::create(&path).unwrap();
+
+        let ids = crate::context::IdGen::seeded(17);
+        let mut traced = RequestSpan::new("Plan");
+        traced.trace = ids.root().child(&ids);
+        traced.record(Phase::FrameRead, 3);
+        log.record(&traced).unwrap();
+        log.record(&RequestSpan::new("Ping")).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let first: serde::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(
+            first.get("trace_id"),
+            Some(&serde::Value::Str(traced.trace.trace_hex()))
+        );
+        assert_eq!(
+            first.get("parent_span_id"),
+            Some(&serde::Value::Str(traced.trace.parent_hex()))
+        );
+        let second: serde::Value = serde_json::from_str(lines[1]).unwrap();
+        assert!(
+            second.get("trace_id").is_none(),
+            "untraced lines carry no ids"
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }

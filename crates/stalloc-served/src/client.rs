@@ -15,15 +15,23 @@
 //! [`PlanClient::with_profile_encoding`] switch either direction back to
 //! inline JSON (handy when eavesdropping on the wire with `nc`, or when
 //! talking to a pre-`ProfileBin` server).
+//!
+//! Every request is traced: the client mints one trace id per
+//! connection ([`PlanClient::with_trace_id`] overrides it), records a
+//! [`ClientSpan`] per request (readable via [`PlanClient::last_span`]),
+//! and sends each planning verb a child [`TraceContext`] so the
+//! server's span links back to the client's. Old servers skip the
+//! unknown field; the client span is complete either way.
 
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use stalloc_core::wire::{
     PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding, ServeMetrics, ServeStats,
     WireErrorKind,
 };
 use stalloc_core::{Fingerprint, Plan, ProfiledRequests, SynthConfig};
+use stalloc_obs::{id_gen, ClientPhase, ClientSpan, SpanSnapshot, TraceContext};
 use stalloc_store::{decode_plan, encode_profile, profile_body};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
@@ -93,11 +101,19 @@ pub struct PlanClient {
     max_frame: usize,
     encoding: PlanEncoding,
     profile_encoding: ProfileEncoding,
+    /// This connection's root context: every request span is its child,
+    /// and every wire context is that span's child.
+    root: TraceContext,
+    /// Connect + socket setup time, folded into the first request's
+    /// span (keep-alive requests never reconnect).
+    pending_connect_micros: u64,
+    last_span: Option<ClientSpan>,
 }
 
 impl PlanClient {
     /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:4547"`).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let connect_start = Instant::now();
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         // Generous default: plan synthesis for large jobs takes a while
@@ -109,6 +125,9 @@ impl PlanClient {
             max_frame: DEFAULT_MAX_FRAME,
             encoding: PlanEncoding::default(),
             profile_encoding: ProfileEncoding::default(),
+            root: id_gen().root(),
+            pending_connect_micros: connect_start.elapsed().as_micros() as u64,
+            last_span: None,
         })
     }
 
@@ -137,10 +156,70 @@ impl PlanClient {
         self.profile_encoding
     }
 
+    /// Tags every request on this client with `trace_id` instead of the
+    /// connection-minted one — so a whole experiment's requests, across
+    /// connections, share one trace.
+    pub fn with_trace_id(mut self, trace_id: u128) -> Self {
+        self.root.trace_id = trace_id;
+        self
+    }
+
+    /// The context identifying this connection; every request span is
+    /// its child.
+    pub fn trace_context(&self) -> TraceContext {
+        self.root
+    }
+
+    /// The client-side span of the most recent request (complete even
+    /// when the request failed). [`Self::trace_get`] does not overwrite
+    /// it — it is the span-fetching verb, so a caller can plan, read
+    /// `last_span`, then pull the matching server spans.
+    pub fn last_span(&self) -> Option<ClientSpan> {
+        self.last_span
+    }
+
+    /// Starts a span for one request: the span context is a child of
+    /// the connection root, and the context *sent on the wire* is the
+    /// span's own child — so server-side spans parent onto the client
+    /// span, not onto the connection.
+    fn begin_span(&mut self, verb: &'static str) -> (ClientSpan, TraceContext) {
+        let span_ctx = self.root.child(id_gen());
+        let wire_ctx = span_ctx.child(id_gen());
+        let mut span = ClientSpan::new(verb, span_ctx);
+        if self.pending_connect_micros > 0 {
+            span.record(ClientPhase::Connect, self.pending_connect_micros);
+            self.pending_connect_micros = 0;
+        }
+        (span, wire_ctx)
+    }
+
+    /// Stamps the span's total (connect time included, since the caller
+    /// paid for it on this request) and publishes it as [`Self::last_span`].
+    fn finish_span(&mut self, mut span: ClientSpan, started: Instant) {
+        span.total_micros = span.phase_micros(ClientPhase::Connect).unwrap_or(0)
+            + started.elapsed().as_micros() as u64;
+        self.last_span = Some(span);
+    }
+
     fn send(&mut self, request: &PlanRequest) -> Result<(), ClientError> {
         let payload = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
         write_frame(&mut self.stream, payload.as_bytes())?;
+        Ok(())
+    }
+
+    fn send_span(
+        &mut self,
+        request: &PlanRequest,
+        span: &mut ClientSpan,
+    ) -> Result<(), ClientError> {
+        let encode = Instant::now();
+        let payload = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
+        span.record_since(ClientPhase::Encode, encode);
+        let write = Instant::now();
+        write_frame(&mut self.stream, payload.as_bytes())?;
+        span.record_since(ClientPhase::Write, write);
         Ok(())
     }
 
@@ -157,9 +236,37 @@ impl PlanClient {
         Ok(response)
     }
 
+    fn recv_span(&mut self, span: &mut ClientSpan) -> Result<PlanResponse, ClientError> {
+        // Await covers blocking for + reading the response header frame:
+        // both network legs plus the whole server-side span.
+        let await_start = Instant::now();
+        let frame = read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| ClientError::Protocol("server closed before responding".into()))?;
+        span.record_since(ClientPhase::Await, await_start);
+        let decode = Instant::now();
+        let text = std::str::from_utf8(&frame)
+            .map_err(|e| ClientError::Protocol(format!("non-UTF-8 response: {e}")))?;
+        let response: PlanResponse = serde_json::from_str(text)
+            .map_err(|e| ClientError::Protocol(format!("undecodable response: {e}")))?;
+        span.record_since(ClientPhase::Decode, decode);
+        if let PlanResponse::Error { kind, message } = response {
+            return Err(ClientError::Server { kind, message });
+        }
+        Ok(response)
+    }
+
     fn roundtrip(&mut self, request: &PlanRequest) -> Result<PlanResponse, ClientError> {
         self.send(request)?;
         self.recv()
+    }
+
+    fn roundtrip_span(
+        &mut self,
+        request: &PlanRequest,
+        span: &mut ClientSpan,
+    ) -> Result<PlanResponse, ClientError> {
+        self.send_span(request, span)?;
+        self.recv_span(span)
     }
 
     /// Accepts a plan response, distrusting the server: the echoed
@@ -194,17 +301,26 @@ impl PlanClient {
     /// Reads the raw binary-codec frame a `PlanBin` header announces and
     /// decodes it. The declared length is checked first: a mismatch means
     /// the stream is unsynchronized and must not be trusted.
-    fn read_binary_plan(&mut self, declared: u64) -> Result<Plan, ClientError> {
+    fn read_binary_plan(
+        &mut self,
+        declared: u64,
+        span: &mut ClientSpan,
+    ) -> Result<Plan, ClientError> {
+        let read = Instant::now();
         let frame = read_frame(&mut self.stream, self.max_frame)?
             .ok_or_else(|| ClientError::Protocol("server closed before plan payload".into()))?;
+        span.record_since(ClientPhase::Read, read);
         if frame.len() as u64 != declared {
             return Err(ClientError::Protocol(format!(
                 "binary plan frame is {} bytes, header declared {declared}",
                 frame.len()
             )));
         }
-        decode_plan(&frame)
-            .map_err(|e| ClientError::Protocol(format!("undecodable binary plan: {e}")))
+        let decode = Instant::now();
+        let plan = decode_plan(&frame)
+            .map_err(|e| ClientError::Protocol(format!("undecodable binary plan: {e}")));
+        span.record_since(ClientPhase::Decode, decode);
+        plan
     }
 
     /// Plans a job remotely: cache hit, coalesced wait, or synthesis —
@@ -219,6 +335,20 @@ impl PlanClient {
         profile: &ProfiledRequests,
         config: &SynthConfig,
     ) -> Result<RemotePlan, ClientError> {
+        let (mut span, wire) = self.begin_span("Plan");
+        let started = Instant::now();
+        let result = self.plan_traced(profile, config, wire, &mut span);
+        self.finish_span(span, started);
+        result
+    }
+
+    fn plan_traced(
+        &mut self,
+        profile: &ProfiledRequests,
+        config: &SynthConfig,
+        wire: TraceContext,
+        span: &mut ClientSpan,
+    ) -> Result<RemotePlan, ClientError> {
         let expected = match self.profile_encoding {
             ProfileEncoding::Json => {
                 let expected = stalloc_core::fingerprint_job(profile, config);
@@ -226,8 +356,9 @@ impl PlanClient {
                     profile: profile.clone(),
                     config: *config,
                     encoding: Some(self.encoding),
+                    trace: Some(wire),
                 };
-                self.send(&request)?;
+                self.send_span(&request, span)?;
                 expected
             }
             ProfileEncoding::Binary => {
@@ -235,21 +366,26 @@ impl PlanClient {
                 // payload and the fingerprint (the `PROF` body is the
                 // fingerprint walk, so hashing the bytes equals
                 // `fingerprint_job` on the profile).
+                let encode = Instant::now();
                 let raw = encode_profile(profile);
                 let body = profile_body(&raw)
                     .map_err(|e| ClientError::Protocol(format!("encode profile: {e}")))?;
                 let expected = stalloc_core::fingerprint_job_body(body, config);
+                span.record_since(ClientPhase::Encode, encode);
                 let header = PlanRequest::ProfileBin {
                     config: *config,
                     encoding: Some(self.encoding),
                     bytes: raw.len() as u64,
+                    trace: Some(wire),
                 };
-                self.send(&header)?;
+                self.send_span(&header, span)?;
+                let write = Instant::now();
                 write_frame(&mut self.stream, &raw)?;
+                span.record_since(ClientPhase::Write, write);
                 expected
             }
         };
-        match self.recv()? {
+        match self.recv_span(span)? {
             PlanResponse::Plan {
                 fingerprint,
                 source,
@@ -262,7 +398,7 @@ impl PlanClient {
                 micros,
                 bytes,
             } => {
-                let plan = self.read_binary_plan(bytes)?;
+                let plan = self.read_binary_plan(bytes, span)?;
                 self.accept_plan(expected, fingerprint, source, micros, plan)
             }
             other => Err(ClientError::Protocol(format!(
@@ -274,11 +410,25 @@ impl PlanClient {
     /// Looks up a cached plan by fingerprint; `Ok(None)` if the server
     /// has never planned that job.
     pub fn get(&mut self, fp: Fingerprint) -> Result<Option<RemotePlan>, ClientError> {
+        let (mut span, wire) = self.begin_span("Get");
+        let started = Instant::now();
+        let result = self.get_traced(fp, wire, &mut span);
+        self.finish_span(span, started);
+        result
+    }
+
+    fn get_traced(
+        &mut self,
+        fp: Fingerprint,
+        wire: TraceContext,
+        span: &mut ClientSpan,
+    ) -> Result<Option<RemotePlan>, ClientError> {
         let request = PlanRequest::Get {
             fingerprint: fp.to_hex(),
             encoding: Some(self.encoding),
+            trace: Some(wire),
         };
-        match self.roundtrip(&request)? {
+        match self.roundtrip_span(&request, span)? {
             PlanResponse::Plan {
                 fingerprint,
                 source,
@@ -297,7 +447,7 @@ impl PlanClient {
                 micros,
                 bytes,
             } => {
-                let plan = self.read_binary_plan(bytes)?;
+                let plan = self.read_binary_plan(bytes, span)?;
                 Ok(Some(self.accept_plan(
                     fp,
                     fingerprint,
@@ -315,10 +465,32 @@ impl PlanClient {
 
     /// Fetches the server's cumulative counters.
     pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
-        match self.roundtrip(&PlanRequest::Stats)? {
+        let (mut span, _) = self.begin_span("Stats");
+        let started = Instant::now();
+        let result = self.roundtrip_span(&PlanRequest::Stats, &mut span);
+        self.finish_span(span, started);
+        match result? {
             PlanResponse::Stats { stats } => Ok(stats),
             other => Err(ClientError::Protocol(format!(
                 "expected Stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server-side spans the recent ring holds for a trace
+    /// id (32 hex digits, e.g. [`TraceContext::trace_hex`]).
+    ///
+    /// Servers that predate the `TraceGet` verb reject it as a typed
+    /// `BadFrame` error ([`ClientError::Server`]) and close the
+    /// connection — same fallback contract as [`Self::metrics`].
+    pub fn trace_get(&mut self, trace_id: &str) -> Result<Vec<SpanSnapshot>, ClientError> {
+        let request = PlanRequest::TraceGet {
+            trace_id: trace_id.to_string(),
+        };
+        match self.roundtrip(&request)? {
+            PlanResponse::Trace { spans, .. } => Ok(spans),
+            other => Err(ClientError::Protocol(format!(
+                "expected Trace response, got {other:?}"
             ))),
         }
     }
@@ -331,7 +503,11 @@ impl PlanClient {
     /// [`ClientError::Server`] — and close the connection, so this
     /// client is not reusable after that.
     pub fn metrics(&mut self) -> Result<ServeMetrics, ClientError> {
-        match self.roundtrip(&PlanRequest::Metrics)? {
+        let (mut span, _) = self.begin_span("Metrics");
+        let started = Instant::now();
+        let result = self.roundtrip_span(&PlanRequest::Metrics, &mut span);
+        self.finish_span(span, started);
+        match result? {
             PlanResponse::Metrics { metrics } => Ok(metrics),
             other => Err(ClientError::Protocol(format!(
                 "expected Metrics response, got {other:?}"
@@ -341,7 +517,11 @@ impl PlanClient {
 
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        match self.roundtrip(&PlanRequest::Ping)? {
+        let (mut span, _) = self.begin_span("Ping");
+        let started = Instant::now();
+        let result = self.roundtrip_span(&PlanRequest::Ping, &mut span);
+        self.finish_span(span, started);
+        match result? {
             PlanResponse::Pong => Ok(()),
             other => Err(ClientError::Protocol(format!(
                 "expected Pong response, got {other:?}"

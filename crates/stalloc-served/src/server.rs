@@ -37,8 +37,8 @@ use stalloc_core::wire::{
 };
 use stalloc_core::{fingerprint_job, fingerprint_job_body, Fingerprint, Plan, StrategyChoice};
 use stalloc_obs::{
-    LatencyHistogram, Phase, RequestSpan, ShardedCounter, SpanRing, SpanSnapshot, TraceLog,
-    PHASE_COUNT,
+    parse_trace_id, IdGen, LatencyHistogram, Phase, RequestSpan, ShardedCounter, SpanRing,
+    SpanSnapshot, TraceLog, PHASE_COUNT,
 };
 use stalloc_solver::{synthesize_strategy_reported, CandidateReport};
 use stalloc_store::{decode_profile, encode_plan, profile_body, PlanStore, ShardedLru};
@@ -71,6 +71,9 @@ pub struct ServeConfig {
     /// When set, the trace log rotates to `<name>.1` rather than growing
     /// past this many bytes (one rotated generation is kept).
     pub trace_log_max_bytes: Option<u64>,
+    /// How many slowest-ever request spans the span ring retains for the
+    /// `Metrics` verb (`stalloc serve --slowest`). 0 disables the list.
+    pub slowest: usize,
     /// When set, bind this address and serve the `Metrics` payload in
     /// Prometheus text format over HTTP at `GET /metrics` (port 0 picks
     /// a free port; see [`ServerHandle::metrics_http_addr`]).
@@ -90,6 +93,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             trace_log: None,
             trace_log_max_bytes: None,
+            slowest: 16,
             metrics_addr: None,
         }
     }
@@ -210,17 +214,21 @@ struct ServeObs {
     seq: AtomicU64,
     trace: Option<TraceLog>,
     solver: SolverObs,
+    /// Mints trace/span ids for requests that arrive without a context
+    /// (old clients, unit verbs). Lock-free and clock-free.
+    ids: IdGen,
 }
 
 impl ServeObs {
-    fn new(trace: Option<TraceLog>) -> Self {
+    fn new(trace: Option<TraceLog>, slowest: usize) -> Self {
         ServeObs {
             phases: std::array::from_fn(|_| LatencyHistogram::new()),
             tiers: std::array::from_fn(|_| LatencyHistogram::new()),
-            spans: SpanRing::new(256, 16),
+            spans: SpanRing::new(256, slowest),
             seq: AtomicU64::new(0),
             trace,
             solver: SolverObs::new(),
+            ids: IdGen::new(),
         }
     }
 
@@ -316,6 +324,7 @@ impl Shared {
             queue_depth: self.queue.lock().expect("queue lock").len() as u64,
             workers: self.config.workers as u64,
             metrics_requests: c.metrics_requests.get(),
+            slowest_capacity: self.config.slowest as u64,
         }
     }
 
@@ -410,7 +419,7 @@ impl PlanServer {
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
             counters: Counters::default(),
-            obs: ServeObs::new(trace),
+            obs: ServeObs::new(trace, config.slowest),
             config,
         });
 
@@ -816,6 +825,12 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, shared: &Shared) {
         };
         span.record_since(Phase::Decode, decode_start);
         span.verb = verb_name(&request);
+        // Propagated ids win; a request without a context (old client,
+        // unit verb) gets server-minted root ids so its trace line and
+        // span are still addressable.
+        span.trace = request
+            .trace_context()
+            .unwrap_or_else(|| shared.obs.ids.root());
 
         // A `ProfileBin` header announces one raw profile frame; pull it
         // off the connection before dispatch. Any irregularity here
@@ -928,6 +943,7 @@ fn verb_name(request: &PlanRequest) -> &'static str {
         PlanRequest::Plan { .. } => "Plan",
         PlanRequest::ProfileBin { .. } => "ProfileBin",
         PlanRequest::Get { .. } => "Get",
+        PlanRequest::TraceGet { .. } => "TraceGet",
         PlanRequest::Stats => "Stats",
         PlanRequest::Metrics => "Metrics",
         PlanRequest::Ping => "Ping",
@@ -1013,9 +1029,30 @@ fn handle_request(
                 None,
             )
         }
+        PlanRequest::TraceGet { trace_id } => {
+            let Some(id) = parse_trace_id(&trace_id) else {
+                shared.counters.errors.inc();
+                return (
+                    PlanResponse::Error {
+                        kind: WireErrorKind::BadRequest,
+                        message: format!("'{trace_id}' is not a 32-hex-digit trace id"),
+                    },
+                    None,
+                );
+            };
+            let spans = shared
+                .obs
+                .spans
+                .by_trace(id)
+                .iter()
+                .map(SpanSnapshot::from)
+                .collect();
+            (PlanResponse::Trace { trace_id, spans }, None)
+        }
         PlanRequest::Get {
             fingerprint,
             encoding,
+            ..
         } => {
             // Absent = a client from before the field existed: serve the
             // plan inline in JSON, as such clients expect.
@@ -1041,6 +1078,7 @@ fn handle_request(
             profile,
             config,
             encoding,
+            ..
         } => {
             let encoding = encoding.unwrap_or(PlanEncoding::Json);
             shared.counters.plan_requests.inc();

@@ -69,7 +69,16 @@ fn metrics_endpoint_serves_prometheus_text_after_a_plan() {
     let got = client.plan(&profile, &SynthConfig::default()).unwrap();
     assert!(!got.source.is_hit());
 
-    let (_, _, body) = http_get(maddr, "/metrics");
+    // The worker records its span *after* writing the response, so an
+    // immediate scrape can race it; retry briefly until the span lands.
+    let mut body = String::new();
+    for _ in 0..50 {
+        body = http_get(maddr, "/metrics").2;
+        if body.contains("stalloc_synthesis_seconds_count 1") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
     assert!(body.contains("stalloc_plan_requests_total 1"));
     assert!(body.contains("stalloc_plans_served_total{tier=\"miss\"} 1"));
     // The CI smoke grep: a nonzero cumulative synthesis bucket.

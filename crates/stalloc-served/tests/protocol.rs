@@ -278,6 +278,7 @@ fn profile_bin_length_mismatch_is_typed_and_closes() {
         config: SynthConfig::default(),
         encoding: None,
         bytes: raw_profile.len() as u64 + 7, // lie about the length
+        trace: None,
     };
     let mut raw = TcpStream::connect(server.addr()).unwrap();
     write_frame(&mut raw, serde_json::to_string(&header).unwrap().as_bytes()).unwrap();
@@ -316,6 +317,7 @@ fn corrupt_binary_profile_is_bad_request_and_connection_survives() {
         config: SynthConfig::default(),
         encoding: None,
         bytes: garbage.len() as u64,
+        trace: None,
     };
     let mut raw = TcpStream::connect(server.addr()).unwrap();
     write_frame(&mut raw, serde_json::to_string(&header).unwrap().as_bytes()).unwrap();

@@ -281,6 +281,7 @@ fn profile_bin_length_mismatch_is_a_typed_error() {
         config: SynthConfig::default(),
         encoding: Some(PlanEncoding::Json),
         bytes: (prof_bytes.len() as u64) + 7, // lies about the length
+        trace: None,
     })
     .unwrap();
 
