@@ -10,11 +10,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use stalloc_core::{
-    fingerprint_job, fingerprint_job_body, profile_trace, synthesize, Plan, SynthConfig,
+    apply_delta, diff_profiles, fingerprint_job, fingerprint_job_body, profile_trace, synthesize,
+    Plan, SynthConfig,
 };
+use stalloc_solver::patch_plan;
 use stalloc_store::{
-    decode_plan, decode_profile, encode_plan, encode_profile, profile_body, synthesize_cached,
-    PlanStore,
+    decode_plan, decode_profile, decode_profile_delta, encode_plan, encode_profile,
+    encode_profile_delta, profile_body, synthesize_cached, PlanStore,
 };
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
 
@@ -87,6 +89,53 @@ fn bench_profile_codec_vs_json(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental-re-planning path end to end: diff two near-identical
+/// profiles, move the edit script through the `PROF-DELTA` codec, apply
+/// it, and patch the base plan — each step timed against the cold
+/// synthesis it replaces (`plan_cache/synthesize_cold` below).
+fn bench_profile_delta(c: &mut Criterion) {
+    let base = gpt2_profile();
+    // A Chronos-style neighbour: a handful of resized activations plus
+    // one new scratch tensor — the rest of the population is reused.
+    let mut next = base.clone();
+    for r in next.statics.iter_mut().skip(base.init_count).take(4) {
+        r.size += 4096;
+    }
+    next.statics.push(stalloc_core::RequestEvent {
+        size: 1 << 20,
+        ts: 5,
+        te: 30,
+        ps: 0,
+        pe: 0,
+        dynamic: false,
+        ls: None,
+        le: None,
+    });
+    let delta = diff_profiles(&base, &next);
+    let bytes = encode_profile_delta(&delta);
+    let full = encode_profile(&next);
+    println!(
+        "delta payload sizes (GPT-2 345M, 5-request edit): PROF-DELTA {} B, full PROF {} B ({:.1}%)",
+        bytes.len(),
+        full.len(),
+        100.0 * bytes.len() as f64 / full.len() as f64
+    );
+    let base_plan = synthesize(&base, &SynthConfig::default());
+
+    let mut group = c.benchmark_group("profile_delta");
+    group.sample_size(20);
+    group.bench_function("diff", |b| b.iter(|| diff_profiles(&base, &next)));
+    group.bench_function("encode", |b| b.iter(|| encode_profile_delta(&delta)));
+    group.bench_function("decode", |b| {
+        b.iter(|| decode_profile_delta(&bytes).unwrap())
+    });
+    group.bench_function("apply", |b| b.iter(|| apply_delta(&base, &delta).unwrap()));
+    group.bench_function("patch_plan", |b| {
+        b.iter(|| patch_plan(&base, &base_plan, &next).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_cache_vs_synthesis(c: &mut Criterion) {
     let profile = gpt2_profile();
     let config = SynthConfig::default();
@@ -128,6 +177,7 @@ criterion_group!(
     benches,
     bench_codec_vs_json,
     bench_profile_codec_vs_json,
+    bench_profile_delta,
     bench_cache_vs_synthesis
 );
 criterion_main!(benches);

@@ -83,6 +83,32 @@ fn drive_batch(
     }
 }
 
+/// Issues `BATCH` `PlanDelta` requests over `CLIENTS` connections, each
+/// a fresh (salted) edit script against the warm base — so every one is
+/// a server-side plan patch, never an LRU hit or a cold synthesis.
+fn drive_delta_batch(addr: std::net::SocketAddr, base: &Arc<ProfiledRequests>, salt0: u64) {
+    let config = SynthConfig::default();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let base = Arc::clone(base);
+            thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                for i in 0..BATCH / CLIENTS {
+                    let global = c * (BATCH / CLIENTS) + i;
+                    let next = salted(&base, salt0 + global as u64);
+                    let r = client
+                        .plan_delta(&base, &next, &config)
+                        .expect("plan_delta");
+                    assert!(r.source.is_hit(), "delta fell back to synthesis");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
 fn bench_serve_throughput(c: &mut Criterion) {
     let base = Arc::new(small_profile());
 
@@ -133,6 +159,44 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 server.shutdown();
             }
         }
+    }
+
+    // The delta dimension: every request is a fresh PROF-DELTA edit
+    // script against the warm base, so the whole batch lands on the
+    // `patched` tier — the printed per-tier histograms are where the
+    // hit < patched < miss ordering shows.
+    for &workers in &[1usize, 4] {
+        let server = PlanServer::start(ServeConfig {
+            workers,
+            queue_depth: CLIENTS * 2,
+            lru_capacity: 4096,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        // Warm the base job: its plan seeds every patch, and the Plan
+        // request teaches the server the base profile bytes.
+        drive_batch(addr, &base, 0, 0, ProfileEncoding::Binary);
+
+        let mut salt = 1u64 << 40;
+        let name = format!("delta/patch100/workers{workers}/batch{BATCH}");
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| {
+                salt += BATCH as u64;
+                drive_delta_batch(addr, &base, salt);
+            })
+        });
+        for tier in &server.metrics().tiers {
+            let n = tier.hist.total();
+            let Some((p50, _, p99)) = tier.hist.percentiles() else {
+                continue;
+            };
+            println!(
+                "    {name} · tier {:<9} n {n:>6}  p50 {p50:>8} µs  p99 {p99:>8} µs",
+                tier.name
+            );
+        }
+        server.shutdown();
     }
     group.finish();
 }

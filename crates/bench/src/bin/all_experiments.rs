@@ -34,5 +34,7 @@ fn main() {
     print!("{}", ex::ablations().render());
     println!();
     print!("{}", ex::strategy_comparison().render());
+    println!();
+    print!("{}", ex::delta_replan().render());
     eprintln!("\ntotal wall time: {:.1}s", start.elapsed().as_secs_f64());
 }

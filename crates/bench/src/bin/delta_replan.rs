@@ -1,0 +1,8 @@
+//! Incremental re-planning lineup: serves a Chronos-style per-stage
+//! profile family through a loopback plan server and prints per-tier
+//! latency — the `patched` row sits between the LRU hit and the cold
+//! synthesis.
+fn main() {
+    let t = harness::experiments::delta_replan();
+    print!("{}", t.render());
+}

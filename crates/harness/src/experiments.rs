@@ -591,6 +591,86 @@ pub fn strategy_comparison() -> Table {
     t
 }
 
+/// Incremental re-planning lineup: serves a Chronos-style per-stage
+/// profile family through one in-process plan server and returns its
+/// final metrics — stage 0 lands cold, every later stage arrives as a
+/// `PlanDelta` edit script against its predecessor and is patched from
+/// the cached plan, and a repeat pass hits the LRU. The three tiers'
+/// latency histograms are the measurement: `patched` must sit strictly
+/// between `lru` and `miss`.
+pub fn delta_replan_metrics() -> stalloc_core::ServeMetrics {
+    use stalloc_core::{profile_trace, SynthConfig};
+    use stalloc_served::{PlanClient, PlanServer, ServeConfig};
+
+    let family: Vec<stalloc_core::ProfiledRequests> = trace_gen::TrainJob::new(
+        trace_gen::ModelSpec::gpt2_345m(),
+        trace_gen::ParallelConfig::new(1, 4, 1),
+        OptimConfig::naive(),
+    )
+    .with_mbs(1)
+    .with_seq(256)
+    .with_microbatches(8)
+    .with_iterations(2)
+    .stage_family()
+    .iter()
+    .map(|job| profile_trace(&job.build_trace().expect("valid job"), 1).expect("profiled"))
+    .collect();
+
+    let server = PlanServer::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("loopback server");
+    let mut client = PlanClient::connect(server.addr()).expect("connect");
+    let config = SynthConfig::default();
+
+    // Stage 0 is the family's one cold synthesis; it also teaches the
+    // server the base profile the first delta refers to.
+    client.plan(&family[0], &config).expect("cold plan");
+    // Each later stage rides as an edit script against its predecessor;
+    // the server patches the predecessor's plan instead of synthesizing
+    // (and learns the applied profile, so the chain never re-sends a
+    // full profile).
+    for pair in family.windows(2) {
+        let r = client
+            .plan_delta(&pair[0], &pair[1], &config)
+            .expect("delta plan");
+        assert_eq!(r.source, stalloc_core::PlanSource::Patched, "stage patched");
+    }
+    // A second pass over the whole family is pure LRU traffic.
+    for profile in &family {
+        client.plan(profile, &config).expect("warm plan");
+    }
+    let metrics = server.metrics();
+    server.shutdown();
+    metrics
+}
+
+/// The re-planning lineup as a renderable table: one row per cache
+/// tier (`lru` / `patched` / `miss`), its request count and latency
+/// percentiles, from one live [`delta_replan_metrics`] run.
+pub fn delta_replan() -> Table {
+    let metrics = delta_replan_metrics();
+    let mut t = Table::new(
+        "Incremental re-planning: server-side latency per tier \
+         (GPT-2 Chronos stage family, pp=4)",
+        &["tier", "requests", "p50 (µs)", "p90 (µs)", "p99 (µs)"],
+    );
+    for tier in &metrics.tiers {
+        let Some((p50, p90, p99)) = tier.hist.percentiles() else {
+            continue; // tier never exercised
+        };
+        t.push_row(vec![
+            tier.name.clone(),
+            tier.hist.total().to_string(),
+            p50.to_string(),
+            p90.to_string(),
+            p99.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Ablation study: the design choices DESIGN.md calls out.
 pub fn ablations() -> Table {
     use stalloc_core::{profile_trace, synthesize, SynthConfig};

@@ -118,6 +118,34 @@ mod tests {
     }
 
     #[test]
+    fn delta_replan_lands_between_hit_and_cold() {
+        let metrics = experiments::delta_replan_metrics();
+        let median = |name: &str| {
+            metrics
+                .tiers
+                .iter()
+                .find(|t| t.name == name)
+                .and_then(|t| t.hist.quantile(0.5))
+                .unwrap_or_else(|| panic!("tier {name} never exercised"))
+        };
+        let (lru, patched, miss) = (median("lru"), median("patched"), median("miss"));
+        // The acceptance bar: a patched re-plan is strictly cheaper than
+        // a cold synthesis and strictly dearer than an LRU hit.
+        assert!(
+            lru < patched && patched < miss,
+            "tier medians out of order: lru {lru}µs, patched {patched}µs, miss {miss}µs"
+        );
+        // The whole family after stage 0 was patched, never synthesized.
+        assert_eq!(metrics.stats.misses, 1);
+        assert_eq!(metrics.stats.delta_patched, 3);
+        // The rendered lineup carries the same three tiers.
+        let table = experiments::delta_replan().render();
+        for tier in ["lru", "patched", "miss"] {
+            assert!(table.contains(tier), "{table}");
+        }
+    }
+
+    #[test]
     fn moe_dynamic_requests_are_reused_or_fall_back() {
         let trace = TrainJob::new(
             ModelSpec::qwen15_moe_a27b(),

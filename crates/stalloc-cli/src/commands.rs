@@ -6,14 +6,18 @@ use gpu_sim::DeviceSpec;
 use harness::{run, AllocatorKind};
 use stalloc_core::wire::NamedHistogram;
 use stalloc_core::{
-    profile_trace, Plan, ProfileEncoding, ProfiledRequests, ServeMetrics, StrategyChoice,
-    SynthConfig, FINGERPRINT_VERSION, SYNTH_ALGO_VERSION,
+    diff_profiles, fingerprint_profile, profile_trace, EditOp, Plan, ProfileEncoding,
+    ProfiledRequests, ServeMetrics, StrategyChoice, SynthConfig, FINGERPRINT_VERSION,
+    SYNTH_ALGO_VERSION,
 };
 use stalloc_obs::chrome::{lanes_timeline, merged_request_timeline, Lane, SpanView};
 use stalloc_obs::{ClientSpanSnapshot, Phase};
 use stalloc_served::{ClientError, PlanClient, PlanServer, ServeConfig};
 use stalloc_solver::{registry, synthesize_portfolio, synthesize_strategy};
-use stalloc_store::{decode_plan, encode_plan, is_binary_plan, synthesize_cached};
+use stalloc_store::{
+    decode_plan, decode_profile, encode_plan, encode_profile, encode_profile_delta, is_binary_plan,
+    is_binary_profile, synthesize_cached,
+};
 use stalloc_store::{CacheOutcome, PlanStore};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, Trace, TrainJob};
 
@@ -30,7 +34,10 @@ commands:
   profile     characterize one iteration's requests (paper section 4)
   plan        synthesize the allocation plan (paper section 5),
               locally or against a plan server (--remote; add --trace
-              FILE for a merged client+server Chrome timeline)
+              FILE for a merged client+server Chrome timeline, or
+              --delta-base BASE to send a PROF-DELTA edit script)
+  diff-prof   diff two profiles into the PROF-DELTA edit script and
+              summarize its ops and wire size
   show        render a plan's occupancy as ASCII art
   explain     replay a plan into a fragmentation/occupancy timeline
               (table, JSON, or SVG memory map)
@@ -63,6 +70,10 @@ usage: stalloc trace --model M --output FILE [flags]
   --mbs N           micro-batch size (default 1)
   --seq N           sequence length (default: model native)
   --microbatches N  microbatches per iteration (default 4*pp)
+  --stage N         pipeline stage the trace observes, 0-based (default
+                    0, the most memory-loaded stage under 1F1B; varying
+                    it yields the Chronos-style per-stage profile
+                    family that `plan --delta-base` serves as deltas)
   --iterations N    iterations to emit (default 3)
   --seed N          workload RNG seed (default 42)
   --optim C         N|R|V|VR|ZR|ZOR optimization combo (default N)
@@ -82,6 +93,7 @@ trace-event timeline (see `stalloc trace merge --help`)",
                 "mbs",
                 "seq",
                 "microbatches",
+                "stage",
                 "iterations",
                 "seed",
                 "optim",
@@ -128,6 +140,13 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
                     (load in chrome://tracing or Perfetto; the server's
                     phase spans nest inside the client's await slice,
                     the unaccounted remainder is `net_queue_micros`)
+  --delta-base BASE with --remote: send the profile as a PROF-DELTA
+                    edit script against the base profile in file BASE
+                    (JSON or binary PROF) instead of in full — a server
+                    holding the base patches its cached plan in place
+                    of a cold synthesis; against a base the server does
+                    not hold (or a pre-PlanDelta server) the client
+                    transparently retries as a full request
   --no-fusion       disable HomoPhase fusion (ablation; steers the
                     grouped pipelines — baseline, tmp-order — only)
   --no-gaps         disable gap insertion (ablation; baseline only)
@@ -135,7 +154,15 @@ usage: stalloc plan --input PROFILE --output FILE [flags]
                     baseline only)",
         spec: FlagSpec {
             value_flags: &[
-                "input", "output", "format", "strategy", "cache", "remote", "wire", "trace",
+                "input",
+                "output",
+                "format",
+                "strategy",
+                "cache",
+                "remote",
+                "wire",
+                "trace",
+                "delta-base",
             ],
             bool_flags: &["no-fusion", "no-gaps", "ascending"],
         },
@@ -236,7 +263,7 @@ usage: stalloc fuzz [flags]
                     server harness runs min(N, 256) live TCP scenarios)
   --seed N          master RNG seed (default 42) — same seed, same run,
                     any machine
-  --target T        prof|stpl|frame|server|all (default all)
+  --target T        prof|stpl|delta|frame|server|all (default all)
   --corpus DIR      committed-seed corpus root (default: the corpus
                     shipped in crates/stalloc-fuzz/corpus)
 
@@ -334,6 +361,20 @@ const EXPLAIN_SPEC: FlagSpec = FlagSpec {
     bool_flags: &[],
 };
 
+const DIFF_PROF_HELP: &str = "\
+usage: stalloc diff-prof BASE NEXT [--output FILE]
+  diffs two profiles (JSON or binary PROF, autodetected) into the
+  PROF-DELTA edit script `stalloc plan --remote --delta-base` puts on
+  the wire: prints the base fingerprint, per-op counts, the reused
+  share of the request population, and the edit script's wire size
+  against the full PROF encoding of NEXT
+  --output FILE     also write the encoded PROF-DELTA frame to FILE";
+
+const DIFF_PROF_SPEC: FlagSpec = FlagSpec {
+    value_flags: &["output"],
+    bool_flags: &[],
+};
+
 const TOP_HELP: &str = "\
 usage: stalloc top ADDR [--interval SECS] [--count N]
   polls the `stalloc serve` daemon at ADDR (the `Metrics` wire verb)
@@ -372,12 +413,17 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "stats" => dispatch_stats(rest),
         "explain" => dispatch_explain(rest),
         "top" => dispatch_top(rest),
+        "diff-prof" => dispatch_diff_prof(rest),
         name => {
             let Some(command) = COMMANDS.iter().find(|c| c.name == name) else {
-                let candidates = COMMANDS
-                    .iter()
-                    .map(|c| c.name)
-                    .chain(["cache", "stats", "explain", "top", "help"]);
+                let candidates = COMMANDS.iter().map(|c| c.name).chain([
+                    "cache",
+                    "stats",
+                    "explain",
+                    "top",
+                    "diff-prof",
+                    "help",
+                ]);
                 return Err(match nearest(name, candidates) {
                     Some(s) => format!("unknown command '{name}' (did you mean '{s}'?)"),
                     None => format!("unknown command '{name}'"),
@@ -408,6 +454,10 @@ fn print_command_help(topic: &str) -> Result<(), String> {
     }
     if topic == "top" {
         println!("{TOP_HELP}");
+        return Ok(());
+    }
+    if topic == "diff-prof" {
+        println!("{DIFF_PROF_HELP}");
         return Ok(());
     }
     match COMMANDS.iter().find(|c| c.name == topic) {
@@ -678,6 +728,13 @@ fn render_counters(s: &stalloc_core::ServeStats) -> String {
         s.misses,
         s.hit_ratio() * 100.0
     );
+    if s.delta_requests > 0 {
+        let _ = writeln!(
+            out,
+            "delta {} · patched {} · already cached {}",
+            s.delta_requests, s.delta_patched, s.delta_hits
+        );
+    }
     let _ = writeln!(
         out,
         "errors {} · rejected {} · metrics {} · in flight {} · queued {} · {} workers",
@@ -958,6 +1015,83 @@ fn render_timeline_table(path: &str, plan: &Plan, t: &stalloc_core::PlanTimeline
     out
 }
 
+fn dispatch_diff_prof(rest: &[String]) -> Result<(), String> {
+    // Like `explain`, the leading tokens are positional: the two
+    // profile files.
+    if rest
+        .first()
+        .is_some_and(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{DIFF_PROF_HELP}");
+        return Ok(());
+    }
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with('-'))
+        .unwrap_or(rest.len());
+    let (files, flags) = rest.split_at(split);
+    let args = Args::parse(flags, &DIFF_PROF_SPEC)?;
+    if args.wants_help() {
+        println!("{DIFF_PROF_HELP}");
+        return Ok(());
+    }
+    let [base_p, next_p] = files else {
+        return Err(format!(
+            "diff-prof: expected exactly two profile files, got {} \
+             (try `stalloc diff-prof base.json next.json`)",
+            files.len()
+        ));
+    };
+    cmd_diff_prof(base_p, next_p, &args)
+}
+
+fn cmd_diff_prof(base_p: &str, next_p: &str, args: &Args) -> Result<(), String> {
+    let base = read_profile(base_p)?;
+    let next = read_profile(next_p)?;
+    let delta = diff_profiles(&base, &next);
+    let bytes = encode_profile_delta(&delta);
+    let full = encode_profile(&next);
+
+    let (mut reused, mut inserted, mut removed, mut retimed, mut resized) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for op in delta.statics.iter().chain(delta.dynamics.iter()) {
+        match op {
+            EditOp::Copy { count } => reused += *count as u64,
+            EditOp::Insert { .. } => inserted += 1,
+            EditOp::Remove { count } => removed += *count as u64,
+            EditOp::Retime { .. } => retimed += 1,
+            EditOp::Resize { .. } => resized += 1,
+        }
+    }
+    let population = (next.statics.len() + next.dynamics.len()) as u64;
+    println!("base     {} ({base_p})", delta.base.to_hex());
+    println!(
+        "next     {} ({next_p})",
+        fingerprint_profile(&next).to_hex()
+    );
+    println!(
+        "requests {population} next vs {} base · {reused} reused ({:.1}%) · \
+         {inserted} inserted · {removed} removed · {retimed} retimed · {resized} resized",
+        base.statics.len() + base.dynamics.len(),
+        if population > 0 {
+            100.0 * reused as f64 / population as f64
+        } else {
+            100.0
+        }
+    );
+    println!(
+        "wire     PROF-DELTA {} B vs full PROF {} B ({:.1}%)",
+        bytes.len(),
+        full.len(),
+        100.0 * bytes.len() as f64 / full.len() as f64
+    );
+    if let Some(out) = args.get("output") {
+        fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {out} ({} bytes, PROF-DELTA v1)", bytes.len());
+    }
+    Ok(())
+}
+
 fn dispatch_top(rest: &[String]) -> Result<(), String> {
     // Like `stats`, the first token is positional: the server address.
     let Some((addr, rest)) = rest.split_first() else {
@@ -1082,6 +1216,19 @@ fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> 
     Ok(())
 }
 
+/// Reads a profile from `path`, auto-detecting binary `PROF` vs JSON by
+/// magic (profiles travel as JSON from `stalloc profile`, but the codec
+/// round-trips binary artifacts too).
+fn read_profile(path: &str) -> Result<ProfiledRequests, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if is_binary_profile(&bytes) {
+        decode_profile(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
 /// Reads a plan from `path`, auto-detecting binary vs JSON by magic.
 /// The plan is validated: a foreign file that decodes but carries
 /// unsound decisions must not reach downstream consumers.
@@ -1116,6 +1263,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         .with_mbs(args.num("mbs", 1u32)?)
         .with_seq(args.num("seq", seq_default)?)
         .with_microbatches(args.num("microbatches", 4 * parallel.pp)?)
+        .with_stage(args.num("stage", 0u32)?)
         .with_iterations(args.num("iterations", 3u32)?)
         .with_seed(args.num("seed", 42u64)?);
     let trace = job.build_trace()?;
@@ -1169,6 +1317,13 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
                 .into(),
         );
     }
+    if args.get("delta-base").is_some() && args.get("remote").is_none() {
+        return Err(
+            "--delta-base only applies to --remote planning (local synthesis \
+             has no base plan to patch)"
+                .into(),
+        );
+    }
     let profile: ProfiledRequests = read_json(args.require("input")?)?;
     let strategy = match args.get("strategy") {
         Some(name) => parse_strategy(name)?,
@@ -1208,10 +1363,28 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         let mut client = PlanClient::connect(addr)
             .map_err(|e| format!("--remote {addr}: {e}"))?
             .with_profile_encoding(wire);
-        let r = client
-            .plan(&profile, &config)
-            .map_err(|e| format!("--remote {addr}: {e}"))?;
-        let verdict = if r.source.is_hit() { "hit" } else { "miss" };
+        let r = match args.get("delta-base") {
+            Some(base_path) => {
+                let base = read_profile(base_path)?;
+                eprintln!(
+                    "plan server {addr}: sending PROF-DELTA against base {}",
+                    fingerprint_profile(&base).to_hex()
+                );
+                client
+                    .plan_delta(&base, &profile, &config)
+                    .map_err(|e| format!("--remote {addr}: {e}"))?
+            }
+            None => client
+                .plan(&profile, &config)
+                .map_err(|e| format!("--remote {addr}: {e}"))?,
+        };
+        let verdict = if r.source == stalloc_core::PlanSource::Patched {
+            "patched"
+        } else if r.source.is_hit() {
+            "hit"
+        } else {
+            "miss"
+        };
         let wire_name = match wire {
             ProfileEncoding::Binary => "bin",
             ProfileEncoding::Json => "json",
@@ -1415,7 +1588,7 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
     let targets = match args.get("target").unwrap_or("all") {
         "all" => stalloc_fuzz::FuzzTarget::ALL.to_vec(),
         name => vec![stalloc_fuzz::FuzzTarget::parse(name).ok_or_else(|| {
-            format!("unknown fuzz target '{name}' (expected prof|stpl|frame|server|all)")
+            format!("unknown fuzz target '{name}' (expected prof|stpl|delta|frame|server|all)")
         })?],
     };
     let config = stalloc_fuzz::FuzzConfig {
@@ -1547,6 +1720,10 @@ mod tests {
             "trace merge --help",
             "trace chrome -h",
             "trace merge help",
+            "help diff-prof",
+            "diff-prof --help",
+            "diff-prof -h",
+            "diff-prof help",
         ] {
             dispatch(&argv(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
@@ -1799,6 +1976,8 @@ mod tests {
         };
         let text = render_metrics("127.0.0.1:4547", &m, 3);
         assert!(text.contains("hit ratio 90.0%"), "{text}");
+        // No PlanDelta traffic → the delta counter line stays hidden.
+        assert!(!text.contains("delta "), "{text}");
         assert!(text.contains("lru"), "{text}");
         // An empty histogram renders dashes, not zeros-as-latency.
         let store_row = text.lines().find(|l| l.starts_with("store")).unwrap();
@@ -1813,6 +1992,23 @@ mod tests {
         // slowest = 0 hides the section entirely.
         let quiet = render_metrics("addr", &m, 0);
         assert!(!quiet.contains("slowest"), "{quiet}");
+    }
+
+    #[test]
+    fn render_counters_shows_delta_line_once_deltas_flow() {
+        use stalloc_core::ServeStats;
+        let text = render_counters(&ServeStats {
+            requests: 3,
+            plan_requests: 3,
+            delta_requests: 2,
+            delta_patched: 1,
+            delta_hits: 1,
+            ..ServeStats::default()
+        });
+        assert!(
+            text.contains("delta 2 · patched 1 · already cached 1"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -1922,6 +2118,77 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("--remote"), "{err}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_prof_and_delta_base_remote_plan() {
+        use stalloc_served::{PlanServer, ServeConfig};
+        use stalloc_store::is_binary_delta;
+
+        let dir = std::env::temp_dir().join(format!("stalloc-cli-delta-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let t0_p = dir.join("t0.json").to_string_lossy().to_string();
+        let t1_p = dir.join("t1.json").to_string_lossy().to_string();
+        let p0_p = dir.join("p0.json").to_string_lossy().to_string();
+        let p1_p = dir.join("p1.json").to_string_lossy().to_string();
+        let d_p = dir.join("d.prfd").to_string_lossy().to_string();
+        let pl0_p = dir.join("pl0.stplan").to_string_lossy().to_string();
+        let pl1_p = dir.join("pl1.stplan").to_string_lossy().to_string();
+
+        // The Chronos-style family through the real CLI: the same job
+        // observed from two pipeline stages.
+        for (stage, trace_p) in [(0, &t0_p), (1, &t1_p)] {
+            dispatch(&argv(&format!(
+                "trace --model gpt2 --pp 2 --mbs 1 --seq 256 --microbatches 4 \
+                 --iterations 2 --stage {stage} --output {trace_p}"
+            )))
+            .unwrap();
+        }
+        dispatch(&argv(&format!("profile --input {t0_p} --output {p0_p}"))).unwrap();
+        dispatch(&argv(&format!("profile --input {t1_p} --output {p1_p}"))).unwrap();
+
+        // diff-prof summarizes the pair and writes a real PRFD frame.
+        dispatch(&argv(&format!("diff-prof {p0_p} {p1_p} --output {d_p}"))).unwrap();
+        let frame = fs::read(&d_p).unwrap();
+        assert!(is_binary_delta(&frame), "PRFD magic on the artifact");
+        // Identity diff still works (everything reused).
+        dispatch(&argv(&format!("diff-prof {p0_p} {p0_p}"))).unwrap();
+
+        // Cold plan for the base teaches the server the base profile;
+        // the delta request then patches instead of synthesizing.
+        let server = PlanServer::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        dispatch(&argv(&format!(
+            "plan --input {p0_p} --output {pl0_p} --remote {addr}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "plan --input {p1_p} --output {pl1_p} --remote {addr} --delta-base {p0_p}"
+        )))
+        .unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.delta_requests, 1);
+        assert_eq!(stats.delta_patched, 1, "{stats:?}");
+        // The patched artifact is a normal, sound plan file.
+        read_plan(&pl1_p).unwrap();
+
+        // Error paths: remote-only flag, wrong positional count, typo.
+        server.shutdown();
+        let err = dispatch(&argv(&format!(
+            "plan --input {p1_p} --output {pl1_p} --delta-base {p0_p}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--delta-base"), "{err}");
+        let err = dispatch(&argv(&format!("diff-prof {p0_p}"))).unwrap_err();
+        assert!(err.contains("two profile files"), "{err}");
+        let err = dispatch(&argv("dif-prof a b")).unwrap_err();
+        assert!(err.contains("did you mean 'diff-prof'"), "{err}");
 
         fs::remove_dir_all(&dir).ok();
     }

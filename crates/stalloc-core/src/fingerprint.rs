@@ -295,6 +295,35 @@ pub fn fingerprint_job(profile: &ProfiledRequests, config: &SynthConfig) -> Fing
     fingerprint_job_body(&body, config)
 }
 
+/// Fingerprints a profile *alone* — no [`SynthConfig`], no
+/// [`SYNTH_ALGO_VERSION`]. This is the **base identity** of the
+/// incremental re-planning protocol: a `PROF-DELTA` stream names the
+/// profile it edits by this digest, so one stored base profile can seed
+/// deltas planned under any synthesizer configuration (the config still
+/// travels separately in the `PlanDelta` verb and still keys the *plan*
+/// caches via [`fingerprint_job`]).
+pub fn fingerprint_profile(profile: &ProfiledRequests) -> Fingerprint {
+    let mut body = Vec::with_capacity(profile_body_capacity(profile));
+    write_profile_body(profile, &mut body);
+    fingerprint_profile_body(&body)
+}
+
+/// [`fingerprint_profile`] over a profile already in canonical encoded
+/// form: `profile_body` must be the `PROF` v1 **body** byte stream (what
+/// [`write_profile_body`] emits). Equal to [`fingerprint_profile`] of
+/// the decoded profile by construction, so a server can key its profile
+/// cache off raw received bytes without decoding them.
+pub fn fingerprint_profile_body(profile_body: &[u8]) -> Fingerprint {
+    let mut h = JobHasher::new();
+    // Length-prefixed, exactly like the profile section of the job walk,
+    // plus a domain tag so a profile fingerprint can never collide with
+    // a job fingerprint of related bytes.
+    h.write_u64(u64::from_le_bytes(*b"PROFONLY"));
+    h.write_u64(profile_body.len() as u64);
+    h.write(profile_body);
+    h.finish()
+}
+
 /// Fingerprints a job whose profile is already in canonical encoded form:
 /// `profile_body` must be the `PROF` v1 **body** byte stream (what
 /// [`write_profile_body`] emits — `stalloc-store` exposes
@@ -438,6 +467,30 @@ mod tests {
         write_profile_body(&p.clone(), &mut b);
         assert_eq!(a, b);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn profile_fingerprint_ignores_config_and_matches_body_form() {
+        let p = profile();
+        let fp = fingerprint_profile(&p);
+        // No config in the walk: the digest is a pure function of the
+        // profile.
+        assert_eq!(fp, fingerprint_profile(&p.clone()));
+        let mut body = Vec::new();
+        write_profile_body(&p, &mut body);
+        assert_eq!(fp, fingerprint_profile_body(&body));
+        // And it is not any job fingerprint of the same profile.
+        for strategy in crate::plan::StrategyChoice::ALL {
+            let config = SynthConfig {
+                strategy,
+                ..SynthConfig::default()
+            };
+            assert_ne!(fp, fingerprint_job(&p, &config));
+        }
+        // Content still matters.
+        let mut tweaked = p.clone();
+        tweaked.statics[0].size += 512;
+        assert_ne!(fp, fingerprint_profile(&tweaked));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! assert_eq!(allocator.counters().static_fallback, 0);
 //! ```
 
+pub mod delta;
 pub mod fingerprint;
 pub mod geometry;
 pub mod plan;
@@ -49,9 +50,11 @@ pub mod timeline;
 pub mod visualize;
 pub mod wire;
 
+pub use delta::{apply_delta, diff_profiles, DeltaError, EditOp, ProfileDelta};
 pub use fingerprint::{
-    fingerprint_job, fingerprint_job_body, write_profile_body, Fingerprint, JobHasher,
-    FINGERPRINT_VERSION, PROFILE_FLAG_DYNAMIC, PROFILE_FLAG_HAS_LE, PROFILE_FLAG_HAS_LS,
+    fingerprint_job, fingerprint_job_body, fingerprint_profile, fingerprint_profile_body,
+    write_profile_body, Fingerprint, JobHasher, FINGERPRINT_VERSION, PROFILE_FLAG_DYNAMIC,
+    PROFILE_FLAG_HAS_LE, PROFILE_FLAG_HAS_LS,
 };
 pub use geometry::{IntervalSet, Rect, TimeSpacePacker};
 pub use plan::{

@@ -107,6 +107,31 @@ pub enum PlanRequest {
         #[serde(default)]
         trace: Option<TraceContext>,
     },
+    /// Plan the *next* job of a profile family, sent as an edit script:
+    /// this header frame is immediately followed by one raw frame whose
+    /// payload is a `PROF-DELTA` binary edit script (`bytes` long)
+    /// against a base profile the server has seen before, identified by
+    /// the fingerprint inside the script. A server that still holds the
+    /// base patches the cached base plan in-process (the `patched` tier)
+    /// instead of synthesizing; one that does not answers
+    /// `NotFound { fingerprint: <base profile hex> }`, and the client
+    /// transparently retries with the full profile. Added after
+    /// `TraceGet`; servers that predate it answer a typed `BadFrame`
+    /// error (an unknown verb) and close, which clients also treat as
+    /// "retry full" — old clients never send it.
+    PlanDelta {
+        /// Synthesizer switches; part of the cache key (tiny, stays
+        /// JSON).
+        config: SynthConfig,
+        /// Response encoding; absent means `Json`, exactly as on `Plan`.
+        encoding: Option<PlanEncoding>,
+        /// Payload length of the follow-up binary delta frame.
+        bytes: u64,
+        /// Distributed-tracing context; absent means server-minted ids,
+        /// exactly as on `Plan`.
+        #[serde(default)]
+        trace: Option<TraceContext>,
+    },
     /// Look up a previously planned job by fingerprint only. Never
     /// synthesizes: answers `NotFound` on a miss.
     Get {
@@ -152,6 +177,7 @@ impl PlanRequest {
         match self {
             PlanRequest::Plan { trace, .. }
             | PlanRequest::ProfileBin { trace, .. }
+            | PlanRequest::PlanDelta { trace, .. }
             | PlanRequest::Get { trace, .. } => *trace,
             PlanRequest::TraceGet { .. }
             | PlanRequest::Stats
@@ -173,12 +199,18 @@ pub enum PlanSource {
     /// Waited on an identical in-flight synthesis started by another
     /// request (a single-flight follower).
     Coalesced,
+    /// Patched in-process from a cached base plan (a `PlanDelta`
+    /// request whose base fingerprint was still on hand) — the
+    /// synthesizer never ran. Added with `PlanDelta`; old clients never
+    /// see it because they never send the verb.
+    Patched,
 }
 
 impl PlanSource {
     /// Whether the plan was served without running the synthesizer for
     /// this request (coalesced followers count as hits: the synthesis
-    /// cost was paid once, by the leader).
+    /// cost was paid once, by the leader; patched plans skip it
+    /// entirely).
     pub fn is_hit(self) -> bool {
         !matches!(self, PlanSource::Synthesized)
     }
@@ -252,12 +284,27 @@ pub struct ServeStats {
     /// `Stats` documents decoding.
     #[serde(default)]
     pub slowest_capacity: u64,
+    /// `PlanDelta` requests decoded. Added with incremental
+    /// re-planning; `default` keeps old-server `Stats` documents
+    /// decoding.
+    #[serde(default)]
+    pub delta_requests: u64,
+    /// `PlanDelta` requests whose *next* plan was already cached
+    /// (LRU/store) — also counted in `lru_hits`/`store_hits`, this
+    /// counter only attributes them to the delta path.
+    #[serde(default)]
+    pub delta_hits: u64,
+    /// `PlanDelta` requests answered by patching a cached base plan
+    /// in-process (the `patched` tier).
+    #[serde(default)]
+    pub delta_patched: u64,
 }
 
 impl ServeStats {
-    /// All cache hits (LRU + store + coalesced followers).
+    /// All cache hits (LRU + store + coalesced followers + patched
+    /// plans — every plan served without running the synthesizer).
     pub fn hits(&self) -> u64 {
-        self.lru_hits + self.store_hits + self.coalesced
+        self.lru_hits + self.store_hits + self.coalesced + self.delta_patched
     }
 
     /// Fraction of plan-serving requests answered without running the
@@ -277,7 +324,7 @@ impl ServeStats {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NamedHistogram {
     /// Stable label: a `stalloc_obs::Phase::name` or a tier name
-    /// (`"lru"`, `"store"`, `"miss"`, `"coalesced"`).
+    /// (`"lru"`, `"store"`, `"miss"`, `"coalesced"`, `"patched"`).
     pub name: String,
     /// The distribution (microseconds).
     pub hist: HistogramSnapshot,
@@ -339,8 +386,9 @@ pub struct ServeMetrics {
     #[serde(default)]
     pub phases: Vec<NamedHistogram>,
     /// End-to-end latency distributions keyed by the cache tier that
-    /// answered (`"lru"`, `"store"`, `"miss"`, `"coalesced"`); each
-    /// tier's `count` matches the corresponding `ServeStats` counter.
+    /// answered (`"lru"`, `"store"`, `"miss"`, `"coalesced"`,
+    /// `"patched"`); each tier's `count` matches the corresponding
+    /// `ServeStats` counter.
     #[serde(default)]
     pub tiers: Vec<NamedHistogram>,
     /// The slowest retained request spans, slowest first.
@@ -549,6 +597,46 @@ mod tests {
         // New clients default to binary profiles; old clients simply
         // never send this header, which is how "absent means Json" works.
         assert_eq!(ProfileEncoding::default(), ProfileEncoding::Binary);
+    }
+
+    #[test]
+    fn plan_delta_header_roundtrips() {
+        let ids = stalloc_obs::IdGen::seeded(45);
+        let r = PlanRequest::PlanDelta {
+            config: SynthConfig::default(),
+            encoding: Some(PlanEncoding::Binary),
+            bytes: 222,
+            trace: Some(ids.root()),
+        };
+        assert!(r.trace_context().is_some());
+        let json = serde_json::to_string(&r).unwrap();
+        match serde_json::from_str::<PlanRequest>(&json).unwrap() {
+            PlanRequest::PlanDelta {
+                config,
+                encoding,
+                bytes,
+                trace,
+            } => {
+                assert_eq!(config, SynthConfig::default());
+                assert_eq!(encoding, Some(PlanEncoding::Binary));
+                assert_eq!(bytes, 222);
+                assert!(trace.is_some());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // The header without optional fields — what a minimal client
+        // sends — also decodes, with Json response encoding implied.
+        let config = serde_json::to_string(&SynthConfig::default()).unwrap();
+        let minimal = format!(r#"{{"PlanDelta": {{"config": {config}, "bytes": 9}}}}"#);
+        match serde_json::from_str::<PlanRequest>(&minimal).unwrap() {
+            PlanRequest::PlanDelta {
+                encoding, trace, ..
+            } => {
+                assert_eq!(encoding, None);
+                assert_eq!(trace, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]
@@ -800,6 +888,9 @@ mod tests {
         assert_eq!(stats.requests, 9);
         assert_eq!(stats.metrics_requests, 0, "absent field defaults");
         assert_eq!(stats.slowest_capacity, 0, "absent field defaults");
+        assert_eq!(stats.delta_requests, 0, "absent field defaults");
+        assert_eq!(stats.delta_hits, 0, "absent field defaults");
+        assert_eq!(stats.delta_patched, 0, "absent field defaults");
         assert_eq!(stats.hits(), 3);
     }
 
@@ -823,12 +914,14 @@ mod tests {
             store_hits: 3,
             coalesced: 5,
             misses: 7,
+            delta_patched: 4,
             ..ServeStats::default()
         };
-        assert_eq!(s.hits(), 10);
+        assert_eq!(s.hits(), 14);
         assert!(PlanSource::Lru.is_hit());
         assert!(PlanSource::Store.is_hit());
         assert!(PlanSource::Coalesced.is_hit());
+        assert!(PlanSource::Patched.is_hit());
         assert!(!PlanSource::Synthesized.is_hit());
     }
 }

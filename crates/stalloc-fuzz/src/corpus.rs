@@ -8,9 +8,11 @@
 //! a 1-iteration run, and a regression found once stays covered forever.
 
 use crate::FuzzTarget;
-use stalloc_core::{profile_trace, synthesize, ProfiledRequests, StrategyChoice, SynthConfig};
+use stalloc_core::{
+    diff_profiles, profile_trace, synthesize, ProfiledRequests, StrategyChoice, SynthConfig,
+};
 use stalloc_served::write_frame;
-use stalloc_store::{encode_plan, encode_profile};
+use stalloc_store::{encode_plan, encode_profile, encode_profile_delta};
 use std::path::{Path, PathBuf};
 use trace_gen::{ModelSpec, OptimConfig, ParallelConfig, TrainJob};
 
@@ -100,6 +102,34 @@ pub fn runtime_seeds(target: FuzzTarget) -> Vec<Vec<u8>> {
                 encode_plan(&plan)
             })
             .collect(),
+        FuzzTarget::Delta => {
+            // One realistic edit script per zoo family (resize + insert
+            // against its own base), plus the identity delta — the
+            // degenerate all-Copy script with inherit-everything flags.
+            let mut seeds: Vec<Vec<u8>> = (0..4)
+                .map(|i| {
+                    let base = zoo_profile(i);
+                    let mut next = base.clone();
+                    for r in next.statics.iter_mut().skip(base.init_count).take(3) {
+                        r.size += 4096;
+                    }
+                    next.statics.push(stalloc_core::RequestEvent {
+                        size: 1 << 20,
+                        ts: 5,
+                        te: 30,
+                        ps: 0,
+                        pe: 0,
+                        dynamic: false,
+                        ls: None,
+                        le: None,
+                    });
+                    encode_profile_delta(&diff_profiles(&base, &next))
+                })
+                .collect();
+            let base = zoo_profile(0);
+            seeds.push(encode_profile_delta(&diff_profiles(&base, &base)));
+            seeds
+        }
         FuzzTarget::Frame => {
             let mut seeds = Vec::new();
             for payload in [
@@ -131,7 +161,12 @@ mod tests {
     #[test]
     fn committed_corpus_is_present_for_every_codec_target() {
         let dir = default_corpus_dir();
-        for target in [FuzzTarget::Prof, FuzzTarget::Stpl, FuzzTarget::Frame] {
+        for target in [
+            FuzzTarget::Prof,
+            FuzzTarget::Stpl,
+            FuzzTarget::Delta,
+            FuzzTarget::Frame,
+        ] {
             let seeds = committed_seeds(&dir, target);
             assert!(
                 seeds.len() >= 3,
@@ -142,10 +177,100 @@ mod tests {
         }
     }
 
+    /// Regenerates `corpus/delta/` — one minimal seed per `CodecError`
+    /// variant the `PROF-DELTA` decoder can emit, named after it.
+    /// Run with `cargo test -p stalloc-fuzz -- --ignored gen_delta_corpus`
+    /// after a wire-format change, then commit the result.
+    #[test]
+    #[ignore]
+    fn gen_delta_corpus() {
+        use stalloc_store::decode_profile_delta;
+
+        // header: magic + version + 16-byte base fingerprint
+        let mut header = Vec::new();
+        header.extend_from_slice(b"PRFD\x01\x00");
+        header.extend_from_slice(&[0u8; 16]);
+
+        let with = |tail: &[u8]| {
+            let mut b = header.clone();
+            b.extend_from_slice(tail);
+            b
+        };
+        let candidates: Vec<(&str, Vec<u8>)> = vec![
+            ("bad-magic", b"\0\0\0\0".to_vec()),
+            ("unsupported-version", b"PRFD\x02\x00".to_vec()),
+            // ends inside the base fingerprint
+            ("truncated", b"PRFD\x01\x00".to_vec()),
+            // init_count varint never terminates within 10 bytes
+            ("varint-overflow", with(&[0xff; 10])),
+            // overlong zero-padded init_count
+            ("non-canonical-varint", with(&[0x80, 0x00])),
+            // num_phases = 2^32, one past u32
+            (
+                "int-out-of-range",
+                with(&[0x00, 0x80, 0x80, 0x80, 0x80, 0x10]),
+            ),
+            // empty scripts, then a windows section claiming 2^35-1 rows
+            (
+                "length-overflow",
+                with(&[
+                    0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0xff, 0xff, 0xff, 0xff, 0x7f,
+                ]),
+            ),
+            // a complete minimal stream plus one stray byte
+            (
+                "trailing-bytes",
+                with(&[0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xee]),
+            ),
+        ];
+
+        let kebab = |variant: &str| {
+            let mut out = String::new();
+            for (i, c) in variant.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('-');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        };
+        let dir = default_corpus_dir().join("delta");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in candidates {
+            let key = {
+                let e = decode_profile_delta(&bytes).expect_err(name);
+                (
+                    e.variant_name().to_string(),
+                    e.context().map(str::to_string),
+                )
+            };
+            assert_eq!(kebab(&key.0), name, "{name}: wrong variant {key:?}");
+            let min = crate::minimize::minimize_bytes(
+                &bytes,
+                |cand| {
+                    decode_profile_delta(cand).err().map(|e| {
+                        (
+                            e.variant_name().to_string(),
+                            e.context().map(str::to_string),
+                        )
+                    }) == Some(key.clone())
+                },
+                50_000,
+            );
+            std::fs::write(dir.join(format!("{name}.bin")), &min).unwrap();
+            println!("{name}: {} -> {} bytes", bytes.len(), min.len());
+        }
+    }
+
     #[test]
     fn runtime_seeds_cover_the_zoo() {
         assert_eq!(runtime_seeds(FuzzTarget::Prof).len(), 4);
         assert_eq!(runtime_seeds(FuzzTarget::Stpl).len(), 4);
+        assert_eq!(runtime_seeds(FuzzTarget::Delta).len(), 5);
         assert!(runtime_seeds(FuzzTarget::Frame).len() >= 4);
         assert!(runtime_seeds(FuzzTarget::Server).is_empty());
     }

@@ -1,7 +1,8 @@
 //! Deterministic, structure-aware mutational fuzzing for the wire trust
-//! boundary — the three strict decoders (`PROF` profiles, `STPL` plans
-//! v1/v2, the length-prefixed frame layer) plus a loopback harness that
-//! fires mutated request streams at a live `PlanServer`.
+//! boundary — the four strict decoders (`PROF` profiles, `STPL` plans
+//! v1/v2, `PROF-DELTA` edit scripts, the length-prefixed frame layer)
+//! plus a loopback harness that fires mutated request streams at a live
+//! `PlanServer`.
 //!
 //! Everything is offline and reproducible: mutation runs on the vendored
 //! `rand` xoshiro stream, so `--seed 42` produces the same mutants on
@@ -18,7 +19,7 @@
 //! lands as a few bytes ready to commit to the [`corpus`].
 //!
 //! Entry point: [`run`] with a [`FuzzConfig`]; the CLI front end is
-//! `stalloc fuzz --iters N --seed N --target prof|stpl|frame|server|all`.
+//! `stalloc fuzz --iters N --seed N --target prof|stpl|delta|frame|server|all`.
 
 pub mod corpus;
 pub mod coverage;
@@ -39,6 +40,8 @@ pub enum FuzzTarget {
     Prof,
     /// The `STPL` binary plan decoder (v1 and v2).
     Stpl,
+    /// The `PROF-DELTA` binary edit-script decoder.
+    Delta,
     /// The length-prefixed frame layer.
     Frame,
     /// The live loopback `PlanServer` harness.
@@ -46,9 +49,10 @@ pub enum FuzzTarget {
 }
 
 impl FuzzTarget {
-    pub const ALL: [FuzzTarget; 4] = [
+    pub const ALL: [FuzzTarget; 5] = [
         FuzzTarget::Prof,
         FuzzTarget::Stpl,
+        FuzzTarget::Delta,
         FuzzTarget::Frame,
         FuzzTarget::Server,
     ];
@@ -57,6 +61,7 @@ impl FuzzTarget {
         match self {
             FuzzTarget::Prof => "prof",
             FuzzTarget::Stpl => "stpl",
+            FuzzTarget::Delta => "delta",
             FuzzTarget::Frame => "frame",
             FuzzTarget::Server => "server",
         }
@@ -72,6 +77,7 @@ impl FuzzTarget {
         match s {
             "prof" => Some(FuzzTarget::Prof),
             "stpl" => Some(FuzzTarget::Stpl),
+            "delta" => Some(FuzzTarget::Delta),
             "frame" => Some(FuzzTarget::Frame),
             "server" => Some(FuzzTarget::Server),
             _ => None,
@@ -217,6 +223,7 @@ fn classify(target: FuzzTarget, bytes: &[u8], cov: &mut CoverageLedger) -> Fate 
     let check = match target {
         FuzzTarget::Prof => oracle::check_prof,
         FuzzTarget::Stpl => oracle::check_stpl,
+        FuzzTarget::Delta => oracle::check_delta,
         FuzzTarget::Frame => oracle::check_frame,
         FuzzTarget::Server => unreachable!("server target has no byte oracle"),
     };
@@ -256,6 +263,7 @@ fn run_codec_target(target: FuzzTarget, config: &FuzzConfig) -> TargetReport {
         let check = match target {
             FuzzTarget::Prof => oracle::check_prof,
             FuzzTarget::Stpl => oracle::check_stpl,
+            FuzzTarget::Delta => oracle::check_delta,
             FuzzTarget::Frame => oracle::check_frame,
             FuzzTarget::Server => unreachable!(),
         };
@@ -347,6 +355,7 @@ fn run_codec_target(target: FuzzTarget, config: &FuzzConfig) -> TargetReport {
             match target {
                 FuzzTarget::Prof => mutate::structured_profile_mutant(&mut mutator, &pick),
                 FuzzTarget::Stpl => mutate::structured_plan_mutant(&mut mutator, &pick),
+                FuzzTarget::Delta => mutate::structured_delta_mutant(&mut mutator, &pick),
                 _ => None,
             }
             .unwrap_or_else(|| mutator.mutate(&pick))
@@ -434,6 +443,18 @@ mod tests {
     }
 
     #[test]
+    fn short_delta_run_is_clean_and_fully_covered() {
+        let report = run(&quick_config(FuzzTarget::Delta, 1500));
+        let t = &report.targets[0];
+        assert!(t.ok(), "{}", report.summary());
+        assert_eq!(t.missing_variants, Vec::<String>::new());
+        assert!(
+            t.ok_decodes > 0,
+            "structure-aware delta mutants must decode"
+        );
+    }
+
+    #[test]
     fn short_frame_run_is_clean_and_fully_covered() {
         let report = run(&quick_config(FuzzTarget::Frame, 1500));
         let t = &report.targets[0];
@@ -462,13 +483,14 @@ mod tests {
     /// its file name promises, and must already be minimal for it.
     #[test]
     fn committed_seeds_trigger_their_named_variant_and_are_minimal() {
-        use stalloc_store::{decode_plan, decode_profile};
+        use stalloc_store::{decode_plan, decode_profile, decode_profile_delta};
 
         let dir = corpus::default_corpus_dir();
-        for target in [FuzzTarget::Prof, FuzzTarget::Stpl] {
+        for target in [FuzzTarget::Prof, FuzzTarget::Stpl, FuzzTarget::Delta] {
             let decode_key = |bytes: &[u8]| -> Option<(String, Option<String>)> {
                 let e = match target {
                     FuzzTarget::Prof => decode_profile(bytes).err()?,
+                    FuzzTarget::Delta => decode_profile_delta(bytes).err()?,
                     _ => decode_plan(bytes).err()?,
                 };
                 Some((

@@ -4,8 +4,11 @@
 //! path where the differential oracles bite.
 
 use rand::{Rng, SeedableRng, StdRng};
-use stalloc_core::StrategyChoice;
-use stalloc_store::{decode_plan, decode_profile, encode_plan, encode_profile};
+use stalloc_core::{EditOp, StrategyChoice};
+use stalloc_store::{
+    decode_plan, decode_profile, decode_profile_delta, encode_plan, encode_profile,
+    encode_profile_delta,
+};
 
 /// Tokens the byte mutator splices in: overlong and overflowing varints,
 /// huge counts, and the values most likely to flip a decoder branch.
@@ -202,6 +205,64 @@ pub fn structured_plan_mutant(m: &mut Mutator, seed: &[u8]) -> Option<Vec<u8>> {
         }
     }
     Some(encode_plan(&p))
+}
+
+/// Structure-aware `PROF-DELTA` mutant: decode the edit script, tweak
+/// one field or op, re-encode. The result is always a canonical stream
+/// (the encoder is pure), so the fixpoint and — when the base
+/// fingerprint survives untouched — the apply/fingerprint differential
+/// oracles run, not just the rejection paths. Script *semantics* may no
+/// longer fit the base (cursor overrun, underflowing resize); that is
+/// the valid refusal path `apply_delta` owns.
+pub fn structured_delta_mutant(m: &mut Mutator, seed: &[u8]) -> Option<Vec<u8>> {
+    let mut d = decode_profile_delta(seed).ok()?;
+    match m.gen_range_u32(6) {
+        0 => d.window_len = m.any_u64(1 << 30),
+        1 => d.num_phases = m.gen_range_u32(1 << 20),
+        2 => d.init_count = m.pick_index(1 << 12),
+        3 => {
+            if !d.statics.is_empty() {
+                let i = m.pick_index(d.statics.len());
+                let signed = |m: &mut Mutator| m.any_u64(1 << 21) as i64 - (1 << 20);
+                d.statics[i] = match m.gen_range_u32(4) {
+                    0 => EditOp::Resize { dsize: signed(m) },
+                    1 => EditOp::Retime {
+                        dts: signed(m),
+                        dte: signed(m),
+                        dps: signed(m),
+                        dpe: signed(m),
+                    },
+                    2 => EditOp::Remove {
+                        count: 1 + m.pick_index(8),
+                    },
+                    _ => EditOp::Copy {
+                        count: 1 + m.pick_index(8),
+                    },
+                };
+            }
+        }
+        4 => {
+            // Toggle the wholesale sections between inherit and replace.
+            if d.instance_windows.is_some() {
+                d.instance_windows = None;
+            } else {
+                d.instance_arrivals = match d.instance_arrivals {
+                    Some(_) => None,
+                    None => Some(Vec::new()),
+                };
+            }
+        }
+        _ => {
+            // Stretch a Copy run: the cursor discipline is where
+            // apply-time accounting bugs would live.
+            if let Some(EditOp::Copy { count }) = d.statics.first_mut() {
+                *count = count.saturating_add(1 + m.pick_index(4));
+            } else {
+                d.statics.insert(0, EditOp::Copy { count: 1 });
+            }
+        }
+    }
+    Some(encode_profile_delta(&d))
 }
 
 #[cfg(test)]

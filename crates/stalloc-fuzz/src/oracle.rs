@@ -17,12 +17,17 @@
 //! decode error is the expected rejection path and only feeds coverage.
 
 use crate::coverage::CoverageLedger;
-use stalloc_core::{fingerprint_job, fingerprint_job_body, StrategyChoice, SynthConfig};
+use stalloc_core::{
+    apply_delta, fingerprint_job, fingerprint_job_body, fingerprint_profile, Fingerprint,
+    ProfiledRequests, StrategyChoice, SynthConfig,
+};
 use stalloc_served::{read_frame, write_frame, FrameError};
 use stalloc_store::{
-    decode_plan, decode_profile, encode_plan, encode_profile, profile_body, CodecError,
+    decode_plan, decode_profile, decode_profile_delta, delta_base_fingerprint, encode_plan,
+    encode_profile, encode_profile_delta, profile_body, CodecError,
 };
 use std::io::Cursor;
+use std::sync::OnceLock;
 
 /// Frame cap used by the frame-layer fuzz target (small enough that the
 /// committed `Oversized` seed stays a handful of digits).
@@ -70,6 +75,78 @@ pub fn check_prof(bytes: &[u8], cov: &mut CoverageLedger) -> Result<(), String> 
                     by_body.to_hex(),
                     by_value.to_hex()
                 ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The zoo bases the delta oracle can apply accepted scripts against,
+/// keyed by their config-free fingerprint. Structured mutants keep the
+/// seed's base fingerprint, so a healthy run applies plenty of scripts.
+fn zoo_bases() -> &'static Vec<(Fingerprint, ProfiledRequests)> {
+    static BASES: OnceLock<Vec<(Fingerprint, ProfiledRequests)>> = OnceLock::new();
+    BASES.get_or_init(|| {
+        (0..4)
+            .map(|i| {
+                let p = crate::corpus::zoo_profile(i);
+                (fingerprint_profile(&p), p)
+            })
+            .collect()
+    })
+}
+
+/// `PROF-DELTA` oracle: typed rejection, or fixpoint + header-peek
+/// agreement; when the script names a base we hold (the zoo), it is
+/// applied, and the applied profile must fingerprint identically through
+/// both implementations (raw `PROF` body walk vs decoded value) — the
+/// equivalence the server's delta path banks on when it caches the
+/// applied profile under its fingerprint.
+pub fn check_delta(bytes: &[u8], cov: &mut CoverageLedger) -> Result<(), String> {
+    match decode_profile_delta(bytes) {
+        Err(e) => {
+            let (v, c) = codec_error_key(&e);
+            cov.record_error(v, c);
+            Ok(())
+        }
+        Ok(d) => {
+            cov.record_ok();
+            let re = encode_profile_delta(&d);
+            if re != bytes {
+                return Err(format!(
+                    "PROF-DELTA decode→re-encode is not a fixpoint ({} bytes in, {} out)",
+                    bytes.len(),
+                    re.len()
+                ));
+            }
+            let peek = delta_base_fingerprint(bytes)
+                .map_err(|e| format!("header peek rejected a decodable stream: {e}"))?;
+            if peek != d.base {
+                return Err(format!(
+                    "header peek {} disagrees with the decoded base {}",
+                    peek.to_hex(),
+                    d.base.to_hex()
+                ));
+            }
+            if let Some((_, base)) = zoo_bases().iter().find(|(fp, _)| *fp == d.base) {
+                // Script semantics may still reject (cursor overrun,
+                // underflowing resize, ...) — that is the valid refusal
+                // path, not a violation.
+                if let Ok(applied) = apply_delta(base, &d) {
+                    let config = SynthConfig::default();
+                    let full = encode_profile(&applied);
+                    let body = profile_body(&full)
+                        .map_err(|e| format!("applied delta re-encodes unreadably: {e}"))?;
+                    let by_body = fingerprint_job_body(body, &config);
+                    let by_value = fingerprint_job(&applied, &config);
+                    if by_body != by_value {
+                        return Err(format!(
+                            "applied-delta fingerprint divergence: raw body {} vs decoded walk {}",
+                            by_body.to_hex(),
+                            by_value.to_hex()
+                        ));
+                    }
+                }
             }
             Ok(())
         }
@@ -249,5 +326,24 @@ mod tests {
         check_stpl(b"STPL\x03\x00", &mut cov).unwrap();
         check_frame(b"hello\n", &mut cov).unwrap();
         assert_eq!(cov.variants(), 3);
+    }
+
+    /// A real zoo delta passes the oracle and reaches the apply branch
+    /// (its base fingerprint is one the oracle holds).
+    #[test]
+    fn zoo_deltas_pass_the_delta_oracle_and_apply() {
+        use stalloc_core::diff_profiles;
+        let base = crate::corpus::zoo_profile(0);
+        let mut next = base.clone();
+        if let Some(r) = next.statics.last_mut() {
+            r.size += 4096;
+        }
+        let delta = diff_profiles(&base, &next);
+        assert!(zoo_bases().iter().any(|(fp, _)| *fp == delta.base));
+        let mut cov = CoverageLedger::new();
+        check_delta(&encode_profile_delta(&delta), &mut cov).unwrap();
+        assert_eq!(cov.ok_decodes(), 1);
+        check_delta(b"JUNK", &mut cov).unwrap();
+        assert_eq!(cov.variants(), 1, "bad magic fed coverage");
     }
 }

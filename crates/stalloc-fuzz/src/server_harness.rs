@@ -8,9 +8,9 @@
 use crate::mutate::Mutator;
 use rand::{Rng, SeedableRng, StdRng};
 use stalloc_core::wire::{PlanEncoding, PlanRequest, PlanResponse, WireErrorKind};
-use stalloc_core::{fingerprint_job, SynthConfig};
+use stalloc_core::{diff_profiles, fingerprint_job, SynthConfig};
 use stalloc_served::{read_frame, write_frame, PlanServer, ServeConfig};
-use stalloc_store::encode_profile;
+use stalloc_store::{encode_profile, encode_profile_delta};
 use std::collections::BTreeSet;
 use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -24,6 +24,7 @@ pub const REQUIRED_RESPONSES: &[&str] = &[
     "Plan",
     "Metrics",
     "Trace",
+    "NotFound",
     "Error:BadFrame",
     "Error:Oversized",
     "Error:BadRequest",
@@ -90,6 +91,16 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
     // Every verb the protocol knows is a mutation seed: corruption near a
     // short `Metrics`/`Stats`/`Ping` frame probes different decoder
     // branches than the big `Plan` payload does.
+    // The delta family member the PlanDelta scenarios plan: a couple of
+    // grown activations against the base profile above.
+    let next_profile = {
+        let mut p = profile.clone();
+        for r in p.statics.iter_mut().skip(p.init_count).take(2) {
+            r.size += 4096;
+        }
+        p
+    };
+    let delta_bytes = encode_profile_delta(&diff_profiles(&profile, &next_profile));
     let mut seeds: Vec<Vec<u8>> = vec![framed_plan_req];
     for verb in [
         PlanRequest::Metrics,
@@ -98,10 +109,21 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
         PlanRequest::TraceGet {
             trace_id: ids.root().trace_hex(),
         },
+        // The PlanDelta header + its PRFD frame as one stream: mutation
+        // probes both the header decode and the edit-script decode.
+        PlanRequest::PlanDelta {
+            config,
+            encoding: Some(PlanEncoding::Json),
+            bytes: delta_bytes.len() as u64,
+            trace: None,
+        },
     ] {
         let mut framed = Vec::new();
         let payload = serde_json::to_string(&verb).expect("verb serializes");
         write_frame(&mut framed, payload.as_bytes()).expect("vec write");
+        if matches!(verb, PlanRequest::PlanDelta { .. }) {
+            write_frame(&mut framed, &delta_bytes).expect("vec write");
+        }
         seeds.push(framed);
     }
 
@@ -112,7 +134,7 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
     let mut violations = Vec::new();
 
     for i in 0..n {
-        let scenario = rng.gen_range(0u32..8);
+        let scenario = rng.gen_range(0u32..10);
         let result = match scenario {
             0 => garbage_then_recover(addr, &mut mutator, &seeds, &mut seen),
             1 => bad_payload_is_typed(addr, &mut seen),
@@ -121,6 +143,15 @@ pub fn fuzz_server(iters: u64, seed: u64) -> ServerFuzzOutcome {
             4 => valid_plan_request(addr, &plan_req, &expected_fp, &mut seen),
             5 => metrics_is_consistent(addr, &plan_req, &mut seen),
             6 => valid_profile_bin(addr, &prof_bytes, &config, &expected_fp, &mut seen),
+            7 => plan_delta_patches(
+                addr,
+                &plan_req,
+                &next_profile,
+                &delta_bytes,
+                &config,
+                &mut seen,
+            ),
+            8 => delta_unknown_base_is_not_found(addr, &profile, &next_profile, &config, &mut seen),
             _ => trace_get_finds_the_span(addr, &profile, &config, &ids, &mut seen),
         };
         if let Err(v) = result {
@@ -366,7 +397,8 @@ fn metrics_is_consistent(
     };
     let stats = metrics.stats;
     let tier_sum: u64 = metrics.tiers.iter().map(|t| t.hist.total()).sum();
-    let counter_sum = stats.lru_hits + stats.store_hits + stats.misses + stats.coalesced;
+    let counter_sum =
+        stats.lru_hits + stats.store_hits + stats.misses + stats.coalesced + stats.delta_patched;
     if tier_sum == 0 {
         return Err("tier histograms empty right after a served Plan".into());
     }
@@ -427,6 +459,107 @@ fn valid_profile_bin(
         }
         other => Err(format!("expected Plan response, got {other:?}")),
     }
+}
+
+/// Scenario: a `Plan` for the base (seeding the server's base plan and
+/// profile), then a `PlanDelta` edit script on the *same* connection.
+/// The answer must be a `Plan` whose fingerprint matches the locally
+/// computed fingerprint of the *next* profile — the client-side trust
+/// check that the server applied the script to the right base.
+fn plan_delta_patches(
+    addr: SocketAddr,
+    plan_req: &[u8],
+    next_profile: &stalloc_core::ProfiledRequests,
+    delta_bytes: &[u8],
+    config: &SynthConfig,
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    write_frame(&mut s, plan_req).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Plan { .. }) => record(seen, &resp),
+        other => {
+            return Err(format!(
+                "expected Plan response for the base, got {other:?}"
+            ))
+        }
+    }
+    let header = serde_json::to_string(&PlanRequest::PlanDelta {
+        config: *config,
+        encoding: Some(PlanEncoding::Json),
+        bytes: delta_bytes.len() as u64,
+        trace: None,
+    })
+    .expect("header serializes")
+    .into_bytes();
+    write_frame(&mut s, &header).map_err(|e| e.to_string())?;
+    write_frame(&mut s, delta_bytes).map_err(|e| e.to_string())?;
+    let expected = fingerprint_job(next_profile, config).to_hex();
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::Plan { .. }) => {
+            if let PlanResponse::Plan { fingerprint, .. } = &resp {
+                if *fingerprint != expected {
+                    return Err(format!(
+                        "delta answered fingerprint {fingerprint}, locally computed {expected}"
+                    ));
+                }
+            }
+            record(seen, &resp);
+        }
+        other => return Err(format!("expected a patched Plan response, got {other:?}")),
+    }
+    // The connection stays synchronized after the two-frame verb.
+    ping(&mut s, seen).map_err(|e| format!("connection did not survive a PlanDelta: {e}"))
+}
+
+/// Scenario: an edit script against a base the server has never seen.
+/// The typed answer is `NotFound` carrying the base fingerprint — the
+/// signal a real client turns into a transparent full retry — and the
+/// same connection must serve the next request.
+fn delta_unknown_base_is_not_found(
+    addr: SocketAddr,
+    profile: &stalloc_core::ProfiledRequests,
+    next_profile: &stalloc_core::ProfiledRequests,
+    config: &SynthConfig,
+    seen: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    // A stranger base: a profile variant never sent to the server.
+    let mut stranger = profile.clone();
+    if let Some(r) = stranger.statics.first_mut() {
+        r.size += 1;
+    }
+    let delta = diff_profiles(&stranger, next_profile);
+    let bytes = encode_profile_delta(&delta);
+    let header = serde_json::to_string(&PlanRequest::PlanDelta {
+        config: *config,
+        encoding: Some(PlanEncoding::Json),
+        bytes: bytes.len() as u64,
+        trace: None,
+    })
+    .expect("header serializes")
+    .into_bytes();
+    let mut s = connect(addr)?;
+    write_frame(&mut s, &header).map_err(|e| e.to_string())?;
+    write_frame(&mut s, &bytes).map_err(|e| e.to_string())?;
+    match read_response(&mut s)? {
+        Some(resp @ PlanResponse::NotFound { .. }) => {
+            if let PlanResponse::NotFound { fingerprint } = &resp {
+                let expected = delta.base.to_hex();
+                if *fingerprint != expected {
+                    return Err(format!(
+                        "NotFound names {fingerprint}, sent base {expected}"
+                    ));
+                }
+            }
+            record(seen, &resp);
+        }
+        other => {
+            return Err(format!(
+                "expected NotFound for a stranger base, got {other:?}"
+            ))
+        }
+    }
+    ping(&mut s, seen).map_err(|e| format!("connection did not survive a NotFound: {e}"))
 }
 
 /// Scenario: a `Plan` carrying a fresh wire trace context, then a

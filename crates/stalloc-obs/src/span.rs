@@ -36,13 +36,20 @@ pub enum Phase {
     Encode,
     /// Response frame(s) → socket.
     FrameWrite,
+    /// Delta application + plan patching on a `PlanDelta` request whose
+    /// base was cached. Declared *after* `FrameWrite` even though it
+    /// runs between lookup and encode: `SpanSnapshot.phase_micros` is
+    /// positional, so new phases must append to keep old peers'
+    /// decoders aligned on the shared prefix.
+    Replan,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 impl Phase {
-    /// Every phase, in declaration (= wall-clock) order.
+    /// Every phase, in declaration order (= wall-clock order, except
+    /// the appended `Replan` — see its doc comment).
     pub const ALL: [Phase; PHASE_COUNT] = [
         Phase::FrameRead,
         Phase::Decode,
@@ -53,6 +60,7 @@ impl Phase {
         Phase::Synthesis,
         Phase::Encode,
         Phase::FrameWrite,
+        Phase::Replan,
     ];
 
     /// Stable wire/report name (snake_case).
@@ -67,6 +75,7 @@ impl Phase {
             Phase::Synthesis => "synthesis",
             Phase::Encode => "encode",
             Phase::FrameWrite => "frame_write",
+            Phase::Replan => "replan",
         }
     }
 

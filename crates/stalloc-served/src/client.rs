@@ -23,16 +23,16 @@
 //! server's span links back to the client's. Old servers skip the
 //! unknown field; the client span is complete either way.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use stalloc_core::wire::{
     PlanEncoding, PlanRequest, PlanResponse, PlanSource, ProfileEncoding, ServeMetrics, ServeStats,
     WireErrorKind,
 };
-use stalloc_core::{Fingerprint, Plan, ProfiledRequests, SynthConfig};
+use stalloc_core::{diff_profiles, Fingerprint, Plan, ProfiledRequests, SynthConfig};
 use stalloc_obs::{id_gen, ClientPhase, ClientSpan, SpanSnapshot, TraceContext};
-use stalloc_store::{decode_plan, encode_profile, profile_body};
+use stalloc_store::{decode_plan, encode_profile, encode_profile_delta, profile_body};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 
@@ -98,6 +98,9 @@ pub struct RemotePlan {
 /// One connection to a `stalloc-served` daemon.
 pub struct PlanClient {
     stream: TcpStream,
+    /// Resolved peer address, kept for the delta fallback's reconnect
+    /// (an old server closes the connection on the unknown verb).
+    addr: SocketAddr,
     max_frame: usize,
     encoding: PlanEncoding,
     profile_encoding: ProfileEncoding,
@@ -120,8 +123,10 @@ impl PlanClient {
         // and the server answers Busy fast when overloaded.
         stream.set_read_timeout(Some(Duration::from_secs(120)))?;
         stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let addr = stream.peer_addr()?;
         Ok(PlanClient {
             stream,
+            addr,
             max_frame: DEFAULT_MAX_FRAME,
             encoding: PlanEncoding::default(),
             profile_encoding: ProfileEncoding::default(),
@@ -407,6 +412,109 @@ impl PlanClient {
         }
     }
 
+    /// Plans the *next* job of a profile family by sending only its
+    /// edit script against `base` (a profile the server has already
+    /// seen, e.g. via a previous [`Self::plan`] call on this server).
+    ///
+    /// Two transparent fallbacks make this safe to call
+    /// unconditionally:
+    ///
+    /// * a server that knows the verb but has evicted the base answers
+    ///   `NotFound`, and the full profile is retried on the same
+    ///   connection;
+    /// * a server that predates the verb answers a typed `BadFrame`
+    ///   error (or just closes), and the full profile is retried on a
+    ///   fresh connection.
+    ///
+    /// Either way the caller gets the same validated plan a
+    /// [`Self::plan`] call for `next` would produce; only
+    /// [`RemotePlan::source`] tells the paths apart
+    /// ([`PlanSource::Patched`] when the server patched in-process).
+    pub fn plan_delta(
+        &mut self,
+        base: &ProfiledRequests,
+        next: &ProfiledRequests,
+        config: &SynthConfig,
+    ) -> Result<RemotePlan, ClientError> {
+        let (mut span, wire) = self.begin_span("PlanDelta");
+        let started = Instant::now();
+        let result = self.plan_delta_traced(base, next, config, wire, &mut span);
+        self.finish_span(span, started);
+        result
+    }
+
+    fn plan_delta_traced(
+        &mut self,
+        base: &ProfiledRequests,
+        next: &ProfiledRequests,
+        config: &SynthConfig,
+        wire: TraceContext,
+        span: &mut ClientSpan,
+    ) -> Result<RemotePlan, ClientError> {
+        let encode = Instant::now();
+        let delta = diff_profiles(base, next);
+        let raw = encode_profile_delta(&delta);
+        let expected = stalloc_core::fingerprint_job(next, config);
+        span.record_since(ClientPhase::Encode, encode);
+        let header = PlanRequest::PlanDelta {
+            config: *config,
+            encoding: Some(self.encoding),
+            bytes: raw.len() as u64,
+            trace: Some(wire),
+        };
+        let exchanged = self.send_span(&header, span).and_then(|()| {
+            let write = Instant::now();
+            write_frame(&mut self.stream, &raw)?;
+            span.record_since(ClientPhase::Write, write);
+            self.recv_span(span)
+        });
+        match exchanged {
+            Ok(PlanResponse::Plan {
+                fingerprint,
+                source,
+                micros,
+                plan,
+            }) => self.accept_plan(expected, fingerprint, source, micros, plan),
+            Ok(PlanResponse::PlanBin {
+                fingerprint,
+                source,
+                micros,
+                bytes,
+            }) => {
+                let plan = self.read_binary_plan(bytes, span)?;
+                self.accept_plan(expected, fingerprint, source, micros, plan)
+            }
+            // The server no longer holds the base profile. The stream is
+            // still synchronized (both frames were consumed), so retry
+            // with the full profile on this very connection.
+            Ok(PlanResponse::NotFound { .. }) => self.plan_traced(next, config, wire, span),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected Plan/NotFound response, got {other:?}"
+            ))),
+            // A pre-`PlanDelta` server: typed `BadFrame` then close, or
+            // just a closed/reset connection. Reconnect and retry full.
+            Err(e) if delta_needs_full_retry(&e) => {
+                let connect = Instant::now();
+                self.reconnect()?;
+                span.record_since(ClientPhase::Connect, connect);
+                self.plan_traced(next, config, wire, span)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Replaces the connection after the peer closed it (the old-server
+    /// delta fallback). Keeps the trace root: the retry is part of the
+    /// same logical request.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        self.stream = stream;
+        Ok(())
+    }
+
     /// Looks up a cached plan by fingerprint; `Ok(None)` if the server
     /// has never planned that job.
     pub fn get(&mut self, fp: Fingerprint) -> Result<Option<RemotePlan>, ClientError> {
@@ -527,5 +635,23 @@ impl PlanClient {
                 "expected Pong response, got {other:?}"
             ))),
         }
+    }
+}
+
+/// Whether a failed `PlanDelta` exchange looks like "the server does not
+/// speak the verb" — a typed `BadFrame` (old servers reject unknown
+/// verbs that way, then close), a transport error (the close races the
+/// error frame), or the clean close-before-response. Anything else
+/// (`Busy`, `Oversized`, an undecodable *response*) is a real failure
+/// that retrying with a full profile would only repeat or mask.
+fn delta_needs_full_retry(e: &ClientError) -> bool {
+    match e {
+        ClientError::Server {
+            kind: WireErrorKind::BadFrame,
+            ..
+        }
+        | ClientError::Io(_) => true,
+        ClientError::Protocol(m) => m.contains("server closed before responding"),
+        _ => false,
     }
 }

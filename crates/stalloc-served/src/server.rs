@@ -35,13 +35,19 @@ use stalloc_core::wire::{
     NamedHistogram, PlanEncoding, PlanRequest, PlanResponse, PlanSource, ServeMetrics, ServeStats,
     SolverStrategyMetrics, WireErrorKind,
 };
-use stalloc_core::{fingerprint_job, fingerprint_job_body, Fingerprint, Plan, StrategyChoice};
+use stalloc_core::{
+    apply_delta, fingerprint_job, fingerprint_job_body, fingerprint_profile_body, Fingerprint,
+    Plan, StrategyChoice,
+};
 use stalloc_obs::{
     parse_trace_id, IdGen, LatencyHistogram, Phase, RequestSpan, ShardedCounter, SpanRing,
     SpanSnapshot, TraceLog, PHASE_COUNT,
 };
-use stalloc_solver::{synthesize_strategy_reported, CandidateReport};
-use stalloc_store::{decode_profile, encode_plan, profile_body, PlanStore, ShardedLru};
+use stalloc_solver::{patch_plan, synthesize_strategy_reported, CandidateReport};
+use stalloc_store::{
+    decode_profile, decode_profile_delta, encode_plan, encode_profile, profile_body, PlanStore,
+    ShardedLru,
+};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 
@@ -133,10 +139,14 @@ struct Counters {
     errors: ShardedCounter,
     in_flight: ShardedCounter,
     metrics_requests: ShardedCounter,
+    delta_requests: ShardedCounter,
+    delta_hits: ShardedCounter,
+    delta_patched: ShardedCounter,
 }
 
-/// Tier labels, indexed by [`tier_index`]; "miss" is a synthesis run.
-const TIER_NAMES: [&str; 4] = ["lru", "store", "miss", "coalesced"];
+/// Tier labels, indexed by [`tier_index`]; "miss" is a synthesis run,
+/// "patched" an in-process plan patch from a cached base.
+const TIER_NAMES: [&str; 5] = ["lru", "store", "miss", "coalesced", "patched"];
 
 fn tier_index(source: PlanSource) -> usize {
     match source {
@@ -144,6 +154,7 @@ fn tier_index(source: PlanSource) -> usize {
         PlanSource::Store => 1,
         PlanSource::Synthesized => 2,
         PlanSource::Coalesced => 3,
+        PlanSource::Patched => 4,
     }
 }
 
@@ -303,6 +314,12 @@ struct Shared {
     queue_cv: Condvar,
     lru: ShardedLru<Arc<CachedPlan>>,
     store: Option<PlanStore>,
+    /// Recently seen profiles as raw canonical `PROF` bytes, keyed by
+    /// their config-free *profile* fingerprint — the base-lookup table
+    /// of the `PlanDelta` verb. Raw bytes (not decoded profiles) so
+    /// population is a memcpy on the binary request path; decode is
+    /// paid only when a delta actually lands on the entry.
+    profiles: ShardedLru<Arc<Vec<u8>>>,
     inflight: Mutex<HashMap<Fingerprint, Arc<Flight>>>,
     counters: Counters,
     obs: ServeObs,
@@ -325,6 +342,9 @@ impl Shared {
             workers: self.config.workers as u64,
             metrics_requests: c.metrics_requests.get(),
             slowest_capacity: self.config.slowest as u64,
+            delta_requests: c.delta_requests.get(),
+            delta_hits: c.delta_hits.get(),
+            delta_patched: c.delta_patched.get(),
         }
     }
 
@@ -413,6 +433,7 @@ impl PlanServer {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             lru: ShardedLru::new(config.lru_capacity),
+            profiles: ShardedLru::new(config.lru_capacity),
             store,
             shutdown: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
@@ -832,11 +853,12 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, shared: &Shared) {
             .trace_context()
             .unwrap_or_else(|| shared.obs.ids.root());
 
-        // A `ProfileBin` header announces one raw profile frame; pull it
-        // off the connection before dispatch. Any irregularity here
+        // A `ProfileBin` or `PlanDelta` header announces one raw binary
+        // frame (a `PROF` profile or a `PROF-DELTA` edit script); pull
+        // it off the connection before dispatch. Any irregularity here
         // leaves the stream unsynchronized, so answer typed and close.
         let raw_profile = match &request {
-            PlanRequest::ProfileBin { bytes, .. } => {
+            PlanRequest::ProfileBin { bytes, .. } | PlanRequest::PlanDelta { bytes, .. } => {
                 let raw = match read_frame(&mut reader, shared.config.max_frame) {
                     Ok(Some(r)) => r,
                     Ok(None) | Err(FrameError::Io(_)) => return,
@@ -850,7 +872,7 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, shared: &Shared) {
                             &mut writer,
                             &PlanResponse::Error {
                                 kind,
-                                message: format!("binary profile frame: {e}"),
+                                message: format!("binary request frame: {e}"),
                             },
                         );
                         return;
@@ -873,7 +895,7 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, shared: &Shared) {
                         &PlanResponse::Error {
                             kind: WireErrorKind::BadFrame,
                             message: format!(
-                                "binary profile frame is {} bytes, header declared {bytes}",
+                                "binary request frame is {} bytes, header declared {bytes}",
                                 raw.len()
                             ),
                         },
@@ -942,6 +964,7 @@ fn verb_name(request: &PlanRequest) -> &'static str {
     match request {
         PlanRequest::Plan { .. } => "Plan",
         PlanRequest::ProfileBin { .. } => "ProfileBin",
+        PlanRequest::PlanDelta { .. } => "PlanDelta",
         PlanRequest::Get { .. } => "Get",
         PlanRequest::TraceGet { .. } => "TraceGet",
         PlanRequest::Stats => "Stats",
@@ -1084,6 +1107,12 @@ fn handle_request(
             shared.counters.plan_requests.inc();
             let fp_start = Instant::now();
             let fp = fingerprint_job(&profile, &config);
+            // Remember the profile's canonical bytes under its
+            // config-free fingerprint, so a later `PlanDelta` against
+            // this base finds it.
+            let raw = encode_profile(&profile);
+            let pfp = fingerprint_profile_body(profile_body(&raw).expect("just encoded"));
+            shared.profiles.insert(pfp, Arc::new(raw));
             span.record_since(Phase::Fingerprint, fp_start);
             if let Some((entry, source)) = lookup_cached(fp, shared, span) {
                 return plan_response(fp.to_hex(), source, started, entry, encoding, span);
@@ -1128,6 +1157,11 @@ fn handle_request(
                 }
             };
             let fp = fingerprint_job_body(body, &config);
+            // The bytes are already canonical: remembering them as a
+            // future delta base is one hash and one memcpy.
+            shared
+                .profiles
+                .insert(fingerprint_profile_body(body), Arc::new(raw.clone()));
             span.record_since(Phase::Fingerprint, fp_start);
             if let Some((entry, source)) = lookup_cached(fp, shared, span) {
                 return plan_response(fp.to_hex(), source, started, entry, encoding, span);
@@ -1165,7 +1199,161 @@ fn handle_request(
                 }
             }
         }
+        PlanRequest::PlanDelta {
+            config, encoding, ..
+        } => {
+            let encoding = encoding.unwrap_or(PlanEncoding::Json);
+            shared.counters.plan_requests.inc();
+            shared.counters.delta_requests.inc();
+            let raw = raw_profile.expect("connection handler reads the delta frame");
+            let decode_start = Instant::now();
+            let delta = match decode_profile_delta(&raw) {
+                Ok(d) => d,
+                Err(e) => {
+                    shared.counters.errors.inc();
+                    return (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::BadRequest,
+                            message: format!("binary profile delta: {e}"),
+                        },
+                        None,
+                    );
+                }
+            };
+            span.record_since(Phase::Decode, decode_start);
+            // Base gone from the profile cache (or never seen): tell the
+            // client which base missed so it can retry with the full
+            // profile — the delta alone cannot be synthesized.
+            let Some(base_raw) = shared.profiles.get(delta.base) else {
+                return (
+                    PlanResponse::NotFound {
+                        fingerprint: delta.base.to_hex(),
+                    },
+                    None,
+                );
+            };
+            // Materialize the next profile: decode the cached base and
+            // apply the edit script (replan-phase work — the delta
+            // path's substitute for a full profile transfer + decode).
+            let replan_start = Instant::now();
+            let base_profile = match decode_profile(&base_raw) {
+                Ok(p) => p,
+                Err(e) => {
+                    shared.counters.errors.inc();
+                    return (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::Internal,
+                            message: format!("cached base profile undecodable: {e}"),
+                        },
+                        None,
+                    );
+                }
+            };
+            let next_profile = match apply_delta(&base_profile, &delta) {
+                Ok(p) => p,
+                Err(e) => {
+                    shared.counters.errors.inc();
+                    return (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::BadRequest,
+                            message: format!("profile delta does not apply: {e}"),
+                        },
+                        None,
+                    );
+                }
+            };
+            span.record_since(Phase::Replan, replan_start);
+
+            let fp_start = Instant::now();
+            let next_raw = encode_profile(&next_profile);
+            let next_body = profile_body(&next_raw).expect("just encoded");
+            let fp = fingerprint_job_body(next_body, &config);
+            // The applied profile becomes a delta base itself, so a
+            // family N → N+1 → N+2 can chain deltas without ever
+            // re-sending a full profile.
+            shared
+                .profiles
+                .insert(fingerprint_profile_body(next_body), Arc::new(next_raw));
+            span.record_since(Phase::Fingerprint, fp_start);
+
+            // Tier 1/2: the next job may already have a plan.
+            if let Some((entry, source)) = lookup_cached(fp, shared, span) {
+                shared.counters.delta_hits.inc();
+                return plan_response(fp.to_hex(), source, started, entry, encoding, span);
+            }
+
+            // Delta tier: patch the cached base plan in-process. The
+            // base probe is counter-free — it serves no plan by itself.
+            let base_fp = fingerprint_job_body(
+                profile_body(&base_raw).expect("cache holds canonical bytes"),
+                &config,
+            );
+            if let Some(base_entry) = probe_cached(base_fp, shared) {
+                let patch_start = Instant::now();
+                let patched = catch_unwind(AssertUnwindSafe(|| {
+                    patch_plan(&base_profile, &base_entry.plan, &next_profile)
+                }))
+                .ok()
+                .and_then(|r| r.ok())
+                .filter(|(plan, _)| plan.validate().is_ok());
+                span.record_since(Phase::Replan, patch_start);
+                if let Some((plan, _stats)) = patched {
+                    shared.counters.delta_patched.inc();
+                    let entry = CachedPlan::new(plan);
+                    shared.lru.insert(fp, Arc::clone(&entry));
+                    if let Some(store) = &shared.store {
+                        let _ = store.put_encoded(fp, &entry.plan, entry.encoded());
+                    }
+                    return plan_response(
+                        fp.to_hex(),
+                        PlanSource::Patched,
+                        started,
+                        entry,
+                        encoding,
+                        span,
+                    );
+                }
+            }
+
+            // No cached base plan (or the patch didn't survive
+            // validation): the applied profile goes down the ordinary
+            // synthesis path.
+            match plan_single_flight(fp, &next_profile, &config, shared, span) {
+                Ok((entry, source)) => {
+                    plan_response(fp.to_hex(), source, started, entry, encoding, span)
+                }
+                Err(message) => {
+                    shared.counters.errors.inc();
+                    (
+                        PlanResponse::Error {
+                            kind: WireErrorKind::Internal,
+                            message,
+                        },
+                        None,
+                    )
+                }
+            }
+        }
     }
+}
+
+/// Counter-free cache probe (LRU, then store) for plans that are
+/// *inputs* to serving — the `PlanDelta` base plan — rather than the
+/// answer itself: tier counters and lookup phases must reflect only the
+/// plan actually served.
+fn probe_cached(fp: Fingerprint, shared: &Shared) -> Option<Arc<CachedPlan>> {
+    if let Some(entry) = shared.lru.get(fp) {
+        return Some(entry);
+    }
+    let store = shared.store.as_ref()?;
+    let (plan, bytes) = store
+        .get_with_bytes(fp)
+        .ok()
+        .flatten()
+        .filter(|(p, _)| p.validate().is_ok())?;
+    let entry = CachedPlan::with_bytes(plan, bytes);
+    shared.lru.insert(fp, Arc::clone(&entry));
+    Some(entry)
 }
 
 /// Cache tiers 1 and 2: the in-process LRU, then the shared disk store

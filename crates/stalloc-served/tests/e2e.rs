@@ -173,3 +173,100 @@ fn graceful_shutdown_under_idle_connections() {
     server.shutdown();
     drop((c1, c2, c3));
 }
+
+#[test]
+fn delta_requests_patch_chain_and_fall_back() {
+    let server = PlanServer::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = PlanClient::connect(server.addr()).unwrap();
+    let config = SynthConfig::default();
+
+    // Cold plan for the family's base: teaches the server both the plan
+    // and the base profile bytes.
+    let base = profile();
+    let cold = client.plan(&base, &config).unwrap();
+    assert!(!cold.source.is_hit());
+
+    // Profile N+1: one activation grows, one scratch tensor appears.
+    let mut next = base.clone();
+    next.statics[next.init_count].size += 4096;
+    next.statics.push(stalloc_core::RequestEvent {
+        size: 1 << 20,
+        ts: 5,
+        te: 30,
+        ps: 0,
+        pe: 0,
+        dynamic: false,
+        ls: None,
+        le: None,
+    });
+
+    // The delta request lands on the patched tier, and the response is
+    // the plan a full request for `next` would be keyed under.
+    let patched = client.plan_delta(&base, &next, &config).unwrap();
+    assert_eq!(patched.source, stalloc_core::PlanSource::Patched);
+    assert_eq!(patched.fingerprint, fingerprint_job(&next, &config));
+    patched.plan.validate().unwrap();
+    assert_eq!(
+        patched.plan.stats.peak_static_demand,
+        next.peak_static_demand()
+    );
+
+    // Same delta again: the patched plan is cached now, so this is a
+    // delta-attributed LRU hit, not another patch.
+    let hit = client.plan_delta(&base, &next, &config).unwrap();
+    assert_eq!(hit.source, stalloc_core::PlanSource::Lru);
+    assert_eq!(hit.plan, patched.plan);
+
+    // Chained delta: N+2 diffed against N+1, whose profile the server
+    // learned by *applying* the previous delta — no full profile for
+    // `next` was ever sent.
+    let mut next2 = next.clone();
+    next2.statics[next2.init_count + 1].size += 8192;
+    let chained = client.plan_delta(&next, &next2, &config).unwrap();
+    assert_eq!(chained.source, stalloc_core::PlanSource::Patched);
+    chained.plan.validate().unwrap();
+
+    // A delta against a base the server never saw: NotFound inside, but
+    // the client transparently retries full on the same connection.
+    let mut stranger = base.clone();
+    for r in &mut stranger.statics {
+        r.size += 512;
+    }
+    let mut stranger_next = stranger.clone();
+    stranger_next.statics[0].size += 512;
+    let fallback = client
+        .plan_delta(&stranger, &stranger_next, &config)
+        .unwrap();
+    assert_eq!(fallback.source, stalloc_core::PlanSource::Synthesized);
+    assert_eq!(
+        fallback.fingerprint,
+        fingerprint_job(&stranger_next, &config)
+    );
+
+    // Counters and histograms tell the same story.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.delta_requests, 4);
+    assert_eq!(stats.delta_patched, 2);
+    assert_eq!(stats.delta_hits, 1);
+    assert_eq!(stats.errors, 0);
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.tier("patched").unwrap().total(), 2);
+    assert!(
+        metrics.phase("replan").unwrap().total() >= 2,
+        "replan phase populated: {:?}",
+        metrics.phase("replan")
+    );
+    // The patched tier must be far below a cold synthesis: same job
+    // family, same process, so the comparison is apples-to-apples.
+    let patched_p50 = metrics.tier("patched").unwrap().quantile(0.5).unwrap();
+    let miss_p50 = metrics.tier("miss").unwrap().quantile(0.5).unwrap();
+    assert!(
+        patched_p50 < miss_p50,
+        "patched {patched_p50}µs vs cold {miss_p50}µs"
+    );
+    server.shutdown();
+}

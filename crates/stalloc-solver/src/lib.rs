@@ -60,10 +60,12 @@
 
 pub mod portfolio;
 pub mod profile;
+pub mod replan;
 pub mod strategy;
 
 pub use portfolio::{CandidateReport, Portfolio, PortfolioOutcome};
 pub use profile::SolverProfile;
+pub use replan::{patch_plan, ReplanError, ReplanStats};
 pub use strategy::{registry, strategy_for, Strategy};
 
 use stalloc_core::{Plan, ProfiledRequests, StrategyChoice, SynthConfig};

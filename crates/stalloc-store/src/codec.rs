@@ -119,9 +119,51 @@
 //!                ls first
 //! ```
 //!
+//! # `PROF-DELTA`: binary profile edit script
+//!
+//! A profile *delta* ([`stalloc_core::ProfileDelta`]) encodes profile
+//! N+1 as an edit script against a base profile identified by its
+//! config-free fingerprint (`stalloc_core::fingerprint_profile`). It is
+//! the request payload of the `PlanDelta` wire verb: families of
+//! near-identical profiles (Chronos-style per-stage schedules) ship a
+//! few hundred bytes of edits instead of a full `PROF` stream.
+//!
+//! ```text
+//! magic "PRFD" (4 raw bytes) | version (u16 LE, current = 1)
+//! base         : 16 raw bytes — fingerprint_profile of the base
+//! init_count   : next profile's persistent prefix length
+//! num_phases   : u32
+//! window_len
+//! statics ops  : count, then per op (min 2 bytes each; encoding below)
+//! dynamics ops : same encoding
+//! windows flag : 1 raw byte — 0 = same table as the base; 1 = a full
+//!                `instance_windows` section follows (same encoding as
+//!                `PROF`); any other value is rejected
+//! arrivals flag: 1 raw byte — 0 = same as base; 1 = full
+//!                `instance_arrivals` section follows (`PROF` encoding,
+//!                minus the index bound check: the decoder has no
+//!                dynamics list — `apply_delta` checks on application)
+//! ```
+//!
+//! Per-op encoding, in order: a 1-byte tag, then the operands:
+//!
+//! ```text
+//! 0 Copy       : count (uvarint, >= 1 — zero is rejected)
+//! 1 Insert     : one full request, absolute fields: flags byte (the
+//!                `PROF` rules), size, ts, delta(ts) = te, ps, pe,
+//!                then ls/le keys per the flag bits
+//! 2 Remove     : count (uvarint, >= 1)
+//! 3 Retime     : zigzag dts, dte, dps, dpe
+//! 4 Resize     : zigzag dsize
+//! ```
+//!
+//! Tags above 4 are rejected. Like the other two formats, only canonical
+//! streams decode, so `encode(decode(bytes)) == bytes` holds for every
+//! accepted `PROF-DELTA` stream.
+//!
 //! # Decoder contract
 //!
-//! Both decoders are **strict**: they never panic on foreign input.
+//! All three decoders are **strict**: they never panic on foreign input.
 //! Truncated, oversized, or malformed streams surface as typed
 //! [`CodecError`]s, and trailing bytes after a well-formed artifact are
 //! rejected ([`CodecError::TrailingBytes`]). Encoding is a pure function
@@ -132,11 +174,11 @@
 
 use std::fmt;
 
-use stalloc_core::fingerprint::{put_delta, put_instance, put_uvarint};
+use stalloc_core::fingerprint::{put_delta, put_instance, put_uvarint, zigzag};
 use stalloc_core::plan::{DynGroup, DynamicPlan, Plan, PlanStats, PlannedAlloc, StrategyChoice};
 use stalloc_core::{
-    InstanceKey, ProfiledRequests, RequestEvent, PROFILE_FLAG_DYNAMIC, PROFILE_FLAG_HAS_LE,
-    PROFILE_FLAG_HAS_LS,
+    EditOp, Fingerprint, InstanceKey, ProfileDelta, ProfiledRequests, RequestEvent,
+    PROFILE_FLAG_DYNAMIC, PROFILE_FLAG_HAS_LE, PROFILE_FLAG_HAS_LS,
 };
 
 /// File magic identifying a binary plan (`stalloc show` sniffs this).
@@ -154,6 +196,12 @@ pub const PROFILE_MAGIC: [u8; 4] = *b"PROF";
 
 /// Current profile wire-format version.
 pub const PROFILE_FORMAT_VERSION: u16 = 1;
+
+/// Stream magic identifying a binary profile delta (`PROF-DELTA`).
+pub const DELTA_MAGIC: [u8; 4] = *b"PRFD";
+
+/// Current profile-delta wire-format version.
+pub const DELTA_FORMAT_VERSION: u16 = 1;
 
 /// Typed decode failures. The decoder returns these instead of panicking,
 /// whatever the input bytes.
@@ -287,6 +335,11 @@ pub fn is_binary_plan(bytes: &[u8]) -> bool {
 /// Whether `bytes` look like a binary profile (magic sniff only).
 pub fn is_binary_profile(bytes: &[u8]) -> bool {
     bytes.len() >= PROFILE_MAGIC.len() && bytes[..PROFILE_MAGIC.len()] == PROFILE_MAGIC
+}
+
+/// Whether `bytes` look like a binary profile delta (magic sniff only).
+pub fn is_binary_delta(bytes: &[u8]) -> bool {
+    bytes.len() >= DELTA_MAGIC.len() && bytes[..DELTA_MAGIC.len()] == DELTA_MAGIC
 }
 
 // --- primitive writers -------------------------------------------------
@@ -758,6 +811,292 @@ pub fn decode_profile(bytes: &[u8]) -> Result<ProfiledRequests, CodecError> {
     })
 }
 
+// --- profile-delta codec -----------------------------------------------
+
+const OP_COPY: u8 = 0;
+const OP_INSERT: u8 = 1;
+const OP_REMOVE: u8 = 2;
+const OP_RETIME: u8 = 3;
+const OP_RESIZE: u8 = 4;
+
+/// Appends one request with **absolute** fields (no cross-request delta
+/// chain: delta ops interleave with copies, so there is no meaningful
+/// predecessor). `te` still rides as a delta from the request's own `ts`.
+fn put_request_abs(buf: &mut Vec<u8>, r: &RequestEvent) {
+    let mut flags = 0u8;
+    if r.dynamic {
+        flags |= PROFILE_FLAG_DYNAMIC;
+    }
+    if r.ls.is_some() {
+        flags |= PROFILE_FLAG_HAS_LS;
+    }
+    if r.le.is_some() {
+        flags |= PROFILE_FLAG_HAS_LE;
+    }
+    buf.push(flags);
+    put_uvarint(buf, r.size);
+    put_uvarint(buf, r.ts);
+    put_delta(buf, r.ts, r.te);
+    put_uvarint(buf, r.ps as u64);
+    put_uvarint(buf, r.pe as u64);
+    if let Some(ls) = &r.ls {
+        put_instance(buf, ls);
+    }
+    if let Some(le) = &r.le {
+        put_instance(buf, le);
+    }
+}
+
+fn get_request_abs(r: &mut Reader<'_>, context: &'static str) -> Result<RequestEvent, CodecError> {
+    let flags = r.take(1, context)?[0];
+    if flags & !PROFILE_FLAGS_MASK != 0 {
+        return Err(CodecError::IntOutOfRange { context });
+    }
+    let size = r.uvarint(context)?;
+    let ts = r.uvarint(context)?;
+    let te = r.delta(ts, context)?;
+    let ps = r.u32_field(context)?;
+    let pe = r.u32_field(context)?;
+    let ls = if flags & PROFILE_FLAG_HAS_LS != 0 {
+        Some(get_instance(r, context)?)
+    } else {
+        None
+    };
+    let le = if flags & PROFILE_FLAG_HAS_LE != 0 {
+        Some(get_instance(r, context)?)
+    } else {
+        None
+    };
+    Ok(RequestEvent {
+        size,
+        ts,
+        te,
+        ps,
+        pe,
+        dynamic: flags & PROFILE_FLAG_DYNAMIC != 0,
+        ls,
+        le,
+    })
+}
+
+fn put_signed(buf: &mut Vec<u8>, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+fn put_ops(buf: &mut Vec<u8>, ops: &[EditOp]) {
+    put_uvarint(buf, ops.len() as u64);
+    for op in ops {
+        match op {
+            EditOp::Copy { count } => {
+                buf.push(OP_COPY);
+                put_uvarint(buf, *count as u64);
+            }
+            EditOp::Insert { request } => {
+                buf.push(OP_INSERT);
+                put_request_abs(buf, request);
+            }
+            EditOp::Remove { count } => {
+                buf.push(OP_REMOVE);
+                put_uvarint(buf, *count as u64);
+            }
+            EditOp::Retime { dts, dte, dps, dpe } => {
+                buf.push(OP_RETIME);
+                put_signed(buf, *dts);
+                put_signed(buf, *dte);
+                put_signed(buf, *dps);
+                put_signed(buf, *dpe);
+            }
+            EditOp::Resize { dsize } => {
+                buf.push(OP_RESIZE);
+                put_signed(buf, *dsize);
+            }
+        }
+    }
+}
+
+fn get_ops(r: &mut Reader<'_>, context: &'static str) -> Result<Vec<EditOp>, CodecError> {
+    // Tag byte + one single-byte operand, minimum.
+    let len = r.length(2, context)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let tag = r.take(1, context)?[0];
+        out.push(match tag {
+            OP_COPY | OP_REMOVE => {
+                let count = r.usize_field(context)?;
+                // Zero-length runs encode nothing; accepting them would
+                // give one script two byte forms.
+                if count == 0 {
+                    return Err(CodecError::IntOutOfRange { context });
+                }
+                if tag == OP_COPY {
+                    EditOp::Copy { count }
+                } else {
+                    EditOp::Remove { count }
+                }
+            }
+            OP_INSERT => EditOp::Insert {
+                request: get_request_abs(r, context)?,
+            },
+            OP_RETIME => EditOp::Retime {
+                dts: unzigzag(r.uvarint(context)?),
+                dte: unzigzag(r.uvarint(context)?),
+                dps: unzigzag(r.uvarint(context)?),
+                dpe: unzigzag(r.uvarint(context)?),
+            },
+            OP_RESIZE => EditOp::Resize {
+                dsize: unzigzag(r.uvarint(context)?),
+            },
+            _ => return Err(CodecError::IntOutOfRange { context }),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a profile delta to the `PROF-DELTA` binary wire format.
+pub fn encode_profile_delta(delta: &ProfileDelta) -> Vec<u8> {
+    let guess = 64 + 8 * (delta.statics.len() + delta.dynamics.len());
+    let mut buf = Vec::with_capacity(guess);
+    buf.extend_from_slice(&DELTA_MAGIC);
+    buf.extend_from_slice(&DELTA_FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&delta.base.0);
+    put_uvarint(&mut buf, delta.init_count as u64);
+    put_uvarint(&mut buf, delta.num_phases as u64);
+    put_uvarint(&mut buf, delta.window_len);
+    put_ops(&mut buf, &delta.statics);
+    put_ops(&mut buf, &delta.dynamics);
+
+    match &delta.instance_windows {
+        None => buf.push(0),
+        Some(windows) => {
+            buf.push(1);
+            put_uvarint(&mut buf, windows.len() as u64);
+            let mut prev_start = 0u64;
+            for (k, (start, end)) in windows {
+                put_instance(&mut buf, k);
+                put_delta(&mut buf, prev_start, *start);
+                put_delta(&mut buf, *start, *end);
+                prev_start = *start;
+            }
+        }
+    }
+    match &delta.instance_arrivals {
+        None => buf.push(0),
+        Some(arrivals) => {
+            buf.push(1);
+            put_uvarint(&mut buf, arrivals.len() as u64);
+            for (k, seq) in arrivals {
+                put_instance(&mut buf, k);
+                put_uvarint(&mut buf, seq.len() as u64);
+                let mut prev = 0u64;
+                for &i in seq {
+                    put_delta(&mut buf, prev, i as u64);
+                    prev = i as u64;
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Validates a `PROF-DELTA` header and returns the base-profile
+/// fingerprint the stream edits — the server's cache-probe entry point:
+/// one 22-byte peek decides whether the base is on hand before the full
+/// script is decoded.
+pub fn delta_base_fingerprint(bytes: &[u8]) -> Result<Fingerprint, CodecError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4, "magic")? != DELTA_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.take(2, "version")?.try_into().expect("2 bytes"));
+    if version == 0 || version > DELTA_FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let fp = r.take(16, "base")?;
+    Ok(Fingerprint(fp.try_into().expect("16 bytes")))
+}
+
+/// Decodes a binary profile delta, rejecting anything malformed with a
+/// typed error. Script *semantics* (cursor discipline, field ranges
+/// against the base) are checked by `stalloc_core::apply_delta` on
+/// application — the decoder has no base profile to check against.
+pub fn decode_profile_delta(bytes: &[u8]) -> Result<ProfileDelta, CodecError> {
+    let base = delta_base_fingerprint(bytes)?;
+    let mut r = Reader::new(&bytes[22..]);
+
+    let init_count = r.usize_field("init_count")?;
+    let num_phases = r.u32_field("num_phases")?;
+    let window_len = r.uvarint("window_len")?;
+    let statics = get_ops(&mut r, "delta.statics")?;
+    let dynamics = get_ops(&mut r, "delta.dynamics")?;
+
+    let instance_windows = match r.take(1, "delta.windows_flag")?[0] {
+        0 => None,
+        1 => {
+            let count = r.length(4, "instance_windows")?;
+            let mut out = Vec::with_capacity(count);
+            let mut prev_start = 0u64;
+            for _ in 0..count {
+                let key = get_instance(&mut r, "instance_windows")?;
+                let start = r.delta(prev_start, "instance_windows")?;
+                let end = r.delta(start, "instance_windows")?;
+                out.push((key, (start, end)));
+                prev_start = start;
+            }
+            Some(out)
+        }
+        _ => {
+            return Err(CodecError::IntOutOfRange {
+                context: "delta.windows_flag",
+            })
+        }
+    };
+    let instance_arrivals = match r.take(1, "delta.arrivals_flag")?[0] {
+        0 => None,
+        1 => {
+            let count = r.length(3, "instance_arrivals")?;
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = get_instance(&mut r, "instance_arrivals")?;
+                let n = r.length(1, "instance_arrivals")?;
+                let mut seq = Vec::with_capacity(n);
+                let mut prev = 0u64;
+                for _ in 0..n {
+                    let idx = r.delta(prev, "instance_arrivals")?;
+                    let idx32 = u32::try_from(idx).map_err(|_| CodecError::IntOutOfRange {
+                        context: "instance_arrivals",
+                    })?;
+                    seq.push(idx32);
+                    prev = idx;
+                }
+                out.push((key, seq));
+            }
+            Some(out)
+        }
+        _ => {
+            return Err(CodecError::IntOutOfRange {
+                context: "delta.arrivals_flag",
+            })
+        }
+    };
+
+    if r.remaining() != 0 {
+        return Err(CodecError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+
+    Ok(ProfileDelta {
+        base,
+        init_count,
+        num_phases,
+        window_len,
+        statics,
+        dynamics,
+        instance_windows,
+        instance_arrivals,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,5 +1472,243 @@ mod tests {
             corrupt[pos] ^= mask;
             let _ = decode_plan(&corrupt); // must return, never panic
         }
+    }
+
+    fn sample_delta() -> ProfileDelta {
+        // A delta exercising every op tag plus both wholesale sections.
+        let base = sample_profile();
+        let mut next = base.clone();
+        next.statics[0].size += 512; // Resize
+        next.statics[2].ts += 1; // Retime
+        next.statics.push(RequestEvent {
+            size: 2048,
+            ts: 50,
+            te: 60,
+            ps: 1,
+            pe: 2,
+            dynamic: false,
+            ls: None,
+            le: None,
+        }); // Insert
+        next.dynamics.remove(1); // Remove
+        next.instance_arrivals = vec![(next.instance_arrivals[0].0, vec![0])];
+        let delta = stalloc_core::diff_profiles(&base, &next);
+        assert!(delta
+            .statics
+            .iter()
+            .any(|op| matches!(op, EditOp::Resize { .. })));
+        assert!(delta
+            .statics
+            .iter()
+            .any(|op| matches!(op, EditOp::Retime { .. })));
+        assert!(delta
+            .statics
+            .iter()
+            .any(|op| matches!(op, EditOp::Insert { .. })));
+        assert!(delta
+            .dynamics
+            .iter()
+            .any(|op| matches!(op, EditOp::Remove { .. })));
+        assert!(delta.instance_arrivals.is_some());
+        delta
+    }
+
+    #[test]
+    fn delta_roundtrip_and_stable_reencode() {
+        let delta = sample_delta();
+        let bytes = encode_profile_delta(&delta);
+        assert!(is_binary_delta(&bytes));
+        assert!(!is_binary_profile(&bytes));
+        assert!(!is_binary_plan(&bytes));
+        let back = decode_profile_delta(&bytes).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(
+            encode_profile_delta(&back),
+            bytes,
+            "re-encode is byte-identical"
+        );
+    }
+
+    #[test]
+    fn delta_base_fingerprint_peek_matches_decode() {
+        let delta = sample_delta();
+        let bytes = encode_profile_delta(&delta);
+        assert_eq!(delta_base_fingerprint(&bytes).unwrap(), delta.base);
+        assert_eq!(
+            delta_base_fingerprint(&bytes).unwrap(),
+            stalloc_core::fingerprint_profile(&sample_profile()),
+        );
+    }
+
+    #[test]
+    fn empty_delta_roundtrips() {
+        // The identity script: all-copy, sections inherited from base.
+        let base = sample_profile();
+        let delta = stalloc_core::diff_profiles(&base, &base);
+        assert!(delta.instance_windows.is_none());
+        assert!(delta.instance_arrivals.is_none());
+        let bytes = encode_profile_delta(&delta);
+        assert_eq!(decode_profile_delta(&bytes).unwrap(), delta);
+    }
+
+    #[test]
+    fn delta_every_truncation_is_a_typed_error() {
+        let bytes = encode_profile_delta(&sample_delta());
+        for cut in 0..bytes.len() {
+            let err = decode_profile_delta(&bytes[..cut]).expect_err("prefix must not decode");
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. }
+                        | CodecError::BadMagic
+                        | CodecError::LengthOverflow { .. }
+                        | CodecError::IntOutOfRange { .. }
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_bad_magic_and_version() {
+        assert_eq!(decode_profile_delta(b"JSON{}"), Err(CodecError::BadMagic));
+        // Neither a plan nor a profile stream is a delta.
+        assert_eq!(
+            decode_profile_delta(&encode_plan(&sample_plan())),
+            Err(CodecError::BadMagic)
+        );
+        assert_eq!(
+            decode_profile_delta(&encode_profile(&sample_profile())),
+            Err(CodecError::BadMagic)
+        );
+        let mut bytes = encode_profile_delta(&sample_delta());
+        bytes[4] = 0x42;
+        bytes[5] = 0x42;
+        assert_eq!(
+            decode_profile_delta(&bytes),
+            Err(CodecError::UnsupportedVersion(0x4242))
+        );
+    }
+
+    fn delta_header(statics_ops: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&DELTA_MAGIC);
+        bytes.extend_from_slice(&DELTA_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]); // base fingerprint
+        put_uvarint(&mut bytes, 0); // init_count
+        put_uvarint(&mut bytes, 1); // num_phases
+        put_uvarint(&mut bytes, 10); // window_len
+        bytes.extend_from_slice(statics_ops);
+        bytes
+    }
+
+    #[test]
+    fn delta_unknown_op_tag_rejected() {
+        let mut ops = Vec::new();
+        put_uvarint(&mut ops, 1); // one op
+        ops.push(9); // no such tag
+        ops.push(0);
+        assert_eq!(
+            decode_profile_delta(&delta_header(&ops)),
+            Err(CodecError::IntOutOfRange {
+                context: "delta.statics"
+            })
+        );
+    }
+
+    #[test]
+    fn delta_zero_length_run_rejected() {
+        for tag in [0u8, 2u8] {
+            let mut ops = Vec::new();
+            put_uvarint(&mut ops, 1);
+            ops.push(tag);
+            put_uvarint(&mut ops, 0); // empty Copy/Remove run
+            assert_eq!(
+                decode_profile_delta(&delta_header(&ops)),
+                Err(CodecError::IntOutOfRange {
+                    context: "delta.statics"
+                }),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_bad_section_flag_rejected() {
+        let mut bytes = delta_header(&[]);
+        put_uvarint(&mut bytes, 0); // statics: no ops
+        put_uvarint(&mut bytes, 0); // dynamics: no ops
+        bytes.push(7); // windows flag must be 0|1
+        assert_eq!(
+            decode_profile_delta(&bytes),
+            Err(CodecError::IntOutOfRange {
+                context: "delta.windows_flag"
+            })
+        );
+        let last = bytes.len() - 1;
+        bytes[last] = 0;
+        bytes.push(7); // arrivals flag must be 0|1
+        assert_eq!(
+            decode_profile_delta(&bytes),
+            Err(CodecError::IntOutOfRange {
+                context: "delta.arrivals_flag"
+            })
+        );
+    }
+
+    #[test]
+    fn delta_trailing_bytes_rejected() {
+        let mut bytes = encode_profile_delta(&sample_delta());
+        bytes.push(0);
+        assert_eq!(
+            decode_profile_delta(&bytes),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn delta_random_byte_flips_never_panic() {
+        let bytes = encode_profile_delta(&sample_delta());
+        let mut state = 0x0dd0_c0de_5eed_f00du64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pos = (state >> 33) as usize % bytes.len();
+            let mask = (state >> 8) as u8 | 1;
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= mask;
+            let _ = decode_profile_delta(&corrupt); // must return, never panic
+        }
+    }
+
+    #[test]
+    fn delta_decode_then_apply_reproduces_next() {
+        // End-to-end over the codec: diff → encode → decode → apply.
+        let base = sample_profile();
+        let mut next = base.clone();
+        next.statics[1].size = 1 << 16;
+        next.dynamics.push(RequestEvent {
+            size: 4096,
+            ts: 20,
+            te: 30,
+            ps: 1,
+            pe: 1,
+            dynamic: true,
+            ls: None,
+            le: None,
+        });
+        next.instance_arrivals = vec![
+            (base.instance_arrivals[0].0, vec![0]),
+            (base.instance_arrivals[1].0, vec![1, 2]),
+        ];
+        let wire = encode_profile_delta(&stalloc_core::diff_profiles(&base, &next));
+        let applied = stalloc_core::apply_delta(&base, &decode_profile_delta(&wire).unwrap())
+            .expect("delta applies");
+        assert_eq!(applied, next);
+        assert_eq!(
+            stalloc_core::fingerprint_profile(&applied),
+            stalloc_core::fingerprint_profile(&next),
+        );
     }
 }

@@ -134,6 +134,32 @@ impl TrainJob {
         self
     }
 
+    /// Sets which pipeline stage this trace observes (0-based; must be
+    /// `< pp`).
+    pub fn with_stage(mut self, stage: u32) -> Self {
+        self.stage_rank = stage;
+        self
+    }
+
+    /// The Chronos-style per-stage job family: one job per pipeline
+    /// stage of this configuration, identical except for `stage_rank`.
+    ///
+    /// Under 1F1B, stage `s` holds `pp - s` microbatches of activations
+    /// in flight, so adjacent stages' memory profiles share most of
+    /// their request population and differ by a bounded set of
+    /// insertions/removals/retimings — exactly the near-identical
+    /// profile families that incremental re-planning (`PlanDelta`)
+    /// turns from cold syntheses into plan patches.
+    pub fn stage_family(&self) -> Vec<TrainJob> {
+        (0..self.parallel.pp)
+            .map(|stage| {
+                let mut job = self.clone();
+                job.stage_rank = stage;
+                job
+            })
+            .collect()
+    }
+
     /// Paper-style configuration label, e.g. `"VR"`.
     pub fn label(&self) -> String {
         self.optim.label(self.parallel.vpp > 1)
@@ -1083,6 +1109,34 @@ mod tests {
         let t = small_dense_job().build_trace().unwrap();
         let n = t.allocs_in_iteration(1);
         assert!(n > 200, "iteration should have many requests, got {n}");
+    }
+
+    #[test]
+    fn stage_family_walks_the_pipeline() {
+        let base = small_dense_job();
+        let family = base.stage_family();
+        assert_eq!(family.len(), base.parallel.pp as usize);
+        let mut peaks = Vec::new();
+        for (stage, job) in family.iter().enumerate() {
+            assert_eq!(job.stage_rank, stage as u32);
+            let mut expect = base.clone();
+            expect.stage_rank = stage as u32;
+            assert_eq!(*job, expect, "stages differ only in stage_rank");
+            let trace = job.build_trace().unwrap();
+            trace.validate().unwrap();
+            peaks.push(trace.peak_allocated());
+        }
+        // 1F1B: earlier stages hold more microbatches in flight, so the
+        // family's peaks shrink (weakly) down the pipeline — the memory
+        // variation the per-stage profiles capture.
+        assert!(
+            peaks.windows(2).all(|w| w[0] >= w[1]),
+            "peaks not monotone down the pipeline: {peaks:?}"
+        );
+        assert!(
+            peaks.first() > peaks.last(),
+            "stage 0 should out-hold the last stage: {peaks:?}"
+        );
     }
 
     #[test]
